@@ -1,0 +1,258 @@
+//! Ablations of the design choices `DESIGN.md` calls out:
+//!
+//! 1. **Algorithm 1 tie-break** — the paper-literal strict rule vs the
+//!    producer-biased default (`≥`): the strict rule deadlocks on
+//!    depthwise layers whose input/output footprints are equal.
+//! 2. **Algorithm 2 margin δ** — how the score margin trades early-layer
+//!    cuts against tail cuts.
+//! 3. **ICN mantissa width** — requantization error of the Q31 fixed-point
+//!    decomposition vs exact thresholds, over a dense accumulator sweep.
+//! 4. **Threshold datatype** — how many threshold entries of converted
+//!    networks would overflow the INT16 storage Table 2's footprint
+//!    implies.
+//!
+//! Run with: `cargo bench --bench ablation_mixed_precision`
+
+use mixq_bench::harness::{rule, stress_dataset};
+use mixq_core::convert::convert;
+use mixq_core::memory::{MemoryBudget, QuantScheme};
+use mixq_core::mixed::{
+    assign_bits, cut_activation_bits, MixedPrecisionConfig, TieBreak,
+};
+use mixq_core::convert::scheme_granularity;
+use mixq_kernels::{Requantizer, ThresholdChannel};
+use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+use mixq_nn::qat::QatNetwork;
+use mixq_nn::train::{train, TrainConfig};
+use mixq_quant::{BitWidth, FixedPointMultiplier};
+
+fn main() {
+    ablation_tie_break();
+    ablation_delta();
+    ablation_mantissa();
+    ablation_threshold_datatype();
+    ablation_cycle_model_sensitivity();
+}
+
+fn ablation_tie_break() {
+    println!("== ablation 1: Algorithm 1 tie-break rule ==");
+    // 224_1.0 at a tight RAM budget stresses the depthwise pairs.
+    let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+    for rw_kb in [512usize, 384, 320] {
+        let budget = MemoryBudget::new(2 << 20, rw_kb * 1024);
+        for (name, tie) in [("strict (paper-literal)", TieBreak::Strict),
+                            ("cut-producer (default)", TieBreak::CutProducer)] {
+            let cfg = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn)
+                .with_tie_break(tie);
+            match cut_activation_bits(&spec, &cfg) {
+                Ok(act) => {
+                    let cuts = act.iter().filter(|&&b| b != BitWidth::W8).count();
+                    println!("  RW {rw_kb:>3} kB, {name:<24}: ok, {cuts} tensors cut");
+                }
+                Err(e) => println!("  RW {rw_kb:>3} kB, {name:<24}: DEADLOCK ({e})"),
+            }
+        }
+    }
+    println!();
+}
+
+fn ablation_delta() {
+    println!("== ablation 2: Algorithm 2 margin δ ==");
+    let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+    println!(
+        "  {:<8} {:>8} {:>10}  first/last cut layer",
+        "δ", "cuts", "flash MiB"
+    );
+    for delta in [0.0, 0.02, 0.05, 0.1, 0.25] {
+        let cfg = MixedPrecisionConfig::new(MemoryBudget::stm32h7(), QuantScheme::PerChannelIcn)
+            .with_delta(delta);
+        match assign_bits(&spec, &cfg) {
+            Ok(a) => {
+                let cut: Vec<&str> = spec
+                    .layers()
+                    .iter()
+                    .zip(&a.weight_bits)
+                    .filter(|(_, &b)| b != BitWidth::W8)
+                    .map(|(l, _)| l.name())
+                    .collect();
+                println!(
+                    "  {:<8} {:>8} {:>10.2}  {} .. {}",
+                    delta,
+                    cut.len(),
+                    mixq_core::memory::mib(a.flash_bytes(&spec, QuantScheme::PerChannelIcn)),
+                    cut.first().unwrap_or(&"-"),
+                    cut.last().unwrap_or(&"-")
+                );
+            }
+            Err(e) => println!("  {delta:<8} INFEASIBLE ({e})"),
+        }
+    }
+    println!("  (larger δ pulls cuts towards earlier layers, the paper's heuristic intent)");
+    println!();
+}
+
+fn ablation_mantissa() {
+    println!("== ablation 3: ICN Q31 mantissa vs exact thresholds ==");
+    rule(60);
+    let bits = BitWidth::W4;
+    let mut icn_diffs = 0u64;
+    let mut total = 0u64;
+    for m_i in 1..40 {
+        let m = m_i as f64 * 0.013;
+        let icn = Requantizer::icn(
+            vec![7],
+            vec![FixedPointMultiplier::from_real(m)],
+            0,
+            bits,
+        );
+        let thr = ThresholdChannel::from_affine(m, 7, 0, bits);
+        let (mut r, mut c) = (0, 0);
+        for phi in -400..400i64 {
+            let a = icn.apply(0, phi, &mut r, &mut c);
+            let b = thr.eval(phi, &mut c);
+            total += 1;
+            if a != b {
+                icn_diffs += 1;
+            }
+        }
+    }
+    println!(
+        "  ICN(Q31) vs exact thresholds over {total} evaluations: {icn_diffs} code \
+         differences ({:.4}%)",
+        icn_diffs as f64 / total as f64 * 100.0
+    );
+    println!("  (the paper reports ≤0.05% accuracy delta between the two, Table 2)");
+    println!();
+}
+
+/// Figure 2's conclusions must not hinge on the cycle model's calibration:
+/// perturb every constant ±30% and check the qualitative claims
+/// (latency ordering across the model grid, positive PC overhead,
+/// an order-of-magnitude fps span) survive.
+fn ablation_cycle_model_sensitivity() {
+    use mixq_core::mixed::BitAssignment;
+    use mixq_mcu::{CortexM7CycleModel, Device};
+
+    println!();
+    println!("== ablation 5: cycle-model calibration sensitivity ==");
+    let device = Device::stm32h7();
+    let configs = MobileNetConfig::all();
+    let assignments: Vec<_> = configs
+        .iter()
+        .map(|c| {
+            let spec = c.build();
+            let cfg =
+                MixedPrecisionConfig::new(device.budget(), QuantScheme::PerChannelIcn);
+            let a = assign_bits(&spec, &cfg).expect("feasible");
+            (spec, a)
+        })
+        .collect();
+    let baseline_order = |model: &CortexM7CycleModel| -> Vec<String> {
+        let mut v: Vec<(String, u64)> = configs
+            .iter()
+            .zip(&assignments)
+            .map(|(c, (spec, a))| {
+                (
+                    c.label(),
+                    model.network_cycles(spec, a, QuantScheme::PerChannelIcn),
+                )
+            })
+            .collect();
+        v.sort_by_key(|x| x.1);
+        v.into_iter().map(|x| x.0).collect()
+    };
+    let nominal = baseline_order(&CortexM7CycleModel::default());
+    for (name, factor) in [("-30%", 0.7), ("nominal", 1.0), ("+30%", 1.3)] {
+        let m = CortexM7CycleModel {
+            conv_cycles_per_mac: 2.1 * factor,
+            dw_cycles_per_mac: 7.0 / factor, // perturb in opposite directions
+            unpack_cycles: 0.8 * factor,
+            pc_offset_cycles: 0.45 * factor,
+            requant_cycles: 8.0 * factor,
+            ..CortexM7CycleModel::default()
+        };
+        let order = baseline_order(&m);
+        let agree = order
+            .iter()
+            .zip(&nominal)
+            .filter(|(a, b)| a == b)
+            .count();
+        // PC overhead under this perturbation.
+        let spec = MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5).build();
+        let bits = BitAssignment::uniform8(&spec);
+        let pl = m.network_cycles(&spec, &bits, QuantScheme::PerLayerIcn);
+        let pc = m.network_cycles(&spec, &bits, QuantScheme::PerChannelIcn);
+        let span = {
+            let fast = m.network_cycles(
+                &assignments[0].0,
+                &assignments[0].1,
+                QuantScheme::PerChannelIcn,
+            );
+            let slow = configs
+                .iter()
+                .zip(&assignments)
+                .map(|(_, (spec, a))| m.network_cycles(spec, a, QuantScheme::PerChannelIcn))
+                .max()
+                .unwrap_or(fast);
+            slow as f64 / fast as f64
+        };
+        println!(
+            "  {name:>8}: latency-rank agreement {agree}/16, PC overhead {:+.0}%, fps span {:.0}x",
+            (pc as f64 / pl as f64 - 1.0) * 100.0,
+            span
+        );
+    }
+    println!("  (rank agreement should stay high and overhead/span positive under ±30%)");
+}
+
+fn ablation_threshold_datatype() {
+    println!("== ablation 4: INT16 threshold storage ==");
+    let ds = stress_dataset(11);
+    let split = ds.split(0.8, 3);
+    let spec = mixq_models::micro::folding_stress_cnn(2, 4);
+    let mut net = QatNetwork::build(&spec, 4242);
+    let _ = train(&mut net, &split.train, &TrainConfig::fast(10));
+    net.calibrate_input(split.train.images());
+    net.enable_fake_quant(scheme_granularity(QuantScheme::PerChannelThresholds));
+    let _ = train(&mut net, &split.train, &TrainConfig::fast(6));
+    let int_net = convert(&net, QuantScheme::PerChannelThresholds).expect("convertible");
+    let mut total = 0usize;
+    let mut beyond_i16 = 0usize;
+    let mut lossy = 0usize;
+    let mut in_bits = mixq_quant::BitWidth::W8;
+    for layer in int_net.layers() {
+        let wshape = layer.weights().shape();
+        let macs_per_output = if layer.weights().is_depthwise() {
+            wshape.h * wshape.w
+        } else {
+            wshape.h * wshape.w * wshape.c
+        };
+        // Reachable accumulator magnitude: |Φ| ≤ macs/output · qmax_x · qmax_w.
+        let reach = (macs_per_output as i64)
+            * in_bits.qmax() as i64
+            * layer.weights().bits().qmax() as i64;
+        if let Requantizer::Thresholds { channels, .. } = layer.requant() {
+            for ch in channels {
+                for &t in ch.thresholds() {
+                    total += 1;
+                    if !(i16::MIN as i64..=i16::MAX as i64).contains(&t) {
+                        beyond_i16 += 1;
+                        if t.abs() <= reach {
+                            lossy += 1;
+                        }
+                    }
+                }
+            }
+        }
+        in_bits = layer.requant().out_bits();
+    }
+    println!(
+        "  converted stress CNN stores {total} thresholds; beyond i16: {beyond_i16}, \
+         of which *reachable* by the accumulator (i.e. truly lossy if saturated): {lossy}"
+    );
+    println!(
+        "  (Table 2's 2.35 MB implies INT16 entries; unreachable thresholds encode \
+         always/never-crossed codes and saturate losslessly — the lossy count is what \
+         a deployment must watch)"
+    );
+}

@@ -1,0 +1,140 @@
+//! Regenerates **Figure 2**: the accuracy–latency trade-off of the 16
+//! mixed-precision MobileNetV1 models on the STM32H7
+//! (`M_RO = 2 MB, M_RW = 512 kB`), for the MixQ-PL and MixQ-PC-ICN
+//! configurations.
+//!
+//! Latency comes from the Cortex-M7 cycle model over the bit assignments
+//! the §5 procedure produces; accuracy is the paper-reported Top-1
+//! (Table 4) since ImageNet cannot be re-measured. The *shape* under test:
+//! fps spans ≈ 20× from 128_0.25 to 224_0.75, MixQ-PC-ICN costs ≈ 20%
+//! extra latency and wins ≈ 1–5% accuracy, and the Pareto frontier is
+//! mostly MixQ-PC-ICN points.
+//!
+//! Run with: `cargo bench --bench figure2_latency_accuracy`
+
+use mixq_bench::harness::rule;
+use mixq_bench::reference::{table4_pc_icn, table4_pl};
+use mixq_core::memory::QuantScheme;
+use mixq_core::mixed::{assign_bits, MixedPrecisionConfig};
+use mixq_mcu::{CortexM7CycleModel, Device};
+use mixq_models::mobilenet::MobileNetConfig;
+
+#[derive(Debug, Clone)]
+struct Point {
+    label: String,
+    config: &'static str,
+    latency_ms: f64,
+    fps: f64,
+    top1: f32,
+}
+
+fn main() {
+    let device = Device::stm32h7();
+    let model = CortexM7CycleModel::default();
+    let mut points: Vec<Point> = Vec::new();
+    for cfg_m in MobileNetConfig::all() {
+        let spec = cfg_m.build();
+        // MixQ-PL: per-layer quantization, folding on uncut layers.
+        let cfg_pl = MixedPrecisionConfig::new(device.budget(), QuantScheme::PerLayerIcn);
+        if let Ok(a) = assign_bits(&spec, &cfg_pl) {
+            let cycles = model.network_cycles(&spec, &a, QuantScheme::PerLayerIcn);
+            points.push(Point {
+                label: cfg_m.label(),
+                config: "MixQ-PL",
+                latency_ms: device.latency_ms(cycles),
+                fps: device.fps(cycles),
+                top1: table4_pl(&cfg_m.label()).unwrap_or(f32::NAN),
+            });
+        }
+        // MixQ-PC-ICN.
+        let cfg_pc = MixedPrecisionConfig::new(device.budget(), QuantScheme::PerChannelIcn);
+        if let Ok(a) = assign_bits(&spec, &cfg_pc) {
+            let cycles = model.network_cycles(&spec, &a, QuantScheme::PerChannelIcn);
+            points.push(Point {
+                label: cfg_m.label(),
+                config: "MixQ-PC-ICN",
+                latency_ms: device.latency_ms(cycles),
+                fps: device.fps(cycles),
+                top1: table4_pc_icn(&cfg_m.label()).unwrap_or(f32::NAN),
+            });
+        }
+    }
+
+    println!("== Figure 2: accuracy-latency on {} ==", device);
+    println!(
+        "{:<10} {:<12} {:>12} {:>8} {:>12}",
+        "model", "config", "latency(ms)", "fps", "Top-1(paper)"
+    );
+    rule(58);
+    points.sort_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms));
+    for p in &points {
+        println!(
+            "{:<10} {:<12} {:>12.1} {:>8.2} {:>11.2}%",
+            p.label, p.config, p.latency_ms, p.fps, p.top1
+        );
+    }
+
+    // Pareto frontier (max accuracy at each latency prefix).
+    println!();
+    println!("Pareto frontier (accuracy-optimal as latency grows):");
+    let mut best = f32::NEG_INFINITY;
+    let mut pc_points = 0usize;
+    let mut frontier = 0usize;
+    for p in &points {
+        if p.top1 > best {
+            best = p.top1;
+            frontier += 1;
+            if p.config == "MixQ-PC-ICN" {
+                pc_points += 1;
+            }
+            println!(
+                "  {:<10} {:<12} {:>9.1} ms {:>7.2}%",
+                p.label, p.config, p.latency_ms, p.top1
+            );
+        }
+    }
+    println!(
+        "frontier points: {frontier}, of which MixQ-PC-ICN: {pc_points} \
+         (paper: \"Pareto frontiers are mostly populated by MixQ-PC-ICN\")"
+    );
+
+    // The §6 headline numbers.
+    let fastest = points
+        .iter()
+        .filter(|p| p.config == "MixQ-PL")
+        .min_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms))
+        .expect("points exist");
+    let most_accurate = points
+        .iter()
+        .max_by(|a, b| a.top1.total_cmp(&b.top1))
+        .expect("points exist");
+    println!();
+    println!(
+        "fastest: {} {} at {:.2} fps (paper: 128_0.25 MixQ-PL at 10 fps)",
+        fastest.label, fastest.config, fastest.fps
+    );
+    println!(
+        "most accurate: {} {} at {:.2} fps, {:.2}% (paper: 224_0.75 PC+ICN, ~20x slower)",
+        most_accurate.label, most_accurate.config, most_accurate.fps, most_accurate.top1
+    );
+    println!(
+        "fps span: {:.1}x",
+        fastest.fps / most_accurate.fps.max(1e-9)
+    );
+
+    // Emit the series as CSV for plotting.
+    let mut csv = String::from("model,config,latency_ms,fps,top1_paper\n");
+    for p in &points {
+        csv.push_str(&format!(
+            "{},{},{:.3},{:.4},{:.2}\n",
+            p.label, p.config, p.latency_ms, p.fps, p.top1
+        ));
+    }
+    let dir = std::path::Path::new("target/bench-data");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("figure2.csv");
+        if std::fs::write(&path, csv).is_ok() {
+            println!("series written to {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Regenerates **Figure 3** (appendix): the per-tensor weight and
+//! activation bit precisions of every Mixed-Precision MobileNetV1 model
+//! under `M_RO = 2 MB, M_RW = 512 kB`, for both MixQ-PL and MixQ-PC-ICN.
+//!
+//! The paper plots these as bar charts; we print one row per layer with
+//! the weight (w) and output-activation (a) precision, which carries the
+//! same information.
+//!
+//! Run with: `cargo bench --bench figure3_bit_assignment`
+
+use mixq_bench::harness::rule;
+use mixq_core::memory::{mib, QuantScheme};
+use mixq_core::mixed::{assign_bits, MixedPrecisionConfig};
+use mixq_mcu::Device;
+use mixq_models::mobilenet::MobileNetConfig;
+use mixq_quant::BitWidth;
+
+fn bitmap(bits: &[BitWidth]) -> String {
+    bits.iter().map(|b| char::from_digit(b.bits(), 10).unwrap_or('?')).collect()
+}
+
+fn main() {
+    let device = Device::stm32h7();
+    let mut csv = String::from("model,config,layer,weight_bits,act_out_bits\n");
+    println!(
+        "== Figure 3: per-tensor bit precision under {} ==",
+        device.budget()
+    );
+    println!("(one digit per layer, conv0 dw1 pw1 ... dw13 pw13 fc; a = output activations)");
+    for cfg_m in MobileNetConfig::all() {
+        let spec = cfg_m.build();
+        println!();
+        println!("model {}", cfg_m.label());
+        rule(70);
+        for (scheme, name) in [
+            (QuantScheme::PerLayerIcn, "MixQ-PL"),
+            (QuantScheme::PerChannelIcn, "MixQ-PC-ICN"),
+        ] {
+            let cfg = MixedPrecisionConfig::new(device.budget(), scheme);
+            match assign_bits(&spec, &cfg) {
+                Ok(a) => {
+                    for (i, l) in spec.layers().iter().enumerate() {
+                        csv.push_str(&format!(
+                            "{},{},{},{},{}\n",
+                            cfg_m.label(),
+                            name,
+                            l.name(),
+                            a.weight_bits[i].bits(),
+                            a.act_bits[i + 1].bits()
+                        ));
+                    }
+                    println!(
+                        "{:<12} w[{}] a[{}]  flash {:.2} MiB, peak RAM {} KiB",
+                        name,
+                        bitmap(&a.weight_bits),
+                        bitmap(&a.act_bits[1..]),
+                        mib(a.flash_bytes(&spec, scheme)),
+                        a.peak_rw_bytes(&spec) / 1024
+                    );
+                    let cut: Vec<String> = spec
+                        .layers()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| {
+                            a.weight_bits[*i] != BitWidth::W8
+                                || a.act_bits[*i + 1] != BitWidth::W8
+                        })
+                        .map(|(i, l)| {
+                            format!(
+                                "{}(w{}/a{})",
+                                l.name(),
+                                a.weight_bits[i].bits(),
+                                a.act_bits[i + 1].bits()
+                            )
+                        })
+                        .collect();
+                    if cut.is_empty() {
+                        println!("{:<12} no cuts", "");
+                    } else {
+                        println!("{:<12} cuts: {}", "", cut.join(" "));
+                    }
+                }
+                Err(e) => println!("{name}: INFEASIBLE ({e})"),
+            }
+        }
+    }
+    let dir = std::path::Path::new("target/bench-data");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("figure3.csv");
+        if std::fs::write(&path, csv).is_ok() {
+            println!();
+            println!("bit maps written to {}", path.display());
+        }
+    }
+}

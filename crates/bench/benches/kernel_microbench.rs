@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks of the integer kernels (the substrate behind
+//! Figure 2's latency axis): convolution at 8/4/2-bit operands, depthwise
+//! vs pointwise, and ICN vs thresholds requantization.
+//!
+//! These measure *host* throughput; the MCU latency comes from the cycle
+//! model. The shape to check here is relative: sub-byte kernels pay an
+//! unpack cost, per-channel offsets cost extra work, thresholds replace
+//! multiplies with comparisons.
+//!
+//! Run with: `cargo bench --bench kernel_microbench`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mixq_kernels::{
+    OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, Requantizer, ThresholdChannel,
+    WeightOffset,
+};
+use mixq_quant::{BitWidth, FixedPointMultiplier};
+use mixq_tensor::{ConvGeometry, Padding, Shape};
+
+fn conv_layer(weight_bits: BitWidth, per_channel: bool, thresholds: bool) -> QConv2d {
+    let co = 16;
+    let ci = 16;
+    let wshape = Shape::new(co, 3, 3, ci);
+    let codes: Vec<u8> = (0..wshape.volume())
+        .map(|i| (i % weight_bits.levels() as usize) as u8)
+        .collect();
+    let offset = if per_channel {
+        WeightOffset::PerChannel(vec![1i16; co])
+    } else {
+        WeightOffset::PerLayer(1)
+    };
+    let weights = QConvWeights::new(wshape, false, &codes, weight_bits, offset);
+    let requant = if thresholds {
+        Requantizer::thresholds(
+            (0..co)
+                .map(|c| ThresholdChannel::from_affine(0.002 + c as f64 * 1e-4, 3, 0, BitWidth::W4))
+                .collect(),
+            0,
+            BitWidth::W4,
+        )
+    } else {
+        Requantizer::icn(
+            vec![3; co],
+            vec![FixedPointMultiplier::from_real(0.002); co],
+            0,
+            BitWidth::W4,
+        )
+    };
+    QConv2d::new(weights, ConvGeometry::new(3, 3, 1, Padding::Same), requant)
+}
+
+fn input(bits: BitWidth) -> QActivation {
+    let shape = Shape::feature_map(16, 16, 16);
+    let codes: Vec<u8> = (0..shape.volume())
+        .map(|i| (i % bits.levels() as usize) as u8)
+        .collect();
+    QActivation::from_codes(shape, &codes, bits, 0)
+}
+
+fn bench_conv_bitwidths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv16x16x16_3x3");
+    group.sample_size(20);
+    for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+        let conv = conv_layer(bits, false, false);
+        let x = input(BitWidth::W8);
+        group.bench_function(format!("weights_{bits}"), |b| {
+            b.iter(|| {
+                let mut ops = OpCounts::default();
+                black_box(conv.execute(black_box(&x), &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pc_vs_pl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offset_mode");
+    group.sample_size(20);
+    for (name, per_channel) in [("per_layer", false), ("per_channel", true)] {
+        let conv = conv_layer(BitWidth::W8, per_channel, false);
+        let x = input(BitWidth::W8);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ops = OpCounts::default();
+                black_box(conv.execute(black_box(&x), &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_requant_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("requant_mode");
+    group.sample_size(20);
+    for (name, thresholds) in [("icn", false), ("thresholds", true)] {
+        let conv = conv_layer(BitWidth::W4, true, thresholds);
+        let x = input(BitWidth::W4);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ops = OpCounts::default();
+                black_box(conv.execute(black_box(&x), &mut ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_depthwise_vs_pointwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dw_vs_pw");
+    group.sample_size(20);
+    let co = 32;
+    let dw_w = QConvWeights::new(
+        Shape::new(co, 3, 3, 1),
+        true,
+        &vec![1u8; co * 9],
+        BitWidth::W8,
+        WeightOffset::PerLayer(0),
+    );
+    let dw = QConv2d::new(
+        dw_w,
+        ConvGeometry::new(3, 3, 1, Padding::Same),
+        Requantizer::icn(
+            vec![0; co],
+            vec![FixedPointMultiplier::from_real(0.01); co],
+            0,
+            BitWidth::W8,
+        ),
+    );
+    let pw_w = QConvWeights::new(
+        Shape::new(co, 1, 1, co),
+        false,
+        &vec![1u8; co * co],
+        BitWidth::W8,
+        WeightOffset::PerLayer(0),
+    );
+    let pw = QConv2d::new(
+        pw_w,
+        ConvGeometry::pointwise(),
+        Requantizer::icn(
+            vec![0; co],
+            vec![FixedPointMultiplier::from_real(0.01); co],
+            0,
+            BitWidth::W8,
+        ),
+    );
+    let shape = Shape::feature_map(16, 16, co);
+    let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 256) as u8).collect();
+    let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+    group.bench_function("depthwise_3x3", |b| {
+        b.iter(|| {
+            let mut ops = OpCounts::default();
+            black_box(dw.execute(black_box(&x), &mut ops))
+        })
+    });
+    group.bench_function("pointwise_1x1", |b| {
+        b.iter(|| {
+            let mut ops = OpCounts::default();
+            black_box(pw.execute(black_box(&x), &mut ops))
+        })
+    });
+    group.bench_function("avgpool", |b| {
+        b.iter(|| {
+            let mut ops = OpCounts::default();
+            black_box(QAvgPool.execute(black_box(&x), &mut ops))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conv_bitwidths,
+    bench_pc_vs_pl,
+    bench_requant_modes,
+    bench_depthwise_vs_pointwise
+);
+criterion_main!(benches);

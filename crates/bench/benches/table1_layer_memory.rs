@@ -1,0 +1,64 @@
+//! Regenerates **Table 1**: memory requirements of a quantized
+//! convolutional layer under the four deployment schemes, with the §4.1
+//! datatypes, evaluated on a representative MobileNetV1 layer and across
+//! `Q ∈ {2, 4, 8}`.
+//!
+//! Run with: `cargo bench --bench table1_layer_memory`
+
+use mixq_core::memory::{static_param_bytes, weight_bytes, QuantScheme};
+use mixq_models::LayerSpec;
+use mixq_quant::BitWidth;
+
+fn main() {
+    // A mid-network MobileNetV1 layer: 3x3, 64 -> 128 channels.
+    let layer = LayerSpec::conv("pw-mid", 3, 1, 64, 128, 28, 28);
+    let co = layer.out_channels();
+    println!("== Table 1: memory requirements of a quantized conv layer ==");
+    println!(
+        "layer: {} ({} weight elements, c_O = {co})",
+        layer,
+        layer.weight_elements()
+    );
+    println!();
+    println!("symbolic parameter counts (paper Table 1):");
+    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+             "scheme", "Zx", "Zw", "Bq", "M0", "N0", "Zy", "", "Thr");
+    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+             "PL+FB [11]", "1", "1", "cO", "1", "1", "1", "", "-");
+    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+             "PL+ICN (our)", "1", "1", "cO", "cO", "cO", "1", "", "-");
+    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+             "PC+ICN (our)", "1", "cO", "cO", "cO", "cO", "1", "", "-");
+    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+             "PC+Thr [21,8]", "1", "cO", "-", "-", "-", "1", "", "cO·2^Q");
+    println!();
+    println!("evaluated bytes (weights packed at Q bits; §4.1 datatypes):");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>14}",
+        "scheme", "Q=8", "Q=4", "Q=2", "static @Q=4"
+    );
+    for scheme in QuantScheme::ALL {
+        let row: Vec<String> = [BitWidth::W8, BitWidth::W4, BitWidth::W2]
+            .iter()
+            .map(|&q| {
+                let total = weight_bytes(&layer, q) + static_param_bytes(&layer, scheme, q);
+                format!("{total}")
+            })
+            .collect();
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} {:>14}",
+            scheme.label(),
+            row[0],
+            row[1],
+            row[2],
+            static_param_bytes(&layer, scheme, BitWidth::W4)
+        );
+    }
+    println!();
+    println!(
+        "note: the thresholds scheme's static cost grows as cO·2^Q \
+         (paper §4.1) — at Q=8 it is {} B vs {} B for PC+ICN.",
+        static_param_bytes(&layer, QuantScheme::PerChannelThresholds, BitWidth::W8),
+        static_param_bytes(&layer, QuantScheme::PerChannelIcn, BitWidth::W8)
+    );
+}

@@ -1,0 +1,108 @@
+//! Regenerates **Table 2**: integer-only MobilenetV1_224_1.0 under the four
+//! deployment schemes.
+//!
+//! Two parts:
+//! 1. the **weight memory footprint column** is recomputed exactly from the
+//!    MobileNetV1_224_1.0 architecture and the Table-1 memory model;
+//! 2. the **accuracy column** cannot be re-measured without ImageNet, so we
+//!    print the paper-reported Top-1 next to the *measured* accuracy of the
+//!    same schemes on the synthetic folding-stress task (`DESIGN.md`,
+//!    "Substitutions") — the shape to verify is PL+FB's INT4 collapse and
+//!    the ICN/thresholds recovery.
+//!
+//! Run with: `cargo bench --bench table2_int4_mobilenet`
+
+use mixq_bench::harness::{run_stress_scheme, rule, stress_dataset};
+use mixq_bench::reference::TABLE2;
+use mixq_core::memory::{
+    mib, network_flash_footprint, network_flash_footprint_with_acts, QuantScheme,
+};
+use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+use mixq_quant::BitWidth;
+
+fn main() {
+    let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+    let l = spec.num_layers();
+    let w8 = vec![BitWidth::W8; l];
+    let w4 = vec![BitWidth::W4; l];
+    let a8 = vec![BitWidth::W8; l + 1];
+    let a4 = vec![BitWidth::W4; l + 1];
+
+    println!("== Table 2 (part 1): MobilenetV1_224_1.0 weight memory footprint ==");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "method", "paper (MB)", "ours (MiB)"
+    );
+    rule(48);
+    let fp32 = spec.total_weight_elements() * 4;
+    let rows: [(&str, usize); 6] = [
+        ("Full-precision", fp32),
+        (
+            "PL+FB INT8",
+            network_flash_footprint(&spec, QuantScheme::PerLayerFolded, &w8),
+        ),
+        (
+            "PL+FB INT4",
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerLayerFolded, &w4, &a8),
+        ),
+        (
+            "PL+ICN INT4",
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerLayerIcn, &w4, &a8),
+        ),
+        (
+            "PC+ICN INT4",
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerChannelIcn, &w4, &a8),
+        ),
+        (
+            "PC+Thresholds INT4",
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerChannelThresholds, &w4, &a4),
+        ),
+    ];
+    for ((label, bytes), reference) in rows.iter().zip(TABLE2.iter()) {
+        println!(
+            "{:<22} {:>12} {:>12.2}",
+            label,
+            reference
+                .footprint_mb
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            mib(*bytes)
+        );
+    }
+
+    println!();
+    println!("== Table 2 (part 2): accuracy shape on the synthetic stand-in ==");
+    println!("(paper Top-1 is ImageNet; ours is the folding-stress micro-CNN — compare *shape*)");
+    println!(
+        "{:<22} {:>12} {:>14} {:>12}",
+        "method", "paper Top-1", "ours fq-train", "ours int"
+    );
+    rule(64);
+    let ds = stress_dataset(11);
+    let split = ds.split(0.8, 3);
+    let cases = [
+        ("PL+FB INT8", QuantScheme::PerLayerFolded, BitWidth::W8, 70.1),
+        ("PL+FB INT4", QuantScheme::PerLayerFolded, BitWidth::W4, 0.1),
+        ("PL+ICN INT4", QuantScheme::PerLayerIcn, BitWidth::W4, 61.75),
+        ("PC+ICN INT4", QuantScheme::PerChannelIcn, BitWidth::W4, 66.41),
+        (
+            "PC+Thresholds INT4",
+            QuantScheme::PerChannelThresholds,
+            BitWidth::W4,
+            66.46,
+        ),
+    ];
+    for (label, scheme, bits, paper) in cases {
+        let run = run_stress_scheme(&split.train, &split.test, scheme, bits, 4242);
+        println!(
+            "{:<22} {:>11.2}% {:>13.1}% {:>11.1}%",
+            label,
+            paper,
+            run.fake_quant_acc * 100.0,
+            run.int_acc * 100.0
+        );
+    }
+    println!();
+    println!("expected shape: the PL+FB INT4 row collapses (paper: 0.1%); ICN rows hold;");
+    println!("PC ≥ PL; thresholds track PC+ICN; footprints order FB < PL+ICN < PC+ICN < Thr.");
+}

@@ -1,0 +1,134 @@
+//! Shared runners for the accuracy-shaped benches: train the folding-stress
+//! micro-CNN under a scheme/precision and report fake-quant and
+//! integer-only accuracy (the synthetic stand-in for the paper's ImageNet
+//! numbers; see `DESIGN.md`).
+
+use mixq_core::convert::{convert, scheme_granularity};
+use mixq_core::memory::QuantScheme;
+use mixq_data::{Dataset, DatasetSpec, SyntheticKind};
+use mixq_models::micro::folding_stress_cnn;
+use mixq_nn::qat::QatNetwork;
+use mixq_nn::train::{evaluate, train, TrainConfig};
+use mixq_quant::BitWidth;
+
+/// Result of one synthetic accuracy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyRun {
+    /// Float accuracy before quantization.
+    pub float_acc: f32,
+    /// Fake-quantized training accuracy after QAT.
+    pub fake_quant_acc: f32,
+    /// Integer-only held-out accuracy.
+    pub int_acc: f32,
+    /// Actual flash bytes of the converted model.
+    pub flash_bytes: usize,
+}
+
+/// The standard stress dataset: 4 classes, 2 channels whose amplitudes
+/// differ 40× (the batch-norm scale diversity that breaks PL+FB folding).
+pub fn stress_dataset(seed: u64) -> Dataset {
+    DatasetSpec::new(SyntheticKind::ChannelBits, 12, 12, 2, 4)
+        .with_samples(320)
+        .with_noise(0.06)
+        .with_amplitude_base(40.0)
+        .generate(seed)
+}
+
+/// Trains the folding-stress CNN under `scheme` with homogeneous weight
+/// precision `bits` and measures the accuracy chain.
+pub fn run_stress_scheme(
+    train_set: &Dataset,
+    test_set: &Dataset,
+    scheme: QuantScheme,
+    bits: BitWidth,
+    seed: u64,
+) -> AccuracyRun {
+    let spec = folding_stress_cnn(2, 4);
+    let mut net = QatNetwork::build(&spec, seed);
+    let _ = train(&mut net, train_set, &TrainConfig::fast(12));
+    let float_acc = evaluate(&net, train_set);
+    net.calibrate_input(train_set.images());
+    net.enable_fake_quant(scheme_granularity(scheme));
+    if scheme == QuantScheme::PerLayerIcn {
+        net.enable_pact_weight_clips();
+    }
+    for i in 0..net.num_blocks() {
+        net.set_weight_bits(i, bits);
+    }
+    net.set_linear_weight_bits(bits);
+    let qat_cfg = if scheme == QuantScheme::PerLayerFolded {
+        TrainConfig::fast(8).with_folding_from(1)
+    } else {
+        TrainConfig::fast(8)
+    };
+    let _ = train(&mut net, train_set, &qat_cfg);
+    let fake_quant_acc = evaluate(&net, train_set);
+    let int_net = convert(&net, scheme).expect("trained network converts");
+    let (int_acc, _) = int_net.evaluate(test_set);
+    AccuracyRun {
+        float_acc,
+        fake_quant_acc,
+        int_acc,
+        flash_bytes: int_net.flash_bytes(),
+    }
+}
+
+/// Post-training quantization (no retraining after enabling fake
+/// quantization): trains in float, quantizes, converts, measures. PTQ
+/// exposes the raw PL-vs-PC robustness gap that QAT partially repairs.
+pub fn run_stress_ptq(
+    train_set: &Dataset,
+    test_set: &Dataset,
+    scheme: QuantScheme,
+    bits: BitWidth,
+    seed: u64,
+) -> AccuracyRun {
+    let spec = folding_stress_cnn(2, 4);
+    let mut net = QatNetwork::build(&spec, seed);
+    let _ = train(&mut net, train_set, &TrainConfig::fast(12));
+    let float_acc = evaluate(&net, train_set);
+    net.calibrate_input(train_set.images());
+    net.enable_fake_quant(scheme_granularity(scheme));
+    for i in 0..net.num_blocks() {
+        net.set_weight_bits(i, bits);
+    }
+    net.set_linear_weight_bits(bits);
+    if scheme == QuantScheme::PerLayerFolded {
+        net.set_fold_bn(true);
+    }
+    let fake_quant_acc = evaluate(&net, train_set);
+    let int_net = convert(&net, scheme).expect("trained network converts");
+    let (int_acc, _) = int_net.evaluate(test_set);
+    AccuracyRun {
+        float_acc,
+        fake_quant_acc,
+        int_acc,
+        flash_bytes: int_net.flash_bytes(),
+    }
+}
+
+/// Prints a horizontal rule sized for the benches' tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_runner_smoke() {
+        let ds = stress_dataset(3);
+        let split = ds.split(0.8, 1);
+        let run = run_stress_scheme(
+            &split.train,
+            &split.test,
+            QuantScheme::PerChannelIcn,
+            BitWidth::W8,
+            11,
+        );
+        assert!(run.float_acc > 0.8);
+        assert!(run.int_acc > 0.7);
+        assert!(run.flash_bytes > 0);
+    }
+}

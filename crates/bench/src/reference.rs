@@ -1,0 +1,122 @@
+//! Paper-reported reference values (for side-by-side printing only; none of
+//! these feed back into the reproduction's computations).
+
+/// One row of the paper's Table 2 (integer-only MobilenetV1_224_1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Quantization method label as printed in the paper.
+    pub method: &'static str,
+    /// Reported ImageNet Top-1 accuracy (percent).
+    pub top1: f32,
+    /// Reported weight memory footprint in MB (MiB reading), if given.
+    pub footprint_mb: Option<f32>,
+}
+
+/// The paper's Table 2.
+pub const TABLE2: [Table2Row; 6] = [
+    Table2Row {
+        method: "Full-precision",
+        top1: 70.9,
+        footprint_mb: Some(16.27),
+    },
+    Table2Row {
+        method: "PL+FB INT8",
+        top1: 70.1,
+        footprint_mb: Some(4.06),
+    },
+    Table2Row {
+        method: "PL+FB INT4",
+        top1: 0.1,
+        footprint_mb: Some(2.05),
+    },
+    Table2Row {
+        method: "PL+ICN INT4",
+        top1: 61.75,
+        footprint_mb: Some(2.10),
+    },
+    Table2Row {
+        method: "PC+ICN INT4",
+        top1: 66.41,
+        footprint_mb: Some(2.12),
+    },
+    Table2Row {
+        method: "PC+Thresholds INT4",
+        top1: 66.46,
+        footprint_mb: Some(2.35),
+    },
+];
+
+/// Paper Table 4 (appendix): Top-1 of the 16 mixed-precision models under
+/// `M_RO = 2 MB, M_RW = 512 kB`, as `(label, MixQ-PL, MixQ-PC-ICN)`.
+pub const TABLE4: [(&str, f32, f32); 16] = [
+    ("224_1.0", 59.61, 64.29),
+    ("224_0.75", 67.06, 68.02),
+    ("224_0.5", 63.12, 63.48),
+    ("224_0.25", 50.76, 51.70),
+    ("192_1.0", 61.94, 65.88),
+    ("192_0.75", 64.67, 67.23),
+    ("192_0.5", 59.50, 62.93),
+    ("192_0.25", 48.12, 49.75),
+    ("160_1.0", 59.49, 64.46),
+    ("160_0.75", 64.75, 65.70),
+    ("160_0.5", 59.55, 61.25),
+    ("160_0.25", 44.77, 47.79),
+    ("128_1.0", 49.44, 49.44),
+    ("128_0.75", 60.44, 63.53),
+    ("128_0.5", 54.20, 58.22),
+    ("128_0.25", 43.45, 44.68),
+];
+
+/// Paper Table 3: the 1 MB comparison rows that are ours (mixed-precision
+/// integer-only), as `(model, budget description, Top-1)`.
+pub const TABLE3_OURS: [(&str, &str, f32); 2] = [
+    ("224_0.5", "1MB RO + 512kB RW", 62.9),
+    ("192_0.5", "1MB RO + 256kB RW", 60.2),
+];
+
+/// Paper Table 3: the comparison rows from other works, as
+/// `(model, method, Top-1, footprint MB)`.
+pub const TABLE3_OTHERS: [(&str, &str, f32, f32); 4] = [
+    ("MobilenetV1_224_0.5", "INT8 PL+FB [11]", 60.7, 1.34),
+    ("MobilenetV1_224_0.25", "INT8 PL+FB [11]", 48.0, 0.47),
+    ("MobilenetV1 [22]", "MIX not-uniform", 57.14, 1.09),
+    ("SqueezeNext [5]", "MIX not-uniform", 68.02, 1.09),
+];
+
+/// Reference Top-1 for a model label under MixQ-PL.
+pub fn table4_pl(label: &str) -> Option<f32> {
+    TABLE4.iter().find(|r| r.0 == label).map(|r| r.1)
+}
+
+/// Reference Top-1 for a model label under MixQ-PC-ICN.
+pub fn table4_pc_icn(label: &str) -> Option<f32> {
+    TABLE4.iter().find(|r| r.0 == label).map(|r| r.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_lookup() {
+        assert_eq!(table4_pl("224_0.75"), Some(67.06));
+        assert_eq!(table4_pc_icn("192_0.5"), Some(62.93));
+        assert_eq!(table4_pl("999_9"), None);
+    }
+
+    #[test]
+    fn pc_icn_dominates_pl_in_table4() {
+        // The appendix table's own consistency: PC-ICN ≥ PL on every row.
+        for (label, pl, pc) in TABLE4 {
+            assert!(pc >= pl, "{label}: {pc} < {pl}");
+        }
+    }
+
+    #[test]
+    fn table2_rows_are_ordered_by_method() {
+        assert_eq!(TABLE2[0].method, "Full-precision");
+        assert_eq!(TABLE2.len(), 6);
+        // The collapse row.
+        assert!(TABLE2[2].top1 < 1.0);
+    }
+}

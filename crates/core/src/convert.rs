@@ -1,0 +1,552 @@
+//! Conversion of a trained fake-quantized network `g(x)` into the
+//! integer-only deployment model `g'(x)` (paper §4).
+//!
+//! For every `conv → batch-norm → quant-act` block the transfer function
+//! (Eq. 3) is rewritten over integer codes (Eq. 4):
+//!
+//! ```text
+//! Y = quant_act(Zy + (S_i·S_w/S_o)·(γ/σ)·(Φ + Bq)),
+//! Φ = Σ (X − Zx)(W − Zw),   Bq = round((B − µ + β·σ/γ)/(S_i·S_w))
+//! ```
+//!
+//! and the per-channel multiplier `M = (S_i·S_w/S_o)(γ/σ)` is decomposed as
+//! `M0·2^N0` (Eq. 5) — the **Integer Channel-Normalization** activation.
+//! The [`QuantScheme`] selects how the multiplier is realized: folded into
+//! the weights per layer (PL+FB), stored per channel (PL+ICN / PC+ICN), or
+//! expanded into exact integer thresholds (PC+Thresholds).
+
+use mixq_data::Dataset;
+use mixq_kernels::{
+    OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QLinear, Requantizer,
+    ThresholdChannel, WeightOffset,
+};
+use mixq_nn::qat::{ConvBlock, QatMode, QatNetwork};
+use mixq_nn::ConvKind;
+use mixq_quant::{
+    BitWidth, ChannelParams, FixedPointMultiplier, Granularity, QuantParams,
+};
+use mixq_tensor::{Shape, Tensor};
+
+use crate::memory::QuantScheme;
+use crate::MixQError;
+
+/// Smallest |γ| treated as non-degenerate (a trained batch-norm never gets
+/// near this; guards the `β·σ/γ` term of Eq. 4).
+const GAMMA_EPS: f32 = 1e-6;
+
+/// The integer-only deployment network `g'(x)`.
+///
+/// See the [crate-level example](crate) and `examples/quickstart.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntNetwork {
+    input_quant: QuantParams,
+    input_shape: Shape,
+    layers: Vec<QConv2d>,
+    pool: QAvgPool,
+    linear: QLinear,
+    scheme: QuantScheme,
+}
+
+impl IntNetwork {
+    /// The deployment scheme this network was converted with.
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// The convolution layers.
+    pub fn layers(&self) -> &[QConv2d] {
+        &self.layers
+    }
+
+    /// The classifier head.
+    pub fn linear(&self) -> &QLinear {
+        &self.linear
+    }
+
+    /// The 8-bit input quantizer.
+    pub fn input_quant(&self) -> &QuantParams {
+        &self.input_quant
+    }
+
+    /// Quantizes a float image into the input activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not a single item of the expected shape.
+    pub fn quantize_input(&self, image: &Tensor<f32>) -> QActivation {
+        assert_eq!(image.shape(), self.input_shape, "input shape");
+        let codes: Vec<u8> = image
+            .data()
+            .iter()
+            .map(|&v| self.input_quant.quantize(v) as u8)
+            .collect();
+        QActivation::from_codes(
+            self.input_shape,
+            &codes,
+            BitWidth::W8,
+            self.input_quant.zero_point() as u8,
+        )
+    }
+
+    /// Runs integer-only inference on one float image, returning the `i32`
+    /// logits and the operation counts.
+    pub fn infer(&self, image: &Tensor<f32>) -> (Vec<i32>, OpCounts) {
+        let mut ops = OpCounts::default();
+        let mut x = self.quantize_input(image);
+        for layer in &self.layers {
+            x = layer.execute(&x, &mut ops);
+        }
+        let pooled = self.pool.execute(&x, &mut ops);
+        let logits = self.linear.execute(&pooled, &mut ops);
+        (logits, ops)
+    }
+
+    /// Predicted class of one image.
+    pub fn predict(&self, image: &Tensor<f32>) -> usize {
+        let (logits, _) = self.infer(image);
+        argmax(&logits)
+    }
+
+    /// Classification accuracy over a dataset plus total op counts.
+    pub fn evaluate(&self, dataset: &Dataset) -> (f32, OpCounts) {
+        let mut ops = OpCounts::default();
+        if dataset.is_empty() {
+            return (0.0, ops);
+        }
+        let mut correct = 0usize;
+        for i in 0..dataset.len() {
+            let sample = dataset.sample(i);
+            let mut x = self.quantize_input(&sample.images);
+            for layer in &self.layers {
+                x = layer.execute(&x, &mut ops);
+            }
+            let pooled = self.pool.execute(&x, &mut ops);
+            let logits = self.linear.execute(&pooled, &mut ops);
+            if argmax(&logits) == sample.labels[0] {
+                correct += 1;
+            }
+        }
+        (correct as f32 / dataset.len() as f32, ops)
+    }
+
+    /// Peak RAM of the inference (Eq. 7 evaluated on the *actual* converted
+    /// tensors): the largest input+output activation byte pair across the
+    /// layers, with each tensor at its deployed precision.
+    pub fn peak_ram_bytes(&self) -> usize {
+        let mut shape = self.input_shape;
+        let mut bits = BitWidth::W8;
+        let mut peak = 0usize;
+        for layer in &self.layers {
+            let out_shape = layer.output_shape(shape);
+            let out_bits = layer.requant().out_bits();
+            let pair = bits.bytes_for(shape.volume()) + out_bits.bytes_for(out_shape.volume());
+            peak = peak.max(pair);
+            shape = out_shape;
+            bits = out_bits;
+        }
+        // Pool + classifier pairs are dominated by the conv pairs but are
+        // included for completeness.
+        let pooled = Shape::new(shape.n, 1, 1, shape.c);
+        let pool_pair =
+            bits.bytes_for(shape.volume()) + bits.bytes_for(pooled.volume());
+        let fc_pair = bits.bytes_for(pooled.volume()) + 4 * self.linear.out_features();
+        peak.max(pool_pair).max(fc_pair)
+    }
+
+    /// Actual flash bytes of this network: packed weights plus every static
+    /// parameter at its §4.1 datatype. Cross-checked against the Table-1
+    /// memory model in the integration tests.
+    pub fn flash_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for layer in &self.layers {
+            total += layer.weights().byte_len();
+            total += offset_bytes(layer.weights().offset());
+            total += 2; // Zx, Zy
+            total += match layer.requant() {
+                Requantizer::FoldedPerLayer { bq, .. } => 4 * bq.len() + 4 + 1,
+                Requantizer::Icn { bq, mult, .. } => 4 * bq.len() + 5 * mult.len(),
+                Requantizer::Thresholds { channels, .. } => {
+                    // i16 per stored threshold (2^Q − 1 per channel).
+                    channels.iter().map(|c| 2 * c.len()).sum::<usize>()
+                }
+            };
+        }
+        total += self.linear.weights().byte_len();
+        total += offset_bytes(self.linear.weights().offset());
+        total += 2 + 9 * self.linear.out_features(); // Zx/Zy + Bq/M0/N0 per class
+        total
+    }
+}
+
+fn offset_bytes(offset: &WeightOffset) -> usize {
+    match offset {
+        WeightOffset::PerLayer(_) => 1,
+        WeightOffset::PerChannel(zs) => 2 * zs.len(),
+    }
+}
+
+fn argmax(logits: &[i32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// The granularity a scheme quantizes weights with.
+pub fn scheme_granularity(scheme: QuantScheme) -> Granularity {
+    if scheme.is_per_channel() {
+        Granularity::PerChannel
+    } else {
+        Granularity::PerLayer
+    }
+}
+
+/// Converts a trained fake-quantized network into an integer-only model.
+///
+/// The network must be in fake-quant mode with a calibrated input
+/// quantizer; its batch-norm statistics are read as frozen inference
+/// parameters (the paper freezes them after the first epoch).
+///
+/// # Errors
+///
+/// [`MixQError::NotCalibrated`] / [`MixQError::NotFakeQuantized`] when the
+/// network is not ready for deployment conversion.
+pub fn convert(net: &QatNetwork, scheme: QuantScheme) -> Result<IntNetwork, MixQError> {
+    let input_quant = *net.input_quant().ok_or(MixQError::NotCalibrated)?;
+    if net.mode() != QatMode::FakeQuant {
+        return Err(MixQError::NotFakeQuantized);
+    }
+    let granularity = scheme_granularity(scheme);
+    let mut layers = Vec::with_capacity(net.num_blocks());
+    // Scale and zero-point of the tensor flowing *into* each block.
+    let mut s_in = input_quant.scale();
+    let mut z_in = input_quant.zero_point();
+    for block in net.blocks() {
+        let out_q = block.act().quant_params();
+        let layer = convert_block(block, scheme, granularity, s_in, z_in)?;
+        layers.push(layer);
+        s_in = out_q.scale();
+        z_in = 0; // PACT activations are zero-based
+    }
+    // The classifier consumes the pooled features (same scale/zero-point).
+    let linear = convert_linear(net, granularity, s_in, z_in);
+    Ok(IntNetwork {
+        input_quant,
+        input_shape: net.input_shape(),
+        layers,
+        pool: QAvgPool,
+        linear,
+        scheme,
+    })
+}
+
+fn quantize_weights(
+    weights: &Tensor<f32>,
+    quantizer: &ChannelParams,
+    depthwise: bool,
+) -> QConvWeights {
+    let codes = quantizer.quantize_tensor(weights);
+    let offset = if quantizer.is_per_channel() {
+        WeightOffset::PerChannel(
+            quantizer
+                .iter()
+                .map(|q| q.zero_point().clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+                .collect(),
+        )
+    } else {
+        WeightOffset::PerLayer(quantizer.channel(0).zero_point().clamp(0, 255) as u8)
+    };
+    QConvWeights::new(
+        weights.shape(),
+        depthwise,
+        codes.data(),
+        quantizer.bits(),
+        offset,
+    )
+}
+
+fn convert_block(
+    block: &ConvBlock,
+    scheme: QuantScheme,
+    granularity: Granularity,
+    s_in: f32,
+    _z_in: i32,
+) -> Result<QConv2d, MixQError> {
+    let conv = block.conv();
+    let depthwise = conv.kind() == ConvKind::Depthwise;
+    let out_q = block.act().quant_params();
+    let s_out = out_q.scale();
+    let out_bits = block.act().bits();
+    let co = conv.out_channels();
+    let zy = 0i32;
+
+    let requant;
+    let qweights;
+    match scheme {
+        QuantScheme::PerLayerFolded => {
+            // Fold batch-norm into the weights, then per-layer quantize.
+            let (w_folded, b_folded, _) = block.folded_params();
+            let quantizer =
+                ChannelParams::from_granularity(&w_folded, block.weight_bits(), granularity);
+            qweights = quantize_weights(&w_folded, &quantizer, depthwise);
+            let sw = quantizer.channel(0).scale();
+            let m = (s_in as f64 * sw as f64) / s_out as f64;
+            let bq: Vec<i32> = b_folded
+                .iter()
+                .map(|&b| (b as f64 / (s_in as f64 * sw as f64)).round() as i32)
+                .collect();
+            requant = Requantizer::folded(bq, FixedPointMultiplier::from_real(m), zy, out_bits);
+        }
+        QuantScheme::PerLayerIcn | QuantScheme::PerChannelIcn => {
+            // Honours a learned PACT weight clip when present (PL path).
+            let quantizer = block.weight_quantizer(granularity);
+            qweights = quantize_weights(conv.weights(), &quantizer, depthwise);
+            let mut bq = Vec::with_capacity(co);
+            let mut mult = Vec::with_capacity(co);
+            for c in 0..co {
+                let (m, b) = icn_channel_params(block, c, s_in, s_out, quantizer.channel(c));
+                bq.push(b.round() as i32);
+                mult.push(FixedPointMultiplier::from_real(m));
+            }
+            requant = Requantizer::icn(bq, mult, zy, out_bits);
+        }
+        QuantScheme::PerChannelThresholds => {
+            let quantizer = block.weight_quantizer(granularity);
+            qweights = quantize_weights(conv.weights(), &quantizer, depthwise);
+            let mut channels = Vec::with_capacity(co);
+            for c in 0..co {
+                let (m, b) = icn_channel_params(block, c, s_in, s_out, quantizer.channel(c));
+                // Keep the offset real-valued: thresholds are exact.
+                channels.push(ThresholdChannel::from_transfer(m, m * b, zy, out_bits));
+            }
+            requant = Requantizer::thresholds(channels, zy, out_bits);
+        }
+    }
+    Ok(QConv2d::new(qweights, conv.geometry(), requant))
+}
+
+/// Per-channel `(M, Bq)` of Eq. 4: `M = (S_i·S_w/S_o)·(γ/σ)` and
+/// `Bq = (B − µ + β·σ/γ)/(S_i·S_w)` (returned unrounded).
+fn icn_channel_params(
+    block: &ConvBlock,
+    c: usize,
+    s_in: f32,
+    s_out: f32,
+    wq: &QuantParams,
+) -> (f64, f64) {
+    let bn = block.bn();
+    let gamma_raw = bn.gamma()[c];
+    let gamma = if gamma_raw.abs() < GAMMA_EPS {
+        GAMMA_EPS.copysign(if gamma_raw == 0.0 { 1.0 } else { gamma_raw })
+    } else {
+        gamma_raw
+    };
+    let sigma = bn.running_std()[c];
+    let mu = bn.running_mean()[c];
+    let beta = bn.beta()[c];
+    let bias = block.conv().bias()[c];
+    let sw = wq.scale();
+    let si_sw = s_in as f64 * sw as f64;
+    let m = si_sw / s_out as f64 * (gamma as f64 / sigma as f64);
+    let bq = (bias as f64 - mu as f64 + beta as f64 * sigma as f64 / gamma as f64) / si_sw;
+    (m, bq)
+}
+
+fn convert_linear(net: &QatNetwork, granularity: Granularity, s_in: f32, z_in: i32) -> QLinear {
+    let lin = net.linear();
+    let quantizer =
+        ChannelParams::from_granularity(lin.weights(), net.linear_weight_bits(), granularity);
+    let qweights = quantize_weights(lin.weights(), &quantizer, false);
+    // Common logits scale: the largest per-class scale, so every rescale
+    // multiplier is ≤ 1 (headroom-safe on the MCU).
+    let s_ref: f64 = (0..lin.out_features())
+        .map(|o| s_in as f64 * quantizer.channel(o).scale() as f64)
+        .fold(f64::MIN, f64::max);
+    let mut bq = Vec::with_capacity(lin.out_features());
+    let mut rescale = Vec::with_capacity(lin.out_features());
+    for o in 0..lin.out_features() {
+        let s_o = s_in as f64 * quantizer.channel(o).scale() as f64;
+        bq.push((lin.bias()[o] as f64 / s_o).round() as i32);
+        rescale.push(FixedPointMultiplier::from_real(s_o / s_ref));
+    }
+    let _ = z_in; // the kernel reads Zx from the activation itself
+    QLinear::new(qweights, bq, Some(rescale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_data::{DatasetSpec, SyntheticKind};
+    use mixq_nn::qat::MicroCnnSpec;
+    use mixq_nn::train::{train, TrainConfig};
+
+    fn trained_net(granularity: Granularity, bits: BitWidth) -> (QatNetwork, Dataset) {
+        let ds = DatasetSpec::new(SyntheticKind::Bars, 8, 8, 2, 3)
+            .with_samples(96)
+            .with_noise(0.05)
+            .with_amplitude_base(2.0)
+            .generate(31);
+        let spec = MicroCnnSpec::new(8, 8, 2, 3, &[6, 8]);
+        let mut net = QatNetwork::build(&spec, 77);
+        let _ = train(&mut net, &ds, &TrainConfig::fast(6));
+        net.calibrate_input(ds.images());
+        net.enable_fake_quant(granularity);
+        for i in 0..net.num_blocks() {
+            net.set_weight_bits(i, bits);
+        }
+        net.set_linear_weight_bits(bits);
+        let _ = train(&mut net, &ds, &TrainConfig::fast(4));
+        (net, ds)
+    }
+
+    #[test]
+    fn conversion_requires_calibration_and_fake_quant() {
+        let spec = MicroCnnSpec::new(8, 8, 1, 2, &[4]);
+        let net = QatNetwork::build(&spec, 0);
+        assert_eq!(
+            convert(&net, QuantScheme::PerChannelIcn).unwrap_err(),
+            MixQError::NotCalibrated
+        );
+        let mut net2 = QatNetwork::build(&spec, 0);
+        net2.calibrate_input(&Tensor::full(Shape::feature_map(8, 8, 1), 1.0));
+        assert_eq!(
+            convert(&net2, QuantScheme::PerChannelIcn).unwrap_err(),
+            MixQError::NotFakeQuantized
+        );
+    }
+
+    #[test]
+    fn icn_inference_matches_fake_quant_accuracy() {
+        let (net, ds) = trained_net(Granularity::PerChannel, BitWidth::W8);
+        let int_net = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+        let fq_acc = mixq_nn::train::evaluate(&net, &ds);
+        let (int_acc, ops) = int_net.evaluate(&ds);
+        assert!(
+            (fq_acc - int_acc).abs() <= 0.05,
+            "fake-quant {fq_acc} vs integer {int_acc}"
+        );
+        assert!(ops.macs > 0);
+    }
+
+    #[test]
+    fn icn_codes_match_fake_quant_activations_within_one_lsb() {
+        let (net, ds) = trained_net(Granularity::PerChannel, BitWidth::W8);
+        let int_net = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+        // Compare the first block's activation codes on a few samples.
+        let mut total = 0usize;
+        let mut off_by_more = 0usize;
+        for i in 0..8 {
+            let sample = ds.sample(i);
+            // Integer path.
+            let mut ops = OpCounts::default();
+            let x = int_net.quantize_input(&sample.images);
+            let y_int = int_net.layers()[0].execute(&x, &mut ops);
+            // Fake-quant path, re-quantized to codes.
+            let q_in = net.input_quant().unwrap();
+            let x_fq = q_in.fake_quantize_tensor(&sample.images);
+            let block = &net.blocks()[0];
+            let wq = block
+                .weight_quantizer(Granularity::PerChannel)
+                .fake_quantize_tensor(block.conv().weights());
+            let z = block.conv().forward_with(&x_fq, &wq);
+            let z = block.bn().forward_eval(&z);
+            let (a, _) = block.act().forward(&z);
+            let qp = block.act().quant_params();
+            for (idx, &v) in a.data().iter().enumerate() {
+                let code_fq = qp.quantize(v) as i64;
+                let code_int = y_int.codes()[idx] as i64;
+                total += 1;
+                if (code_fq - code_int).abs() > 1 {
+                    off_by_more += 1;
+                }
+            }
+        }
+        assert_eq!(
+            off_by_more, 0,
+            "codes differing by >1 LSB: {off_by_more}/{total}"
+        );
+    }
+
+    #[test]
+    fn thresholds_agree_with_icn_predictions() {
+        let (net, ds) = trained_net(Granularity::PerChannel, BitWidth::W4);
+        let icn = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+        let thr = convert(&net, QuantScheme::PerChannelThresholds).expect("convertible");
+        let mut agree = 0usize;
+        for i in 0..ds.len() {
+            let s = ds.sample(i);
+            if icn.predict(&s.images) == thr.predict(&s.images) {
+                agree += 1;
+            }
+        }
+        let rate = agree as f32 / ds.len() as f32;
+        assert!(rate > 0.9, "ICN vs thresholds agreement too low: {rate}");
+    }
+
+    #[test]
+    fn thresholds_use_comparisons_not_multiplies() {
+        let (net, ds) = trained_net(Granularity::PerChannel, BitWidth::W4);
+        let thr = convert(&net, QuantScheme::PerChannelThresholds).expect("convertible");
+        let (_, ops) = thr.infer(&ds.sample(0).images);
+        assert!(ops.threshold_cmps > 0);
+        // Only the classifier rescale and pool division count as requants.
+        let icn = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+        let (_, ops_icn) = icn.infer(&ds.sample(0).images);
+        assert!(ops_icn.requants > ops.requants);
+    }
+
+    #[test]
+    fn folded_scheme_runs_and_eight_bit_stays_accurate() {
+        // At 8 bits, folding is nearly lossless — the paper's PL+FB INT8
+        // baseline works; the collapse only appears at INT4 (Table 2).
+        let ds = DatasetSpec::new(SyntheticKind::Bars, 8, 8, 2, 3)
+            .with_samples(96)
+            .with_noise(0.05)
+            .with_amplitude_base(2.0)
+            .generate(31);
+        let spec = MicroCnnSpec::new(8, 8, 2, 3, &[6, 8]);
+        let mut net = QatNetwork::build(&spec, 77);
+        let _ = train(&mut net, &ds, &TrainConfig::fast(6));
+        net.calibrate_input(ds.images());
+        net.enable_fake_quant(Granularity::PerLayer);
+        net.set_fold_bn(true);
+        let _ = train(&mut net, &ds, &TrainConfig::fast(4));
+        let fq_acc = mixq_nn::train::evaluate(&net, &ds);
+        let int_net = convert(&net, QuantScheme::PerLayerFolded).expect("convertible");
+        let (int_acc, _) = int_net.evaluate(&ds);
+        assert!(
+            (fq_acc - int_acc).abs() <= 0.08,
+            "PL+FB INT8: fake-quant {fq_acc} vs integer {int_acc}"
+        );
+    }
+
+    #[test]
+    fn per_channel_offsets_cost_inner_loop_subtractions() {
+        let (net, ds) = trained_net(Granularity::PerChannel, BitWidth::W8);
+        let pc = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+        let (_, ops_pc) = pc.infer(&ds.sample(0).images);
+        assert_eq!(ops_pc.offset_subs, ops_pc.macs, "PC: one sub per MAC");
+        let (net_pl, _) = trained_net(Granularity::PerLayer, BitWidth::W8);
+        let pl = convert(&net_pl, QuantScheme::PerLayerIcn).expect("convertible");
+        let (_, ops_pl) = pl.infer(&ds.sample(0).images);
+        assert_eq!(ops_pl.offset_subs, 0, "PL: no in-loop subs");
+    }
+
+    #[test]
+    fn flash_bytes_reflects_sub_byte_packing() {
+        let (mut net, _) = trained_net(Granularity::PerChannel, BitWidth::W8);
+        let w8 = convert(&net, QuantScheme::PerChannelIcn)
+            .expect("convertible")
+            .flash_bytes();
+        for i in 0..net.num_blocks() {
+            net.set_weight_bits(i, BitWidth::W4);
+        }
+        net.set_linear_weight_bits(BitWidth::W4);
+        let w4 = convert(&net, QuantScheme::PerChannelIcn)
+            .expect("convertible")
+            .flash_bytes();
+        assert!(w4 < w8, "4-bit packing must shrink flash: {w4} vs {w8}");
+    }
+}

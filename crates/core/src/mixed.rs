@@ -1,0 +1,607 @@
+//! Memory-driven mixed-precision bit assignment (paper §5).
+//!
+//! Algorithm 1 cuts *activation* precisions until every layer's
+//! input+output pair fits the read-write budget (Eq. 7), sweeping the
+//! layers forward (cutting outputs) and backward (cutting inputs).
+//! Algorithm 2 cuts *weight* precisions until packed weights plus static
+//! parameters fit the read-only budget (Eq. 6), repeatedly cutting the
+//! earliest layer whose footprint share is within `δ` of the maximum —
+//! the heuristic that "favorites the cut of central layers with respect to
+//! the last layers".
+//!
+//! ## Tie-break note (documented deviation)
+//!
+//! The paper's literal `CutBits` rule cuts tensor `x2` only when it is
+//! *strictly* larger than `x1` at equal precision. On depthwise layers the
+//! two tensors have identical footprints, so a violating pair can deadlock.
+//! The default [`TieBreak::CutProducer`] also cuts on *equal* footprints
+//! (preferring the layer's output); this reproduces the paper's reported
+//! assignments (e.g. `Q1y, Q2y, Q5y = 4` for 192_0.5 at 256 kB RAM, §6).
+//! [`TieBreak::Strict`] keeps the literal rule and surfaces the deadlock as
+//! an [`MixQError::InfeasibleActivations`] — see the
+//! `ablation_mixed_precision` bench.
+
+use std::fmt;
+
+use mixq_models::NetworkSpec;
+use mixq_quant::BitWidth;
+
+use crate::memory::{
+    activation_pair_bytes, layer_flash_footprint, network_flash_footprint_with_acts,
+    peak_activation_bytes, weight_bytes, MemoryBudget, QuantScheme,
+};
+use crate::MixQError;
+
+/// Tie-break rule for Algorithm 1's `CutBits` at equal precision and equal
+/// footprint (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TieBreak {
+    /// Cut when the candidate's footprint is `≥` the other tensor's
+    /// (default; reproduces the paper's reported assignments).
+    #[default]
+    CutProducer,
+    /// The paper's literal `>` rule (can deadlock on depthwise layers).
+    Strict,
+}
+
+/// Configuration for the bit assignment.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_core::memory::{MemoryBudget, QuantScheme};
+/// use mixq_core::mixed::MixedPrecisionConfig;
+/// use mixq_quant::BitWidth;
+///
+/// let cfg = MixedPrecisionConfig::new(MemoryBudget::stm32h7(), QuantScheme::PerChannelIcn)
+///     .with_delta(0.1)
+///     .with_min_bits(BitWidth::W4, BitWidth::W2);
+/// assert_eq!(cfg.qa_min, BitWidth::W4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedPrecisionConfig {
+    /// Device memory budget.
+    pub budget: MemoryBudget,
+    /// Deployment scheme (affects the static-parameter overhead `MT_A`).
+    pub scheme: QuantScheme,
+    /// Minimum activation precision `Q_a,min`.
+    pub qa_min: BitWidth,
+    /// Minimum weight precision `Q_w,min`.
+    pub qw_min: BitWidth,
+    /// Score margin `δ` of Algorithm 2.
+    pub delta: f64,
+    /// Tie-break rule of Algorithm 1.
+    pub tie_break: TieBreak,
+}
+
+impl MixedPrecisionConfig {
+    /// Creates a configuration with the paper's defaults
+    /// (`Q_min = 2` for both, `δ = 0.05`, producer-biased tie-break).
+    pub fn new(budget: MemoryBudget, scheme: QuantScheme) -> Self {
+        MixedPrecisionConfig {
+            budget,
+            scheme,
+            qa_min: BitWidth::W2,
+            qw_min: BitWidth::W2,
+            delta: 0.05,
+            tie_break: TieBreak::CutProducer,
+        }
+    }
+
+    /// Overrides the minimum precisions `(Q_a,min, Q_w,min)`.
+    pub fn with_min_bits(mut self, qa_min: BitWidth, qw_min: BitWidth) -> Self {
+        self.qa_min = qa_min;
+        self.qw_min = qw_min;
+        self
+    }
+
+    /// Overrides the Algorithm-2 margin `δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ δ ≤ 1`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&delta), "δ must be a fraction");
+        self.delta = delta;
+        self
+    }
+
+    /// Overrides the tie-break rule.
+    pub fn with_tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
+        self
+    }
+}
+
+/// A complete per-tensor precision assignment.
+///
+/// `act_bits[i]` is the precision of activation tensor `i` (tensor 0 is the
+/// network input, tensor `i+1` is layer `i`'s output, so layer `i` reads
+/// `act_bits[i]` and writes `act_bits[i+1]`); `weight_bits[i]` is layer
+/// `i`'s weight precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitAssignment {
+    /// Activation precisions (`spec.num_layers() + 1` entries).
+    pub act_bits: Vec<BitWidth>,
+    /// Weight precisions (`spec.num_layers()` entries).
+    pub weight_bits: Vec<BitWidth>,
+}
+
+impl BitAssignment {
+    /// The homogeneous 8-bit starting point.
+    pub fn uniform8(spec: &NetworkSpec) -> Self {
+        BitAssignment {
+            act_bits: vec![BitWidth::W8; spec.num_layers() + 1],
+            weight_bits: vec![BitWidth::W8; spec.num_layers()],
+        }
+    }
+
+    /// Whether any tensor was cut below 8 bits.
+    pub fn has_cuts(&self) -> bool {
+        self.act_bits.iter().any(|&b| b != BitWidth::W8)
+            || self.weight_bits.iter().any(|&b| b != BitWidth::W8)
+    }
+
+    /// Total flash footprint under `scheme` (Eq. 6 LHS).
+    pub fn flash_bytes(&self, spec: &NetworkSpec, scheme: QuantScheme) -> usize {
+        network_flash_footprint_with_acts(spec, scheme, &self.weight_bits, &self.act_bits)
+    }
+
+    /// Peak RAM footprint (max over Eq. 7 LHS).
+    pub fn peak_rw_bytes(&self, spec: &NetworkSpec) -> usize {
+        peak_activation_bytes(spec, &self.act_bits)
+    }
+
+    /// Whether both memory constraints hold.
+    pub fn satisfies(&self, spec: &NetworkSpec, cfg: &MixedPrecisionConfig) -> bool {
+        self.flash_bytes(spec, cfg.scheme) <= cfg.budget.ro_bytes
+            && self.peak_rw_bytes(spec) <= cfg.budget.rw_bytes
+    }
+}
+
+impl fmt::Display for BitAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w[")?;
+        for b in &self.weight_bits {
+            write!(f, "{}", b.bits())?;
+        }
+        write!(f, "] a[")?;
+        for b in &self.act_bits {
+            write!(f, "{}", b.bits())?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// `CutBits` of Algorithm 1: should tensor 2 (precision `q2`, footprint
+/// `m2`) be cut, given the paired tensor 1?
+fn cut_bits(
+    q1: BitWidth,
+    m1: usize,
+    q2: BitWidth,
+    m2: usize,
+    qa_min: BitWidth,
+    tie: TieBreak,
+) -> bool {
+    if q2 <= qa_min {
+        return false;
+    }
+    if q2 > q1 {
+        return true;
+    }
+    if q2 == q1 {
+        return match tie {
+            TieBreak::Strict => m2 > m1,
+            TieBreak::CutProducer => m2 >= m1,
+        };
+    }
+    false
+}
+
+/// Algorithm 1: cut activation bits until every layer pair fits `M_RW`.
+///
+/// Returns the activation precisions (`spec.num_layers() + 1` entries; the
+/// network input and the final logits stay at 8 bits, as in the paper).
+///
+/// # Errors
+///
+/// [`MixQError::InfeasibleActivations`] if a full forward+backward sweep
+/// makes no progress while a pair still violates the budget.
+pub fn cut_activation_bits(
+    spec: &NetworkSpec,
+    cfg: &MixedPrecisionConfig,
+) -> Result<Vec<BitWidth>, MixQError> {
+    let layers = spec.layers();
+    let l = layers.len();
+    let rw = cfg.budget.rw_bytes;
+    let mut act = vec![BitWidth::W8; l + 1];
+    let pair = |act: &[BitWidth], i: usize| -> usize {
+        activation_pair_bytes(&layers[i], act[i], act[i + 1])
+    };
+    loop {
+        if (0..l).all(|i| pair(&act, i) <= rw) {
+            return Ok(act);
+        }
+        let mut progressed = false;
+        // Forward pass: cut outputs Q_y^i ≡ Q_x^{i+1} (never the logits).
+        for i in 0..l.saturating_sub(1) {
+            while pair(&act, i) > rw {
+                let m1 = act[i].bytes_for(layers[i].in_act_elements());
+                let m2 = act[i + 1].bytes_for(layers[i].out_act_elements());
+                if cut_bits(act[i], m1, act[i + 1], m2, cfg.qa_min, cfg.tie_break) {
+                    act[i + 1] = act[i + 1].step_down().expect("above minimum");
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        // Backward pass: cut inputs Q_x^i ≡ Q_y^{i-1} (never the input).
+        for i in (1..l).rev() {
+            while pair(&act, i) > rw {
+                let m1 = act[i + 1].bytes_for(layers[i].out_act_elements());
+                let m2 = act[i].bytes_for(layers[i].in_act_elements());
+                if cut_bits(act[i + 1], m1, act[i], m2, cfg.qa_min, cfg.tie_break) {
+                    act[i] = act[i].step_down().expect("above minimum");
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            let layer = (0..l)
+                .find(|&i| pair(&act, i) > rw)
+                .expect("a violation exists when no progress is made");
+            return Err(MixQError::InfeasibleActivations {
+                layer,
+                pair_bytes: pair(&act, layer),
+                budget: rw,
+            });
+        }
+    }
+}
+
+/// Algorithm 2: cut weight bits until weights + static parameters fit
+/// `M_RO`, given the activation assignment (threshold tables scale with the
+/// output activation precision).
+///
+/// # Errors
+///
+/// [`MixQError::InfeasibleWeights`] if the budget cannot be met even with
+/// every layer at `Q_w,min`.
+///
+/// # Panics
+///
+/// Panics if `act_bits.len() != spec.num_layers() + 1`.
+pub fn cut_weight_bits(
+    spec: &NetworkSpec,
+    cfg: &MixedPrecisionConfig,
+    act_bits: &[BitWidth],
+) -> Result<Vec<BitWidth>, MixQError> {
+    let layers = spec.layers();
+    assert_eq!(act_bits.len(), layers.len() + 1, "activation count");
+    let mut w = vec![BitWidth::W8; layers.len()];
+    loop {
+        let total: usize = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| layer_flash_footprint(l, cfg.scheme, w[i], act_bits[i + 1]))
+            .sum();
+        if total <= cfg.budget.ro_bytes {
+            return Ok(w);
+        }
+        // Scores over layers still above the minimum precision.
+        let weights_total: usize = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| weight_bytes(l, w[i]))
+            .sum();
+        let eligible: Vec<(usize, f64)> = layers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| w[*i] > cfg.qw_min)
+            .map(|(i, l)| (i, weight_bytes(l, w[i]) as f64 / weights_total.max(1) as f64))
+            .collect();
+        let Some(&(_, r_max)) = eligible
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            return Err(MixQError::InfeasibleWeights {
+                total_bytes: total,
+                budget: cfg.budget.ro_bytes,
+            });
+        };
+        // The paper writes `r_i > (R − δ)`; with δ = 0 that would exclude
+        // even the maximum itself, so the inclusive form is used.
+        let k = eligible
+            .iter()
+            .filter(|&&(_, r)| r >= r_max - cfg.delta)
+            .map(|&(i, _)| i)
+            .min()
+            .expect("at least the max layer qualifies");
+        w[k] = w[k].step_down().expect("eligible layers are above minimum");
+    }
+}
+
+/// Runs Algorithm 1 then Algorithm 2 (the §5 procedure).
+///
+/// # Errors
+///
+/// Propagates infeasibility from either algorithm.
+pub fn assign_bits(
+    spec: &NetworkSpec,
+    cfg: &MixedPrecisionConfig,
+) -> Result<BitAssignment, MixQError> {
+    let act_bits = cut_activation_bits(spec, cfg)?;
+    let weight_bits = cut_weight_bits(spec, cfg, &act_bits)?;
+    Ok(BitAssignment {
+        act_bits,
+        weight_bits,
+    })
+}
+
+/// Flash footprint of the paper's *MixQ-PL* deployment: per-layer
+/// quantization using batch-norm folding where a layer stayed at 8 bits and
+/// ICN where the memory-driven procedure cut it below 8
+/// ("MixQ-PL indicates per-layer quantization with either the folding of
+/// batch-norm parameters or ICN for layers with Q_y < 8 or Q_w < 8", §6).
+pub fn hybrid_pl_flash_bytes(spec: &NetworkSpec, assignment: &BitAssignment) -> usize {
+    spec.layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let wq = assignment.weight_bits[i];
+            let aq = assignment.act_bits[i + 1];
+            let scheme = if wq == BitWidth::W8 && aq == BitWidth::W8 {
+                QuantScheme::PerLayerFolded
+            } else {
+                QuantScheme::PerLayerIcn
+            };
+            layer_flash_footprint(l, scheme, wq, aq)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+    use mixq_models::LayerSpec;
+    use mixq_tensor::Shape;
+
+    fn mobilenet(r: Resolution, w: WidthMultiplier) -> NetworkSpec {
+        MobileNetConfig::new(r, w).build()
+    }
+
+    fn stm32h7_cfg(scheme: QuantScheme) -> MixedPrecisionConfig {
+        MixedPrecisionConfig::new(MemoryBudget::stm32h7(), scheme)
+    }
+
+    #[test]
+    fn small_models_need_no_cuts_at_stm32h7() {
+        // §6: "Mobilenet models with width multipliers of 0.25 and 0.5,
+        // with the exception of 224_0.5, features no cuts of bit precision."
+        for r in Resolution::ALL {
+            for w in [WidthMultiplier::X0_25, WidthMultiplier::X0_5] {
+                let spec = mobilenet(r, w);
+                let cfg = stm32h7_cfg(QuantScheme::PerChannelIcn);
+                let a = assign_bits(&spec, &cfg).expect("feasible");
+                let label = format!("{r}_{w}");
+                if r == Resolution::R224 && w == WidthMultiplier::X0_5 {
+                    assert!(a.has_cuts(), "{label} must have cuts");
+                } else {
+                    assert!(!a.has_cuts(), "{label} must have no cuts: {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_224_05_lands_on_pw1_output() {
+        // The only violating pair at 8 bits is pw1 (x: 112·112·16,
+        // y: 112·112·32 = 602112 B total); the forward pass cuts the output.
+        let spec = mobilenet(Resolution::R224, WidthMultiplier::X0_5);
+        let cfg = stm32h7_cfg(QuantScheme::PerLayerIcn);
+        let act = cut_activation_bits(&spec, &cfg).expect("feasible");
+        for (i, &b) in act.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(b, BitWidth::W4, "pw1 output cut to 4 bits");
+            } else {
+                assert_eq!(b, BitWidth::W8, "tensor {i} untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_anchor_192_05_at_1mb_256kb() {
+        // Table 3 row 2 / §6 text: 192_0.5 under 1 MB RO + 256 kB RW gets
+        // activation cuts Q1y, Q2y, Q5y = 4 and 4-bit weights on the last
+        // pointwise (pw13) and the classifier.
+        let spec = mobilenet(Resolution::R192, WidthMultiplier::X0_5);
+        let cfg = MixedPrecisionConfig::new(
+            MemoryBudget::one_megabyte_small_ram(),
+            QuantScheme::PerChannelIcn,
+        );
+        let a = assign_bits(&spec, &cfg).expect("feasible");
+        // Activation tensors: index i+1 is layer i's output. Q1y = output
+        // of layer 1 (dw1) = act[2]; Q2y = act[3]; Q5y = act[6].
+        let cut_tensors: Vec<usize> = a
+            .act_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != BitWidth::W8)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(cut_tensors, vec![2, 3, 6], "Q1y, Q2y, Q5y cut: {a}");
+        assert!(a.act_bits[2] == BitWidth::W4);
+        // Weight cuts: exactly pw13 and fc.
+        let cut_weights: Vec<&str> = spec
+            .layers()
+            .iter()
+            .zip(&a.weight_bits)
+            .filter(|(_, &b)| b != BitWidth::W8)
+            .map(|(l, _)| l.name())
+            .collect();
+        assert_eq!(cut_weights, vec!["pw13", "fc"]);
+        assert_eq!(a.weight_bits[spec.num_layers() - 1], BitWidth::W4);
+        assert!(a.satisfies(&spec, &cfg));
+    }
+
+    #[test]
+    fn width_10_models_fit_after_aggressive_cuts() {
+        for r in Resolution::ALL {
+            let spec = mobilenet(r, WidthMultiplier::X1_0);
+            let cfg = stm32h7_cfg(QuantScheme::PerChannelIcn);
+            let a = assign_bits(&spec, &cfg).expect("feasible");
+            assert!(a.has_cuts());
+            assert!(a.satisfies(&spec, &cfg), "{r}_1.0 violates budget");
+            // 4.2M weights into ≤2 MiB means many sub-byte layers.
+            let sub_byte = a
+                .weight_bits
+                .iter()
+                .filter(|&&b| b < BitWidth::W8)
+                .count();
+            assert!(sub_byte > 5, "{r}_1.0 cut only {sub_byte} layers");
+        }
+    }
+
+    #[test]
+    fn all_16_models_feasible_on_stm32h7() {
+        // Folded and ICN schemes: every model fits after cuts. The
+        // thresholds scheme is excluded — at 8-bit activations its tables
+        // cost 2·(2^8−1) B per channel, which alone exceeds 2 MiB for most
+        // widths (the exponential blow-up of Table 1).
+        for cfg_m in MobileNetConfig::all() {
+            let spec = cfg_m.build();
+            for scheme in [
+                QuantScheme::PerLayerFolded,
+                QuantScheme::PerLayerIcn,
+                QuantScheme::PerChannelIcn,
+            ] {
+                let cfg = stm32h7_cfg(scheme);
+                let a = assign_bits(&spec, &cfg)
+                    .unwrap_or_else(|e| panic!("{} {scheme}: {e}", cfg_m.label()));
+                assert!(a.satisfies(&spec, &cfg), "{} {scheme}", cfg_m.label());
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_tables_blow_the_budget_at_8_bit_activations() {
+        // 128_0.5 fits easily under ICN but is infeasible under thresholds
+        // because weight cuts cannot shrink the cO·(2^Q−1)·i16 tables.
+        let spec = mobilenet(Resolution::R128, WidthMultiplier::X0_5);
+        let icn = stm32h7_cfg(QuantScheme::PerChannelIcn);
+        assert!(assign_bits(&spec, &icn).is_ok());
+        let thr = stm32h7_cfg(QuantScheme::PerChannelThresholds);
+        assert!(matches!(
+            assign_bits(&spec, &thr),
+            Err(MixQError::InfeasibleWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn strict_tie_break_deadlocks_on_depthwise() {
+        // A single depthwise layer with equal input/output footprints that
+        // violates the budget: the literal rule cannot cut either side.
+        let spec = NetworkSpec::new(
+            "dw-only",
+            Shape::feature_map(16, 16, 8),
+            vec![
+                LayerSpec::conv("c0", 1, 1, 8, 8, 16, 16),
+                LayerSpec::depthwise("dw", 3, 1, 8, 16, 16),
+                LayerSpec::linear("fc", 8, 2),
+            ],
+        );
+        let budget = MemoryBudget::new(usize::MAX, 3500); // pair = 4096 at 8 bit
+        let strict = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn)
+            .with_tie_break(TieBreak::Strict);
+        let err = cut_activation_bits(&spec, &strict).unwrap_err();
+        assert!(matches!(err, MixQError::InfeasibleActivations { .. }));
+        // The producer-biased default resolves it.
+        let default = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn);
+        let act = cut_activation_bits(&spec, &default).expect("feasible");
+        assert!(act.iter().any(|&b| b < BitWidth::W8));
+    }
+
+    #[test]
+    fn infeasible_weights_error() {
+        let spec = mobilenet(Resolution::R224, WidthMultiplier::X1_0);
+        // 4.2M weights can never fit 100 kB even at 2 bits.
+        let cfg = MixedPrecisionConfig::new(
+            MemoryBudget::new(100 * 1024, 512 * 1024),
+            QuantScheme::PerChannelIcn,
+        );
+        let err = assign_bits(&spec, &cfg).unwrap_err();
+        assert!(matches!(err, MixQError::InfeasibleWeights { .. }));
+    }
+
+    #[test]
+    fn infeasible_activations_error() {
+        let spec = mobilenet(Resolution::R224, WidthMultiplier::X1_0);
+        // conv0's input alone (224·224·3 at fixed 8 bits) exceeds 64 kB.
+        let cfg = MixedPrecisionConfig::new(
+            MemoryBudget::new(2 << 20, 64 * 1024),
+            QuantScheme::PerChannelIcn,
+        );
+        let err = assign_bits(&spec, &cfg).unwrap_err();
+        assert!(matches!(err, MixQError::InfeasibleActivations { .. }));
+    }
+
+    #[test]
+    fn weight_cut_order_prefers_earliest_within_margin() {
+        // Two equal-size heavy layers: the earlier one is cut first.
+        let spec = NetworkSpec::new(
+            "twins",
+            Shape::feature_map(8, 8, 64),
+            vec![
+                LayerSpec::conv("a", 3, 1, 64, 64, 8, 8),
+                LayerSpec::conv("b", 3, 1, 64, 64, 8, 8),
+                LayerSpec::linear("fc", 64, 2),
+            ],
+        );
+        let w_a = weight_bytes(&spec.layers()[0], BitWidth::W8);
+        // Budget forcing exactly one cut beyond static params.
+        let overhead: usize = spec
+            .layers()
+            .iter()
+            .map(|l| {
+                crate::memory::static_param_bytes(l, QuantScheme::PerLayerIcn, BitWidth::W8)
+            })
+            .sum();
+        let total8: usize = spec
+            .layers()
+            .iter()
+            .map(|l| weight_bytes(l, BitWidth::W8))
+            .sum();
+        let cfg = MixedPrecisionConfig::new(
+            MemoryBudget::new(total8 + overhead - w_a / 4, usize::MAX),
+            QuantScheme::PerLayerIcn,
+        );
+        let w = cut_weight_bits(&spec, &cfg, &vec![BitWidth::W8; 4]).expect("feasible");
+        assert_eq!(w[0], BitWidth::W4, "earliest twin cut first");
+        assert_eq!(w[1], BitWidth::W8);
+    }
+
+    #[test]
+    fn assignment_display_and_uniform() {
+        let spec = mobilenet(Resolution::R128, WidthMultiplier::X0_25);
+        let a = BitAssignment::uniform8(&spec);
+        assert!(!a.has_cuts());
+        let s = a.to_string();
+        assert!(s.starts_with("w[8"));
+        assert_eq!(a.act_bits.len(), spec.num_layers() + 1);
+    }
+
+    #[test]
+    fn hybrid_pl_is_cheaper_than_pure_icn_when_uncut() {
+        let spec = mobilenet(Resolution::R128, WidthMultiplier::X0_25);
+        let a = BitAssignment::uniform8(&spec);
+        let hybrid = hybrid_pl_flash_bytes(&spec, &a);
+        let icn = a.flash_bytes(&spec, QuantScheme::PerLayerIcn);
+        let folded = a.flash_bytes(&spec, QuantScheme::PerLayerFolded);
+        assert_eq!(hybrid, folded, "uncut hybrid = pure FB");
+        assert!(hybrid < icn);
+    }
+}

@@ -1,0 +1,283 @@
+use mixq_tensor::{Shape, Tensor};
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A labelled mini-batch: images `(B, h, w, c)` plus class indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Input images, NHWC.
+    pub images: Tensor<f32>,
+    /// Ground-truth class index per batch item.
+    pub labels: Vec<usize>,
+}
+
+/// A train/test split of a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+/// An in-memory labelled image dataset.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_data::Dataset;
+/// use mixq_tensor::{Shape, Tensor};
+///
+/// let images = Tensor::<f32>::zeros(Shape::new(4, 2, 2, 1));
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(ds.len(), 4);
+/// let split = ds.split(0.5, 7);
+/// assert_eq!(split.train.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor<f32>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Wraps images `(N, h, w, c)` and `N` labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error if the label count does not match the
+    /// batch dimension or a label exceeds `num_classes`.
+    pub fn new(
+        images: Tensor<f32>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, String> {
+        if images.shape().n != labels.len() {
+            return Err(format!(
+                "label count {} does not match batch size {}",
+                labels.len(),
+                images.shape().n
+            ));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(format!("label {bad} exceeds num_classes {num_classes}"));
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Shape of a single sample, `(1, h, w, c)`.
+    pub fn sample_shape(&self) -> Shape {
+        self.images.shape().with_batch(1)
+    }
+
+    /// All images `(N, h, w, c)`.
+    pub fn images(&self) -> &Tensor<f32> {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The `i`-th sample as a single-item batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn sample(&self, i: usize) -> Batch {
+        Batch {
+            images: self.images.batch_item(i),
+            labels: vec![self.labels[i]],
+        }
+    }
+
+    /// Deterministically shuffled mini-batches for one training epoch.
+    ///
+    /// The final incomplete batch (if any) is dropped, as is conventional.
+    pub fn epoch_batches(&self, batch_size: usize, seed: u64) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let item = self.images.shape().item_volume();
+        let shape = self.images.shape();
+        order
+            .chunks_exact(batch_size)
+            .map(|chunk| {
+                let mut data = Vec::with_capacity(batch_size * item);
+                let mut labels = Vec::with_capacity(batch_size);
+                for &i in chunk {
+                    data.extend_from_slice(&self.images.data()[i * item..(i + 1) * item]);
+                    labels.push(self.labels[i]);
+                }
+                Batch {
+                    images: Tensor::from_vec(shape.with_batch(batch_size), data)
+                        .expect("chunk volume is consistent"),
+                    labels,
+                }
+            })
+            .collect()
+    }
+
+    /// Splits into train/test with the given train fraction, shuffling with
+    /// `seed`.
+    pub fn split(&self, train_fraction: f32, seed: u64) -> Split {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let n_train = ((self.len() as f32) * train_fraction).round() as usize;
+        let subset = |idx: &[usize]| -> Dataset {
+            let item = self.images.shape().item_volume();
+            let mut data = Vec::with_capacity(idx.len() * item);
+            let mut labels = Vec::with_capacity(idx.len());
+            for &i in idx {
+                data.extend_from_slice(&self.images.data()[i * item..(i + 1) * item]);
+                labels.push(self.labels[i]);
+            }
+            Dataset {
+                images: Tensor::from_vec(self.images.shape().with_batch(idx.len()), data)
+                    .expect("consistent volume"),
+                labels,
+                num_classes: self.num_classes,
+            }
+        };
+        Split {
+            train: subset(&order[..n_train]),
+            test: subset(&order[n_train..]),
+        }
+    }
+
+    /// First `n` samples as a calibration batch (for post-training range
+    /// estimation), clamped to the dataset size.
+    pub fn calibration_batch(&self, n: usize) -> Batch {
+        let n = n.min(self.len());
+        let item = self.images.shape().item_volume();
+        Batch {
+            images: Tensor::from_vec(
+                self.images.shape().with_batch(n),
+                self.images.data()[..n * item].to_vec(),
+            )
+            .expect("consistent volume"),
+            labels: self.labels[..n].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::from_vec(
+            Shape::new(n, 1, 1, 1),
+            (0..n).map(|i| i as f32).collect(),
+        )
+        .unwrap();
+        Dataset::new(images, (0..n).map(|i| i % 2).collect(), 2).unwrap()
+    }
+
+    #[test]
+    fn new_validates() {
+        let images = Tensor::<f32>::zeros(Shape::new(3, 1, 1, 1));
+        assert!(Dataset::new(images.clone(), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 1, 5], 2).is_err());
+        assert!(Dataset::new(images, vec![0, 1, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn sample_and_shapes() {
+        let ds = toy(4);
+        assert_eq!(ds.sample_shape(), Shape::new(1, 1, 1, 1));
+        let s = ds.sample(3);
+        assert_eq!(s.images.data(), &[3.0]);
+        assert_eq!(s.labels, vec![1]);
+    }
+
+    #[test]
+    fn epoch_batches_cover_dataset_exactly_once() {
+        let ds = toy(10);
+        let batches = ds.epoch_batches(2, 1);
+        assert_eq!(batches.len(), 5);
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| b.images.data().to_vec())
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epoch_batches_are_seed_deterministic() {
+        let ds = toy(8);
+        let a = ds.epoch_batches(4, 9);
+        let b = ds.epoch_batches(4, 9);
+        assert_eq!(a, b);
+        let c = ds.epoch_batches(4, 10);
+        assert_ne!(a, c, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn incomplete_batch_dropped() {
+        let ds = toy(5);
+        let batches = ds.epoch_batches(2, 0);
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = toy(10);
+        let split = ds.split(0.7, 3);
+        assert_eq!(split.train.len(), 7);
+        assert_eq!(split.test.len(), 3);
+        assert_eq!(split.train.num_classes(), 2);
+        // Union of values is the original set.
+        let mut all: Vec<f32> = split
+            .train
+            .images()
+            .data()
+            .iter()
+            .chain(split.test.images().data())
+            .copied()
+            .collect();
+        all.sort_by(f32::total_cmp);
+        assert_eq!(all, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn calibration_batch_takes_prefix() {
+        let ds = toy(6);
+        let cal = ds.calibration_batch(4);
+        assert_eq!(cal.images.shape().n, 4);
+        assert_eq!(cal.labels.len(), 4);
+        // Clamps to dataset size.
+        let cal = ds.calibration_batch(100);
+        assert_eq!(cal.images.shape().n, 6);
+    }
+}

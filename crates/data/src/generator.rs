@@ -1,0 +1,404 @@
+use std::f32::consts::PI;
+use std::fmt;
+
+use mixq_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Dataset;
+
+/// The family of procedural pattern used to define classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SyntheticKind {
+    /// Oriented sinusoidal gratings; class = orientation/frequency pair.
+    /// Smooth, texture-like — the closest analogue to natural-image
+    /// statistics among the generators.
+    #[default]
+    Gratings,
+    /// Gaussian blobs at class-specific locations; easy, nearly linearly
+    /// separable — useful for fast smoke tests.
+    Blobs,
+    /// Axis-aligned bars (horizontal/vertical/diagonal); forces the network
+    /// to learn small convolution filters.
+    Bars,
+    /// Each channel independently carries one *bit* of the class label as a
+    /// bar orientation (bit 0 → vertical, 1 → horizontal), so the class is
+    /// only decodable by reading **every** channel. Combined with the
+    /// per-channel amplitude scaling this is the folding stress test: a
+    /// quantizer that crushes low-amplitude channels provably loses the
+    /// corresponding class bits (accuracy falls towards 2^-(lost bits)).
+    /// Requires `num_classes ≤ 2^channels`.
+    ChannelBits,
+}
+
+impl fmt::Display for SyntheticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntheticKind::Gratings => write!(f, "gratings"),
+            SyntheticKind::Blobs => write!(f, "blobs"),
+            SyntheticKind::Bars => write!(f, "bars"),
+            SyntheticKind::ChannelBits => write!(f, "channel-bits"),
+        }
+    }
+}
+
+/// Builder for a synthetic dataset.
+///
+/// Channel `c` of every image is scaled by `amplitude_base^c`, giving the
+/// per-channel magnitude diversity that makes batch-norm learn wildly
+/// different per-channel scales (see crate docs — this is what makes the
+/// paper's PL+FB INT4 collapse reproducible on synthetic data).
+///
+/// # Examples
+///
+/// ```
+/// use mixq_data::{DatasetSpec, SyntheticKind};
+///
+/// let ds = DatasetSpec::new(SyntheticKind::Bars, 8, 8, 3, 4)
+///     .with_samples(128)
+///     .with_noise(0.05)
+///     .with_amplitude_base(4.0)
+///     .generate(7);
+/// assert_eq!(ds.sample_shape().c, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    kind: SyntheticKind,
+    height: usize,
+    width: usize,
+    channels: usize,
+    num_classes: usize,
+    samples: usize,
+    noise: f32,
+    amplitude_base: f32,
+}
+
+impl DatasetSpec {
+    /// Creates a spec for `num_classes` classes of `h × w × c` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the class count is zero.
+    pub fn new(
+        kind: SyntheticKind,
+        height: usize,
+        width: usize,
+        channels: usize,
+        num_classes: usize,
+    ) -> Self {
+        assert!(height > 0 && width > 0 && channels > 0, "empty image shape");
+        assert!(num_classes >= 2, "need at least two classes");
+        if kind == SyntheticKind::ChannelBits {
+            assert!(
+                num_classes <= 1 << channels,
+                "ChannelBits encodes the class across channels: need num_classes <= 2^channels"
+            );
+        }
+        DatasetSpec {
+            kind,
+            height,
+            width,
+            channels,
+            num_classes,
+            samples: 256,
+            noise: 0.1,
+            amplitude_base: 3.0,
+        }
+    }
+
+    /// Sets the number of samples (default 256).
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the additive Gaussian noise level (default 0.1).
+    pub fn with_noise(mut self, noise: f32) -> Self {
+        self.noise = noise.max(0.0);
+        self
+    }
+
+    /// Sets the per-channel amplitude base (default 3.0): channel `c` is
+    /// scaled by `base^c`. Use 1.0 for homogeneous channels.
+    pub fn with_amplitude_base(mut self, base: f32) -> Self {
+        assert!(base > 0.0, "amplitude base must be positive");
+        self.amplitude_base = base;
+        self
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = Shape::new(self.samples, self.height, self.width, self.channels);
+        let mut images = Tensor::<f32>::zeros(shape);
+        let mut labels = Vec::with_capacity(self.samples);
+        for n in 0..self.samples {
+            let class = rng.random_range(0..self.num_classes);
+            labels.push(class);
+            self.render(&mut images, n, class, &mut rng);
+        }
+        Dataset::new(images, labels, self.num_classes).expect("spec produces consistent data")
+    }
+
+    fn channel_amp(&self, c: usize) -> f32 {
+        self.amplitude_base.powi(c as i32)
+    }
+
+    fn render(&self, images: &mut Tensor<f32>, n: usize, class: usize, rng: &mut StdRng) {
+        let (h, w) = (self.height, self.width);
+        // Random phase/position jitter so classes are distributions, not
+        // single templates.
+        let jitter_x = rng.random_range(0.0..1.0f32);
+        let jitter_y = rng.random_range(0.0..1.0f32);
+        if self.kind == SyntheticKind::ChannelBits {
+            for y in 0..h {
+                for x in 0..w {
+                    let u = (x as f32 + 0.5) / w as f32;
+                    let v = (y as f32 + 0.5) / h as f32;
+                    for c in 0..self.channels {
+                        let bit = (class >> c) & 1;
+                        let stripe = if bit == 0 { u } else { v };
+                        let pos = (stripe * 3.0 + jitter_x) % 1.0;
+                        let base = if pos < 0.5 { 1.0 } else { -1.0 };
+                        let noise = self.noise * gaussian(rng);
+                        *images.at_mut(n, y, x, c) = self.channel_amp(c) * (base + noise);
+                    }
+                }
+            }
+            return;
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let u = (x as f32 + 0.5) / w as f32;
+                let v = (y as f32 + 0.5) / h as f32;
+                let base = match self.kind {
+                    SyntheticKind::Gratings => {
+                        // Orientation and frequency both depend on the class.
+                        let angle = PI * class as f32 / self.num_classes as f32;
+                        let freq = 1.0 + (class % 3) as f32;
+                        let t = u * angle.cos() + v * angle.sin();
+                        (2.0 * PI * freq * (t + jitter_x * 0.25)).sin()
+                    }
+                    SyntheticKind::Blobs => {
+                        // Class centroids on a circle.
+                        let theta = 2.0 * PI * class as f32 / self.num_classes as f32;
+                        let cx = 0.5 + 0.3 * theta.cos() + 0.1 * (jitter_x - 0.5);
+                        let cy = 0.5 + 0.3 * theta.sin() + 0.1 * (jitter_y - 0.5);
+                        let d2 = (u - cx).powi(2) + (v - cy).powi(2);
+                        (-d2 / 0.02).exp()
+                    }
+                    SyntheticKind::Bars => {
+                        // Class selects bar orientation; jitter selects offset.
+                        let stripe = match class % 4 {
+                            0 => u,
+                            1 => v,
+                            2 => (u + v) * 0.5,
+                            _ => (u - v) * 0.5 + 0.5,
+                        };
+                        let pos = (stripe * 4.0 + jitter_x) % 1.0;
+                        if pos < 0.5 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                    SyntheticKind::ChannelBits => unreachable!("handled above"),
+                };
+                for c in 0..self.channels {
+                    let noise = self.noise * gaussian(rng);
+                    let amp = self.channel_amp(c);
+                    *images.at_mut(n, y, x, c) = amp * (base + noise);
+                }
+            }
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller (rand 0.10 ships no distributions).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = DatasetSpec::new(SyntheticKind::Gratings, 6, 6, 2, 3).with_samples(16);
+        let a = spec.generate(11);
+        let b = spec.generate(11);
+        assert_eq!(a, b);
+        let c = spec.generate(12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_kinds_generate_valid_data() {
+        for kind in [
+            SyntheticKind::Gratings,
+            SyntheticKind::Blobs,
+            SyntheticKind::Bars,
+        ] {
+            let ds = DatasetSpec::new(kind, 8, 8, 2, 4)
+                .with_samples(32)
+                .generate(5);
+            assert_eq!(ds.len(), 32);
+            assert!(ds.images().data().iter().all(|v| v.is_finite()), "{kind}");
+            assert!(ds.labels().iter().all(|&l| l < 4));
+        }
+    }
+
+    #[test]
+    fn channel_amplitudes_scale_geometrically() {
+        let ds = DatasetSpec::new(SyntheticKind::Gratings, 8, 8, 3, 2)
+            .with_samples(8)
+            .with_noise(0.0)
+            .with_amplitude_base(3.0)
+            .generate(1);
+        // RMS of channel 2 should be ~9x channel 0.
+        let rms = |c: usize| -> f32 {
+            let vals: Vec<f32> = ds.images().channel_iter(c).collect();
+            (vals.iter().map(|v| v * v).sum::<f32>() / vals.len() as f32).sqrt()
+        };
+        let r0 = rms(0);
+        let r2 = rms(2);
+        assert!(
+            (r2 / r0 - 9.0).abs() < 0.5,
+            "expected ~9x amplitude ratio, got {}",
+            r2 / r0
+        );
+    }
+
+    #[test]
+    fn homogeneous_amplitude_option() {
+        let ds = DatasetSpec::new(SyntheticKind::Bars, 4, 4, 2, 2)
+            .with_samples(4)
+            .with_amplitude_base(1.0)
+            .with_noise(0.0)
+            .generate(2);
+        let c0: Vec<f32> = ds.images().channel_iter(0).collect();
+        let c1: Vec<f32> = ds.images().channel_iter(1).collect();
+        assert_eq!(c0, c1);
+    }
+
+    #[test]
+    fn classes_are_distinguishable_by_mean_template() {
+        // Nearest-mean-template classification on noiseless gratings should
+        // beat chance by a wide margin — sanity that classes differ.
+        let spec = DatasetSpec::new(SyntheticKind::Gratings, 8, 8, 1, 4)
+            .with_samples(200)
+            .with_noise(0.0)
+            .with_amplitude_base(1.0);
+        let ds = spec.generate(3);
+        let item = ds.sample_shape().item_volume();
+        let mut templates = vec![vec![0.0f64; item]; 4];
+        let mut counts = vec![0usize; 4];
+        for i in 0..ds.len() {
+            let l = ds.labels()[i];
+            counts[l] += 1;
+            for (t, &v) in templates[l]
+                .iter_mut()
+                .zip(&ds.images().data()[i * item..(i + 1) * item])
+            {
+                *t += v as f64;
+            }
+        }
+        for (t, &n) in templates.iter_mut().zip(&counts) {
+            for v in t.iter_mut() {
+                *v /= n.max(1) as f64;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            let img = &ds.images().data()[i * item..(i + 1) * item];
+            let best = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f64 = templates[a]
+                        .iter()
+                        .zip(img)
+                        .map(|(t, &v)| (t - v as f64).powi(2))
+                        .sum();
+                    let db: f64 = templates[b]
+                        .iter()
+                        .zip(img)
+                        .map(|(t, &v)| (t - v as f64).powi(2))
+                        .sum();
+                    da.total_cmp(&db)
+                })
+                .unwrap();
+            if best == ds.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / ds.len() as f32;
+        assert!(acc > 0.6, "template accuracy {acc} too close to chance");
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn rejects_single_class() {
+        let _ = DatasetSpec::new(SyntheticKind::Blobs, 4, 4, 1, 1);
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(SyntheticKind::Gratings.to_string(), "gratings");
+        assert_eq!(SyntheticKind::ChannelBits.to_string(), "channel-bits");
+    }
+
+    #[test]
+    fn channel_bits_encodes_class_per_channel() {
+        let ds = DatasetSpec::new(SyntheticKind::ChannelBits, 8, 8, 2, 4)
+            .with_samples(64)
+            .with_noise(0.0)
+            .with_amplitude_base(1.0)
+            .generate(9);
+        // Channel c of two samples agreeing on bit c must correlate
+        // positively up to stripe jitter; a horizontal-bit channel must
+        // vary along y and be constant along x (and vice versa).
+        for i in 0..ds.len() {
+            let class = ds.labels()[i];
+            let img = ds.images().batch_item(i);
+            for c in 0..2 {
+                let bit = (class >> c) & 1;
+                // Row/column variance tells the orientation apart.
+                let mut col_var = 0.0f32;
+                let mut row_var = 0.0f32;
+                for a in 0..8 {
+                    let col: Vec<f32> = (0..8).map(|b| img.at(0, b, a, c)).collect();
+                    let row: Vec<f32> = (0..8).map(|b| img.at(0, a, b, c)).collect();
+                    let mean_c = col.iter().sum::<f32>() / 8.0;
+                    let mean_r = row.iter().sum::<f32>() / 8.0;
+                    col_var += col.iter().map(|v| (v - mean_c).powi(2)).sum::<f32>();
+                    row_var += row.iter().map(|v| (v - mean_r).powi(2)).sum::<f32>();
+                }
+                if bit == 0 {
+                    // Vertical stripes: variation along x (rows vary).
+                    assert!(row_var > col_var, "sample {i} channel {c}");
+                } else {
+                    assert!(col_var > row_var, "sample {i} channel {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2^channels")]
+    fn channel_bits_class_count_checked() {
+        let _ = DatasetSpec::new(SyntheticKind::ChannelBits, 8, 8, 1, 4);
+    }
+}

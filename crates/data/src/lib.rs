@@ -1,0 +1,41 @@
+//! # mixq-data
+//!
+//! Synthetic image-classification datasets standing in for ImageNet.
+//!
+//! The paper evaluates on ImageNet-1k, which cannot be redistributed; the
+//! quantization *mechanisms* under study, however, are dataset-independent.
+//! This crate generates procedural multi-class image tasks whose statistics
+//! deliberately exercise the failure mode the paper analyses:
+//!
+//! * **per-channel amplitude diversity** — channels carry signals at very
+//!   different magnitudes, so batch-norm learns per-channel scales spanning
+//!   orders of magnitude. Folding those scales into per-layer (PL)
+//!   quantized weights at INT4 then destroys small-scale channels, which is
+//!   exactly why the paper's `PL+FB INT4` training collapses (Table 2) and
+//!   the ICN layer is needed.
+//! * **enough class structure** that a micro-CNN reaches high accuracy in
+//!   seconds of CPU training, so quantization-induced degradation is
+//!   measurable.
+//!
+//! See `DESIGN.md` ("Substitutions") for the full rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use mixq_data::{DatasetSpec, SyntheticKind};
+//!
+//! let ds = DatasetSpec::new(SyntheticKind::Gratings, 8, 8, 2, 4)
+//!     .with_samples(64)
+//!     .generate(42);
+//! assert_eq!(ds.len(), 64);
+//! assert_eq!(ds.num_classes(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod generator;
+
+pub use dataset::{Batch, Dataset, Split};
+pub use generator::{DatasetSpec, SyntheticKind};

@@ -1,0 +1,341 @@
+use mixq_tensor::{ConvGeometry, Shape};
+
+use crate::{OpCounts, QActivation, QConvWeights, Requantizer};
+
+/// An integer-only quantized convolution layer: packed weights, geometry and
+/// a requantization stage (Eq. 5 evaluates the whole
+/// `conv → batch-norm → quant-act` sub-graph in integer arithmetic).
+///
+/// The dataflow is output-stationary, as in the paper's extended CMSIS-NN
+/// kernels: each output accumulator is produced to completion before moving
+/// on, so the `i32` accumulator never spills.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QConv2d {
+    weights: QConvWeights,
+    geometry: ConvGeometry,
+    requant: Requantizer,
+}
+
+impl QConv2d {
+    /// Assembles a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requantizer does not cover exactly the weight tensor's
+    /// output channels.
+    pub fn new(weights: QConvWeights, geometry: ConvGeometry, requant: Requantizer) -> Self {
+        assert_eq!(
+            requant.channels(),
+            weights.out_channels(),
+            "requantizer channels must match output channels"
+        );
+        assert_eq!(
+            weights.shape().h,
+            geometry.kh,
+            "weight kernel height vs geometry"
+        );
+        assert_eq!(
+            weights.shape().w,
+            geometry.kw,
+            "weight kernel width vs geometry"
+        );
+        QConv2d {
+            weights,
+            geometry,
+            requant,
+        }
+    }
+
+    /// The packed weights.
+    pub fn weights(&self) -> &QConvWeights {
+        &self.weights
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geometry
+    }
+
+    /// The requantization stage.
+    pub fn requant(&self) -> &Requantizer {
+        &self.requant
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        let (h, w) = self.geometry.output_size(input.h, input.w);
+        Shape::new(input.n, h, w, self.weights.out_channels())
+    }
+
+    /// Runs the layer on a quantized activation, producing the quantized
+    /// output activation and charging `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count disagrees with the weights.
+    pub fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> QActivation {
+        let in_shape = x.shape();
+        let depthwise = self.weights.is_depthwise();
+        if depthwise {
+            assert_eq!(
+                in_shape.c,
+                self.weights.out_channels(),
+                "depthwise input channels"
+            );
+        } else {
+            assert_eq!(in_shape.c, self.weights.in_channels(), "input channels");
+        }
+        let out_shape = self.output_shape(in_shape);
+        let (pt, pl) = self.geometry.pad_top_left(in_shape.h, in_shape.w);
+        let s = self.geometry.stride;
+        let (kh, kw) = (self.geometry.kh, self.geometry.kw);
+        let zx = x.zero_point() as i64;
+        let per_channel = self.weights.offset().is_per_channel();
+        let w_unpack = self.weights.needs_unpack() as u64;
+        let x_unpack = x.needs_unpack() as u64;
+
+        let mut out_codes = vec![0u8; out_shape.volume()];
+        let mut macs = 0u64;
+        let mut unpacks = 0u64;
+        let mut act_loads = 0u64;
+        for n in 0..out_shape.n {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    for co in 0..out_shape.c {
+                        let zw = self.weights.offset().at(co) as i64;
+                        let mut acc: i64 = 0;
+                        for ky in 0..kh {
+                            let iy = (oy * s + ky) as isize - pt as isize;
+                            if iy < 0 || iy >= in_shape.h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * s + kx) as isize - pl as isize;
+                                if ix < 0 || ix >= in_shape.w as isize {
+                                    continue;
+                                }
+                                let (iy, ix) = (iy as usize, ix as usize);
+                                if depthwise {
+                                    let xv = x.get(n, iy, ix, co) as i64;
+                                    let wv = self.weights.get(co, ky, kx, 0) as i64;
+                                    acc += (xv - zx) * (wv - zw);
+                                    macs += 1;
+                                    act_loads += 1;
+                                    unpacks += w_unpack + x_unpack;
+                                } else {
+                                    for ci in 0..in_shape.c {
+                                        let xv = x.get(n, iy, ix, ci) as i64;
+                                        let wv = self.weights.get(co, ky, kx, ci) as i64;
+                                        acc += (xv - zx) * (wv - zw);
+                                        macs += 1;
+                                        act_loads += 1;
+                                        unpacks += w_unpack + x_unpack;
+                                    }
+                                }
+                            }
+                        }
+                        let code = self.requant.apply(
+                            co,
+                            acc,
+                            &mut ops.requants,
+                            &mut ops.threshold_cmps,
+                        );
+                        out_codes[out_shape.index(n, oy, ox, co)] = code;
+                    }
+                }
+            }
+        }
+        ops.macs += macs;
+        ops.unpacks += unpacks;
+        ops.act_loads += act_loads;
+        ops.act_stores += out_shape.volume() as u64;
+        ops.bias_adds += out_shape.volume() as u64;
+        if per_channel {
+            // One extra in-loop subtraction per MAC (§6's ≈ 20% overhead).
+            ops.offset_subs += macs;
+        }
+        QActivation::from_codes(
+            out_shape,
+            &out_codes,
+            self.requant.out_bits(),
+            self.requant.zero_point().clamp(0, 255) as u8,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightOffset;
+    use mixq_quant::{BitWidth, FixedPointMultiplier};
+    use mixq_tensor::Padding;
+
+    fn identity_requant(channels: usize, bits: BitWidth) -> Requantizer {
+        Requantizer::icn(
+            vec![0; channels],
+            vec![FixedPointMultiplier::from_real(1.0); channels],
+            0,
+            bits,
+        )
+    }
+
+    #[test]
+    fn pointwise_identity() {
+        // 1x1 conv, weight code 1, Zw = 0 → output = input code.
+        let w = QConvWeights::new(
+            Shape::new(1, 1, 1, 1),
+            false,
+            &[1],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let conv = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(1, BitWidth::W8));
+        let x = QActivation::from_codes(
+            Shape::feature_map(2, 2, 1),
+            &[5, 6, 7, 8],
+            BitWidth::W8,
+            0,
+        );
+        let mut ops = OpCounts::default();
+        let y = conv.execute(&x, &mut ops);
+        assert_eq!(y.codes(), vec![5, 6, 7, 8]);
+        assert_eq!(ops.macs, 4);
+        assert_eq!(ops.offset_subs, 0, "per-layer Zw costs nothing in-loop");
+    }
+
+    #[test]
+    fn zero_points_are_subtracted() {
+        // X = 10 with Zx = 10 means real zero → output must be Zy exactly.
+        let w = QConvWeights::new(
+            Shape::new(1, 1, 1, 1),
+            false,
+            &[3],
+            BitWidth::W4,
+            WeightOffset::PerLayer(1),
+        );
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::pointwise(),
+            Requantizer::icn(
+                vec![0],
+                vec![FixedPointMultiplier::from_real(1.0)],
+                4,
+                BitWidth::W8,
+            ),
+        );
+        let x = QActivation::from_codes(Shape::feature_map(1, 1, 1), &[10], BitWidth::W8, 10);
+        let mut ops = OpCounts::default();
+        let y = conv.execute(&x, &mut ops);
+        assert_eq!(y.codes(), vec![4]); // zy only
+        assert_eq!(y.zero_point(), 4);
+    }
+
+    #[test]
+    fn same_padding_contributes_nothing() {
+        // 3x3 all-ones weights (Zw=0) over all-ones input (Zx=0): corner
+        // outputs see 4 pixels, centre 9 — padded taps add zero.
+        let w = QConvWeights::new(
+            Shape::new(1, 3, 3, 1),
+            false,
+            &[1; 9],
+            BitWidth::W2,
+            WeightOffset::PerLayer(0),
+        );
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            identity_requant(1, BitWidth::W8),
+        );
+        let x = QActivation::from_codes(
+            Shape::feature_map(3, 3, 1),
+            &[1; 9],
+            BitWidth::W8,
+            0,
+        );
+        let mut ops = OpCounts::default();
+        let y = conv.execute(&x, &mut ops);
+        assert_eq!(y.get(0, 1, 1, 0), 9);
+        assert_eq!(y.get(0, 0, 0, 0), 4);
+        assert_eq!(y.get(0, 0, 1, 0), 6);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels_separate() {
+        let w = QConvWeights::new(
+            Shape::new(2, 1, 1, 1),
+            true,
+            &[2, 3],
+            BitWidth::W4,
+            WeightOffset::PerChannel(vec![0, 0]),
+        );
+        let conv = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(2, BitWidth::W8));
+        let x = QActivation::from_codes(Shape::feature_map(1, 1, 2), &[4, 5], BitWidth::W8, 0);
+        let mut ops = OpCounts::default();
+        let y = conv.execute(&x, &mut ops);
+        assert_eq!(y.codes(), vec![8, 15]);
+        assert_eq!(ops.offset_subs, ops.macs, "PC offsets charged per MAC");
+    }
+
+    #[test]
+    fn sub_byte_operands_charge_unpacks() {
+        let w = QConvWeights::new(
+            Shape::new(1, 1, 1, 1),
+            false,
+            &[1],
+            BitWidth::W4, // sub-byte weights
+            WeightOffset::PerLayer(0),
+        );
+        let conv = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(1, BitWidth::W8));
+        let x = QActivation::from_codes(
+            Shape::feature_map(2, 2, 1),
+            &[1, 2, 3, 0],
+            BitWidth::W2, // sub-byte activations
+            0,
+        );
+        let mut ops = OpCounts::default();
+        let _ = conv.execute(&x, &mut ops);
+        assert_eq!(ops.macs, 4);
+        assert_eq!(ops.unpacks, 8, "one per operand per MAC");
+    }
+
+    #[test]
+    fn stride_two_output_shape() {
+        let w = QConvWeights::new(
+            Shape::new(4, 3, 3, 2),
+            false,
+            &[0; 72],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::new(3, 3, 2, Padding::Same),
+            identity_requant(4, BitWidth::W4),
+        );
+        let x = QActivation::from_codes(
+            Shape::feature_map(8, 8, 2),
+            &[0; 128],
+            BitWidth::W8,
+            0,
+        );
+        let mut ops = OpCounts::default();
+        let y = conv.execute(&x, &mut ops);
+        assert_eq!(y.shape(), Shape::feature_map(4, 4, 4));
+        assert_eq!(y.bits(), BitWidth::W4);
+    }
+
+    #[test]
+    #[should_panic(expected = "requantizer channels")]
+    fn requant_channel_mismatch_panics() {
+        let w = QConvWeights::new(
+            Shape::new(2, 1, 1, 1),
+            false,
+            &[0, 0],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let _ = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(3, BitWidth::W8));
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Abstract operation counts accumulated by the integer kernels.
+///
+/// These are the micro-architecture-independent costs; the Cortex-M7 cycle
+/// model in `mixq-mcu` weights them into latency. Separating the two lets
+/// the same kernel instrumentation serve any target model.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_kernels::OpCounts;
+///
+/// let mut a = OpCounts { macs: 10, ..OpCounts::default() };
+/// let b = OpCounts { macs: 5, unpacks: 3, ..OpCounts::default() };
+/// a += b;
+/// assert_eq!(a.macs, 15);
+/// assert_eq!(a.unpacks, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct OpCounts {
+    /// Multiply–accumulate operations.
+    pub macs: u64,
+    /// Sub-byte unpack operations (mask+shift on 4/2-bit operands; zero for
+    /// 8-bit data, which the M7 loads directly).
+    pub unpacks: u64,
+    /// Per-element weight-offset subtractions inside the inner loop —
+    /// the PC-quantization `Zw` cost the paper measures as ≈ 20% latency
+    /// overhead (§6).
+    pub offset_subs: u64,
+    /// Requantization operations (one fixed-point multiply+shift per output
+    /// element).
+    pub requants: u64,
+    /// Threshold comparisons (thresholds method only).
+    pub threshold_cmps: u64,
+    /// Bias additions.
+    pub bias_adds: u64,
+    /// Activation loads (input reads).
+    pub act_loads: u64,
+    /// Activation stores (output writes).
+    pub act_stores: u64,
+}
+
+impl OpCounts {
+    /// Sum of all counted operations (rough work proxy).
+    pub fn total(&self) -> u64 {
+        self.macs
+            + self.unpacks
+            + self.offset_subs
+            + self.requants
+            + self.threshold_cmps
+            + self.bias_adds
+            + self.act_loads
+            + self.act_stores
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        self.macs += rhs.macs;
+        self.unpacks += rhs.unpacks;
+        self.offset_subs += rhs.offset_subs;
+        self.requants += rhs.requants;
+        self.threshold_cmps += rhs.threshold_cmps;
+        self.bias_adds += rhs.bias_adds;
+        self.act_loads += rhs.act_loads;
+        self.act_stores += rhs.act_stores;
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "macs={} unpacks={} zw_subs={} requants={} thr_cmps={}",
+            self.macs, self.unpacks, self.offset_subs, self.requants, self.threshold_cmps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates_everything() {
+        let mut a = OpCounts::default();
+        let b = OpCounts {
+            macs: 1,
+            unpacks: 2,
+            offset_subs: 3,
+            requants: 4,
+            threshold_cmps: 5,
+            bias_adds: 6,
+            act_loads: 7,
+            act_stores: 8,
+        };
+        a += b;
+        a += b;
+        assert_eq!(a.macs, 2);
+        assert_eq!(a.act_stores, 16);
+        assert_eq!(a.total(), 2 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+    }
+
+    #[test]
+    fn display_mentions_macs() {
+        let c = OpCounts {
+            macs: 42,
+            ..OpCounts::default()
+        };
+        assert!(c.to_string().contains("macs=42"));
+    }
+}

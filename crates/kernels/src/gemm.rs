@@ -1,0 +1,317 @@
+//! The im2col + GEMM convolution path — the dataflow CMSIS-NN's `conv`
+//! kernels actually use on the Cortex-M (§6's library lowers convolutions
+//! to an image-to-column expansion followed by a matrix product so the
+//! dual-MAC `SMLAD` can stream through contiguous operands).
+//!
+//! Functionally identical to [`QConv2d::execute`]; the reorganized loop
+//! exposes the im2col buffer cost that the cycle model charges. Padded
+//! taps are materialized as the input zero-point `Zx`, which contributes
+//! exactly zero to `Σ (X − Zx)(W − Zw)` — the same trick the real kernels
+//! use so the inner loop stays branch-free.
+
+use mixq_tensor::Shape;
+
+use crate::{OpCounts, QActivation, QConv2d};
+
+/// The im2col expansion of one input: a `rows × k` matrix of input codes
+/// where `rows = out_h·out_w` and `k = k_h·k_w·c_i`, with `Zx` at padded
+/// taps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Im2Col {
+    data: Vec<u8>,
+    rows: usize,
+    k: usize,
+}
+
+impl Im2Col {
+    /// Number of output pixels (matrix rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Patch length `k_h·k_w·c_i` (matrix columns).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The matrix row for output pixel `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.k..(r + 1) * self.k]
+    }
+
+    /// Buffer size in bytes (charged to RAM by a real deployment; the
+    /// paper's Eq. 7 accounting keeps activations packed instead, which is
+    /// why CMSIS-NN expands only one row at a time).
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl QConv2d {
+    /// Expands the input into its im2col matrix (standard convolutions
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on depthwise layers (CMSIS-NN lowers those directly) or on a
+    /// channel mismatch.
+    pub fn im2col(&self, x: &QActivation, ops: &mut OpCounts) -> Im2Col {
+        assert!(
+            !self.weights().is_depthwise(),
+            "im2col path applies to standard convolutions"
+        );
+        let in_shape = x.shape();
+        assert_eq!(in_shape.c, self.weights().in_channels(), "input channels");
+        let out_shape = self.output_shape(in_shape);
+        let g = self.geometry();
+        let (pt, pl) = g.pad_top_left(in_shape.h, in_shape.w);
+        let k = g.kernel_area() * in_shape.c;
+        let rows = out_shape.pixels() * out_shape.n;
+        let zx = x.zero_point();
+        let mut data = vec![0u8; rows * k];
+        let mut loads = 0u64;
+        for n in 0..out_shape.n {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    let row = ((n * out_shape.h + oy) * out_shape.w) + ox;
+                    let base = row * k;
+                    let mut col = 0usize;
+                    for ky in 0..g.kh {
+                        let iy = (oy * g.stride + ky) as isize - pt as isize;
+                        for kx in 0..g.kw {
+                            let ix = (ox * g.stride + kx) as isize - pl as isize;
+                            for ci in 0..in_shape.c {
+                                data[base + col] = if iy < 0
+                                    || iy >= in_shape.h as isize
+                                    || ix < 0
+                                    || ix >= in_shape.w as isize
+                                {
+                                    zx
+                                } else {
+                                    loads += 1;
+                                    x.get(n, iy as usize, ix as usize, ci)
+                                };
+                                col += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ops.act_loads += loads;
+        if x.needs_unpack() {
+            ops.unpacks += loads;
+        }
+        Im2Col { data, rows, k }
+    }
+
+    /// Runs the layer through the im2col + GEMM path. Bit-identical to
+    /// [`QConv2d::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on depthwise layers.
+    pub fn execute_gemm(&self, x: &QActivation, ops: &mut OpCounts) -> QActivation {
+        let matrix = self.im2col(x, ops);
+        let in_shape = x.shape();
+        let out_shape = self.output_shape(in_shape);
+        let weights = self.weights();
+        let g = self.geometry();
+        let k = matrix.k();
+        let zx = x.zero_point() as i64;
+        let per_channel = weights.offset().is_per_channel();
+        let w_unpack = weights.needs_unpack() as u64;
+        let co_n = weights.out_channels();
+        // Flatten each filter once (the weight matrix of the GEMM); the
+        // weight layout (c_o, k_h, k_w, c_i) matches the im2col column
+        // order exactly.
+        let mut wflat = vec![0u8; co_n * k];
+        for co in 0..co_n {
+            let mut col = 0usize;
+            for ky in 0..g.kh {
+                for kx in 0..g.kw {
+                    for ci in 0..in_shape.c {
+                        wflat[co * k + col] = weights.get(co, ky, kx, ci);
+                        col += 1;
+                    }
+                }
+            }
+        }
+        let mut out_codes = vec![0u8; out_shape.volume()];
+        let mut macs = 0u64;
+        for r in 0..matrix.rows() {
+            let row = matrix.row(r);
+            for co in 0..co_n {
+                let zw = weights.offset().at(co) as i64;
+                let wrow = &wflat[co * k..(co + 1) * k];
+                let mut acc = 0i64;
+                for (xv, wv) in row.iter().zip(wrow) {
+                    acc += (*xv as i64 - zx) * (*wv as i64 - zw);
+                }
+                macs += k as u64;
+                let code =
+                    self.requant()
+                        .apply(co, acc, &mut ops.requants, &mut ops.threshold_cmps);
+                out_codes[r * co_n + co] = code;
+            }
+        }
+        ops.macs += macs;
+        ops.unpacks += w_unpack * macs;
+        ops.act_stores += out_shape.volume() as u64;
+        ops.bias_adds += out_shape.volume() as u64;
+        if per_channel {
+            ops.offset_subs += macs;
+        }
+        QActivation::from_codes(
+            out_shape,
+            &out_codes,
+            self.requant().out_bits(),
+            self.requant().zero_point().clamp(0, 255) as u8,
+        )
+    }
+}
+
+/// Size in bytes of the im2col scratch buffer for a layer over an input
+/// shape, at the input's bit precision (used by deployments that expand
+/// whole rows).
+pub fn im2col_scratch_bytes(conv: &QConv2d, input: Shape) -> usize {
+    let g = conv.geometry();
+    let k = g.kernel_area() * input.c;
+    let out = conv.output_shape(input);
+    out.pixels() * out.n * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QConvWeights, Requantizer, WeightOffset};
+    use mixq_quant::{BitWidth, FixedPointMultiplier};
+    use mixq_tensor::{ConvGeometry, Padding};
+
+    fn make_conv(
+        co: usize,
+        ci: usize,
+        k: usize,
+        stride: usize,
+        wbits: BitWidth,
+        per_channel: bool,
+    ) -> QConv2d {
+        let wshape = Shape::new(co, k, k, ci);
+        let codes: Vec<u8> = (0..wshape.volume())
+            .map(|i| ((i * 7 + 3) % wbits.levels() as usize) as u8)
+            .collect();
+        let offset = if per_channel {
+            WeightOffset::PerChannel((0..co).map(|c| c as i16 % 3).collect())
+        } else {
+            WeightOffset::PerLayer(1)
+        };
+        let weights = QConvWeights::new(wshape, false, &codes, wbits, offset);
+        let requant = Requantizer::icn(
+            (0..co).map(|c| c as i32 * 3 - 2).collect(),
+            (0..co)
+                .map(|c| FixedPointMultiplier::from_real(0.01 + c as f64 * 0.003))
+                .collect(),
+            0,
+            BitWidth::W4,
+        );
+        QConv2d::new(
+            weights,
+            ConvGeometry::new(k, k, stride, Padding::Same),
+            requant,
+        )
+    }
+
+    fn make_input(h: usize, w: usize, c: usize, bits: BitWidth, zx: u8) -> QActivation {
+        let shape = Shape::feature_map(h, w, c);
+        let codes: Vec<u8> = (0..shape.volume())
+            .map(|i| ((i * 5 + 1) % bits.levels() as usize) as u8)
+            .collect();
+        QActivation::from_codes(shape, &codes, bits, zx)
+    }
+
+    #[test]
+    fn gemm_matches_direct_execution() {
+        for (co, ci, k, stride) in [(4, 3, 3, 1), (2, 2, 3, 2), (5, 4, 1, 1)] {
+            for per_channel in [false, true] {
+                let conv = make_conv(co, ci, k, stride, BitWidth::W4, per_channel);
+                let x = make_input(6, 6, ci, BitWidth::W8, 3);
+                let mut ops_a = OpCounts::default();
+                let mut ops_b = OpCounts::default();
+                let direct = conv.execute(&x, &mut ops_a);
+                let gemm = conv.execute_gemm(&x, &mut ops_b);
+                assert_eq!(direct, gemm, "co={co} ci={ci} k={k} s={stride} pc={per_channel}");
+                assert_eq!(ops_a.requants, ops_b.requants);
+                // Same mathematical MAC work modulo padded-tap counting
+                // (GEMM multiplies padded zero-contributions too).
+                assert!(ops_b.macs >= ops_a.macs);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_direct_on_sub_byte_activations() {
+        let conv = make_conv(3, 2, 3, 1, BitWidth::W2, true);
+        let x = make_input(5, 5, 2, BitWidth::W4, 0);
+        let mut oa = OpCounts::default();
+        let mut ob = OpCounts::default();
+        assert_eq!(conv.execute(&x, &mut oa), conv.execute_gemm(&x, &mut ob));
+    }
+
+    #[test]
+    fn im2col_geometry() {
+        let conv = make_conv(2, 3, 3, 2, BitWidth::W8, false);
+        let x = make_input(8, 8, 3, BitWidth::W8, 5);
+        let mut ops = OpCounts::default();
+        let m = conv.im2col(&x, &mut ops);
+        assert_eq!(m.rows(), 4 * 4);
+        assert_eq!(m.k(), 9 * 3);
+        assert_eq!(m.byte_len(), 16 * 27);
+        assert_eq!(im2col_scratch_bytes(&conv, x.shape()), 16 * 27);
+    }
+
+    #[test]
+    fn im2col_pads_with_zero_point() {
+        // 1x1 input, 3x3 kernel: every tap except the centre is padding.
+        let conv = make_conv(1, 1, 3, 1, BitWidth::W8, false);
+        let x = QActivation::from_codes(Shape::feature_map(1, 1, 1), &[9], BitWidth::W8, 7);
+        let mut ops = OpCounts::default();
+        let m = conv.im2col(&x, &mut ops);
+        let row = m.row(0);
+        assert_eq!(row.len(), 9);
+        assert_eq!(row[4], 9, "centre tap is the real value");
+        for (i, &v) in row.iter().enumerate() {
+            if i != 4 {
+                assert_eq!(v, 7, "padded taps carry Zx");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "standard convolutions")]
+    fn depthwise_rejected() {
+        let w = QConvWeights::new(
+            Shape::new(2, 3, 3, 1),
+            true,
+            &[0; 18],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            Requantizer::icn(
+                vec![0, 0],
+                vec![FixedPointMultiplier::ZERO; 2],
+                0,
+                BitWidth::W8,
+            ),
+        );
+        let x = make_input(4, 4, 2, BitWidth::W8, 0);
+        let mut ops = OpCounts::default();
+        let _ = conv.im2col(&x, &mut ops);
+    }
+}

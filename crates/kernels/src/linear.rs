@@ -1,0 +1,231 @@
+use mixq_quant::FixedPointMultiplier;
+use crate::{OpCounts, QActivation, QConvWeights, Requantizer};
+
+/// An integer-only fully-connected classifier head.
+///
+/// Consumes pooled features `(1, 1, 1, c_i)` and produces `i32` logits.
+/// With per-layer weight quantization the raw accumulators are already
+/// argmax-consistent; with per-channel quantization an ICN-style rescale to
+/// a common scale is applied first (one fixed-point multiply per class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QLinear {
+    weights: QConvWeights,
+    bq: Vec<i32>,
+    rescale: Option<Vec<FixedPointMultiplier>>,
+}
+
+impl QLinear {
+    /// Assembles the head from packed `(c_o, 1, 1, c_i)` weights, quantized
+    /// biases and an optional per-class rescale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn new(
+        weights: QConvWeights,
+        bq: Vec<i32>,
+        rescale: Option<Vec<FixedPointMultiplier>>,
+    ) -> Self {
+        assert_eq!(weights.shape().h, 1, "linear weights are (c_o,1,1,c_i)");
+        assert_eq!(weights.shape().w, 1, "linear weights are (c_o,1,1,c_i)");
+        assert_eq!(bq.len(), weights.out_channels(), "one Bq per class");
+        if let Some(r) = &rescale {
+            assert_eq!(r.len(), weights.out_channels(), "one rescale per class");
+        }
+        QLinear {
+            weights,
+            bq,
+            rescale,
+        }
+    }
+
+    /// The packed weights.
+    pub fn weights(&self) -> &QConvWeights {
+        &self.weights
+    }
+
+    /// Number of classes.
+    pub fn out_features(&self) -> usize {
+        self.weights.out_channels()
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weights.in_channels()
+    }
+
+    /// Quantized biases `Bq` (one per class).
+    pub fn bq(&self) -> &[i32] {
+        &self.bq
+    }
+
+    /// Per-class rescale multipliers, if any.
+    pub fn rescale(&self) -> Option<&[FixedPointMultiplier]> {
+        self.rescale.as_deref()
+    }
+
+    /// Computes the integer logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input feature count disagrees.
+    pub fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> Vec<i32> {
+        assert_eq!(
+            x.shape().item_volume(),
+            self.in_features(),
+            "input features"
+        );
+        let zx = x.zero_point() as i64;
+        let ci = self.in_features();
+        let w_unpack = self.weights.needs_unpack() as u64;
+        let x_unpack = x.needs_unpack() as u64;
+        let per_channel = self.weights.offset().is_per_channel();
+        let mut logits = Vec::with_capacity(self.out_features());
+        for o in 0..self.out_features() {
+            let zw = self.weights.offset().at(o) as i64;
+            let mut acc: i64 = self.bq[o] as i64;
+            for i in 0..ci {
+                let xv = x.get(0, 0, 0, i) as i64;
+                let wv = self.weights.get(o, 0, 0, i) as i64;
+                acc += (xv - zx) * (wv - zw);
+            }
+            ops.macs += ci as u64;
+            ops.act_loads += ci as u64;
+            ops.unpacks += (w_unpack + x_unpack) * ci as u64;
+            if per_channel {
+                ops.offset_subs += ci as u64;
+            }
+            ops.bias_adds += 1;
+            let logit = match &self.rescale {
+                Some(mults) => {
+                    ops.requants += 1;
+                    mults[o].apply(acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+                }
+                None => acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
+            };
+            logits.push(logit);
+        }
+        ops.act_stores += self.out_features() as u64;
+        logits
+    }
+
+    /// Predicted class (argmax of the logits).
+    pub fn predict(&self, x: &QActivation, ops: &mut OpCounts) -> usize {
+        let logits = self.execute(x, ops);
+        logits
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Builds a [`QLinear`] from an ICN-style requantizer's parts (helper for
+/// conversions that treat the classifier like a 1×1 convolution).
+///
+/// Only [`Requantizer::Icn`] carries per-class multipliers; other variants
+/// yield no rescale.
+pub fn linear_rescale_of(requant: &Requantizer) -> Option<Vec<FixedPointMultiplier>> {
+    match requant {
+        Requantizer::Icn { mult, .. } => Some(mult.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightOffset;
+    use mixq_quant::BitWidth;
+    use mixq_tensor::Shape;
+
+    fn feature(codes: &[u8], zx: u8) -> QActivation {
+        QActivation::from_codes(Shape::vector(codes.len()), codes, BitWidth::W8, zx)
+    }
+
+    #[test]
+    fn computes_integer_dot_products() {
+        // W = [[1, 2], [3, 4]] (codes, Zw=0), x = [5, 6], bq = [10, 0].
+        let w = QConvWeights::new(
+            Shape::new(2, 1, 1, 2),
+            false,
+            &[1, 2, 3, 4],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let lin = QLinear::new(w, vec![10, 0], None);
+        let mut ops = OpCounts::default();
+        let logits = lin.execute(&feature(&[5, 6], 0), &mut ops);
+        assert_eq!(logits, vec![5 + 12 + 10, 15 + 24]);
+        assert_eq!(ops.macs, 4);
+        assert_eq!(ops.bias_adds, 2);
+    }
+
+    #[test]
+    fn zero_points_respected() {
+        let w = QConvWeights::new(
+            Shape::new(1, 1, 1, 1),
+            false,
+            &[0],
+            BitWidth::W8,
+            WeightOffset::PerChannel(vec![5]),
+        );
+        let lin = QLinear::new(w, vec![0], None);
+        let mut ops = OpCounts::default();
+        // (x - 3)(w - 5) = (7-3)(0-5) = -20.
+        let logits = lin.execute(&feature(&[7], 3), &mut ops);
+        assert_eq!(logits, vec![-20]);
+        assert_eq!(ops.offset_subs, 1);
+    }
+
+    #[test]
+    fn rescale_applies_per_class_multiplier() {
+        let w = QConvWeights::new(
+            Shape::new(2, 1, 1, 1),
+            false,
+            &[2, 2],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let lin = QLinear::new(
+            w,
+            vec![0, 0],
+            Some(vec![
+                FixedPointMultiplier::from_real(1.0),
+                FixedPointMultiplier::from_real(0.5),
+            ]),
+        );
+        let mut ops = OpCounts::default();
+        let logits = lin.execute(&feature(&[10], 0), &mut ops);
+        assert_eq!(logits, vec![20, 10]);
+        assert_eq!(ops.requants, 2);
+    }
+
+    #[test]
+    fn predict_takes_argmax() {
+        let w = QConvWeights::new(
+            Shape::new(3, 1, 1, 1),
+            false,
+            &[0, 1, 3],
+            BitWidth::W4,
+            WeightOffset::PerLayer(0),
+        );
+        let lin = QLinear::new(w, vec![0; 3], None);
+        let mut ops = OpCounts::default();
+        assert_eq!(lin.predict(&feature(&[9], 0), &mut ops), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one Bq per class")]
+    fn bias_length_checked() {
+        let w = QConvWeights::new(
+            Shape::new(2, 1, 1, 1),
+            false,
+            &[0, 0],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let _ = QLinear::new(w, vec![0], None);
+    }
+}

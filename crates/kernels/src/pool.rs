@@ -1,0 +1,88 @@
+use mixq_tensor::Shape;
+
+use crate::{OpCounts, QActivation};
+
+/// Integer global average pooling: `floor` of the per-channel code mean.
+///
+/// Input and output share scale and zero-point (the mean of an affine
+/// quantity is affine), so the only quantization effect is the flooring —
+/// at most one LSB, matching the MCU implementation's integer division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QAvgPool;
+
+impl QAvgPool {
+    /// Pools `(1, h, w, c)` codes to `(1, 1, 1, c)`.
+    pub fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> QActivation {
+        let s = x.shape();
+        let area = s.pixels() as u64;
+        let mut sums = vec![0u64; s.n * s.c];
+        for n in 0..s.n {
+            for y in 0..s.h {
+                for xx in 0..s.w {
+                    for c in 0..s.c {
+                        sums[n * s.c + c] += x.get(n, y, xx, c) as u64;
+                    }
+                }
+            }
+        }
+        ops.act_loads += s.volume() as u64;
+        ops.act_stores += (s.n * s.c) as u64;
+        ops.requants += (s.n * s.c) as u64; // one division per output
+        if x.needs_unpack() {
+            ops.unpacks += s.volume() as u64;
+        }
+        let codes: Vec<u8> = sums.iter().map(|&v| (v / area.max(1)) as u8).collect();
+        QActivation::from_codes(
+            Shape::new(s.n, 1, 1, s.c),
+            &codes,
+            x.bits(),
+            x.zero_point(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_quant::BitWidth;
+
+    #[test]
+    fn floor_mean_per_channel() {
+        // Channel 0: mean(1,2,3,4) = 2.5 → 2; channel 1: mean(10,10,11,11) = 10.5 → 10.
+        let x = QActivation::from_codes(
+            Shape::feature_map(2, 2, 2),
+            &[1, 10, 2, 10, 3, 11, 4, 11],
+            BitWidth::W8,
+            7,
+        );
+        let mut ops = OpCounts::default();
+        let y = QAvgPool.execute(&x, &mut ops);
+        assert_eq!(y.codes(), vec![2, 10]);
+        assert_eq!(y.shape(), Shape::new(1, 1, 1, 2));
+        assert_eq!(y.zero_point(), 7, "zero-point passes through");
+        assert_eq!(ops.requants, 2);
+    }
+
+    #[test]
+    fn sub_byte_input_counts_unpacks() {
+        let x = QActivation::from_codes(
+            Shape::feature_map(2, 2, 1),
+            &[1, 2, 3, 0],
+            BitWidth::W2,
+            0,
+        );
+        let mut ops = OpCounts::default();
+        let y = QAvgPool.execute(&x, &mut ops);
+        assert_eq!(y.codes(), vec![1]); // floor(6/4)
+        assert_eq!(ops.unpacks, 4);
+        assert_eq!(y.bits(), BitWidth::W2);
+    }
+
+    #[test]
+    fn single_pixel_is_identity() {
+        let x = QActivation::from_codes(Shape::feature_map(1, 1, 3), &[4, 5, 6], BitWidth::W4, 1);
+        let mut ops = OpCounts::default();
+        let y = QAvgPool.execute(&x, &mut ops);
+        assert_eq!(y.codes(), vec![4, 5, 6]);
+    }
+}

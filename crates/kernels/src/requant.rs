@@ -1,0 +1,413 @@
+use mixq_quant::{BitWidth, FixedPointMultiplier};
+
+/// Threshold table for one output channel (PC+Thresholds method,
+/// Umuroglu & Jahre / IFQ-Net): the accumulator values at which the output
+/// code increments.
+///
+/// For a non-decreasing transfer function (positive multiplier) the output
+/// code equals the number of thresholds `≤ Φ`; for a negative multiplier
+/// the comparison flips.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThresholdChannel {
+    thresholds: Vec<i64>,
+    ascending: bool,
+    constant: u8,
+}
+
+impl ThresholdChannel {
+    /// Builds the exact threshold table for the ICN transfer function
+    /// `q(Φ) = clamp(zy + floor(m·(Φ + bq)), 0, 2^Q − 1)` using the real
+    /// multiplier `m` (no fixed-point rounding — this is why the thresholds
+    /// method is lossless, Table 2).
+    pub fn from_affine(m: f64, bq: i64, zy: i32, bits: BitWidth) -> Self {
+        let qmax = bits.qmax() as i32;
+        if m == 0.0 || !m.is_finite() {
+            return ThresholdChannel {
+                thresholds: Vec::new(),
+                ascending: true,
+                constant: zy.clamp(0, qmax) as u8,
+            };
+        }
+        // Work on v = Φ + bq so the boundary (q − zy)/m is computed once in
+        // f64 and shifted by the *integer* bq exactly.
+        let mut raw = Vec::with_capacity(qmax as usize);
+        for q in 1..=qmax {
+            raw.push((q - zy) as f64 / m);
+        }
+        if m > 0.0 {
+            ThresholdChannel {
+                thresholds: raw.iter().map(|v| v.ceil() as i64 - bq).collect(),
+                ascending: true,
+                constant: 0,
+            }
+        } else {
+            ThresholdChannel {
+                thresholds: raw.iter().map(|v| v.floor() as i64 - bq).collect(),
+                ascending: false,
+                constant: 0,
+            }
+        }
+    }
+
+    /// Builds the exact threshold table for the general transfer
+    /// `q(Φ) = clamp(zy + floor(m·Φ + t), 0, 2^Q − 1)` with a *real-valued*
+    /// offset `t` — the fully lossless form used by the conversion (the
+    /// batch-norm offset need not be rounded to an integer `Bq` first).
+    pub fn from_transfer(m: f64, t: f64, zy: i32, bits: BitWidth) -> Self {
+        let qmax = bits.qmax() as i32;
+        if m == 0.0 || !m.is_finite() || !t.is_finite() {
+            let constant = (zy as i64 + if t.is_finite() { t.floor() as i64 } else { 0 })
+                .clamp(0, qmax as i64) as u8;
+            return ThresholdChannel {
+                thresholds: Vec::new(),
+                ascending: true,
+                constant,
+            };
+        }
+        let qmax = bits.qmax() as i32;
+        let mut raw = Vec::with_capacity(qmax as usize);
+        for q in 1..=qmax {
+            // zy + floor(m·Φ + t) ≥ q ⟺ m·Φ ≥ q − zy − t.
+            raw.push(((q - zy) as f64 - t) / m);
+        }
+        if m > 0.0 {
+            ThresholdChannel {
+                // Φ ≥ boundary: minimal integer is the ceiling.
+                thresholds: raw.iter().map(|v| v.ceil() as i64).collect(),
+                ascending: true,
+                constant: 0,
+            }
+        } else {
+            ThresholdChannel {
+                // Dividing by negative m flipped the inequality: Φ ≤ boundary.
+                thresholds: raw.iter().map(|v| v.floor() as i64).collect(),
+                ascending: false,
+                constant: 0,
+            }
+        }
+    }
+
+    /// Number of stored thresholds (`2^Q − 1`; Table 1 budgets `2^Q` slots).
+    pub fn len(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// The stored threshold values (ascending or descending per the
+    /// multiplier sign). Exposed so deployments can check they fit the
+    /// INT16 storage Table 2's footprint implies.
+    pub fn thresholds(&self) -> &[i64] {
+        &self.thresholds
+    }
+
+    /// A copy with every threshold saturated to the INT16 range — the
+    /// behaviour of a deployment that stores the tables at Table 2's
+    /// implied datatype. Lossless whenever the saturated thresholds are
+    /// unreachable by the layer's accumulator; lossy otherwise (see the
+    /// `ablation_mixed_precision` bench).
+    pub fn saturated_i16(&self) -> ThresholdChannel {
+        ThresholdChannel {
+            thresholds: self
+                .thresholds
+                .iter()
+                .map(|&t| t.clamp(i16::MIN as i64, i16::MAX as i64))
+                .collect(),
+            ascending: self.ascending,
+            constant: self.constant,
+        }
+    }
+
+    /// Whether the table is empty (constant channel).
+    pub fn is_empty(&self) -> bool {
+        self.thresholds.is_empty()
+    }
+
+    /// Evaluates the output code for accumulator `phi`, counting the number
+    /// of comparisons into `cmps` (binary search, as a branch-efficient MCU
+    /// implementation would).
+    pub fn eval(&self, phi: i64, cmps: &mut u64) -> u8 {
+        if self.thresholds.is_empty() {
+            return self.constant;
+        }
+        // Count thresholds satisfied by phi. Tables are monotone by
+        // construction, so binary search applies.
+        let mut lo = 0usize;
+        let mut hi = self.thresholds.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            *cmps += 1;
+            let hit = if self.ascending {
+                self.thresholds[mid] <= phi
+            } else {
+                self.thresholds[mid] >= phi
+            };
+            if hit {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u8
+    }
+}
+
+/// The requantization stage that maps an `i32` accumulator `Φ` to an output
+/// code — one of the three deployment schemes of §4 (see Table 1 for their
+/// memory cost).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Requantizer {
+    /// Per-layer folded fixed-point (PL+FB, Jacob et al.): a single
+    /// `M0·2^N0` for the whole layer, per-channel bias only.
+    FoldedPerLayer {
+        /// Quantized biases `Bq` (per output channel).
+        bq: Vec<i32>,
+        /// The layer-wide fixed-point multiplier.
+        mult: FixedPointMultiplier,
+        /// Output zero-point `Zy`.
+        zy: i32,
+        /// Output precision.
+        out_bits: BitWidth,
+    },
+    /// Integer Channel-Normalization (Eq. 5): per-channel `Bq`, `M0`, `N0`.
+    Icn {
+        /// Quantized biases `Bq`.
+        bq: Vec<i32>,
+        /// Per-channel fixed-point multipliers `M0·2^N0`.
+        mult: Vec<FixedPointMultiplier>,
+        /// Output zero-point `Zy`.
+        zy: i32,
+        /// Output precision.
+        out_bits: BitWidth,
+    },
+    /// Integer thresholds (per channel, exact).
+    Thresholds {
+        /// Per-channel threshold tables.
+        channels: Vec<ThresholdChannel>,
+        /// Output zero-point `Zy` (already baked into the tables; kept for
+        /// downstream layers, which need to know the code of real zero).
+        zy: i32,
+        /// Output precision.
+        out_bits: BitWidth,
+    },
+}
+
+impl Requantizer {
+    /// Convenience constructor for [`Requantizer::Icn`].
+    pub fn icn(bq: Vec<i32>, mult: Vec<FixedPointMultiplier>, zy: i32, out_bits: BitWidth) -> Self {
+        assert_eq!(bq.len(), mult.len(), "Bq and M0/N0 must align");
+        Requantizer::Icn {
+            bq,
+            mult,
+            zy,
+            out_bits,
+        }
+    }
+
+    /// Convenience constructor for [`Requantizer::FoldedPerLayer`].
+    pub fn folded(bq: Vec<i32>, mult: FixedPointMultiplier, zy: i32, out_bits: BitWidth) -> Self {
+        Requantizer::FoldedPerLayer {
+            bq,
+            mult,
+            zy,
+            out_bits,
+        }
+    }
+
+    /// Convenience constructor for [`Requantizer::Thresholds`].
+    pub fn thresholds(channels: Vec<ThresholdChannel>, zy: i32, out_bits: BitWidth) -> Self {
+        Requantizer::Thresholds {
+            channels,
+            zy,
+            out_bits,
+        }
+    }
+
+    /// The output zero-point `Zy` — the code the *next* layer must treat as
+    /// real zero.
+    pub fn zero_point(&self) -> i32 {
+        match self {
+            Requantizer::FoldedPerLayer { zy, .. }
+            | Requantizer::Icn { zy, .. }
+            | Requantizer::Thresholds { zy, .. } => *zy,
+        }
+    }
+
+    /// Output precision.
+    pub fn out_bits(&self) -> BitWidth {
+        match self {
+            Requantizer::FoldedPerLayer { out_bits, .. }
+            | Requantizer::Icn { out_bits, .. }
+            | Requantizer::Thresholds { out_bits, .. } => *out_bits,
+        }
+    }
+
+    /// Number of output channels covered.
+    pub fn channels(&self) -> usize {
+        match self {
+            Requantizer::FoldedPerLayer { bq, .. } => bq.len(),
+            Requantizer::Icn { bq, .. } => bq.len(),
+            Requantizer::Thresholds { channels, .. } => channels.len(),
+        }
+    }
+
+    /// Maps accumulator `phi` of output channel `c` to its output code,
+    /// incrementing `requants`/`cmps` cost counters.
+    #[inline]
+    pub fn apply(&self, c: usize, phi: i64, requants: &mut u64, cmps: &mut u64) -> u8 {
+        match self {
+            Requantizer::FoldedPerLayer {
+                bq,
+                mult,
+                zy,
+                out_bits,
+            } => {
+                *requants += 1;
+                let v = phi + bq[c] as i64;
+                let r = mult.apply(saturate_i32(v)) as i64;
+                (*zy as i64 + r).clamp(0, out_bits.qmax() as i64) as u8
+            }
+            Requantizer::Icn {
+                bq,
+                mult,
+                zy,
+                out_bits,
+            } => {
+                *requants += 1;
+                let v = phi + bq[c] as i64;
+                let r = mult[c].apply(saturate_i32(v)) as i64;
+                (*zy as i64 + r).clamp(0, out_bits.qmax() as i64) as u8
+            }
+            Requantizer::Thresholds { channels, .. } => channels[c].eval(phi, cmps),
+        }
+    }
+}
+
+#[inline]
+fn saturate_i32(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icn_matches_direct_formula() {
+        let bits = BitWidth::W4;
+        let m = 0.037;
+        let req = Requantizer::icn(
+            vec![10],
+            vec![FixedPointMultiplier::from_real(m)],
+            2,
+            bits,
+        );
+        let mut r = 0;
+        let mut c = 0;
+        for phi in -500..500i64 {
+            let expected = (2 + ((m * (phi + 10) as f64).floor() as i64))
+                .clamp(0, 15) as u8;
+            let got = req.apply(0, phi, &mut r, &mut c);
+            assert!(
+                (got as i64 - expected as i64).abs() <= 1,
+                "phi={phi}: {got} vs {expected}"
+            );
+        }
+        assert!(r > 0);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn thresholds_match_exact_affine_everywhere() {
+        let bits = BitWidth::W4;
+        for &(m, bq, zy) in &[
+            (0.05f64, 7i64, 0i32),
+            (0.011, -3, 2),
+            (1.5, 0, 0),
+            (-0.08, 5, 15),
+            (-0.5, -2, 7),
+        ] {
+            let ch = ThresholdChannel::from_affine(m, bq, zy, bits);
+            assert_eq!(ch.len(), 15);
+            let mut cmps = 0;
+            for phi in -400..400i64 {
+                let exact =
+                    (zy as i64 + (m * (phi + bq) as f64).floor() as i64).clamp(0, 15) as u8;
+                let got = ch.eval(phi, &mut cmps);
+                assert_eq!(got, exact, "m={m} bq={bq} zy={zy} phi={phi}");
+            }
+            assert!(cmps > 0);
+        }
+    }
+
+    #[test]
+    fn zero_multiplier_is_constant_channel() {
+        let ch = ThresholdChannel::from_affine(0.0, 0, 9, BitWidth::W4);
+        assert!(ch.is_empty());
+        let mut cmps = 0;
+        assert_eq!(ch.eval(-1000, &mut cmps), 9);
+        assert_eq!(ch.eval(1000, &mut cmps), 9);
+        assert_eq!(cmps, 0);
+    }
+
+    #[test]
+    fn folded_uses_single_multiplier() {
+        let req = Requantizer::folded(
+            vec![0, 100],
+            FixedPointMultiplier::from_real(0.5),
+            0,
+            BitWidth::W8,
+        );
+        let mut r = 0;
+        let mut c = 0;
+        assert_eq!(req.apply(0, 10, &mut r, &mut c), 5);
+        assert_eq!(req.apply(1, 10, &mut r, &mut c), 55); // (10+100)/2
+        assert_eq!(req.channels(), 2);
+        assert_eq!(req.out_bits(), BitWidth::W8);
+    }
+
+    #[test]
+    fn saturation_at_code_range() {
+        let req = Requantizer::icn(
+            vec![0],
+            vec![FixedPointMultiplier::from_real(1.0)],
+            0,
+            BitWidth::W2,
+        );
+        let mut r = 0;
+        let mut c = 0;
+        assert_eq!(req.apply(0, -100, &mut r, &mut c), 0);
+        assert_eq!(req.apply(0, 100, &mut r, &mut c), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn icn_length_mismatch_panics() {
+        let _ = Requantizer::icn(vec![0, 1], vec![FixedPointMultiplier::ZERO], 0, BitWidth::W8);
+    }
+
+    #[test]
+    fn saturated_i16_matches_within_reach_and_saturates_beyond() {
+        // A tiny multiplier puts thresholds far outside i16.
+        let ch = ThresholdChannel::from_affine(1e-5, 0, 0, BitWidth::W4);
+        let sat = ch.saturated_i16();
+        assert!(sat.thresholds().iter().all(|&t| t <= i16::MAX as i64));
+        let mut cmps = 0;
+        // Within i16 reach the two agree...
+        for phi in [-30000i64, -100, 0, 100, 30000] {
+            assert_eq!(ch.eval(phi, &mut cmps), sat.eval(phi, &mut cmps), "phi={phi}");
+        }
+        // ...beyond it the saturated table is lossy: every (clamped)
+        // threshold looks crossed even though the exact transfer is still 0.
+        assert_eq!(ch.eval(40_000, &mut cmps), 0, "exact: floor(0.4) = 0");
+        assert_eq!(sat.eval(40_000, &mut cmps), 15, "saturated table overfires");
+    }
+
+    #[test]
+    fn negative_multiplier_thresholds_are_monotone_decreasing() {
+        let ch = ThresholdChannel::from_affine(-0.1, 0, 15, BitWidth::W4);
+        let mut cmps = 0;
+        // Large phi → small code; small phi → large code.
+        let hi = ch.eval(1000, &mut cmps);
+        let lo = ch.eval(-1000, &mut cmps);
+        assert!(hi < lo);
+    }
+}

@@ -1,0 +1,266 @@
+use mixq_quant::{BitWidth, PackedTensor};
+use mixq_tensor::Shape;
+
+/// The weight zero-point storage of a quantized layer (Table 1):
+/// a single UINT8 `Zw` for per-layer quantization, or one INT16 per output
+/// channel for per-channel quantization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WeightOffset {
+    /// Per-layer zero-point (UINT8).
+    PerLayer(u8),
+    /// Per-channel zero-points (INT16, one per output channel).
+    PerChannel(Vec<i16>),
+}
+
+impl WeightOffset {
+    /// Zero-point for output channel `c`.
+    #[inline]
+    pub fn at(&self, c: usize) -> i32 {
+        match self {
+            WeightOffset::PerLayer(z) => *z as i32,
+            WeightOffset::PerChannel(zs) => zs[c] as i32,
+        }
+    }
+
+    /// Whether this is the per-channel variant (costs one extra subtraction
+    /// in the inner loop — the ≈ 20% overhead of §6).
+    pub fn is_per_channel(&self) -> bool {
+        matches!(self, WeightOffset::PerChannel(_))
+    }
+}
+
+/// A bit-packed quantized activation tensor with its zero-point.
+///
+/// Activations on the deployment path are UINT-Q codes; PACT activations
+/// have `Z = 0`, the network input keeps an asymmetric `Z`.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_kernels::QActivation;
+/// use mixq_quant::BitWidth;
+/// use mixq_tensor::Shape;
+///
+/// let a = QActivation::from_codes(Shape::feature_map(1, 2, 1), &[3, 9], BitWidth::W4, 0);
+/// assert_eq!(a.get(0, 0, 1, 0), 9);
+/// assert_eq!(a.byte_len(), 1); // two 4-bit codes in one byte
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QActivation {
+    shape: Shape,
+    packed: PackedTensor,
+    zero_point: u8,
+}
+
+impl QActivation {
+    /// Packs raw codes into an activation tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != shape.volume()` or a code exceeds the
+    /// precision.
+    pub fn from_codes(shape: Shape, codes: &[u8], bits: BitWidth, zero_point: u8) -> Self {
+        assert_eq!(codes.len(), shape.volume(), "code count vs shape");
+        QActivation {
+            shape,
+            packed: PackedTensor::pack(codes, bits),
+            zero_point,
+        }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Element precision.
+    pub fn bits(&self) -> BitWidth {
+        self.packed.bits()
+    }
+
+    /// Zero-point `Z` (0 for PACT activations).
+    pub fn zero_point(&self) -> u8 {
+        self.zero_point
+    }
+
+    /// RAM footprint in bytes (the `mem(t, Q)` of Eq. 7).
+    pub fn byte_len(&self) -> usize {
+        self.packed.byte_len()
+    }
+
+    /// Code at `(n, y, x, c)`.
+    #[inline]
+    pub fn get(&self, n: usize, y: usize, x: usize, c: usize) -> u8 {
+        self.packed.get(self.shape.index(n, y, x, c))
+    }
+
+    /// All codes, unpacked.
+    pub fn codes(&self) -> Vec<u8> {
+        self.packed.unpack()
+    }
+
+    /// Whether reading an element costs an unpack (sub-byte precision).
+    pub fn needs_unpack(&self) -> bool {
+        self.bits() != BitWidth::W8
+    }
+}
+
+/// Bit-packed quantized convolution weights `(c_o, k_h, k_w, c_i)`
+/// (depthwise: `c_i = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QConvWeights {
+    shape: Shape,
+    depthwise: bool,
+    packed: PackedTensor,
+    offset: WeightOffset,
+}
+
+impl QConvWeights {
+    /// Packs weight codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, or a per-channel offset vector does not
+    /// have one entry per output channel.
+    pub fn new(
+        shape: Shape,
+        depthwise: bool,
+        codes: &[u8],
+        bits: BitWidth,
+        offset: WeightOffset,
+    ) -> Self {
+        assert_eq!(codes.len(), shape.volume(), "code count vs shape");
+        if depthwise {
+            assert_eq!(shape.c, 1, "depthwise weights have c_i = 1");
+        }
+        if let WeightOffset::PerChannel(zs) = &offset {
+            assert_eq!(zs.len(), shape.n, "one Zw per output channel");
+        }
+        QConvWeights {
+            shape,
+            depthwise,
+            packed: PackedTensor::pack(codes, bits),
+            offset,
+        }
+    }
+
+    /// Weight shape `(c_o, k_h, k_w, c_i)`.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Whether these are depthwise weights.
+    pub fn is_depthwise(&self) -> bool {
+        self.depthwise
+    }
+
+    /// Element precision.
+    pub fn bits(&self) -> BitWidth {
+        self.packed.bits()
+    }
+
+    /// The zero-point storage.
+    pub fn offset(&self) -> &WeightOffset {
+        &self.offset
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.shape.n
+    }
+
+    /// Input channels (1 for depthwise).
+    pub fn in_channels(&self) -> usize {
+        self.shape.c
+    }
+
+    /// Flash footprint of the packed weights in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.packed.byte_len()
+    }
+
+    /// Weight code at `(c_o, k_y, k_x, c_i)`.
+    #[inline]
+    pub fn get(&self, co: usize, ky: usize, kx: usize, ci: usize) -> u8 {
+        self.packed.get(self.shape.index(co, ky, kx, ci))
+    }
+
+    /// Whether reading an element costs an unpack.
+    pub fn needs_unpack(&self) -> bool {
+        self.bits() != BitWidth::W8
+    }
+
+    /// The raw packed weight bytes, as they would be placed in flash.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.packed.as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_roundtrip() {
+        let shape = Shape::feature_map(2, 2, 2);
+        let codes: Vec<u8> = (0..8).collect();
+        let a = QActivation::from_codes(shape, &codes, BitWidth::W4, 3);
+        assert_eq!(a.codes(), codes);
+        assert_eq!(a.zero_point(), 3);
+        assert_eq!(a.get(0, 1, 1, 1), 7);
+        assert_eq!(a.byte_len(), 4);
+        assert!(a.needs_unpack());
+        let b = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+        assert!(!b.needs_unpack());
+    }
+
+    #[test]
+    fn weights_roundtrip_per_channel() {
+        let shape = Shape::new(2, 1, 1, 3);
+        let codes = [1u8, 2, 3, 4, 5, 6];
+        let w = QConvWeights::new(
+            shape,
+            false,
+            &codes,
+            BitWidth::W4,
+            WeightOffset::PerChannel(vec![7, -2]),
+        );
+        assert_eq!(w.get(1, 0, 0, 2), 6);
+        assert_eq!(w.offset().at(0), 7);
+        assert_eq!(w.offset().at(1), -2);
+        assert!(w.offset().is_per_channel());
+        assert_eq!(w.byte_len(), 3);
+    }
+
+    #[test]
+    fn per_layer_offset_broadcasts() {
+        let off = WeightOffset::PerLayer(8);
+        assert_eq!(off.at(0), 8);
+        assert_eq!(off.at(99), 8);
+        assert!(!off.is_per_channel());
+    }
+
+    #[test]
+    #[should_panic(expected = "one Zw per output channel")]
+    fn per_channel_offset_length_checked() {
+        let _ = QConvWeights::new(
+            Shape::new(2, 1, 1, 1),
+            false,
+            &[0, 0],
+            BitWidth::W2,
+            WeightOffset::PerChannel(vec![0]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "depthwise")]
+    fn depthwise_weight_shape_checked() {
+        let _ = QConvWeights::new(
+            Shape::new(2, 3, 3, 2),
+            true,
+            &[0; 36],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+    }
+}

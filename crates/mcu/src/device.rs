@@ -1,0 +1,198 @@
+use std::fmt;
+
+use mixq_core::memory::{mib, MemoryBudget, QuantScheme};
+use mixq_core::mixed::BitAssignment;
+use mixq_models::NetworkSpec;
+
+/// A microcontroller target: clock frequency plus the memory budget the
+/// §5 procedure fits networks into.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_mcu::Device;
+///
+/// let h7 = Device::stm32h7();
+/// assert_eq!(h7.clock_hz(), 400_000_000);
+/// assert_eq!(h7.budget().rw_bytes, 512 * 1024);
+/// // 40M cycles at 400 MHz = 100 ms = 10 fps.
+/// assert!((h7.fps(40_000_000) - 10.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Device {
+    name: String,
+    clock_hz: u64,
+    budget: MemoryBudget,
+}
+
+impl Device {
+    /// Creates a device description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is zero.
+    pub fn new(name: &str, clock_hz: u64, budget: MemoryBudget) -> Self {
+        assert!(clock_hz > 0, "clock must be positive");
+        Device {
+            name: name.to_owned(),
+            clock_hz,
+            budget,
+        }
+    }
+
+    /// The paper's evaluation target: STM32H7 at 400 MHz, 2 MB flash,
+    /// 512 kB RAM.
+    pub fn stm32h7() -> Self {
+        Device::new("STM32H7", 400_000_000, MemoryBudget::stm32h7())
+    }
+
+    /// A smaller sibling: STM32F4-class at 168 MHz, 1 MB flash, 192 kB RAM
+    /// (used by the ablation benches to show budget sensitivity).
+    pub fn stm32f4() -> Self {
+        Device::new(
+            "STM32F4",
+            168_000_000,
+            MemoryBudget::new(1024 * 1024, 192 * 1024),
+        )
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Core clock in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Memory budget.
+    pub fn budget(&self) -> MemoryBudget {
+        self.budget
+    }
+
+    /// Latency in milliseconds for a cycle count.
+    pub fn latency_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64 * 1e3
+    }
+
+    /// Frames per second for a per-inference cycle count.
+    pub fn fps(&self, cycles_per_inference: u64) -> f64 {
+        self.clock_hz as f64 / cycles_per_inference.max(1) as f64
+    }
+
+    /// Checks whether a bit assignment fits this device.
+    pub fn fit_report(
+        &self,
+        spec: &NetworkSpec,
+        assignment: &BitAssignment,
+        scheme: QuantScheme,
+    ) -> FitReport {
+        let flash = assignment.flash_bytes(spec, scheme);
+        let ram = assignment.peak_rw_bytes(spec);
+        FitReport {
+            flash_bytes: flash,
+            ram_bytes: ram,
+            flash_budget: self.budget.ro_bytes,
+            ram_budget: self.budget.rw_bytes,
+        }
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} MHz ({})",
+            self.name,
+            self.clock_hz / 1_000_000,
+            self.budget
+        )
+    }
+}
+
+/// Whether and how a deployment fits a device's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitReport {
+    /// Required flash bytes.
+    pub flash_bytes: usize,
+    /// Required peak RAM bytes.
+    pub ram_bytes: usize,
+    /// Available flash.
+    pub flash_budget: usize,
+    /// Available RAM.
+    pub ram_budget: usize,
+}
+
+impl FitReport {
+    /// Whether both constraints hold.
+    pub fn fits(&self) -> bool {
+        self.flash_bytes <= self.flash_budget && self.ram_bytes <= self.ram_budget
+    }
+
+    /// Flash utilization fraction.
+    pub fn flash_utilization(&self) -> f64 {
+        self.flash_bytes as f64 / self.flash_budget.max(1) as f64
+    }
+
+    /// RAM utilization fraction.
+    pub fn ram_utilization(&self) -> f64 {
+        self.ram_bytes as f64 / self.ram_budget.max(1) as f64
+    }
+}
+
+impl fmt::Display for FitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flash {:.2}/{:.2} MiB ({:.0}%), ram {}/{} KiB ({:.0}%) -> {}",
+            mib(self.flash_bytes),
+            mib(self.flash_budget),
+            self.flash_utilization() * 100.0,
+            self.ram_bytes / 1024,
+            self.ram_budget / 1024,
+            self.ram_utilization() * 100.0,
+            if self.fits() { "FITS" } else { "DOES NOT FIT" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+
+    #[test]
+    fn latency_arithmetic() {
+        let d = Device::stm32h7();
+        assert!((d.latency_ms(400_000) - 1.0).abs() < 1e-9);
+        assert!((d.fps(400_000_000) - 1.0).abs() < 1e-9);
+        assert!(d.fps(0) > 0.0, "guards division by zero");
+    }
+
+    #[test]
+    fn fit_report_for_small_model() {
+        let spec = MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_25).build();
+        let bits = BitAssignment::uniform8(&spec);
+        let report = Device::stm32h7().fit_report(&spec, &bits, QuantScheme::PerChannelIcn);
+        assert!(report.fits(), "{report}");
+        assert!(report.flash_utilization() < 0.5);
+    }
+
+    #[test]
+    fn fit_report_for_oversized_model() {
+        let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+        let bits = BitAssignment::uniform8(&spec);
+        let report = Device::stm32h7().fit_report(&spec, &bits, QuantScheme::PerChannelIcn);
+        assert!(!report.fits(), "4.2M weights at 8 bits cannot fit 2 MiB");
+        let s = report.to_string();
+        assert!(s.contains("DOES NOT FIT"));
+    }
+
+    #[test]
+    fn device_display() {
+        let s = Device::stm32h7().to_string();
+        assert!(s.contains("STM32H7") && s.contains("400 MHz"));
+        assert_eq!(Device::stm32f4().budget().rw_bytes, 192 * 1024);
+    }
+}

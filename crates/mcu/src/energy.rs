@@ -1,0 +1,146 @@
+//! Energy model for battery-budget reasoning — the paper's motivating
+//! constraint ("the target power envelope must be below tens of mWs to
+//! guarantee a battery lifetime of years", §1).
+//!
+//! Energy per inference is active power × latency; duty-cycled deployments
+//! then trade inference rate against average power.
+
+use std::fmt;
+
+use crate::Device;
+
+/// A simple active/sleep power model for an MCU.
+///
+/// Defaults approximate an STM32H7 at 400 MHz (≈ 240 mW active from the
+/// datasheet's ~0.6 mW/MHz class) and a deep-sleep floor of 2 µW — model
+/// constants, not silicon measurements.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_mcu::{Device, EnergyModel};
+///
+/// let device = Device::stm32h7();
+/// let energy = EnergyModel::stm32h7();
+/// // A 100 ms inference at ~240 mW costs ~24 mJ.
+/// let m_j = energy.inference_energy_mj(&device, 40_000_000);
+/// assert!((20.0..30.0).contains(&m_j));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Active power while inferring, in milliwatts.
+    pub active_mw: f64,
+    /// Sleep power between inferences, in milliwatts.
+    pub sleep_mw: f64,
+}
+
+impl EnergyModel {
+    /// STM32H7-class defaults.
+    pub const fn stm32h7() -> Self {
+        EnergyModel {
+            active_mw: 240.0,
+            sleep_mw: 0.002,
+        }
+    }
+
+    /// Energy of one inference, in millijoules.
+    pub fn inference_energy_mj(&self, device: &Device, cycles: u64) -> f64 {
+        self.active_mw * device.latency_ms(cycles) / 1e3
+    }
+
+    /// Average power (mW) when running `rate_hz` inferences per second and
+    /// sleeping the rest of the time.
+    ///
+    /// Returns `None` if the requested rate exceeds what the latency
+    /// allows (duty cycle > 1).
+    pub fn average_power_mw(&self, device: &Device, cycles: u64, rate_hz: f64) -> Option<f64> {
+        let duty = rate_hz * device.latency_ms(cycles) / 1e3;
+        if !(0.0..=1.0).contains(&duty) {
+            return None;
+        }
+        Some(self.active_mw * duty + self.sleep_mw * (1.0 - duty))
+    }
+
+    /// Battery life in days for a battery of `battery_mwh` milliwatt-hours
+    /// at the given inference rate.
+    ///
+    /// Returns `None` when the rate is unachievable.
+    pub fn battery_life_days(
+        &self,
+        device: &Device,
+        cycles: u64,
+        rate_hz: f64,
+        battery_mwh: f64,
+    ) -> Option<f64> {
+        let avg = self.average_power_mw(device, cycles, rate_hz)?;
+        Some(battery_mwh / avg / 24.0)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::stm32h7()
+    }
+}
+
+impl fmt::Display for EnergyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "active {:.0} mW / sleep {:.3} mW",
+            self.active_mw, self.sleep_mw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_cycles() {
+        let d = Device::stm32h7();
+        let e = EnergyModel::stm32h7();
+        let one = e.inference_energy_mj(&d, 40_000_000);
+        let two = e.inference_energy_mj(&d, 80_000_000);
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power_interpolates_active_and_sleep() {
+        let d = Device::stm32h7();
+        let e = EnergyModel::stm32h7();
+        // 100 ms inference at 1 Hz → 10% duty cycle.
+        let avg = e.average_power_mw(&d, 40_000_000, 1.0).expect("feasible");
+        assert!((avg - (0.1 * 240.0 + 0.9 * 0.002)).abs() < 1e-6);
+        // Zero rate → sleep floor.
+        let idle = e.average_power_mw(&d, 40_000_000, 0.0).expect("feasible");
+        assert!((idle - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unachievable_rate_is_none() {
+        let d = Device::stm32h7();
+        let e = EnergyModel::stm32h7();
+        // 100 ms latency cannot run 20 Hz.
+        assert!(e.average_power_mw(&d, 40_000_000, 20.0).is_none());
+        assert!(e.battery_life_days(&d, 40_000_000, 20.0, 1000.0).is_none());
+    }
+
+    #[test]
+    fn battery_life_sane_orders_of_magnitude() {
+        let d = Device::stm32h7();
+        let e = EnergyModel::stm32h7();
+        // A CR123-class 4 Wh battery, one inference per minute of the
+        // 10 fps-class model: years of lifetime, matching the §1 pitch.
+        let days = e
+            .battery_life_days(&d, 40_000_000, 1.0 / 60.0, 4000.0)
+            .expect("feasible");
+        assert!(days > 365.0, "expected years, got {days} days");
+    }
+
+    #[test]
+    fn display() {
+        assert!(EnergyModel::stm32h7().to_string().contains("240"));
+    }
+}

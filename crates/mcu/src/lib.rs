@@ -1,0 +1,41 @@
+//! # mixq-mcu
+//!
+//! The microcontroller target model: device descriptions (memory budget +
+//! clock) and a Cortex-M7 cycle model that converts the kernel op counts of
+//! `mixq-kernels` — or analytic per-layer costs — into latency, standing in
+//! for the paper's measurements on a physical STM32H7 at 400 MHz (§6).
+//!
+//! The model is calibrated so the paper's end-to-end anchors hold (see
+//! `DESIGN.md`): a homogeneous 8-bit MobileNetV1 128_0.25 lands near 10 fps,
+//! the most accurate 224_0.75 PC+ICN configuration near 0.5 fps (the
+//! "20×" of §6), and per-channel `Zw` subtraction costs ≈ 20% extra
+//! latency. Absolute cycle counts are modelled, not measured on silicon —
+//! the *trends* are what the reproduction validates.
+//!
+//! # Examples
+//!
+//! ```
+//! use mixq_mcu::{CortexM7CycleModel, Device};
+//! use mixq_core::memory::QuantScheme;
+//! use mixq_core::mixed::BitAssignment;
+//! use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+//!
+//! let device = Device::stm32h7();
+//! let spec = MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_25).build();
+//! let bits = BitAssignment::uniform8(&spec);
+//! let model = CortexM7CycleModel::default();
+//! let cycles = model.network_cycles(&spec, &bits, QuantScheme::PerLayerFolded);
+//! let fps = device.fps(cycles);
+//! assert!(fps > 5.0 && fps < 20.0, "128_0.25 INT8 ≈ 10 fps, got {fps}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycles;
+mod device;
+mod energy;
+
+pub use cycles::{CortexM7CycleModel, LayerLatency};
+pub use device::{Device, FitReport};
+pub use energy::EnergyModel;

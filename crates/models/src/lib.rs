@@ -1,0 +1,36 @@
+//! # mixq-models
+//!
+//! Network architecture descriptors and the paper's model zoo:
+//!
+//! * [`spec`] — shape-level layer/network descriptors ([`LayerSpec`],
+//!   [`NetworkSpec`]): everything the memory model (Table 1, Eq. 6–7), the
+//!   mixed-precision Algorithms 1–2 and the MCU latency model need, without
+//!   any weight values.
+//! * [`mobilenet`] — the full MobileNetV1 family evaluated in §6:
+//!   resolutions `{128, 160, 192, 224}` × width multipliers
+//!   `{0.25, 0.5, 0.75, 1.0}`, labelled `x_y` as in the paper.
+//! * [`micro`] — trainable micro-CNN presets (built on
+//!   [`mixq_nn::qat::MicroCnnSpec`]) used for the synthetic-data accuracy
+//!   experiments, plus conversion of a micro-CNN into a [`NetworkSpec`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+//!
+//! let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+//! assert_eq!(spec.name(), "224_1.0");
+//! // 27 convolutions + the classifier.
+//! assert_eq!(spec.num_layers(), 28);
+//! // ≈ 4.2M weight parameters (16.27 MB in FP32, paper Table 2).
+//! assert!((spec.total_weight_elements() as f64 - 4.21e6).abs() < 0.05e6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod mobilenet;
+pub mod spec;
+
+pub use spec::{LayerKind, LayerSpec, NetworkSpec};

@@ -1,0 +1,222 @@
+//! Trainable micro-CNN presets for the synthetic-data accuracy experiments
+//! (the stand-ins for ImageNet MobileNetV1, see `DESIGN.md`
+//! "Substitutions"), plus conversion of a micro-CNN into a shape-level
+//! [`NetworkSpec`] so the memory model and Algorithms 1–2 can run on it.
+
+use mixq_nn::qat::{MicroCnnSpec, QatNetwork};
+use mixq_nn::ConvKind;
+use mixq_tensor::Shape;
+
+use crate::spec::{LayerSpec, NetworkSpec};
+
+/// The micro-CNN used by the Table-2-shaped experiment: a MobileNet-style
+/// separable network on 16×16×2 synthetic images, deep enough that
+/// batch-norm scale diversity builds up across channels.
+pub fn table2_cnn(num_classes: usize) -> MicroCnnSpec {
+    MicroCnnSpec::separable(16, 16, 2, num_classes, &[8, 16, 24])
+}
+
+/// A smaller plain CNN for fast pipeline demos and tests.
+pub fn quickstart_cnn(num_classes: usize) -> MicroCnnSpec {
+    MicroCnnSpec::new(8, 8, 1, num_classes, &[8, 16])
+}
+
+/// The folding stress network: a **leading depthwise** layer whose output
+/// channels inherit the dataset's per-channel amplitude spread one-to-one.
+///
+/// Trained on [`SyntheticKind::ChannelBits`] data with a large amplitude
+/// base, its batch-norm σ spread across the depthwise channels equals the
+/// amplitude spread, so folding (PL+FB) at INT4 provably crushes the
+/// low-magnitude folded channels and loses the corresponding class bits —
+/// the micro-scale replica of the paper's Table 2 collapse. ICN keeps the
+/// per-channel scales out of the weights and survives.
+///
+/// [`SyntheticKind::ChannelBits`]: https://docs.rs/mixq-data
+pub fn folding_stress_cnn(channels: usize, num_classes: usize) -> MicroCnnSpec {
+    use mixq_nn::qat::BlockSpec;
+    MicroCnnSpec::new(12, 12, channels, num_classes, &[8]).with_blocks(vec![
+        BlockSpec {
+            out_channels: channels,
+            stride: 1,
+            kind: ConvKind::Depthwise,
+            kernel: 3,
+        },
+        BlockSpec {
+            out_channels: 8,
+            stride: 1,
+            kind: ConvKind::Standard,
+            kernel: 1,
+        },
+        BlockSpec {
+            out_channels: 8,
+            stride: 2,
+            kind: ConvKind::Depthwise,
+            kernel: 3,
+        },
+        BlockSpec {
+            out_channels: 16,
+            stride: 1,
+            kind: ConvKind::Standard,
+            kernel: 1,
+        },
+    ])
+}
+
+/// A trainable MobileNetV1-topology network at reduced scale: the exact
+/// stem + 13 depthwise-separable-pair structure of the paper's models, with
+/// channels divided by `width_div` and the given input resolution, so the
+/// integer kernels can execute the real topology in test-friendly time.
+///
+/// With `input_res = 128` and `width_div = 4` this *is* MobileNetV1
+/// 128_0.25 (identical shapes); smaller resolutions scale the feature maps
+/// only.
+pub fn mobilenet_like(input_res: usize, input_channels: usize, width_div: usize, num_classes: usize) -> MicroCnnSpec {
+    use mixq_nn::qat::BlockSpec;
+    assert!(width_div >= 1, "width divisor");
+    let ch = |c: usize| (c / width_div).max(1);
+    let mut blocks = vec![BlockSpec {
+        out_channels: ch(32),
+        stride: 2,
+        kind: ConvKind::Standard,
+        kernel: 3,
+    }];
+    let pairs: [(usize, usize); 13] = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    let mut prev = ch(32);
+    for (stride, out) in pairs {
+        blocks.push(BlockSpec {
+            out_channels: prev,
+            stride,
+            kind: ConvKind::Depthwise,
+            kernel: 3,
+        });
+        blocks.push(BlockSpec {
+            out_channels: ch(out),
+            stride: 1,
+            kind: ConvKind::Standard,
+            kernel: 1,
+        });
+        prev = ch(out);
+    }
+    MicroCnnSpec::new(input_res, input_res, input_channels, num_classes, &[1])
+        .with_blocks(blocks)
+}
+
+/// Converts a built QAT network into a shape-level [`NetworkSpec`], so the
+/// same memory model and bit-assignment algorithms used for MobileNetV1
+/// apply to the micro-CNNs.
+pub fn network_spec_of(net: &QatNetwork, name: &str) -> NetworkSpec {
+    let mut layers = Vec::with_capacity(net.num_blocks() + 1);
+    let mut shape = net.input_shape();
+    for (i, block) in net.blocks().iter().enumerate() {
+        let conv = block.conv();
+        let g = conv.geometry();
+        let spec = match conv.kind() {
+            ConvKind::Standard => LayerSpec::conv(
+                &format!("conv{i}"),
+                g.kh,
+                g.stride,
+                conv.in_channels(),
+                conv.out_channels(),
+                shape.h,
+                shape.w,
+            ),
+            ConvKind::Depthwise => LayerSpec::depthwise(
+                &format!("dw{i}"),
+                g.kh,
+                g.stride,
+                conv.out_channels(),
+                shape.h,
+                shape.w,
+            ),
+        };
+        shape = conv.output_shape(shape);
+        layers.push(spec);
+    }
+    layers.push(LayerSpec::linear(
+        "fc",
+        net.linear().in_features(),
+        net.linear().out_features(),
+    ));
+    NetworkSpec::new(
+        name,
+        Shape::feature_map(net.input_shape().h, net.input_shape().w, net.input_shape().c),
+        layers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build() {
+        let t2 = table2_cnn(4);
+        assert_eq!(t2.num_classes(), 4);
+        assert!(t2.blocks().len() >= 5); // stem + two dw/pw pairs
+        let quick = quickstart_cnn(2);
+        assert_eq!(quick.blocks().len(), 2);
+        let stress = folding_stress_cnn(2, 4);
+        assert_eq!(stress.blocks().len(), 4);
+        assert_eq!(stress.blocks()[0].kind, ConvKind::Depthwise);
+        // The stress net builds and runs forward.
+        let net = QatNetwork::build(&stress, 0);
+        assert_eq!(net.num_blocks(), 4);
+    }
+
+    #[test]
+    fn mobilenet_like_matches_real_topology_at_full_scale() {
+        use crate::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+        // width_div = 4 at 128 px reproduces MobileNetV1 128_0.25's shapes.
+        let spec = mobilenet_like(128, 3, 4, 1000);
+        let net = QatNetwork::build(&spec, 0);
+        let ns = network_spec_of(&net, "minimobile");
+        let reference = MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_25).build();
+        assert_eq!(ns.num_layers(), reference.num_layers());
+        assert_eq!(ns.total_weight_elements(), reference.total_weight_elements());
+        assert_eq!(ns.total_macs(), reference.total_macs());
+    }
+
+    #[test]
+    fn network_spec_conversion_matches_network() {
+        let spec = table2_cnn(4);
+        let net = QatNetwork::build(&spec, 0);
+        let ns = network_spec_of(&net, "table2");
+        assert_eq!(ns.num_layers(), net.num_blocks() + 1);
+        // Weight elements agree layer by layer with the actual tensors.
+        for (l, b) in ns.layers().iter().zip(net.blocks()) {
+            assert_eq!(l.weight_elements(), b.conv().weights().len(), "{}", l.name());
+        }
+        assert_eq!(
+            ns.layers().last().unwrap().weight_elements(),
+            net.linear().weights().len()
+        );
+    }
+
+    #[test]
+    fn activation_sizes_match_forward_shapes() {
+        let spec = quickstart_cnn(2);
+        let net = QatNetwork::build(&spec, 1);
+        let ns = network_spec_of(&net, "quick");
+        // Chain the real forward shapes and compare.
+        let mut shape = net.input_shape();
+        for (l, b) in ns.layers().iter().zip(net.blocks()) {
+            assert_eq!(l.in_act_elements(), shape.item_volume());
+            shape = b.conv().output_shape(shape);
+            assert_eq!(l.out_act_elements(), shape.item_volume());
+        }
+    }
+}

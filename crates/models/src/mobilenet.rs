@@ -1,0 +1,332 @@
+//! The MobileNetV1 family (Howard et al.) exactly as evaluated in the
+//! paper's §6: 16 configurations `x_y` with input resolution
+//! `x ∈ {128, 160, 192, 224}` and width multiplier
+//! `y ∈ {0.25, 0.5, 0.75, 1.0}`, ending in global average pooling and a
+//! 1000-way classifier (ImageNet).
+
+use std::fmt;
+
+use mixq_tensor::Shape;
+
+use crate::spec::{LayerSpec, NetworkSpec};
+
+/// Input resolution of a MobileNetV1 model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resolution {
+    /// 128×128 input.
+    R128,
+    /// 160×160 input.
+    R160,
+    /// 192×192 input.
+    R192,
+    /// 224×224 input.
+    R224,
+}
+
+impl Resolution {
+    /// All resolutions, ascending.
+    pub const ALL: [Resolution; 4] = [
+        Resolution::R128,
+        Resolution::R160,
+        Resolution::R192,
+        Resolution::R224,
+    ];
+
+    /// Pixel count per side.
+    pub const fn pixels(self) -> usize {
+        match self {
+            Resolution::R128 => 128,
+            Resolution::R160 => 160,
+            Resolution::R192 => 192,
+            Resolution::R224 => 224,
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pixels())
+    }
+}
+
+/// Width (channel) multiplier of a MobileNetV1 model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WidthMultiplier {
+    /// 0.25× channels.
+    X0_25,
+    /// 0.5× channels.
+    X0_5,
+    /// 0.75× channels.
+    X0_75,
+    /// 1.0× channels (full width).
+    X1_0,
+}
+
+impl WidthMultiplier {
+    /// All multipliers, ascending.
+    pub const ALL: [WidthMultiplier; 4] = [
+        WidthMultiplier::X0_25,
+        WidthMultiplier::X0_5,
+        WidthMultiplier::X0_75,
+        WidthMultiplier::X1_0,
+    ];
+
+    /// The multiplier as a float.
+    pub const fn value(self) -> f32 {
+        match self {
+            WidthMultiplier::X0_25 => 0.25,
+            WidthMultiplier::X0_5 => 0.5,
+            WidthMultiplier::X0_75 => 0.75,
+            WidthMultiplier::X1_0 => 1.0,
+        }
+    }
+
+    /// Scales a base channel count (all MobileNetV1 base counts are
+    /// divisible by 4, so this is exact).
+    pub fn scale(self, channels: usize) -> usize {
+        ((channels as f32 * self.value()) as usize).max(1)
+    }
+}
+
+impl fmt::Display for WidthMultiplier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WidthMultiplier::X0_25 => write!(f, "0.25"),
+            WidthMultiplier::X0_5 => write!(f, "0.5"),
+            WidthMultiplier::X0_75 => write!(f, "0.75"),
+            WidthMultiplier::X1_0 => write!(f, "1.0"),
+        }
+    }
+}
+
+/// A MobileNetV1 configuration `x_y`.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+///
+/// let cfg = MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5);
+/// assert_eq!(cfg.label(), "192_0.5");
+/// let spec = cfg.build();
+/// assert_eq!(spec.layers()[0].out_channels(), 16); // 32 × 0.5
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MobileNetConfig {
+    resolution: Resolution,
+    width: WidthMultiplier,
+    num_classes: usize,
+}
+
+/// `(stride, base output channels)` of the 13 depthwise-separable pairs.
+const PAIRS: [(usize, usize); 13] = [
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    // The original table lists stride 2 here but the spatial size stays 7x7
+    // (TF-slim implements it as stride 1); we follow the implementation.
+    (1, 1024),
+];
+
+impl MobileNetConfig {
+    /// Creates a configuration with the ImageNet classifier (1000 classes).
+    pub fn new(resolution: Resolution, width: WidthMultiplier) -> Self {
+        MobileNetConfig {
+            resolution,
+            width,
+            num_classes: 1000,
+        }
+    }
+
+    /// Overrides the classifier size.
+    pub fn with_classes(mut self, num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        self.num_classes = num_classes;
+        self
+    }
+
+    /// Input resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Width multiplier.
+    pub fn width(&self) -> WidthMultiplier {
+        self.width
+    }
+
+    /// The paper's `x_y` label (e.g. `"224_1.0"`).
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.resolution, self.width)
+    }
+
+    /// All 16 configurations of the paper's Figure 2 grid, resolution-major.
+    pub fn all() -> Vec<MobileNetConfig> {
+        let mut v = Vec::with_capacity(16);
+        for r in Resolution::ALL {
+            for w in WidthMultiplier::ALL {
+                v.push(MobileNetConfig::new(r, w));
+            }
+        }
+        v
+    }
+
+    /// Builds the layer-by-layer [`NetworkSpec`].
+    pub fn build(&self) -> NetworkSpec {
+        let mut layers = Vec::with_capacity(28);
+        let mut h = self.resolution.pixels();
+        let mut w = self.resolution.pixels();
+        let mut c = self.width.scale(32);
+        layers.push(LayerSpec::conv("conv0", 3, 2, 3, c, h, w));
+        h = h.div_ceil(2);
+        w = w.div_ceil(2);
+        for (i, &(stride, base_out)) in PAIRS.iter().enumerate() {
+            let out = self.width.scale(base_out);
+            layers.push(LayerSpec::depthwise(
+                &format!("dw{}", i + 1),
+                3,
+                stride,
+                c,
+                h,
+                w,
+            ));
+            h = h.div_ceil(stride);
+            w = w.div_ceil(stride);
+            layers.push(LayerSpec::conv(
+                &format!("pw{}", i + 1),
+                1,
+                1,
+                c,
+                out,
+                h,
+                w,
+            ));
+            c = out;
+        }
+        layers.push(LayerSpec::linear("fc", c, self.num_classes));
+        NetworkSpec::new(
+            &self.label(),
+            Shape::feature_map(self.resolution.pixels(), self.resolution.pixels(), 3),
+            layers,
+        )
+    }
+}
+
+impl fmt::Display for MobileNetConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MobileNetV1_{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerKind;
+
+    #[test]
+    fn full_width_parameter_count_matches_howard_et_al() {
+        let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+        // 864 stem + separable body + 1.024M classifier = 4,209,088.
+        assert_eq!(spec.total_weight_elements(), 4_209_088);
+        assert_eq!(spec.num_layers(), 1 + 13 * 2 + 1);
+    }
+
+    #[test]
+    fn full_width_macs_near_published_569m() {
+        let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+        let m = spec.total_macs() as f64;
+        assert!(
+            (5.4e8..6.0e8).contains(&m),
+            "224_1.0 MACs should be ≈ 569M, got {m}"
+        );
+    }
+
+    #[test]
+    fn spatial_chain_is_consistent() {
+        for cfg in MobileNetConfig::all() {
+            let spec = cfg.build();
+            // Final conv feature map is (res/32)^2.
+            let last_conv = &spec.layers()[spec.num_layers() - 2];
+            assert_eq!(last_conv.out_h(), cfg.resolution().pixels() / 32);
+            // The classifier consumes the pooled channel count.
+            let fc = spec.layers().last().unwrap();
+            assert_eq!(fc.kind(), LayerKind::Linear);
+            assert_eq!(fc.in_channels(), cfg.width().scale(1024));
+            assert_eq!(fc.out_channels(), 1000);
+        }
+    }
+
+    #[test]
+    fn width_scaling_is_quadratic_on_pointwise() {
+        let full = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+        let half = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X0_5).build();
+        // pw13: 1024x1024 vs 512x512 → 4x.
+        let f = full.layers()[spec_index("pw13", &full)].weight_elements();
+        let h = half.layers()[spec_index("pw13", &half)].weight_elements();
+        assert_eq!(f, 4 * h);
+    }
+
+    fn spec_index(name: &str, spec: &NetworkSpec) -> usize {
+        spec.layers()
+            .iter()
+            .position(|l| l.name() == name)
+            .expect("layer exists")
+    }
+
+    #[test]
+    fn resolution_scaling_leaves_weights_unchanged() {
+        let a = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X0_5).build();
+        let b = MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_5).build();
+        assert_eq!(a.total_weight_elements(), b.total_weight_elements());
+        assert!(a.total_macs() > b.total_macs());
+    }
+
+    #[test]
+    fn all_sixteen_configs() {
+        let all = MobileNetConfig::all();
+        assert_eq!(all.len(), 16);
+        let labels: Vec<String> = all.iter().map(|c| c.label()).collect();
+        assert!(labels.contains(&"128_0.25".to_owned()));
+        assert!(labels.contains(&"224_1.0".to_owned()));
+        // Labels are unique.
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+    }
+
+    #[test]
+    fn custom_class_count() {
+        let spec = MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_25)
+            .with_classes(10)
+            .build();
+        assert_eq!(spec.layers().last().unwrap().out_channels(), 10);
+    }
+
+    #[test]
+    fn paper_activation_anchor_192_05() {
+        // §6 / DESIGN.md anchor: 192_0.5's largest activation pair is the
+        // pw1 input+output: 96·96·16 + 96·96·32 bytes at 8 bit = 432 KiB,
+        // under the 512 KiB budget (hence "no cuts" in Figure 2's setting).
+        let spec = MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5).build();
+        let pw1 = &spec.layers()[2];
+        assert_eq!(pw1.name(), "pw1");
+        assert_eq!(pw1.in_act_elements() + pw1.out_act_elements(), 442_368);
+        assert!(spec.max_activation_elements() <= 96 * 96 * 32);
+    }
+
+    #[test]
+    fn display_labels() {
+        let cfg = MobileNetConfig::new(Resolution::R160, WidthMultiplier::X0_75);
+        assert_eq!(cfg.to_string(), "MobileNetV1_160_0.75");
+    }
+}

@@ -1,0 +1,398 @@
+//! Shape-level network descriptors.
+//!
+//! A [`NetworkSpec`] is the chain of "quantized convolutional layers" the
+//! paper's Algorithms 1–2 operate on (§5): each layer has an input and an
+//! output activation tensor (`y_i ≡ x_{i+1}`) plus a weight tensor. The
+//! classifier ([`LayerKind::Linear`]) participates in the weight budget
+//! (Eq. 6) exactly like a 1×1 convolution over a 1×1 feature map.
+
+use std::fmt;
+
+use mixq_tensor::Shape;
+
+/// The kind of a weight-carrying layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Standard convolution.
+    Conv,
+    /// Depthwise convolution (one filter per channel).
+    DepthwiseConv,
+    /// Fully-connected classifier.
+    Linear,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv => write!(f, "conv"),
+            LayerKind::DepthwiseConv => write!(f, "dw"),
+            LayerKind::Linear => write!(f, "fc"),
+        }
+    }
+}
+
+/// Shape-level description of one weight-carrying layer.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_models::{LayerKind, LayerSpec};
+///
+/// // MobileNetV1 stem on 224x224 input.
+/// let stem = LayerSpec::conv("conv0", 3, 2, 3, 32, 224, 224);
+/// assert_eq!(stem.out_h(), 112);
+/// assert_eq!(stem.weight_elements(), 3 * 3 * 3 * 32);
+/// assert_eq!(stem.macs(), 112 * 112 * 32 * 9 * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerSpec {
+    name: String,
+    kind: LayerKind,
+    kernel: usize,
+    stride: usize,
+    in_channels: usize,
+    out_channels: usize,
+    in_h: usize,
+    in_w: usize,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl LayerSpec {
+    /// Standard convolution with SAME padding.
+    pub fn conv(
+        name: &str,
+        kernel: usize,
+        stride: usize,
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        LayerSpec {
+            name: name.to_owned(),
+            kind: LayerKind::Conv,
+            kernel,
+            stride,
+            in_channels,
+            out_channels,
+            in_h,
+            in_w,
+            out_h: in_h.div_ceil(stride),
+            out_w: in_w.div_ceil(stride),
+        }
+    }
+
+    /// Depthwise convolution with SAME padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn depthwise(
+        name: &str,
+        kernel: usize,
+        stride: usize,
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        assert!(channels > 0, "depthwise needs channels");
+        LayerSpec {
+            name: name.to_owned(),
+            kind: LayerKind::DepthwiseConv,
+            kernel,
+            stride,
+            in_channels: channels,
+            out_channels: channels,
+            in_h,
+            in_w,
+            out_h: in_h.div_ceil(stride),
+            out_w: in_w.div_ceil(stride),
+        }
+    }
+
+    /// Fully-connected layer over pooled features.
+    pub fn linear(name: &str, in_features: usize, out_features: usize) -> Self {
+        LayerSpec {
+            name: name.to_owned(),
+            kind: LayerKind::Linear,
+            kernel: 1,
+            stride: 1,
+            in_channels: in_features,
+            out_channels: out_features,
+            in_h: 1,
+            in_w: 1,
+            out_h: 1,
+            out_w: 1,
+        }
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer kind.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Square kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channels `c_O` (the per-channel parameter axis of Table 1).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input height.
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+
+    /// Input width.
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.out_h
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.out_w
+    }
+
+    /// Number of weight values (`c_O · k_w · k_h · c_I` for standard convs,
+    /// Table 1).
+    pub fn weight_elements(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv => {
+                self.out_channels * self.kernel * self.kernel * self.in_channels
+            }
+            LayerKind::DepthwiseConv => self.out_channels * self.kernel * self.kernel,
+            LayerKind::Linear => self.out_channels * self.in_channels,
+        }
+    }
+
+    /// Elements of the input activation tensor `x_i`.
+    pub fn in_act_elements(&self) -> usize {
+        self.in_h * self.in_w * self.in_channels
+    }
+
+    /// Elements of the output activation tensor `y_i`.
+    pub fn out_act_elements(&self) -> usize {
+        self.out_h * self.out_w * self.out_channels
+    }
+
+    /// Multiply–accumulate count of one inference.
+    pub fn macs(&self) -> usize {
+        let per_out = match self.kind {
+            LayerKind::Conv => self.kernel * self.kernel * self.in_channels,
+            LayerKind::DepthwiseConv => self.kernel * self.kernel,
+            LayerKind::Linear => self.in_channels,
+        };
+        self.out_h * self.out_w * self.out_channels * per_out
+    }
+
+    /// Whether this is a depthwise convolution.
+    pub fn is_depthwise(&self) -> bool {
+        self.kind == LayerKind::DepthwiseConv
+    }
+}
+
+impl fmt::Display for LayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}x{}/{} {}x{}x{} -> {}x{}x{}",
+            self.name,
+            self.kind,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.in_h,
+            self.in_w,
+            self.in_channels,
+            self.out_h,
+            self.out_w,
+            self.out_channels
+        )
+    }
+}
+
+/// A whole network as an ordered chain of weight-carrying layers.
+///
+/// Consecutive layers share activation tensors (`y_i ≡ x_{i+1}`); a global
+/// average pool (if any) is implicit between the last convolution and the
+/// classifier — it carries no weights and shrinks the activation, so it
+/// never binds in Eq. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    name: String,
+    input: Shape,
+    layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Creates a network spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive channel counts disagree
+    /// (pool boundaries excepted).
+    pub fn new(name: &str, input: Shape, layers: Vec<LayerSpec>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for w in layers.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert_eq!(
+                a.out_channels(),
+                b.in_channels(),
+                "channel mismatch between {} and {}",
+                a.name(),
+                b.name()
+            );
+        }
+        NetworkSpec {
+            name: name.to_owned(),
+            input,
+            layers,
+        }
+    }
+
+    /// Model name (e.g. `"224_1.0"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape `(1, h, w, c)`.
+    pub fn input(&self) -> Shape {
+        self.input
+    }
+
+    /// The layer chain.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Number of weight-carrying layers (the `L` of Algorithms 1–2 plus the
+    /// classifier).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total weight elements across all layers.
+    pub fn total_weight_elements(&self) -> usize {
+        self.layers.iter().map(LayerSpec::weight_elements).sum()
+    }
+
+    /// Total MACs of one inference.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(LayerSpec::macs).sum()
+    }
+
+    /// Largest single activation tensor in elements (a lower bound on RW
+    /// feasibility).
+    pub fn max_activation_elements(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| [l.in_act_elements(), l.out_act_elements()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for NetworkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (input {})", self.name, self.input)?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_spec_shapes() {
+        let l = LayerSpec::conv("c", 3, 2, 3, 32, 225, 225);
+        assert_eq!(l.out_h(), 113); // ceil(225/2)
+        assert_eq!(l.weight_elements(), 864);
+        assert_eq!(l.in_act_elements(), 225 * 225 * 3);
+        assert_eq!(l.out_act_elements(), 113 * 113 * 32);
+    }
+
+    #[test]
+    fn depthwise_spec() {
+        let l = LayerSpec::depthwise("d", 3, 1, 64, 56, 56);
+        assert!(l.is_depthwise());
+        assert_eq!(l.weight_elements(), 64 * 9);
+        assert_eq!(l.macs(), 56 * 56 * 64 * 9);
+        assert_eq!(l.in_channels(), l.out_channels());
+    }
+
+    #[test]
+    fn linear_spec() {
+        let l = LayerSpec::linear("fc", 1024, 1000);
+        assert_eq!(l.weight_elements(), 1_024_000);
+        assert_eq!(l.macs(), 1_024_000);
+        assert_eq!(l.in_act_elements(), 1024);
+        assert_eq!(l.out_act_elements(), 1000);
+    }
+
+    #[test]
+    fn network_totals() {
+        let layers = vec![
+            LayerSpec::conv("c0", 3, 1, 1, 4, 8, 8),
+            LayerSpec::conv("c1", 3, 2, 4, 8, 8, 8),
+            LayerSpec::linear("fc", 8, 2),
+        ];
+        let net = NetworkSpec::new("toy", Shape::feature_map(8, 8, 1), layers);
+        assert_eq!(net.num_layers(), 3);
+        assert_eq!(
+            net.total_weight_elements(),
+            9 * 4 + 9 * 4 * 8 + 16
+        );
+        assert!(net.total_macs() > 0);
+        assert_eq!(net.max_activation_elements(), 8 * 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn mismatched_channels_panic() {
+        let layers = vec![
+            LayerSpec::conv("c0", 3, 1, 1, 4, 8, 8),
+            LayerSpec::conv("c1", 3, 1, 8, 8, 8, 8),
+        ];
+        let _ = NetworkSpec::new("bad", Shape::feature_map(8, 8, 1), layers);
+    }
+
+    #[test]
+    fn display_contains_layers() {
+        let net = NetworkSpec::new(
+            "toy",
+            Shape::feature_map(4, 4, 1),
+            vec![LayerSpec::conv("c0", 3, 1, 1, 2, 4, 4)],
+        );
+        let s = net.to_string();
+        assert!(s.contains("toy"));
+        assert!(s.contains("c0"));
+    }
+}

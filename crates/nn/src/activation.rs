@@ -1,0 +1,184 @@
+use mixq_quant::observer::PactClip;
+use mixq_quant::{BitWidth, QuantParams};
+use mixq_tensor::Tensor;
+
+/// The PACT fake-quantized activation module (paper §3): a learned clip
+/// `y = clamp(x, 0, b)` followed by `Q`-bit uniform quantization with floor
+/// rounding, `S = b/(2^Q − 1)`.
+///
+/// With quantization disabled the module degenerates to the clipped-ReLU
+/// used by the float baseline `f(x)`; the clip `b` is learned by
+/// backpropagation in both modes (straight-through estimator through the
+/// quantizer).
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::PactQuantAct;
+/// use mixq_quant::BitWidth;
+/// use mixq_tensor::{Shape, Tensor};
+///
+/// let act = PactQuantAct::new(4.0, BitWidth::W2, true);
+/// let x = Tensor::from_vec(Shape::vector(3), vec![-1.0, 1.9, 9.0])?;
+/// let (y, _) = act.forward(&x);
+/// // S = 4/3; 1.9 → floor(1.425)·S = 1·S ≈ 1.333; 9.0 saturates at b=4... code 3.
+/// assert_eq!(y.data()[0], 0.0);
+/// assert!((y.data()[1] - 4.0 / 3.0).abs() < 1e-6);
+/// assert!((y.data()[2] - 4.0).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PactQuantAct {
+    clip: PactClip,
+    bits: BitWidth,
+    quant_enabled: bool,
+}
+
+/// Cache for the backward pass: the pre-activation input.
+#[derive(Debug, Clone)]
+pub struct ActCache {
+    input: Tensor<f32>,
+}
+
+impl PactQuantAct {
+    /// Creates an activation with initial clip `b`, precision `bits`, and
+    /// quantization on/off (off = float clipped-ReLU baseline).
+    pub fn new(initial_clip: f32, bits: BitWidth, quant_enabled: bool) -> Self {
+        PactQuantAct {
+            clip: PactClip::new(initial_clip),
+            bits,
+            quant_enabled,
+        }
+    }
+
+    /// The learned PACT clip.
+    pub fn clip(&self) -> &PactClip {
+        &self.clip
+    }
+
+    /// Mutable access to the clip (the optimizer applies its gradient).
+    pub fn clip_mut(&mut self) -> &mut PactClip {
+        &mut self.clip
+    }
+
+    /// Activation precision `Q`.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Changes the precision (used by the memory-driven bit assignment).
+    pub fn set_bits(&mut self, bits: BitWidth) {
+        self.bits = bits;
+    }
+
+    /// Whether fake quantization is applied.
+    pub fn quant_enabled(&self) -> bool {
+        self.quant_enabled
+    }
+
+    /// Enables/disables fake quantization.
+    pub fn set_quant_enabled(&mut self, enabled: bool) {
+        self.quant_enabled = enabled;
+    }
+
+    /// The floor-rounding quantizer for the current clip
+    /// (`quant_act` of §3) — what the ICN conversion reads as `S_o`/`S_x`.
+    pub fn quant_params(&self) -> QuantParams {
+        QuantParams::from_pact_clip(self.clip.bound(), self.bits)
+    }
+
+    /// Forward pass; returns the activation and a cache for backward.
+    pub fn forward(&self, x: &Tensor<f32>) -> (Tensor<f32>, ActCache) {
+        let y = if self.quant_enabled {
+            let q = self.quant_params();
+            x.map(|v| q.fake_quantize(v))
+        } else {
+            let b = self.clip.bound();
+            x.map(|v| v.clamp(0.0, b))
+        };
+        (y, ActCache { input: x.clone() })
+    }
+
+    /// Backward pass; returns `dx` and accumulates the PACT clip gradient
+    /// internally (applied later via [`PactClip::apply_grad`]).
+    ///
+    /// Straight-through estimator: the quantizer is treated as identity
+    /// inside `(0, b)`; the clip gradient is `Σ dy` over saturated inputs.
+    pub fn backward(&mut self, dy: &Tensor<f32>, cache: &ActCache) -> Tensor<f32> {
+        let mut dx = Tensor::<f32>::zeros(dy.shape());
+        let mut db = 0.0f32;
+        for (i, (&g, &x)) in dy.data().iter().zip(cache.input.data()).enumerate() {
+            dx.data_mut()[i] = g * self.clip.input_grad_mask(x);
+            db += g * self.clip.bound_grad(x);
+        }
+        self.clip.accumulate_grad(db);
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::Shape;
+
+    #[test]
+    fn float_mode_is_clipped_relu() {
+        let act = PactQuantAct::new(2.0, BitWidth::W8, false);
+        let x = Tensor::from_vec(Shape::vector(3), vec![-1.0, 1.0, 5.0]).unwrap();
+        let (y, _) = act.forward(&x);
+        assert_eq!(y.data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn quant_mode_floors_to_grid() {
+        let act = PactQuantAct::new(3.0, BitWidth::W2, true);
+        // S = 1.0; 1.99 floors to 1.0 (round-to-nearest would give 2.0).
+        let x = Tensor::from_vec(Shape::vector(2), vec![1.99, 2.5]).unwrap();
+        let (y, _) = act.forward(&x);
+        assert_eq!(y.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_saturated_regions() {
+        let mut act = PactQuantAct::new(2.0, BitWidth::W8, true);
+        let x = Tensor::from_vec(Shape::vector(3), vec![-1.0, 1.0, 5.0]).unwrap();
+        let (_, cache) = act.forward(&x);
+        let dy = Tensor::from_vec(Shape::vector(3), vec![1.0, 1.0, 1.0]).unwrap();
+        let dx = act.backward(&dy, &cache);
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0]);
+        // Clip gradient accumulated only from the saturated element.
+        assert_eq!(act.clip().grad(), 1.0);
+    }
+
+    #[test]
+    fn clip_learns_via_sgd_step() {
+        let mut act = PactQuantAct::new(2.0, BitWidth::W8, true);
+        let x = Tensor::from_vec(Shape::vector(1), vec![10.0]).unwrap();
+        let (_, cache) = act.forward(&x);
+        let dy = Tensor::from_vec(Shape::vector(1), vec![-1.0]).unwrap();
+        let _ = act.backward(&dy, &cache);
+        act.clip_mut().apply_grad(0.1, 0.0);
+        // Negative gradient on b ⇒ b grows.
+        assert!(act.clip().bound() > 2.0);
+    }
+
+    #[test]
+    fn set_bits_changes_grid() {
+        let mut act = PactQuantAct::new(3.0, BitWidth::W8, true);
+        act.set_bits(BitWidth::W2);
+        assert_eq!(act.bits(), BitWidth::W2);
+        assert!((act.quant_params().scale() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quant_toggle() {
+        let mut act = PactQuantAct::new(1.0, BitWidth::W2, false);
+        assert!(!act.quant_enabled());
+        act.set_quant_enabled(true);
+        assert!(act.quant_enabled());
+        let x = Tensor::from_vec(Shape::vector(1), vec![0.5]).unwrap();
+        let (y, _) = act.forward(&x);
+        // S = 1/3; floor(0.5/S)=1 → 1/3.
+        assert!((y.data()[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

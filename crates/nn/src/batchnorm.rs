@@ -1,0 +1,346 @@
+use mixq_tensor::Tensor;
+
+/// Per-channel batch normalization over NHWC feature maps.
+///
+/// Training mode uses batch statistics and updates running estimates;
+/// evaluation (and the paper's post-epoch-1 "frozen" mode, §6) uses the
+/// stored running statistics. The ICN conversion (paper Eq. 3) reads the
+/// frozen `(µ, σ, γ, β)` directly from this layer.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::BatchNorm;
+/// use mixq_tensor::{Shape, Tensor};
+///
+/// let mut bn = BatchNorm::new(2);
+/// let x = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 10.0, 3.0, 30.0])?;
+/// let (y, _) = bn.forward_train(&x);
+/// // Batch-normalized output has ~zero mean per channel.
+/// assert!(y.data()[0] + y.data()[2] < 1e-5);
+/// # Ok::<(), mixq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    frozen: bool,
+}
+
+/// Cache produced by the training-mode forward pass, consumed by backward.
+#[derive(Debug, Clone)]
+pub struct BnCache {
+    normalized: Tensor<f32>,
+    batch_std: Vec<f32>,
+    count: usize,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `channels` with γ=1, β=0.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.9,
+            eps: 1e-5,
+            frozen: false,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Scale parameters γ.
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma
+    }
+
+    /// Mutable γ (used by tests and by deliberate re-initialization).
+    pub fn gamma_mut(&mut self) -> &mut [f32] {
+        &mut self.gamma
+    }
+
+    /// Shift parameters β.
+    pub fn beta(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// Mutable β.
+    pub fn beta_mut(&mut self) -> &mut [f32] {
+        &mut self.beta
+    }
+
+    /// Running mean µ.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running standard deviation σ (with ε folded in), channel-wise.
+    pub fn running_std(&self) -> Vec<f32> {
+        self.running_var
+            .iter()
+            .map(|v| (v + self.eps).sqrt())
+            .collect()
+    }
+
+    /// Whether parameters and statistics are frozen (§6 freezes after the
+    /// first epoch).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Freezes parameters and running statistics.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Training-mode forward. When frozen, falls back to inference mode
+    /// (running statistics) and produces a cache that backward understands.
+    pub fn forward_train(&mut self, x: &Tensor<f32>) -> (Tensor<f32>, BnCache) {
+        let c = self.channels();
+        assert_eq!(x.shape().c, c, "channel count");
+        let count = x.len() / c;
+        let (mean, var) = if self.frozen {
+            (self.running_mean.clone(), self.running_var.clone())
+        } else {
+            let mut mean = vec![0.0f64; c];
+            for (i, &v) in x.data().iter().enumerate() {
+                mean[i % c] += v as f64;
+            }
+            for m in &mut mean {
+                *m /= count as f64;
+            }
+            let mut var = vec![0.0f64; c];
+            for (i, &v) in x.data().iter().enumerate() {
+                let d = v as f64 - mean[i % c];
+                var[i % c] += d * d;
+            }
+            for v in &mut var {
+                *v /= count as f64;
+            }
+            let mean: Vec<f32> = mean.iter().map(|&m| m as f32).collect();
+            let var: Vec<f32> = var.iter().map(|&v| v as f32).collect();
+            // Update running statistics.
+            for i in 0..c {
+                self.running_mean[i] =
+                    self.momentum * self.running_mean[i] + (1.0 - self.momentum) * mean[i];
+                self.running_var[i] =
+                    self.momentum * self.running_var[i] + (1.0 - self.momentum) * var[i];
+            }
+            (mean, var)
+        };
+        let std: Vec<f32> = var.iter().map(|v| (v + self.eps).sqrt()).collect();
+        let mut normalized = Tensor::<f32>::zeros(x.shape());
+        let mut y = Tensor::<f32>::zeros(x.shape());
+        for (i, &v) in x.data().iter().enumerate() {
+            let ch = i % c;
+            let n = (v - mean[ch]) / std[ch];
+            normalized.data_mut()[i] = n;
+            y.data_mut()[i] = self.gamma[ch] * n + self.beta[ch];
+        }
+        (
+            y,
+            BnCache {
+                normalized,
+                batch_std: std,
+                count,
+            },
+        )
+    }
+
+    /// Inference-mode forward using running statistics.
+    pub fn forward_eval(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let c = self.channels();
+        assert_eq!(x.shape().c, c, "channel count");
+        let std = self.running_std();
+        let mut y = Tensor::<f32>::zeros(x.shape());
+        for (i, &v) in x.data().iter().enumerate() {
+            let ch = i % c;
+            y.data_mut()[i] = self.gamma[ch] * (v - self.running_mean[ch]) / std[ch] + self.beta[ch];
+        }
+        y
+    }
+
+    /// Backward pass; returns `(dx, dgamma, dbeta)`.
+    ///
+    /// Uses the full batch-norm gradient when statistics came from the batch;
+    /// when frozen, the statistics are constants and the gradient reduces to
+    /// a per-channel scale.
+    pub fn backward(&self, dy: &Tensor<f32>, cache: &BnCache) -> (Tensor<f32>, Vec<f32>, Vec<f32>) {
+        let c = self.channels();
+        let m = cache.count as f32;
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for (i, &g) in dy.data().iter().enumerate() {
+            let ch = i % c;
+            dgamma[ch] += g * cache.normalized.data()[i];
+            dbeta[ch] += g;
+        }
+        let mut dx = Tensor::<f32>::zeros(dy.shape());
+        if self.frozen {
+            for (i, &g) in dy.data().iter().enumerate() {
+                let ch = i % c;
+                dx.data_mut()[i] = g * self.gamma[ch] / cache.batch_std[ch];
+            }
+        } else {
+            // dx = γ/σ · (dy − mean(dy) − x̂·mean(dy·x̂))
+            let mut mean_dy = vec![0.0f32; c];
+            let mut mean_dy_xhat = vec![0.0f32; c];
+            for (i, &g) in dy.data().iter().enumerate() {
+                let ch = i % c;
+                mean_dy[ch] += g;
+                mean_dy_xhat[ch] += g * cache.normalized.data()[i];
+            }
+            for ch in 0..c {
+                mean_dy[ch] /= m;
+                mean_dy_xhat[ch] /= m;
+            }
+            for (i, &g) in dy.data().iter().enumerate() {
+                let ch = i % c;
+                dx.data_mut()[i] = self.gamma[ch] / cache.batch_std[ch]
+                    * (g - mean_dy[ch] - cache.normalized.data()[i] * mean_dy_xhat[ch]);
+            }
+        }
+        (dx, dgamma, dbeta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::Shape;
+
+    #[test]
+    fn train_forward_normalizes_batch() {
+        let mut bn = BatchNorm::new(1);
+        let x = Tensor::from_vec(Shape::new(4, 1, 1, 1), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (y, _) = bn.forward_train(&x);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let mut bn = BatchNorm::new(1);
+        bn.gamma_mut()[0] = 2.0;
+        bn.beta_mut()[0] = 1.0;
+        let x = Tensor::from_vec(Shape::new(2, 1, 1, 1), vec![-1.0, 1.0]).unwrap();
+        let (y, _) = bn.forward_train(&x);
+        // Normalized = ±1 → y = ±2 + 1.
+        assert!((y.data()[0] - (-1.0)).abs() < 1e-3);
+        assert!((y.data()[1] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn running_stats_converge_to_data() {
+        let mut bn = BatchNorm::new(1);
+        let x = Tensor::from_vec(Shape::new(4, 1, 1, 1), vec![4.0, 6.0, 4.0, 6.0]).unwrap();
+        for _ in 0..200 {
+            let _ = bn.forward_train(&x);
+        }
+        assert!((bn.running_mean()[0] - 5.0).abs() < 0.05);
+        assert!((bn.running_var[0] - 1.0).abs() < 0.05);
+        // Eval mode then reproduces ~the train output.
+        let y = bn.forward_eval(&x);
+        assert!((y.data()[0] + 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn frozen_uses_running_stats_and_stops_updates() {
+        let mut bn = BatchNorm::new(1);
+        bn.running_mean[0] = 10.0;
+        bn.running_var[0] = 4.0;
+        bn.freeze();
+        assert!(bn.is_frozen());
+        let x = Tensor::from_vec(Shape::new(2, 1, 1, 1), vec![10.0, 14.0]).unwrap();
+        let (y, _) = bn.forward_train(&x);
+        // (10-10)/2=0, (14-10)/2=2.
+        assert!((y.data()[0] - 0.0).abs() < 1e-3);
+        assert!((y.data()[1] - 2.0).abs() < 1e-3);
+        assert_eq!(bn.running_mean()[0], 10.0, "stats must not move");
+    }
+
+    #[test]
+    fn backward_gradient_check_unfrozen() {
+        let mut bn = BatchNorm::new(2);
+        bn.gamma_mut().copy_from_slice(&[1.5, 0.5]);
+        bn.beta_mut().copy_from_slice(&[0.1, -0.2]);
+        let x = Tensor::from_vec(
+            Shape::new(3, 1, 1, 2),
+            vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0],
+        )
+        .unwrap();
+        let (y, cache) = bn.forward_train(&x);
+        let dy = y.clone(); // L = sum(y^2)/2
+        let (dx, dgamma, dbeta) = bn.backward(&dy, &cache);
+
+        let loss = |bnc: &BatchNorm, xs: &Tensor<f32>| -> f64 {
+            let mut b = bnc.clone();
+            let (y, _) = b.forward_train(xs);
+            y.data().iter().map(|&v| 0.5 * (v as f64).powi(2)).sum()
+        };
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&bn, &xp) - loss(&bn, &xm)) / (2.0 * eps as f64);
+            let ana = dx.data()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dx[{idx}] numeric {num} vs analytic {ana}"
+            );
+        }
+        for ch in 0..2 {
+            let mut bp = bn.clone();
+            bp.gamma_mut()[ch] += eps;
+            let mut bm = bn.clone();
+            bm.gamma_mut()[ch] -= eps;
+            let num = (loss(&bp, &x) - loss(&bm, &x)) / (2.0 * eps as f64);
+            assert!(
+                (num - dgamma[ch] as f64).abs() < 1e-2 * (1.0 + dgamma[ch].abs() as f64),
+                "dgamma[{ch}]"
+            );
+            let mut bp = bn.clone();
+            bp.beta_mut()[ch] += eps;
+            let mut bm = bn.clone();
+            bm.beta_mut()[ch] -= eps;
+            let num = (loss(&bp, &x) - loss(&bm, &x)) / (2.0 * eps as f64);
+            assert!(
+                (num - dbeta[ch] as f64).abs() < 1e-2 * (1.0 + dbeta[ch].abs() as f64),
+                "dbeta[{ch}]"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_frozen_is_plain_scale() {
+        let mut bn = BatchNorm::new(1);
+        bn.gamma_mut()[0] = 3.0;
+        bn.running_var[0] = 8.0; // σ = sqrt(8 + eps)
+        bn.freeze();
+        let x = Tensor::from_vec(Shape::new(2, 1, 1, 1), vec![1.0, 2.0]).unwrap();
+        let (_, cache) = bn.forward_train(&x);
+        let dy = Tensor::from_vec(Shape::new(2, 1, 1, 1), vec![1.0, 1.0]).unwrap();
+        let (dx, _, _) = bn.backward(&dy, &cache);
+        let expected = 3.0 / (8.0f32 + 1e-5).sqrt();
+        assert!((dx.data()[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn running_std_includes_eps() {
+        let bn = BatchNorm::new(1);
+        assert!((bn.running_std()[0] - 1.0).abs() < 1e-4);
+    }
+}

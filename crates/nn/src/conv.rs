@@ -1,0 +1,479 @@
+use mixq_tensor::{ConvGeometry, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Convolution flavour: standard (dense across input channels) or depthwise
+/// (one filter per channel) — the two building blocks of MobileNetV1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvKind {
+    /// Standard convolution: weights `(c_o, k_h, k_w, c_i)`.
+    Standard,
+    /// Depthwise convolution (`c_o == c_i`): weights `(c, k_h, k_w, 1)`.
+    Depthwise,
+}
+
+/// A 2-D convolution layer with bias, NHWC activations.
+///
+/// Weights are stored `(c_o, k_h, k_w, c_i)` — output channel outermost so
+/// the per-channel quantization axis is the leading dimension.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::{Conv2d, ConvKind};
+/// use mixq_tensor::{ConvGeometry, Padding, Shape, Tensor};
+///
+/// let conv = Conv2d::new(ConvKind::Standard, 1, 2,
+///                        ConvGeometry::new(3, 3, 1, Padding::Same), 0);
+/// let x = Tensor::<f32>::zeros(Shape::new(1, 4, 4, 1));
+/// let y = conv.forward(&x);
+/// assert_eq!(y.shape(), Shape::new(1, 4, 4, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    kind: ConvKind,
+    in_channels: usize,
+    out_channels: usize,
+    geometry: ConvGeometry,
+    weights: Tensor<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-style random initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a depthwise convolution is requested with
+    /// `in_channels != out_channels`.
+    pub fn new(
+        kind: ConvKind,
+        in_channels: usize,
+        out_channels: usize,
+        geometry: ConvGeometry,
+        seed: u64,
+    ) -> Self {
+        if kind == ConvKind::Depthwise {
+            assert_eq!(
+                in_channels, out_channels,
+                "depthwise convolution requires c_i == c_o"
+            );
+        }
+        let fan_in = match kind {
+            ConvKind::Standard => in_channels * geometry.kernel_area(),
+            ConvKind::Depthwise => geometry.kernel_area(),
+        };
+        let std = (2.0 / fan_in as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w_shape = Self::weight_shape(kind, in_channels, out_channels, geometry);
+        let data = (0..w_shape.volume())
+            .map(|_| {
+                // Uniform(-√3σ, √3σ) has std σ; avoids needing a normal dist.
+                let r: f32 = rng.random_range(-1.0..1.0);
+                r * std * 3f32.sqrt()
+            })
+            .collect();
+        Conv2d {
+            kind,
+            in_channels,
+            out_channels,
+            geometry,
+            weights: Tensor::from_vec(w_shape, data).expect("shape volume consistent"),
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    fn weight_shape(
+        kind: ConvKind,
+        in_channels: usize,
+        out_channels: usize,
+        geometry: ConvGeometry,
+    ) -> Shape {
+        match kind {
+            ConvKind::Standard => Shape::new(out_channels, geometry.kh, geometry.kw, in_channels),
+            ConvKind::Depthwise => Shape::new(out_channels, geometry.kh, geometry.kw, 1),
+        }
+    }
+
+    /// The convolution flavour.
+    pub fn kind(&self) -> ConvKind {
+        self.kind
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Spatial geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geometry
+    }
+
+    /// Weight tensor `(c_o, k_h, k_w, c_i)` (depthwise: `c_i = 1`).
+    pub fn weights(&self) -> &Tensor<f32> {
+        &self.weights
+    }
+
+    /// Mutable weight tensor.
+    pub fn weights_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.weights
+    }
+
+    /// Per-output-channel bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Replaces the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn set_weights(&mut self, weights: Tensor<f32>) {
+        assert_eq!(weights.shape(), self.weights.shape(), "weight shape");
+        self.weights = weights;
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        let (h, w) = self.geometry.output_size(input.h, input.w);
+        Shape::new(input.n, h, w, self.out_channels)
+    }
+
+    /// Forward pass with the layer's own weights.
+    pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.forward_with(x, &self.weights)
+    }
+
+    /// Forward pass with externally supplied (e.g. fake-quantized) weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts or weight shape disagree with the layer.
+    pub fn forward_with(&self, x: &Tensor<f32>, weights: &Tensor<f32>) -> Tensor<f32> {
+        self.forward_with_params(x, weights, &self.bias)
+    }
+
+    /// Forward pass with externally supplied weights *and* bias (used by the
+    /// batch-norm-folded training path, where both are derived tensors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts, weight shape, or bias length disagree.
+    pub fn forward_with_params(
+        &self,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        bias: &[f32],
+    ) -> Tensor<f32> {
+        assert_eq!(x.shape().c, self.in_channels, "input channels");
+        assert_eq!(weights.shape(), self.weights.shape(), "weight shape");
+        assert_eq!(bias.len(), self.out_channels, "bias length");
+        let out_shape = self.output_shape(x.shape());
+        let mut y = Tensor::<f32>::zeros(out_shape);
+        let (pt, pl) = self.geometry.pad_top_left(x.shape().h, x.shape().w);
+        let s = self.geometry.stride;
+        let (kh, kw) = (self.geometry.kh, self.geometry.kw);
+        let in_shape = x.shape();
+        for n in 0..out_shape.n {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    for co in 0..self.out_channels {
+                        let mut acc = bias[co];
+                        for ky in 0..kh {
+                            let iy = (oy * s + ky) as isize - pt as isize;
+                            if iy < 0 || iy >= in_shape.h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * s + kx) as isize - pl as isize;
+                                if ix < 0 || ix >= in_shape.w as isize {
+                                    continue;
+                                }
+                                match self.kind {
+                                    ConvKind::Standard => {
+                                        for ci in 0..self.in_channels {
+                                            acc += x.at(n, iy as usize, ix as usize, ci)
+                                                * weights.at(co, ky, kx, ci);
+                                        }
+                                    }
+                                    ConvKind::Depthwise => {
+                                        acc += x.at(n, iy as usize, ix as usize, co)
+                                            * weights.at(co, ky, kx, 0);
+                                    }
+                                }
+                            }
+                        }
+                        *y.at_mut(n, oy, ox, co) = acc;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass.
+    ///
+    /// Given the upstream gradient `dy` (shape of the output) and the input
+    /// `x` that produced it (with the same `weights` used forward), returns
+    /// `(dx, dw, db)`.
+    pub fn backward(
+        &self,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        dy: &Tensor<f32>,
+    ) -> (Tensor<f32>, Tensor<f32>, Vec<f32>) {
+        let out_shape = self.output_shape(x.shape());
+        assert_eq!(dy.shape(), out_shape, "upstream gradient shape");
+        let mut dx = Tensor::<f32>::zeros(x.shape());
+        let mut dw = Tensor::<f32>::zeros(weights.shape());
+        let mut db = vec![0.0f32; self.out_channels];
+        let (pt, pl) = self.geometry.pad_top_left(x.shape().h, x.shape().w);
+        let s = self.geometry.stride;
+        let (kh, kw) = (self.geometry.kh, self.geometry.kw);
+        let in_shape = x.shape();
+        for n in 0..out_shape.n {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    for co in 0..self.out_channels {
+                        let g = dy.at(n, oy, ox, co);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        db[co] += g;
+                        for ky in 0..kh {
+                            let iy = (oy * s + ky) as isize - pt as isize;
+                            if iy < 0 || iy >= in_shape.h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * s + kx) as isize - pl as isize;
+                                if ix < 0 || ix >= in_shape.w as isize {
+                                    continue;
+                                }
+                                let (iy, ix) = (iy as usize, ix as usize);
+                                match self.kind {
+                                    ConvKind::Standard => {
+                                        for ci in 0..self.in_channels {
+                                            *dw.at_mut(co, ky, kx, ci) += g * x.at(n, iy, ix, ci);
+                                            *dx.at_mut(n, iy, ix, ci) +=
+                                                g * weights.at(co, ky, kx, ci);
+                                        }
+                                    }
+                                    ConvKind::Depthwise => {
+                                        *dw.at_mut(co, ky, kx, 0) += g * x.at(n, iy, ix, co);
+                                        *dx.at_mut(n, iy, ix, co) += g * weights.at(co, ky, kx, 0);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (dx, dw, db)
+    }
+
+    /// Multiply–accumulate operations for one forward pass at `input`
+    /// (used by the MCU latency model).
+    pub fn macs(&self, input: Shape) -> usize {
+        let out = self.output_shape(input);
+        let per_output = match self.kind {
+            ConvKind::Standard => self.geometry.kernel_area() * self.in_channels,
+            ConvKind::Depthwise => self.geometry.kernel_area(),
+        };
+        out.n * out.pixels() * self.out_channels * per_output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::Padding;
+
+    fn ramp(shape: Shape) -> Tensor<f32> {
+        Tensor::from_vec(shape, (0..shape.volume()).map(|i| i as f32 * 0.1).collect()).unwrap()
+    }
+
+    #[test]
+    fn identity_pointwise_conv() {
+        // A 1x1 conv with identity weights must copy the input.
+        let mut conv = Conv2d::new(ConvKind::Standard, 2, 2, ConvGeometry::pointwise(), 0);
+        let mut w = Tensor::<f32>::zeros(Shape::new(2, 1, 1, 2));
+        *w.at_mut(0, 0, 0, 0) = 1.0;
+        *w.at_mut(1, 0, 0, 1) = 1.0;
+        conv.set_weights(w);
+        let x = ramp(Shape::new(1, 3, 3, 2));
+        let y = conv.forward(&x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn known_3x3_valid_convolution() {
+        // Valid 3x3 all-ones kernel over an all-ones 3x3 input = 9.
+        let mut conv = Conv2d::new(
+            ConvKind::Standard,
+            1,
+            1,
+            ConvGeometry::new(3, 3, 1, Padding::Valid),
+            0,
+        );
+        conv.set_weights(Tensor::full(Shape::new(1, 3, 3, 1), 1.0));
+        let x = Tensor::full(Shape::new(1, 3, 3, 1), 1.0);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), Shape::new(1, 1, 1, 1));
+        assert_eq!(y.data()[0], 9.0);
+    }
+
+    #[test]
+    fn same_padding_zero_pads_borders() {
+        let mut conv = Conv2d::new(
+            ConvKind::Standard,
+            1,
+            1,
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            0,
+        );
+        conv.set_weights(Tensor::full(Shape::new(1, 3, 3, 1), 1.0));
+        let x = Tensor::full(Shape::new(1, 3, 3, 1), 1.0);
+        let y = conv.forward(&x);
+        // Centre sees all 9 inputs, corners only 4.
+        assert_eq!(y.at(0, 1, 1, 0), 9.0);
+        assert_eq!(y.at(0, 0, 0, 0), 4.0);
+        assert_eq!(y.at(0, 0, 1, 0), 6.0);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let mut conv = Conv2d::new(ConvKind::Standard, 1, 1, ConvGeometry::pointwise(), 0);
+        conv.set_weights(Tensor::full(Shape::new(1, 1, 1, 1), 0.0));
+        conv.bias_mut()[0] = 2.5;
+        let x = Tensor::full(Shape::new(1, 2, 2, 1), 7.0);
+        let y = conv.forward(&x);
+        assert!(y.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn depthwise_convolves_channels_independently() {
+        let mut conv = Conv2d::new(ConvKind::Depthwise, 2, 2, ConvGeometry::pointwise(), 0);
+        let mut w = Tensor::<f32>::zeros(Shape::new(2, 1, 1, 1));
+        *w.at_mut(0, 0, 0, 0) = 2.0;
+        *w.at_mut(1, 0, 0, 0) = -1.0;
+        conv.set_weights(w);
+        let mut x = Tensor::<f32>::zeros(Shape::new(1, 1, 1, 2));
+        *x.at_mut(0, 0, 0, 0) = 3.0;
+        *x.at_mut(0, 0, 0, 1) = 5.0;
+        let y = conv.forward(&x);
+        assert_eq!(y.at(0, 0, 0, 0), 6.0);
+        assert_eq!(y.at(0, 0, 0, 1), -5.0);
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let conv = Conv2d::new(
+            ConvKind::Standard,
+            1,
+            4,
+            ConvGeometry::new(3, 3, 2, Padding::Same),
+            1,
+        );
+        let y = conv.forward(&Tensor::<f32>::zeros(Shape::new(1, 8, 8, 1)));
+        assert_eq!(y.shape(), Shape::new(1, 4, 4, 4));
+    }
+
+    #[test]
+    fn gradient_check_standard() {
+        gradient_check(ConvKind::Standard, 2, 3);
+    }
+
+    #[test]
+    fn gradient_check_depthwise() {
+        gradient_check(ConvKind::Depthwise, 2, 2);
+    }
+
+    /// Numerical gradient check on a tiny configuration.
+    fn gradient_check(kind: ConvKind, ci: usize, co: usize) {
+        let geometry = ConvGeometry::new(3, 3, 2, Padding::Same);
+        let conv = Conv2d::new(kind, ci, co, geometry, 3);
+        let x = ramp(Shape::new(1, 4, 4, ci));
+        let y = conv.forward(&x);
+        // Loss = sum(y^2)/2, so dL/dy = y.
+        let dy = y.clone();
+        let (dx, dw, db) = conv.backward(&x, conv.weights(), &dy);
+
+        let loss = |c: &Conv2d, xs: &Tensor<f32>| -> f64 {
+            c.forward(xs)
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        // Check dx at a few positions.
+        for idx in [0usize, 7, 13] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&conv, &xp) - loss(&conv, &xm)) / (2.0 * eps as f64);
+            let ana = dx.data()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dx[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check dw at a few positions.
+        for idx in [0usize, 5] {
+            let mut cp = conv.clone();
+            cp.weights_mut().data_mut()[idx] += eps;
+            let mut cm = conv.clone();
+            cm.weights_mut().data_mut()[idx] -= eps;
+            let num = (loss(&cp, &x) - loss(&cm, &x)) / (2.0 * eps as f64);
+            let ana = dw.data()[idx] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dw[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check db.
+        let mut cp = conv.clone();
+        cp.bias_mut()[0] += eps;
+        let mut cm = conv.clone();
+        cm.bias_mut()[0] -= eps;
+        let num = (loss(&cp, &x) - loss(&cm, &x)) / (2.0 * eps as f64);
+        assert!((num - db[0] as f64).abs() < 1e-2 * (1.0 + db[0].abs() as f64));
+    }
+
+    #[test]
+    fn macs_counting() {
+        // 1x1 conv: h*w*co*ci MACs.
+        let conv = Conv2d::new(ConvKind::Standard, 8, 16, ConvGeometry::pointwise(), 0);
+        assert_eq!(conv.macs(Shape::new(1, 4, 4, 8)), 4 * 4 * 16 * 8);
+        // Depthwise 3x3: h*w*c*9.
+        let dw = Conv2d::new(
+            ConvKind::Depthwise,
+            8,
+            8,
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            0,
+        );
+        assert_eq!(dw.macs(Shape::new(1, 4, 4, 8)), 4 * 4 * 8 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "depthwise")]
+    fn depthwise_channel_mismatch_panics() {
+        let _ = Conv2d::new(ConvKind::Depthwise, 2, 4, ConvGeometry::default(), 0);
+    }
+}

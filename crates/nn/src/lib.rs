@@ -1,0 +1,51 @@
+//! # mixq-nn
+//!
+//! Training substrate for the paper's fake-quantized graphs (`g(x)` in
+//! Fig. 1): float and fake-quantized layers with hand-written backward
+//! passes, the Adam optimizer, and the quantization-aware training (QAT)
+//! loop of §6.
+//!
+//! The paper trains MobileNetV1 on ImageNet with PyTorch; this crate
+//! provides the same mechanisms (PACT activations, per-layer/per-channel
+//! weight fake-quantization with straight-through estimators, optional
+//! batch-norm folding, frozen-BN schedule) at a scale that trains in seconds
+//! on a CPU, which is what the accuracy-shape experiments in
+//! `EXPERIMENTS.md` use.
+//!
+//! Layer inventory: [`Conv2d`] (standard + depthwise), [`BatchNorm`],
+//! [`Linear`], [`GlobalAvgPool`], [`PactQuantAct`]; losses in [`loss`];
+//! [`Adam`] in [`optim`]; the assembled QAT network in [`qat`] and the
+//! training loop in [`train`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mixq_nn::qat::{MicroCnnSpec, QatNetwork};
+//! use mixq_tensor::{Shape, Tensor};
+//!
+//! // A float-mode micro CNN: 2 conv blocks + linear head.
+//! let spec = MicroCnnSpec::new(8, 8, 1, 4, &[4, 8]);
+//! let net = QatNetwork::build(&spec, 42);
+//! let x = Tensor::<f32>::zeros(Shape::new(2, 8, 8, 1));
+//! let logits = net.forward(&x);
+//! assert_eq!(logits.shape().c, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod linear;
+pub mod loss;
+pub mod optim;
+mod pool;
+pub mod qat;
+pub mod train;
+
+pub use activation::PactQuantAct;
+pub use batchnorm::BatchNorm;
+pub use conv::{Conv2d, ConvKind};
+pub use linear::Linear;
+pub use pool::GlobalAvgPool;

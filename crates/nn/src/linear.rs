@@ -1,0 +1,230 @@
+use mixq_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fully-connected layer `y = W·x + b` over flattened `(n, 1, 1, c)`
+/// activations.
+///
+/// Weights are stored `(out, 1, 1, in)` so the output dimension is the
+/// leading axis, matching the per-channel quantization convention of
+/// [`Conv2d`](crate::Conv2d).
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::Linear;
+/// use mixq_tensor::{Shape, Tensor};
+///
+/// let lin = Linear::new(3, 2, 0);
+/// let x = Tensor::<f32>::zeros(Shape::new(1, 1, 1, 3));
+/// assert_eq!(lin.forward(&x).shape(), Shape::new(1, 1, 1, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weights: Tensor<f32>,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-style uniform initialization.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let bound = (6.0 / (in_features + out_features) as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x11EA8));
+        let shape = Shape::new(out_features, 1, 1, in_features);
+        let data = (0..shape.volume())
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Linear {
+            in_features,
+            out_features,
+            weights: Tensor::from_vec(shape, data).expect("consistent volume"),
+            bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Weight tensor `(out, 1, 1, in)`.
+    pub fn weights(&self) -> &Tensor<f32> {
+        &self.weights
+    }
+
+    /// Mutable weight tensor.
+    pub fn weights_mut(&mut self) -> &mut Tensor<f32> {
+        &mut self.weights
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Forward with the layer's own weights.
+    pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        self.forward_with(x, &self.weights)
+    }
+
+    /// Forward with externally supplied (e.g. fake-quantized) weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature counts disagree.
+    pub fn forward_with(&self, x: &Tensor<f32>, weights: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(x.shape().item_volume(), self.in_features, "input features");
+        assert_eq!(weights.shape(), self.weights.shape(), "weight shape");
+        let n = x.shape().n;
+        let mut y = Tensor::<f32>::zeros(Shape::new(n, 1, 1, self.out_features));
+        for b in 0..n {
+            let xrow = &x.data()[b * self.in_features..(b + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let wrow = &weights.data()[o * self.in_features..(o + 1) * self.in_features];
+                let mut acc = self.bias[o];
+                for (xi, wi) in xrow.iter().zip(wrow) {
+                    acc += xi * wi;
+                }
+                y.data_mut()[b * self.out_features + o] = acc;
+            }
+        }
+        y
+    }
+
+    /// Backward pass; returns `(dx, dw, db)`.
+    pub fn backward(
+        &self,
+        x: &Tensor<f32>,
+        weights: &Tensor<f32>,
+        dy: &Tensor<f32>,
+    ) -> (Tensor<f32>, Tensor<f32>, Vec<f32>) {
+        let n = x.shape().n;
+        assert_eq!(dy.shape().item_volume(), self.out_features);
+        let mut dx = Tensor::<f32>::zeros(x.shape());
+        let mut dw = Tensor::<f32>::zeros(weights.shape());
+        let mut db = vec![0.0f32; self.out_features];
+        for b in 0..n {
+            let xrow = &x.data()[b * self.in_features..(b + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let g = dy.data()[b * self.out_features + o];
+                if g == 0.0 {
+                    continue;
+                }
+                db[o] += g;
+                let wrow = &weights.data()[o * self.in_features..(o + 1) * self.in_features];
+                let dwrow = &mut dw.data_mut()[o * self.in_features..(o + 1) * self.in_features];
+                for i in 0..self.in_features {
+                    dwrow[i] += g * xrow[i];
+                }
+                let dxrow = &mut dx.data_mut()[b * self.in_features..(b + 1) * self.in_features];
+                for i in 0..self.in_features {
+                    dxrow[i] += g * wrow[i];
+                }
+            }
+        }
+        (dx, dw, db)
+    }
+
+    /// MAC count for a batch of `n` items.
+    pub fn macs(&self, n: usize) -> usize {
+        n * self.in_features * self.out_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_weights_copy_input() {
+        let mut lin = Linear::new(2, 2, 0);
+        let mut w = Tensor::<f32>::zeros(Shape::new(2, 1, 1, 2));
+        *w.at_mut(0, 0, 0, 0) = 1.0;
+        *w.at_mut(1, 0, 0, 1) = 1.0;
+        lin.weights_mut().data_mut().copy_from_slice(w.data());
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 2), vec![3.0, -4.0]).unwrap();
+        assert_eq!(lin.forward(&x).data(), &[3.0, -4.0]);
+    }
+
+    #[test]
+    fn bias_applied() {
+        let mut lin = Linear::new(1, 1, 0);
+        lin.weights_mut().data_mut()[0] = 0.0;
+        lin.bias_mut()[0] = 5.0;
+        let x = Tensor::from_vec(Shape::vector(1), vec![100.0]).unwrap();
+        assert_eq!(lin.forward(&x).data(), &[5.0]);
+    }
+
+    #[test]
+    fn batch_forward() {
+        let mut lin = Linear::new(2, 1, 0);
+        lin.weights_mut().data_mut().copy_from_slice(&[1.0, 2.0]);
+        let x =
+            Tensor::from_vec(Shape::new(2, 1, 1, 2), vec![1.0, 1.0, 2.0, 0.5]).unwrap();
+        let y = lin.forward(&x);
+        assert_eq!(y.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let lin = Linear::new(3, 2, 7);
+        let x = Tensor::from_vec(
+            Shape::new(2, 1, 1, 3),
+            vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5],
+        )
+        .unwrap();
+        let y = lin.forward(&x);
+        let dy = y.clone(); // L = sum(y^2)/2
+        let (dx, dw, db) = lin.backward(&x, lin.weights(), &dy);
+        let loss = |l: &Linear, xs: &Tensor<f32>| -> f64 {
+            l.forward(xs)
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64).powi(2))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&lin, &xp) - loss(&lin, &xm)) / (2.0 * eps as f64);
+            assert!((num - dx.data()[idx] as f64).abs() < 1e-2);
+        }
+        for idx in 0..6 {
+            let mut lp = lin.clone();
+            lp.weights_mut().data_mut()[idx] += eps;
+            let mut lm = lin.clone();
+            lm.weights_mut().data_mut()[idx] -= eps;
+            let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps as f64);
+            assert!((num - dw.data()[idx] as f64).abs() < 1e-2 * (1.0 + dw.data()[idx].abs() as f64));
+        }
+        for o in 0..2 {
+            let mut lp = lin.clone();
+            lp.bias_mut()[o] += eps;
+            let mut lm = lin.clone();
+            lm.bias_mut()[o] -= eps;
+            let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps as f64);
+            assert!((num - db[o] as f64).abs() < 1e-2 * (1.0 + db[o].abs() as f64));
+        }
+    }
+
+    #[test]
+    fn macs_counting() {
+        let lin = Linear::new(1024, 1000, 0);
+        assert_eq!(lin.macs(1), 1_024_000);
+    }
+}

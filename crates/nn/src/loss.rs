@@ -1,0 +1,173 @@
+//! Softmax cross-entropy loss for classification training.
+
+use mixq_tensor::Tensor;
+
+/// Numerically stable softmax over the channel dimension of `(n, 1, 1, c)`
+/// logits.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::loss::softmax;
+/// use mixq_tensor::{Shape, Tensor};
+///
+/// let logits = Tensor::from_vec(Shape::vector(2), vec![0.0, 0.0])?;
+/// let p = softmax(&logits);
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// # Ok::<(), mixq_tensor::TensorError>(())
+/// ```
+pub fn softmax(logits: &Tensor<f32>) -> Tensor<f32> {
+    let c = logits.shape().c;
+    assert!(c > 0, "need at least one class");
+    let n = logits.len() / c;
+    let mut out = Tensor::<f32>::zeros(logits.shape());
+    for b in 0..n {
+        let row = &logits.data()[b * c..(b + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (i, e) in exps.iter().enumerate() {
+            out.data_mut()[b * c + i] = e / sum;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax − onehot)/batch`.
+///
+/// # Panics
+///
+/// Panics if a label is out of range or the label count mismatches the
+/// batch size.
+pub fn cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> (f32, Tensor<f32>) {
+    let c = logits.shape().c;
+    let n = logits.len() / c;
+    assert_eq!(labels.len(), n, "one label per batch item");
+    let probs = softmax(logits);
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    for (b, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let p = probs.data()[b * c + label].max(1e-12);
+        loss -= (p as f64).ln();
+        grad.data_mut()[b * c + label] -= 1.0;
+    }
+    let scale = 1.0 / n as f32;
+    for g in grad.data_mut() {
+        *g *= scale;
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f32 {
+    let c = logits.shape().c;
+    let n = logits.len() / c;
+    assert_eq!(labels.len(), n, "one label per batch item");
+    let mut correct = 0usize;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[b * c..(b + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / n.max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::Shape;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(
+            Shape::new(2, 1, 1, 3),
+            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let p = softmax(&logits);
+        for b in 0..2 {
+            let sum: f32 = p.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(p.data()[2] > p.data()[1]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(Shape::vector(2), vec![1000.0, 1001.0]).unwrap();
+        let p = softmax(&a);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        let b = Tensor::from_vec(Shape::vector(2), vec![0.0, 1.0]).unwrap();
+        let q = softmax(&b);
+        for (x, y) in p.data().iter().zip(q.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(Shape::vector(2), vec![20.0, -20.0]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::from_vec(Shape::vector(4), vec![0.0; 4]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let logits =
+            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![0.3, -0.1, 0.5, 1.0, 0.0, -1.0])
+                .unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (lossp, _) = cross_entropy(&lp, &labels);
+            let (lossm, _) = cross_entropy(&lm, &labels);
+            let num = (lossp - lossm) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: numeric {num} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(
+            Shape::new(2, 1, 1, 2),
+            vec![2.0, 1.0, 0.0, 3.0],
+        )
+        .unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::from_vec(Shape::vector(2), vec![0.0, 0.0]).unwrap();
+        let _ = cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The Adam optimizer (the paper trains with Adam at 1e-4, decayed to 5e-5
+//! and 1e-5 on a fixed schedule, §6).
+
+/// Adam state for a single parameter tensor.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::optim::Adam;
+///
+/// let mut opt = Adam::new(0.1, 2);
+/// let mut params = vec![1.0f32, -1.0];
+/// // Gradient of L = x·x/2 is x: repeated steps shrink the params.
+/// for _ in 0..100 {
+///     let grads: Vec<f32> = params.clone();
+///     opt.step(&mut params, &grads);
+/// }
+/// assert!(params[0].abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Creates an optimizer for a parameter tensor of `len` elements with
+    /// the given learning rate and default betas `(0.9, 0.999)`.
+    pub fn new(lr: f32, len: usize) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (the §6 schedule decays it at fixed epochs).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree with the state.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "parameter length");
+        assert_eq!(grads.len(), self.m.len(), "gradient length");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut opt = Adam::new(0.05, 1);
+        let mut p = vec![5.0f32];
+        for _ in 0..500 {
+            let g = vec![2.0 * (p[0] - 3.0)]; // L = (p-3)^2
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 0.05, "converged to {}", p[0]);
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // Adam's bias correction makes the very first step ≈ lr·sign(g).
+        let mut opt = Adam::new(0.1, 1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[123.0]);
+        assert!((p[0] + 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lr_update_and_counters() {
+        let mut opt = Adam::new(1e-4, 2);
+        assert_eq!(opt.learning_rate(), 1e-4);
+        opt.set_learning_rate(5e-5);
+        assert_eq!(opt.learning_rate(), 5e-5);
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut [0.0, 0.0], &[1.0, -1.0]);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Adam::new(0.1, 2);
+        opt.step(&mut [0.0], &[1.0]);
+    }
+}

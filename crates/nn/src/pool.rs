@@ -1,0 +1,115 @@
+use mixq_tensor::{Shape, Tensor};
+
+/// Global average pooling `(n, h, w, c) → (n, 1, 1, c)`, the layer between
+/// MobileNetV1's last convolution and its classifier.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::GlobalAvgPool;
+/// use mixq_tensor::{Shape, Tensor};
+///
+/// let x = Tensor::from_vec(Shape::new(1, 2, 2, 1), vec![1.0, 2.0, 3.0, 4.0])?;
+/// let y = GlobalAvgPool.forward(&x);
+/// assert_eq!(y.data(), &[2.5]);
+/// # Ok::<(), mixq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlobalAvgPool;
+
+impl GlobalAvgPool {
+    /// Forward pass: mean over the spatial dimensions.
+    pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let s = x.shape();
+        let mut y = Tensor::<f32>::zeros(Shape::new(s.n, 1, 1, s.c));
+        let area = s.pixels() as f32;
+        for n in 0..s.n {
+            for yy in 0..s.h {
+                for xx in 0..s.w {
+                    for c in 0..s.c {
+                        y.data_mut()[n * s.c + c] += x.at(n, yy, xx, c);
+                    }
+                }
+            }
+        }
+        for v in y.data_mut() {
+            *v /= area;
+        }
+        y
+    }
+
+    /// Backward pass: spread the gradient uniformly over the pooled window.
+    pub fn backward(&self, input_shape: Shape, dy: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(dy.shape().c, input_shape.c, "channel count");
+        assert_eq!(dy.shape().n, input_shape.n, "batch size");
+        let mut dx = Tensor::<f32>::zeros(input_shape);
+        let area = input_shape.pixels() as f32;
+        for n in 0..input_shape.n {
+            for yy in 0..input_shape.h {
+                for xx in 0..input_shape.w {
+                    for c in 0..input_shape.c {
+                        *dx.at_mut(n, yy, xx, c) = dy.data()[n * input_shape.c + c] / area;
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_averages_per_channel() {
+        let x = Tensor::from_vec(
+            Shape::new(1, 2, 2, 2),
+            vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0],
+        )
+        .unwrap();
+        let y = GlobalAvgPool.forward(&x);
+        assert_eq!(y.shape(), Shape::new(1, 1, 1, 2));
+        assert_eq!(y.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn backward_distributes_uniformly() {
+        let shape = Shape::new(1, 2, 2, 1);
+        let dy = Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![4.0]).unwrap();
+        let dx = GlobalAvgPool.backward(shape, &dy);
+        assert!(dx.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn gradient_check() {
+        let x = Tensor::from_vec(Shape::new(1, 2, 2, 1), vec![1.0, -2.0, 3.0, 0.5]).unwrap();
+        let y = GlobalAvgPool.forward(&x);
+        let dy = y.clone();
+        let dx = GlobalAvgPool.backward(x.shape(), &dy);
+        let loss = |xs: &Tensor<f32>| -> f64 {
+            GlobalAvgPool
+                .forward(xs)
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64).powi(2))
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps as f64);
+            assert!((num - dx.data()[idx] as f64).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batch_independence() {
+        let x = Tensor::from_vec(Shape::new(2, 1, 2, 1), vec![1.0, 3.0, 10.0, 30.0]).unwrap();
+        let y = GlobalAvgPool.forward(&x);
+        assert_eq!(y.data(), &[2.0, 20.0]);
+    }
+}

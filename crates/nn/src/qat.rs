@@ -1,0 +1,896 @@
+//! The fake-quantized network `g(x)` of Fig. 1: stacked
+//! `conv → batch-norm → PACT-quant` blocks plus a pooled linear classifier,
+//! trainable in float or fake-quantized mode, with either the ICN-friendly
+//! unfolded graph or the Jacob-style batch-norm-folded graph (PL+FB).
+//!
+//! The micro-CNNs built here are the synthetic-data stand-ins for
+//! MobileNetV1 (see `DESIGN.md`, "Substitutions"); the block structure
+//! (depthwise/pointwise pairs available via [`MicroCnnSpec::separable`])
+//! and every quantization mechanism match the paper's deployment graphs.
+
+use mixq_quant::observer::PactClip;
+use mixq_quant::{BitWidth, ChannelParams, Granularity, QuantParams};
+use mixq_tensor::{ConvGeometry, Padding, Shape, Tensor};
+
+use crate::activation::ActCache;
+use crate::batchnorm::BnCache;
+use crate::{BatchNorm, Conv2d, ConvKind, GlobalAvgPool, Linear, PactQuantAct};
+
+/// Specification of one convolution block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Output channels.
+    pub out_channels: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Standard or depthwise.
+    pub kind: ConvKind,
+    /// Square kernel size.
+    pub kernel: usize,
+}
+
+/// Specification of a trainable micro-CNN.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_nn::qat::MicroCnnSpec;
+///
+/// let spec = MicroCnnSpec::new(8, 8, 2, 4, &[8, 16]);
+/// assert_eq!(spec.blocks().len(), 2);
+/// let sep = MicroCnnSpec::separable(16, 16, 2, 4, &[8, 16]);
+/// assert_eq!(sep.blocks().len(), 3); // stem + one dw/pw pair
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroCnnSpec {
+    height: usize,
+    width: usize,
+    channels: usize,
+    num_classes: usize,
+    blocks: Vec<BlockSpec>,
+    initial_clip: f32,
+}
+
+impl MicroCnnSpec {
+    /// Plain CNN: 3×3 standard convolutions, stride 2 from the second block
+    /// on (progressive downsampling, MobileNet-style).
+    pub fn new(
+        height: usize,
+        width: usize,
+        channels: usize,
+        num_classes: usize,
+        block_channels: &[usize],
+    ) -> Self {
+        assert!(!block_channels.is_empty(), "need at least one block");
+        let blocks = block_channels
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| BlockSpec {
+                out_channels: c,
+                stride: if i == 0 { 1 } else { 2 },
+                kind: ConvKind::Standard,
+                kernel: 3,
+            })
+            .collect();
+        MicroCnnSpec {
+            height,
+            width,
+            channels,
+            num_classes,
+            blocks,
+            initial_clip: 8.0,
+        }
+    }
+
+    /// MobileNet-style CNN: a standard stem followed by depthwise-separable
+    /// pairs (3×3 depthwise + 1×1 pointwise), stride 2 on the depthwise of
+    /// every pair.
+    pub fn separable(
+        height: usize,
+        width: usize,
+        channels: usize,
+        num_classes: usize,
+        pair_channels: &[usize],
+    ) -> Self {
+        assert!(!pair_channels.is_empty(), "need at least one pair");
+        let mut blocks = vec![BlockSpec {
+            out_channels: pair_channels[0],
+            stride: 1,
+            kind: ConvKind::Standard,
+            kernel: 3,
+        }];
+        for &c in &pair_channels[1..] {
+            let prev = blocks.last().expect("stem exists").out_channels;
+            blocks.push(BlockSpec {
+                out_channels: prev,
+                stride: 2,
+                kind: ConvKind::Depthwise,
+                kernel: 3,
+            });
+            blocks.push(BlockSpec {
+                out_channels: c,
+                stride: 1,
+                kind: ConvKind::Standard,
+                kernel: 1,
+            });
+        }
+        MicroCnnSpec {
+            height,
+            width,
+            channels,
+            num_classes,
+            blocks,
+            initial_clip: 8.0,
+        }
+    }
+
+    /// Replaces the block list wholesale.
+    pub fn with_blocks(mut self, blocks: Vec<BlockSpec>) -> Self {
+        assert!(!blocks.is_empty(), "need at least one block");
+        self.blocks = blocks;
+        self
+    }
+
+    /// Sets the initial PACT clip (default 8.0).
+    pub fn with_initial_clip(mut self, clip: f32) -> Self {
+        assert!(clip > 0.0, "clip must be positive");
+        self.initial_clip = clip;
+        self
+    }
+
+    /// Input height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Input width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Input channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Block specifications.
+    pub fn blocks(&self) -> &[BlockSpec] {
+        &self.blocks
+    }
+
+    /// Input shape for a single image.
+    pub fn input_shape(&self) -> Shape {
+        Shape::feature_map(self.height, self.width, self.channels)
+    }
+}
+
+/// One `conv → batch-norm → PACT` block of the fake-quantized graph
+/// (the sub-graph of paper Eq. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvBlock {
+    conv: Conv2d,
+    bn: BatchNorm,
+    act: PactQuantAct,
+    weight_bits: BitWidth,
+    weight_clip: Option<PactClip>,
+}
+
+impl ConvBlock {
+    /// The convolution.
+    pub fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+
+    /// Mutable convolution (tests/conversion).
+    pub fn conv_mut(&mut self) -> &mut Conv2d {
+        &mut self.conv
+    }
+
+    /// The batch-norm layer.
+    pub fn bn(&self) -> &BatchNorm {
+        &self.bn
+    }
+
+    /// Mutable batch-norm.
+    pub fn bn_mut(&mut self) -> &mut BatchNorm {
+        &mut self.bn
+    }
+
+    /// The PACT quantized activation.
+    pub fn act(&self) -> &PactQuantAct {
+        &self.act
+    }
+
+    /// Mutable activation.
+    pub fn act_mut(&mut self) -> &mut PactQuantAct {
+        &mut self.act
+    }
+
+    /// Weight precision of this block.
+    pub fn weight_bits(&self) -> BitWidth {
+        self.weight_bits
+    }
+
+    /// Sets the weight precision (memory-driven assignment).
+    pub fn set_weight_bits(&mut self, bits: BitWidth) {
+        self.weight_bits = bits;
+    }
+
+    /// Folds the (frozen) batch-norm into the convolution, returning
+    /// `(folded_weights, folded_bias, per_channel_scale γ/σ)` — the
+    /// transformation of Jacob et al. that the paper's PL+FB baseline uses.
+    pub fn folded_params(&self) -> (Tensor<f32>, Vec<f32>, Vec<f32>) {
+        let gamma = self.bn.gamma();
+        let beta = self.bn.beta();
+        let mean = self.bn.running_mean();
+        let std = self.bn.running_std();
+        let co = self.conv.out_channels();
+        let scale: Vec<f32> = (0..co).map(|c| gamma[c] / std[c]).collect();
+        let mut w = self.conv.weights().clone();
+        let vol = w.shape().item_volume();
+        for c in 0..co {
+            for v in &mut w.data_mut()[c * vol..(c + 1) * vol] {
+                *v *= scale[c];
+            }
+        }
+        let bias: Vec<f32> = (0..co)
+            .map(|c| (self.conv.bias()[c] - mean[c]) * scale[c] + beta[c])
+            .collect();
+        (w, bias, scale)
+    }
+
+    /// The learned symmetric PACT clip on this block's weights, if enabled
+    /// (the paper's per-layer weight quantizer, §6: "the PACT method is
+    /// used in case of PL quantization").
+    pub fn weight_clip(&self) -> Option<&PactClip> {
+        self.weight_clip.as_ref()
+    }
+
+    /// Mutable weight clip (the trainer applies its gradient).
+    pub fn weight_clip_mut(&mut self) -> Option<&mut PactClip> {
+        self.weight_clip.as_mut()
+    }
+
+    /// Initializes the learned weight clip from the current weight range.
+    pub fn init_weight_clip(&mut self) {
+        let bound = self.conv.weights().max_abs().max(1e-3);
+        self.weight_clip = Some(PactClip::new(bound));
+    }
+
+    /// Removes the learned weight clip (back to min/max statistics).
+    pub fn clear_weight_clip(&mut self) {
+        self.weight_clip = None;
+    }
+
+    /// The weight quantizer for the *unfolded* weights at the given
+    /// granularity: min/max statistics, except per-layer with a learned
+    /// clip present, which uses the symmetric PACT range (what the ICN
+    /// path quantizes).
+    pub fn weight_quantizer(&self, granularity: Granularity) -> ChannelParams {
+        match (&self.weight_clip, granularity) {
+            (Some(clip), Granularity::PerLayer) => ChannelParams::per_layer(
+                QuantParams::symmetric(clip.bound(), self.weight_bits),
+                self.conv.out_channels(),
+            ),
+            _ => ChannelParams::from_granularity(
+                self.conv.weights(),
+                self.weight_bits,
+                granularity,
+            ),
+        }
+    }
+}
+
+/// Quantization mode of the whole network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QatMode {
+    /// Full-precision baseline `f(x)`.
+    #[default]
+    Float,
+    /// Fake-quantized graph `g(x)`.
+    FakeQuant,
+}
+
+/// Per-batch caches for the backward pass.
+#[derive(Debug)]
+pub struct ForwardCache {
+    block_inputs: Vec<Tensor<f32>>,
+    block_weights: Vec<Tensor<f32>>,
+    bn_caches: Vec<Option<BnCache>>,
+    act_caches: Vec<ActCache>,
+    fold_scales: Vec<Option<Vec<f32>>>,
+    pool_input_shape: Shape,
+    linear_input: Tensor<f32>,
+    linear_weights: Tensor<f32>,
+}
+
+/// The trainable fake-quantized network.
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QatNetwork {
+    blocks: Vec<ConvBlock>,
+    pool: GlobalAvgPool,
+    linear: Linear,
+    linear_weight_bits: BitWidth,
+    input_quant: Option<QuantParams>,
+    mode: QatMode,
+    granularity: Granularity,
+    fold_bn: bool,
+    num_classes: usize,
+    input_shape: Shape,
+}
+
+impl QatNetwork {
+    /// Builds a float-mode network from a spec with seeded initialization.
+    pub fn build(spec: &MicroCnnSpec, seed: u64) -> Self {
+        let mut blocks = Vec::with_capacity(spec.blocks().len());
+        let mut in_c = spec.channels();
+        let mut shape = spec.input_shape();
+        for (i, b) in spec.blocks().iter().enumerate() {
+            let geometry = ConvGeometry::new(b.kernel, b.kernel, b.stride, Padding::Same);
+            let in_channels = if b.kind == ConvKind::Depthwise {
+                b.out_channels
+            } else {
+                in_c
+            };
+            assert_eq!(
+                in_channels, in_c,
+                "block {i}: depthwise blocks must preserve channel count"
+            );
+            let conv = Conv2d::new(b.kind, in_c, b.out_channels, geometry, seed + i as u64 * 97);
+            shape = conv.output_shape(shape);
+            blocks.push(ConvBlock {
+                conv,
+                bn: BatchNorm::new(b.out_channels),
+                act: PactQuantAct::new(spec.initial_clip, BitWidth::W8, false),
+                weight_bits: BitWidth::W8,
+                weight_clip: None,
+            });
+            in_c = b.out_channels;
+        }
+        let linear = Linear::new(in_c, spec.num_classes(), seed + 7777);
+        QatNetwork {
+            blocks,
+            pool: GlobalAvgPool,
+            linear,
+            linear_weight_bits: BitWidth::W8,
+            input_quant: None,
+            mode: QatMode::Float,
+            granularity: Granularity::PerLayer,
+            fold_bn: false,
+            num_classes: spec.num_classes(),
+            input_shape: spec.input_shape(),
+        }
+    }
+
+    /// Number of convolution blocks (the `L` of Algorithms 1–2, excluding
+    /// the classifier).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Expected single-image input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[ConvBlock] {
+        &self.blocks
+    }
+
+    /// Mutable blocks.
+    pub fn blocks_mut(&mut self) -> &mut [ConvBlock] {
+        &mut self.blocks
+    }
+
+    /// The classifier head.
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
+
+    /// Mutable classifier head.
+    pub fn linear_mut(&mut self) -> &mut Linear {
+        &mut self.linear
+    }
+
+    /// Classifier weight precision.
+    pub fn linear_weight_bits(&self) -> BitWidth {
+        self.linear_weight_bits
+    }
+
+    /// Sets classifier weight precision.
+    pub fn set_linear_weight_bits(&mut self, bits: BitWidth) {
+        self.linear_weight_bits = bits;
+    }
+
+    /// The 8-bit input quantizer, if calibrated.
+    pub fn input_quant(&self) -> Option<&QuantParams> {
+        self.input_quant.as_ref()
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> QatMode {
+        self.mode
+    }
+
+    /// Weight-quantizer granularity (PL/PC).
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Whether the batch-norm-folded (PL+FB) graph is active.
+    pub fn fold_bn(&self) -> bool {
+        self.fold_bn
+    }
+
+    /// Enables/disables batch-norm folding (paper enables it from the 2nd
+    /// epoch for the FB baselines; the ICN path never folds).
+    pub fn set_fold_bn(&mut self, fold: bool) {
+        self.fold_bn = fold;
+    }
+
+    /// Switches to fake-quantized mode with the given weight granularity,
+    /// enabling every activation quantizer.
+    pub fn enable_fake_quant(&mut self, granularity: Granularity) {
+        self.mode = QatMode::FakeQuant;
+        self.granularity = granularity;
+        for b in &mut self.blocks {
+            b.act.set_quant_enabled(true);
+        }
+    }
+
+    /// Enables learned symmetric PACT clips on every block's weights
+    /// (per-layer granularity only; per-channel keeps min/max statistics,
+    /// as in §6). Initializes each clip from the current weight range.
+    pub fn enable_pact_weight_clips(&mut self) {
+        for b in &mut self.blocks {
+            b.init_weight_clip();
+        }
+    }
+
+    /// Switches back to float mode (activations become clipped ReLUs).
+    pub fn disable_fake_quant(&mut self) {
+        self.mode = QatMode::Float;
+        for b in &mut self.blocks {
+            b.act.set_quant_enabled(false);
+        }
+    }
+
+    /// Calibrates the 8-bit asymmetric input quantizer from sample images.
+    pub fn calibrate_input(&mut self, images: &Tensor<f32>) {
+        let (lo, hi) = images.min_max();
+        self.input_quant = Some(QuantParams::from_min_max(lo, hi, BitWidth::W8));
+    }
+
+    /// Sets the activation precision of block `i`'s output
+    /// (`Q_y^i ≡ Q_x^{i+1}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_act_bits(&mut self, i: usize, bits: BitWidth) {
+        self.blocks[i].act.set_bits(bits);
+    }
+
+    /// Sets the weight precision of block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_weight_bits(&mut self, i: usize, bits: BitWidth) {
+        self.blocks[i].set_weight_bits(bits);
+    }
+
+    /// Freezes every batch-norm layer (paper: after the first epoch).
+    pub fn freeze_batch_norms(&mut self) {
+        for b in &mut self.blocks {
+            b.bn.freeze();
+        }
+    }
+
+    fn quantize_input(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        match (&self.mode, &self.input_quant) {
+            (QatMode::FakeQuant, Some(q)) => q.fake_quantize_tensor(x),
+            _ => x.clone(),
+        }
+    }
+
+    /// Effective (possibly fake-quantized, possibly folded) weights and bias
+    /// for block `i` in the current mode.
+    fn effective_block_params(&self, i: usize) -> (Tensor<f32>, Vec<f32>, Option<Vec<f32>>) {
+        let block = &self.blocks[i];
+        if self.fold_bn {
+            let (w, b, scale) = block.folded_params();
+            let w = match self.mode {
+                QatMode::FakeQuant => {
+                    ChannelParams::from_granularity(&w, block.weight_bits, self.granularity)
+                        .fake_quantize_tensor(&w)
+                }
+                QatMode::Float => w,
+            };
+            (w, b, Some(scale))
+        } else {
+            let w = match self.mode {
+                QatMode::FakeQuant => block
+                    .weight_quantizer(self.granularity)
+                    .fake_quantize_tensor(block.conv.weights()),
+                QatMode::Float => block.conv.weights().clone(),
+            };
+            (w, block.conv.bias().to_vec(), None)
+        }
+    }
+
+    /// Effective classifier weights in the current mode.
+    fn effective_linear_weights(&self) -> Tensor<f32> {
+        match self.mode {
+            QatMode::FakeQuant => ChannelParams::from_granularity(
+                self.linear.weights(),
+                self.linear_weight_bits,
+                self.granularity,
+            )
+            .fake_quantize_tensor(self.linear.weights()),
+            QatMode::Float => self.linear.weights().clone(),
+        }
+    }
+
+    /// Inference forward pass (batch-norm in eval mode).
+    pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        let mut h = self.quantize_input(x);
+        for i in 0..self.blocks.len() {
+            let (w, bias, _) = self.effective_block_params(i);
+            let block = &self.blocks[i];
+            let z = block.conv.forward_with_params(&h, &w, &bias);
+            let z = if self.fold_bn {
+                z
+            } else {
+                block.bn.forward_eval(&z)
+            };
+            let (a, _) = block.act.forward(&z);
+            h = a;
+        }
+        let pooled = self.pool.forward(&h);
+        self.linear.forward_with(&pooled, &self.effective_linear_weights())
+    }
+
+    /// Training forward pass; returns logits plus caches for
+    /// [`QatNetwork::backward`].
+    pub fn forward_train(&mut self, x: &Tensor<f32>) -> (Tensor<f32>, ForwardCache) {
+        let mut h = self.quantize_input(x);
+        let n = self.blocks.len();
+        let mut block_inputs = Vec::with_capacity(n);
+        let mut block_weights = Vec::with_capacity(n);
+        let mut bn_caches = Vec::with_capacity(n);
+        let mut act_caches = Vec::with_capacity(n);
+        let mut fold_scales = Vec::with_capacity(n);
+        for i in 0..n {
+            let (w, bias, scale) = self.effective_block_params(i);
+            block_inputs.push(h.clone());
+            let block = &mut self.blocks[i];
+            let z = block.conv.forward_with_params(&h, &w, &bias);
+            let (z, bn_cache) = if self.fold_bn {
+                (z, None)
+            } else {
+                let (z, c) = block.bn.forward_train(&z);
+                (z, Some(c))
+            };
+            let (a, act_cache) = block.act.forward(&z);
+            block_weights.push(w);
+            bn_caches.push(bn_cache);
+            act_caches.push(act_cache);
+            fold_scales.push(scale);
+            h = a;
+        }
+        let pool_input_shape = h.shape();
+        let pooled = self.pool.forward(&h);
+        let lw = self.effective_linear_weights();
+        let logits = self.linear.forward_with(&pooled, &lw);
+        (
+            logits,
+            ForwardCache {
+                block_inputs,
+                block_weights,
+                bn_caches,
+                act_caches,
+                fold_scales,
+                pool_input_shape,
+                linear_input: pooled,
+                linear_weights: lw,
+            },
+        )
+    }
+
+    /// Backward pass from the logits gradient; returns parameter gradients.
+    ///
+    /// Straight-through estimators pass gradients unchanged through the
+    /// weight and activation quantizers; PACT clip gradients are accumulated
+    /// inside the activation modules.
+    pub fn backward(&mut self, dlogits: &Tensor<f32>, cache: &ForwardCache) -> Gradients {
+        let (dpool, dlw, dlb) =
+            self.linear
+                .backward(&cache.linear_input, &cache.linear_weights, dlogits);
+        let mut dh = self.pool.backward(cache.pool_input_shape, &dpool);
+        let n = self.blocks.len();
+        let mut conv_w = vec![Tensor::<f32>::default(); n];
+        let mut conv_b = vec![Vec::new(); n];
+        let mut bn_gamma = vec![Vec::new(); n];
+        let mut bn_beta = vec![Vec::new(); n];
+        for i in (0..n).rev() {
+            let block = &mut self.blocks[i];
+            let da = block.act.backward(&dh, &cache.act_caches[i]);
+            let dz = match (&cache.bn_caches[i], block.bn.is_frozen()) {
+                (Some(bn_cache), _) => {
+                    let (dz, dg, dbeta) = block.bn.backward(&da, bn_cache);
+                    bn_gamma[i] = dg;
+                    bn_beta[i] = dbeta;
+                    dz
+                }
+                (None, _) => da, // folded path: BN is inside the conv params
+            };
+            let (dx, mut dw, mut db) =
+                block
+                    .conv
+                    .backward(&cache.block_inputs[i], &cache.block_weights[i], &dz);
+            // STE through the learned symmetric weight clip (PL only):
+            // weights outside ±α receive no gradient; α collects it.
+            if self.granularity == Granularity::PerLayer && cache.fold_scales[i].is_none() {
+                if let Some(clip) = block.weight_clip.as_mut() {
+                    let bound = clip.bound();
+                    let mut dalpha = 0.0f32;
+                    for (g, &w) in dw.data_mut().iter_mut().zip(block.conv.weights().data()) {
+                        if w.abs() >= bound {
+                            dalpha += *g * w.signum();
+                            *g = 0.0;
+                        }
+                    }
+                    clip.accumulate_grad(dalpha);
+                }
+            }
+            if let Some(scale) = &cache.fold_scales[i] {
+                // Chain rule through w' = w·(γ/σ), b' = (b−µ)(γ/σ) + β.
+                let vol = dw.shape().item_volume();
+                for (c, &s) in scale.iter().enumerate() {
+                    for v in &mut dw.data_mut()[c * vol..(c + 1) * vol] {
+                        *v *= s;
+                    }
+                    db[c] *= s;
+                }
+            }
+            conv_w[i] = dw;
+            conv_b[i] = db;
+            dh = dx;
+        }
+        Gradients {
+            conv_w,
+            conv_b,
+            bn_gamma,
+            bn_beta,
+            linear_w: dlw,
+            linear_b: dlb,
+        }
+    }
+}
+
+/// Parameter gradients produced by [`QatNetwork::backward`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per-block convolution weight gradients.
+    pub conv_w: Vec<Tensor<f32>>,
+    /// Per-block convolution bias gradients.
+    pub conv_b: Vec<Vec<f32>>,
+    /// Per-block γ gradients (empty when folded/frozen paths skip BN).
+    pub bn_gamma: Vec<Vec<f32>>,
+    /// Per-block β gradients.
+    pub bn_beta: Vec<Vec<f32>>,
+    /// Classifier weight gradient.
+    pub linear_w: Tensor<f32>,
+    /// Classifier bias gradient.
+    pub linear_b: Vec<f32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_input(n: usize, spec: &MicroCnnSpec) -> Tensor<f32> {
+        let shape = spec.input_shape().with_batch(n);
+        Tensor::from_vec(
+            shape,
+            (0..shape.volume())
+                .map(|i| ((i % 17) as f32 - 8.0) * 0.1)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_forward_shapes() {
+        let spec = MicroCnnSpec::new(8, 8, 2, 4, &[4, 8]);
+        let net = QatNetwork::build(&spec, 0);
+        assert_eq!(net.num_blocks(), 2);
+        let x = toy_input(3, &spec);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), Shape::new(3, 1, 1, 4));
+    }
+
+    #[test]
+    fn separable_spec_builds_dw_pw_pairs() {
+        let spec = MicroCnnSpec::separable(16, 16, 2, 4, &[8, 16]);
+        let kinds: Vec<ConvKind> = spec.blocks().iter().map(|b| b.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ConvKind::Standard, ConvKind::Depthwise, ConvKind::Standard]
+        );
+        let net = QatNetwork::build(&spec, 1);
+        let x = toy_input(1, &spec);
+        let y = net.forward(&x);
+        assert_eq!(y.shape().c, 4);
+    }
+
+    #[test]
+    fn fake_quant_mode_changes_outputs_but_stays_close() {
+        let spec = MicroCnnSpec::new(8, 8, 1, 3, &[4]);
+        let mut net = QatNetwork::build(&spec, 5);
+        let x = toy_input(2, &spec);
+        net.calibrate_input(&x);
+        let y_float = net.forward(&x);
+        net.enable_fake_quant(Granularity::PerChannel);
+        let y_q = net.forward(&x);
+        assert_ne!(y_float, y_q, "quantization must perturb outputs");
+        let d = y_float.squared_distance(&y_q).unwrap();
+        let scale: f64 = y_float.data().iter().map(|&v| (v as f64).powi(2)).sum();
+        assert!(d < scale.max(1e-3), "8-bit error should be small: {d} vs {scale}");
+    }
+
+    #[test]
+    fn folded_eval_matches_unfolded_after_freeze() {
+        // With BN frozen, folding is an exact algebraic rewrite in float mode.
+        let spec = MicroCnnSpec::new(8, 8, 1, 3, &[4, 8]);
+        let mut net = QatNetwork::build(&spec, 9);
+        let x = toy_input(2, &spec);
+        // Push some statistics through so BN has non-trivial params.
+        for _ in 0..3 {
+            let _ = net.forward_train(&x);
+        }
+        net.freeze_batch_norms();
+        let y_ref = net.forward(&x);
+        net.set_fold_bn(true);
+        let y_fold = net.forward(&x);
+        let d = y_ref.squared_distance(&y_fold).unwrap();
+        assert!(d < 1e-6, "folded float forward must match: {d}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        use crate::loss::cross_entropy;
+        use crate::optim::Adam;
+        let spec = MicroCnnSpec::new(8, 8, 1, 2, &[4]);
+        let mut net = QatNetwork::build(&spec, 11);
+        let x = toy_input(8, &spec);
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let (logits, _) = net.forward_train(&x);
+        let (loss0, _) = cross_entropy(&logits, &labels);
+        let mut opt_w = Adam::new(0.01, net.blocks()[0].conv().weights().len());
+        let mut opt_lw = Adam::new(0.01, net.linear().weights().len());
+        for _ in 0..30 {
+            let (logits, cache) = net.forward_train(&x);
+            let (_, dlogits) = cross_entropy(&logits, &labels);
+            let grads = net.backward(&dlogits, &cache);
+            let wlen = net.blocks()[0].conv().weights().len();
+            let mut wbuf = net.blocks()[0].conv().weights().data().to_vec();
+            opt_w.step(&mut wbuf, grads.conv_w[0].data());
+            net.blocks_mut()[0]
+                .conv_mut()
+                .weights_mut()
+                .data_mut()
+                .copy_from_slice(&wbuf[..wlen]);
+            let mut lbuf = net.linear().weights().data().to_vec();
+            opt_lw.step(&mut lbuf, grads.linear_w.data());
+            net.linear_mut().weights_mut().data_mut().copy_from_slice(&lbuf);
+        }
+        let (logits, _) = net.forward_train(&x);
+        let (loss1, _) = cross_entropy(&logits, &labels);
+        assert!(loss1 < loss0, "loss should fall: {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn bit_width_setters() {
+        let spec = MicroCnnSpec::new(8, 8, 1, 2, &[4, 8]);
+        let mut net = QatNetwork::build(&spec, 0);
+        net.set_act_bits(1, BitWidth::W4);
+        net.set_weight_bits(0, BitWidth::W2);
+        net.set_linear_weight_bits(BitWidth::W4);
+        assert_eq!(net.blocks()[1].act().bits(), BitWidth::W4);
+        assert_eq!(net.blocks()[0].weight_bits(), BitWidth::W2);
+        assert_eq!(net.linear_weight_bits(), BitWidth::W4);
+    }
+
+    #[test]
+    fn input_calibration_covers_data_range() {
+        let spec = MicroCnnSpec::new(4, 4, 1, 2, &[2]);
+        let mut net = QatNetwork::build(&spec, 0);
+        assert!(net.input_quant().is_none());
+        let x = Tensor::from_vec(
+            Shape::new(1, 4, 4, 1),
+            (0..16).map(|i| i as f32 - 8.0).collect(),
+        )
+        .unwrap();
+        net.calibrate_input(&x);
+        let q = net.input_quant().unwrap();
+        assert!(q.range_min() <= -8.0 + 1e-3);
+        assert!(q.range_max() >= 7.0 - 1e-3);
+    }
+
+    #[test]
+    fn pact_weight_clip_quantizer_is_symmetric() {
+        let spec = MicroCnnSpec::new(8, 8, 1, 2, &[4]);
+        let mut net = QatNetwork::build(&spec, 3);
+        net.enable_pact_weight_clips();
+        let clip = net.blocks()[0].weight_clip().expect("clip present").bound();
+        let q = net.blocks()[0].weight_quantizer(Granularity::PerLayer);
+        assert!(!q.is_per_channel());
+        assert!((q.channel(0).range_max() - clip).abs() < 0.05 * clip + 1e-4);
+        assert!((q.channel(0).range_min() + clip).abs() < 0.05 * clip + 1e-4);
+        // PC granularity ignores the clip (min/max statistics, §6).
+        let qpc = net.blocks()[0].weight_quantizer(Granularity::PerChannel);
+        assert!(qpc.is_per_channel());
+        // Clearing restores min/max for PL too.
+        net.blocks_mut()[0].clear_weight_clip();
+        assert!(net.blocks()[0].weight_clip().is_none());
+    }
+
+    #[test]
+    fn pact_weight_clip_learns_during_qat() {
+        use crate::loss::cross_entropy;
+        let spec = MicroCnnSpec::new(8, 8, 1, 2, &[4]);
+        let mut net = QatNetwork::build(&spec, 11);
+        // Make some weights exceed the clip so its gradient is non-zero.
+        net.enable_fake_quant(Granularity::PerLayer);
+        net.enable_pact_weight_clips();
+        let before = net.blocks()[0].weight_clip().unwrap().bound();
+        // Shrink the clip artificially so saturation occurs.
+        *net.blocks_mut()[0].weight_clip_mut().unwrap() =
+            mixq_quant::observer::PactClip::new(before * 0.2);
+        let x = toy_input(4, &spec);
+        let labels = vec![0usize, 1, 0, 1];
+        let (logits, cache) = net.forward_train(&x);
+        let (_, dlogits) = cross_entropy(&logits, &labels);
+        let _ = net.backward(&dlogits, &cache);
+        let grad = net.blocks()[0].weight_clip().unwrap().grad();
+        assert!(grad != 0.0, "saturated weights must drive the clip");
+        net.blocks_mut()[0]
+            .weight_clip_mut()
+            .unwrap()
+            .apply_grad(0.01, 0.0);
+        assert_ne!(
+            net.blocks()[0].weight_clip().unwrap().bound(),
+            before * 0.2,
+            "clip moves after a step"
+        );
+    }
+
+    #[test]
+    fn mode_switches_are_reversible() {
+        let spec = MicroCnnSpec::new(4, 4, 1, 2, &[2]);
+        let mut net = QatNetwork::build(&spec, 3);
+        let x = toy_input(1, &spec);
+        let y0 = net.forward(&x);
+        net.enable_fake_quant(Granularity::PerLayer);
+        assert_eq!(net.mode(), QatMode::FakeQuant);
+        net.disable_fake_quant();
+        assert_eq!(net.mode(), QatMode::Float);
+        let y1 = net.forward(&x);
+        assert_eq!(y0, y1);
+    }
+}

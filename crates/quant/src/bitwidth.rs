@@ -1,0 +1,148 @@
+use std::fmt;
+
+/// Admissible uniform-quantization precisions, `Q ∈ {2, 4, 8}` (paper §5:
+/// "Only the values of Q = {2, 4, 8} are admittable solutions").
+///
+/// The ordering follows numeric bit count: `W2 < W4 < W8`.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_quant::BitWidth;
+///
+/// assert_eq!(BitWidth::W8.step_down(), Some(BitWidth::W4));
+/// assert_eq!(BitWidth::W2.step_down(), None);
+/// assert_eq!(BitWidth::W4.levels(), 16);
+/// // 10 4-bit elements occupy 5 bytes.
+/// assert_eq!(BitWidth::W4.bytes_for(10), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BitWidth {
+    /// 2-bit precision (UINT2, 4 levels).
+    W2,
+    /// 4-bit precision (UINT4, 16 levels).
+    W4,
+    /// 8-bit precision (UINT8, 256 levels).
+    W8,
+}
+
+impl BitWidth {
+    /// All widths, most aggressive first.
+    pub const ALL: [BitWidth; 3] = [BitWidth::W2, BitWidth::W4, BitWidth::W8];
+
+    /// Number of bits.
+    pub const fn bits(self) -> u32 {
+        match self {
+            BitWidth::W2 => 2,
+            BitWidth::W4 => 4,
+            BitWidth::W8 => 8,
+        }
+    }
+
+    /// Number of representable levels, `2^Q`.
+    pub const fn levels(self) -> u32 {
+        1 << self.bits()
+    }
+
+    /// Largest representable unsigned code, `2^Q − 1`.
+    pub const fn qmax(self) -> u32 {
+        self.levels() - 1
+    }
+
+    /// One quantization step down (8→4, 4→2), or `None` at the minimum.
+    ///
+    /// This is the "single step" cut of Algorithms 1 and 2.
+    pub const fn step_down(self) -> Option<BitWidth> {
+        match self {
+            BitWidth::W8 => Some(BitWidth::W4),
+            BitWidth::W4 => Some(BitWidth::W2),
+            BitWidth::W2 => None,
+        }
+    }
+
+    /// One quantization step up (2→4, 4→8), or `None` at the maximum.
+    pub const fn step_up(self) -> Option<BitWidth> {
+        match self {
+            BitWidth::W2 => Some(BitWidth::W4),
+            BitWidth::W4 => Some(BitWidth::W8),
+            BitWidth::W8 => None,
+        }
+    }
+
+    /// Bytes needed to store `elements` values at this precision,
+    /// rounded up to whole bytes (`mem(t, Q)` of Eq. 6–7).
+    pub const fn bytes_for(self, elements: usize) -> usize {
+        (elements * self.bits() as usize).div_ceil(8)
+    }
+
+    /// Parses a bit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending value if it is not 2, 4 or 8.
+    pub fn try_from_bits(bits: u32) -> Result<Self, u32> {
+        match bits {
+            2 => Ok(BitWidth::W2),
+            4 => Ok(BitWidth::W4),
+            8 => Ok(BitWidth::W8),
+            other => Err(other),
+        }
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_levels_qmax() {
+        assert_eq!(BitWidth::W2.bits(), 2);
+        assert_eq!(BitWidth::W4.bits(), 4);
+        assert_eq!(BitWidth::W8.bits(), 8);
+        assert_eq!(BitWidth::W2.levels(), 4);
+        assert_eq!(BitWidth::W4.levels(), 16);
+        assert_eq!(BitWidth::W8.levels(), 256);
+        assert_eq!(BitWidth::W8.qmax(), 255);
+    }
+
+    #[test]
+    fn steps() {
+        assert_eq!(BitWidth::W8.step_down(), Some(BitWidth::W4));
+        assert_eq!(BitWidth::W4.step_down(), Some(BitWidth::W2));
+        assert_eq!(BitWidth::W2.step_down(), None);
+        assert_eq!(BitWidth::W2.step_up(), Some(BitWidth::W4));
+        assert_eq!(BitWidth::W8.step_up(), None);
+    }
+
+    #[test]
+    fn ordering_follows_bits() {
+        assert!(BitWidth::W2 < BitWidth::W4);
+        assert!(BitWidth::W4 < BitWidth::W8);
+    }
+
+    #[test]
+    fn byte_footprints_round_up() {
+        assert_eq!(BitWidth::W8.bytes_for(10), 10);
+        assert_eq!(BitWidth::W4.bytes_for(10), 5);
+        assert_eq!(BitWidth::W4.bytes_for(11), 6);
+        assert_eq!(BitWidth::W2.bytes_for(10), 3);
+        assert_eq!(BitWidth::W2.bytes_for(0), 0);
+    }
+
+    #[test]
+    fn parse_from_bits() {
+        assert_eq!(BitWidth::try_from_bits(4), Ok(BitWidth::W4));
+        assert_eq!(BitWidth::try_from_bits(3), Err(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BitWidth::W4.to_string(), "4b");
+    }
+}

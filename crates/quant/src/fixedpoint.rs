@@ -1,0 +1,218 @@
+//! Fixed-point decomposition of the ICN multiplier (paper §4, Eq. 5).
+//!
+//! Each per-channel real multiplier `m = S_i·S_w/S_o · γ/σ` is decomposed as
+//! `m = m0 · 2^{n0}` with `0.5 ≤ |m0| < 1`. `m0` is stored as a signed Q31
+//! mantissa (`i32`) and `n0` as an `i8` exponent, exactly the `M0`/`N0`
+//! arrays of Table 1. Requantization then needs only one widening multiply
+//! and one arithmetic shift — integer-only, and `floor()` semantics for free.
+
+use std::fmt;
+
+/// A real multiplier decomposed as `m0 · 2^{n0}` with a Q31 integer mantissa.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_quant::FixedPointMultiplier;
+///
+/// let m = FixedPointMultiplier::from_real(0.0009765625); // 2^-10
+/// assert_eq!(m.apply(4096), 4);                          // 4096 · 2^-10
+/// assert!((m.to_real() - 0.0009765625).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedPointMultiplier {
+    m0: i32,
+    n0: i8,
+}
+
+/// Number of fractional bits in the stored mantissa.
+const MANTISSA_BITS: u32 = 31;
+const ONE_Q31: i64 = 1 << MANTISSA_BITS;
+
+impl FixedPointMultiplier {
+    /// The zero multiplier.
+    pub const ZERO: FixedPointMultiplier = FixedPointMultiplier { m0: 0, n0: 0 };
+
+    /// Decomposes a real multiplier.
+    ///
+    /// Values whose magnitude is so small that the exponent underflows `i8`
+    /// collapse to [`FixedPointMultiplier::ZERO`]; exponent overflow
+    /// saturates at `i8::MAX` (neither occurs for realistic ICN multipliers,
+    /// which live within a few orders of magnitude of 1).
+    pub fn from_real(m: f64) -> Self {
+        if m == 0.0 || !m.is_finite() {
+            return FixedPointMultiplier::ZERO;
+        }
+        // frexp: |m| = f * 2^e with f in [0.5, 1).
+        let mut e = m.abs().log2().floor() as i32 + 1;
+        let mut f = m / f64::powi(2.0, e);
+        // log2/floor boundary corrections.
+        while f.abs() >= 1.0 {
+            f /= 2.0;
+            e += 1;
+        }
+        while f.abs() < 0.5 {
+            f *= 2.0;
+            e -= 1;
+        }
+        let mut m0 = (f * ONE_Q31 as f64).round() as i64;
+        // Rounding can push the mantissa to exactly 1.0.
+        if m0.abs() >= ONE_Q31 {
+            m0 /= 2;
+            e += 1;
+        }
+        if e > i8::MAX as i32 {
+            // Saturate; apply() will clamp the shift anyway.
+            e = i8::MAX as i32;
+        } else if e < i8::MIN as i32 {
+            return FixedPointMultiplier::ZERO;
+        }
+        FixedPointMultiplier {
+            m0: m0 as i32,
+            n0: e as i8,
+        }
+    }
+
+    /// The Q31 mantissa `M0` (`0.5 ≤ |M0|/2^31 < 1`, or 0).
+    pub fn mantissa(&self) -> i32 {
+        self.m0
+    }
+
+    /// The exponent `N0`.
+    pub fn exponent(&self) -> i8 {
+        self.n0
+    }
+
+    /// Reconstructs the real multiplier `m0 · 2^{n0}`.
+    pub fn to_real(&self) -> f64 {
+        (self.m0 as f64 / ONE_Q31 as f64) * f64::powi(2.0, self.n0 as i32)
+    }
+
+    /// Computes `floor(m0 · 2^{n0} · v)` with integer-only arithmetic
+    /// (Eq. 5's requantization step).
+    ///
+    /// Arithmetic right shift on the widened product implements the floor
+    /// exactly, matching the MCU implementation.
+    pub fn apply(&self, v: i32) -> i32 {
+        let prod = self.m0 as i64 * v as i64;
+        let shift = MANTISSA_BITS as i32 - self.n0 as i32;
+        let shifted = if shift >= 63 {
+            prod >> 63
+        } else if shift >= 0 {
+            prod >> shift
+        } else {
+            // Large positive exponents: exact left shift (saturating).
+            prod.checked_shl((-shift) as u32).unwrap_or(if prod < 0 {
+                i64::MIN
+            } else {
+                i64::MAX
+            })
+        };
+        shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    }
+}
+
+impl Default for FixedPointMultiplier {
+    fn default() -> Self {
+        FixedPointMultiplier::ZERO
+    }
+}
+
+impl fmt::Display for FixedPointMultiplier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}·2^{}", self.m0 as f64 / ONE_Q31 as f64, self.n0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mantissa_is_normalized() {
+        for &m in &[0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 123.456, 1e-6, 0.9999999] {
+            for sign in [1.0, -1.0] {
+                let fp = FixedPointMultiplier::from_real(m * sign);
+                let frac = fp.mantissa().abs() as f64 / ONE_Q31 as f64;
+                assert!(
+                    (0.5..1.0).contains(&frac),
+                    "m={m} sign={sign} frac={frac}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_accurate() {
+        for &m in &[0.0009765625, 0.013, 0.5, 0.9, 1.0, 7.3, 1e-4, 42.0] {
+            let fp = FixedPointMultiplier::from_real(m);
+            let rel = (fp.to_real() - m).abs() / m;
+            assert!(rel < 1e-9, "m={m} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn zero_and_nonfinite_collapse() {
+        assert_eq!(FixedPointMultiplier::from_real(0.0), FixedPointMultiplier::ZERO);
+        assert_eq!(
+            FixedPointMultiplier::from_real(f64::NAN),
+            FixedPointMultiplier::ZERO
+        );
+        assert_eq!(FixedPointMultiplier::ZERO.apply(12345), 0);
+        assert_eq!(FixedPointMultiplier::default(), FixedPointMultiplier::ZERO);
+    }
+
+    #[test]
+    fn apply_matches_float_floor() {
+        // apply() must equal floor(m * v) for a dense sweep.
+        for &m in &[0.013, 0.25, 0.37, 0.9999, 1.0, 2.5, 0.0001] {
+            let fp = FixedPointMultiplier::from_real(m);
+            for v in (-2000..2000).step_by(7) {
+                let exact = (m * v as f64).floor() as i64;
+                let got = fp.apply(v) as i64;
+                // Q31 rounding of the mantissa may land exactly on an
+                // integer boundary; allow one ULP of slack.
+                assert!(
+                    (got - exact).abs() <= 1,
+                    "m={m} v={v} exact={exact} got={got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_exact_for_dyadic_multipliers() {
+        // Multipliers that are exact powers of two incur no mantissa error.
+        for e in -10..=10i32 {
+            let m = f64::powi(2.0, e);
+            let fp = FixedPointMultiplier::from_real(m);
+            for v in [-1000, -7, -1, 0, 1, 5, 999] {
+                let exact = (m * v as f64).floor() as i32;
+                assert_eq!(fp.apply(v), exact, "e={e} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_multiplier_floors_toward_negative_infinity() {
+        let fp = FixedPointMultiplier::from_real(-0.5);
+        assert_eq!(fp.apply(3), -2); // floor(-1.5) = -2
+        assert_eq!(fp.apply(-3), 1); // floor(1.5) = 1
+    }
+
+    #[test]
+    fn extreme_exponents_do_not_panic() {
+        let tiny = FixedPointMultiplier::from_real(1e-60);
+        assert_eq!(tiny.apply(i32::MAX), 0);
+        let huge = FixedPointMultiplier::from_real(1e30);
+        // Saturates instead of overflowing.
+        assert_eq!(huge.apply(i32::MAX), i32::MAX);
+        assert_eq!(huge.apply(i32::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn display() {
+        let fp = FixedPointMultiplier::from_real(0.75);
+        assert!(fp.to_string().contains("2^"));
+    }
+}

@@ -1,0 +1,482 @@
+//! Range observers for activation and weight tensors (paper §3).
+//!
+//! * [`MinMaxObserver`] — running min/max, the Jacob-et-al. weight range
+//!   estimator and the calibration-time activation estimator.
+//! * [`EmaObserver`] — exponential moving average of per-batch min/max, the
+//!   TensorFlow-style training-time statistic.
+//! * [`PactClip`] — the PACT learned clipping bound `b` for activations
+//!   (`a = 0` to reproduce the ReLU non-linearity), updated by
+//!   backpropagation: `∂y/∂b = 1` wherever the input saturates.
+
+use std::fmt;
+
+use crate::{BitWidth, QuantParams};
+
+/// Running min/max range estimator.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_quant::observer::MinMaxObserver;
+/// use mixq_quant::BitWidth;
+///
+/// let mut obs = MinMaxObserver::new();
+/// obs.observe(&[-1.0, 0.5, 3.0]);
+/// obs.observe(&[-2.0, 1.0]);
+/// let q = obs.quant_params(BitWidth::W8);
+/// assert_eq!(q.quantize(-2.0), 0);
+/// assert_eq!(q.quantize(3.0), 255);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinMaxObserver {
+    min: f32,
+    max: f32,
+    seen: bool,
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        MinMaxObserver {
+            min: 0.0,
+            max: 0.0,
+            seen: false,
+        }
+    }
+
+    /// Folds a batch of values into the running range.
+    pub fn observe(&mut self, values: &[f32]) {
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            if !self.seen {
+                self.min = v;
+                self.max = v;
+                self.seen = true;
+            } else {
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+        }
+    }
+
+    /// Observed range so far, `(0.0, 0.0)` before any observation.
+    pub fn range(&self) -> (f32, f32) {
+        (self.min, self.max)
+    }
+
+    /// Whether any value has been observed.
+    pub fn has_observations(&self) -> bool {
+        self.seen
+    }
+
+    /// Derives the asymmetric affine quantizer for the observed range.
+    pub fn quant_params(&self, bits: BitWidth) -> QuantParams {
+        QuantParams::from_min_max(self.min, self.max, bits)
+    }
+
+    /// Resets the observer to its empty state.
+    pub fn reset(&mut self) {
+        *self = MinMaxObserver::new();
+    }
+}
+
+impl fmt::Display for MinMaxObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MinMax[{:.4}, {:.4}]", self.min, self.max)
+    }
+}
+
+/// Exponential-moving-average min/max estimator (smooths batch noise during
+/// quantization-aware training).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmaObserver {
+    min: f32,
+    max: f32,
+    momentum: f32,
+    seen: bool,
+}
+
+impl EmaObserver {
+    /// Creates an observer with the given momentum (typical: 0.9–0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= momentum < 1.0`.
+    pub fn new(momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        EmaObserver {
+            min: 0.0,
+            max: 0.0,
+            momentum,
+            seen: false,
+        }
+    }
+
+    /// Folds a batch: `stat ← momentum·stat + (1−momentum)·batch_stat`.
+    pub fn observe(&mut self, values: &[f32]) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo > hi {
+            return; // empty or all non-finite
+        }
+        if !self.seen {
+            self.min = lo;
+            self.max = hi;
+            self.seen = true;
+        } else {
+            self.min = self.momentum * self.min + (1.0 - self.momentum) * lo;
+            self.max = self.momentum * self.max + (1.0 - self.momentum) * hi;
+        }
+    }
+
+    /// Smoothed range so far.
+    pub fn range(&self) -> (f32, f32) {
+        (self.min, self.max)
+    }
+
+    /// Derives the asymmetric affine quantizer for the smoothed range.
+    pub fn quant_params(&self, bits: BitWidth) -> QuantParams {
+        QuantParams::from_min_max(self.min, self.max, bits)
+    }
+}
+
+/// Histogram-based range estimator with percentile calibration — the
+/// TensorRT-style alternative the paper cites (§2, [18]): instead of the
+/// raw min/max, clip the range at a percentile of the observed magnitude
+/// distribution, trading saturation of outliers for resolution on the bulk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramObserver {
+    bins: Vec<u64>,
+    max_abs: f32,
+    count: u64,
+}
+
+impl HistogramObserver {
+    /// Creates an observer with the given number of magnitude bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        HistogramObserver {
+            bins: vec![0; bins],
+            max_abs: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Folds a batch of values into the magnitude histogram.
+    ///
+    /// The histogram range grows geometrically when a new maximum arrives
+    /// (existing mass is re-binned conservatively into the top bin ratio).
+    pub fn observe(&mut self, values: &[f32]) {
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            let a = v.abs();
+            if a > self.max_abs {
+                // Re-scale: old bins collapse proportionally.
+                if self.count > 0 && self.max_abs > 0.0 {
+                    let ratio = self.max_abs / a;
+                    let mut rebinned = vec![0u64; self.bins.len()];
+                    for (i, &c) in self.bins.iter().enumerate() {
+                        let centre = (i as f32 + 0.5) / self.bins.len() as f32 * ratio;
+                        let j = ((centre * self.bins.len() as f32) as usize)
+                            .min(self.bins.len() - 1);
+                        rebinned[j] += c;
+                    }
+                    self.bins = rebinned;
+                }
+                self.max_abs = a;
+            }
+            let n = self.bins.len();
+            let j = if self.max_abs > 0.0 {
+                ((a / self.max_abs) * n as f32) as usize
+            } else {
+                0
+            };
+            self.bins[j.min(n - 1)] += 1;
+            self.count += 1;
+        }
+    }
+
+    /// Number of observed values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Magnitude below which `percentile` (0–1) of the mass lies.
+    pub fn percentile_bound(&self, percentile: f32) -> f32 {
+        assert!((0.0..=1.0).contains(&percentile), "percentile in [0,1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (self.count as f64 * percentile as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as f32 + 1.0) / self.bins.len() as f32 * self.max_abs;
+            }
+        }
+        self.max_abs
+    }
+
+    /// Symmetric quantizer clipped at the given percentile of magnitude.
+    pub fn quant_params(&self, percentile: f32, bits: BitWidth) -> QuantParams {
+        QuantParams::symmetric(self.percentile_bound(percentile).max(f32::EPSILON), bits)
+    }
+}
+
+/// The PACT learned activation clip `b` (Choi et al., used by the paper for
+/// every activation tensor and for per-layer weight ranges).
+///
+/// Forward: `y = clamp(x, 0, b)` followed by uniform quantization with
+/// `S = b/(2^Q − 1)`. Backward (straight-through): `∂y/∂b = 1` where
+/// `x ≥ b`, else 0 — accumulated here and applied by the optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_quant::observer::PactClip;
+///
+/// let mut clip = PactClip::new(6.0);
+/// // A gradient step that saw many saturated activations shrinks... or
+/// // grows b depending on the loss gradient sign.
+/// clip.accumulate_grad(0.5);
+/// clip.apply_grad(0.1, 0.0); // lr = 0.1, no weight decay
+/// assert!((clip.bound() - 5.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PactClip {
+    bound: f32,
+    grad: f32,
+}
+
+impl PactClip {
+    /// Creates a clip with the given initial bound (the paper's PACT default
+    /// initialization is a small constant such as 6.0–10.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is not positive.
+    pub fn new(bound: f32) -> Self {
+        assert!(bound > 0.0, "PACT bound must be positive");
+        PactClip { bound, grad: 0.0 }
+    }
+
+    /// Current clipping bound `b`.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+
+    /// Pending accumulated gradient `∂L/∂b`.
+    pub fn grad(&self) -> f32 {
+        self.grad
+    }
+
+    /// Clamps `x` into `[0, b]` (forward pass).
+    pub fn clamp(&self, x: f32) -> f32 {
+        x.clamp(0.0, self.bound)
+    }
+
+    /// Straight-through derivative of the clip w.r.t. its *input*:
+    /// 1 inside `(0, b)`, 0 outside.
+    pub fn input_grad_mask(&self, x: f32) -> f32 {
+        if x > 0.0 && x < self.bound {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Derivative of the clip w.r.t. *b*: 1 where the input saturated high.
+    pub fn bound_grad(&self, x: f32) -> f32 {
+        if x >= self.bound {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Adds to the pending gradient (called during backprop).
+    pub fn accumulate_grad(&mut self, g: f32) {
+        self.grad += g;
+    }
+
+    /// Applies the pending gradient with a plain SGD step plus L2 decay
+    /// (PACT regularizes `b` towards small values), then clears it.
+    ///
+    /// The bound is kept strictly positive.
+    pub fn apply_grad(&mut self, lr: f32, weight_decay: f32) {
+        self.bound -= lr * (self.grad + weight_decay * self.bound);
+        self.bound = self.bound.max(1e-3);
+        self.grad = 0.0;
+    }
+
+    /// Derives the floor-rounding activation quantizer for the current bound.
+    pub fn quant_params(&self, bits: BitWidth) -> QuantParams {
+        QuantParams::from_pact_clip(self.bound, bits)
+    }
+}
+
+impl Default for PactClip {
+    fn default() -> Self {
+        PactClip::new(6.0)
+    }
+}
+
+impl fmt::Display for PactClip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PACT(b={:.4})", self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_tracks_extremes() {
+        let mut obs = MinMaxObserver::new();
+        assert!(!obs.has_observations());
+        obs.observe(&[1.0, -1.0]);
+        obs.observe(&[5.0]);
+        obs.observe(&[f32::NAN]); // ignored
+        assert_eq!(obs.range(), (-1.0, 5.0));
+        obs.reset();
+        assert!(!obs.has_observations());
+        assert_eq!(obs.range(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn min_max_first_value_initializes_both_ends() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&[3.0]);
+        assert_eq!(obs.range(), (3.0, 3.0));
+        let q = obs.quant_params(BitWidth::W8);
+        // Range stretched to include zero.
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn ema_smooths_towards_batches() {
+        let mut obs = EmaObserver::new(0.5);
+        obs.observe(&[0.0, 10.0]);
+        assert_eq!(obs.range(), (0.0, 10.0));
+        obs.observe(&[0.0, 20.0]);
+        let (_, hi) = obs.range();
+        assert!((hi - 15.0).abs() < 1e-6);
+        let q = obs.quant_params(BitWidth::W8);
+        assert!(q.scale() > 0.0);
+    }
+
+    #[test]
+    fn ema_ignores_empty_and_nonfinite_batches() {
+        let mut obs = EmaObserver::new(0.9);
+        obs.observe(&[]);
+        obs.observe(&[f32::INFINITY]);
+        assert_eq!(obs.range(), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn ema_rejects_bad_momentum() {
+        let _ = EmaObserver::new(1.0);
+    }
+
+    #[test]
+    fn pact_forward_and_masks() {
+        let clip = PactClip::new(4.0);
+        assert_eq!(clip.clamp(-1.0), 0.0);
+        assert_eq!(clip.clamp(2.0), 2.0);
+        assert_eq!(clip.clamp(9.0), 4.0);
+        assert_eq!(clip.input_grad_mask(2.0), 1.0);
+        assert_eq!(clip.input_grad_mask(-1.0), 0.0);
+        assert_eq!(clip.input_grad_mask(5.0), 0.0);
+        assert_eq!(clip.bound_grad(5.0), 1.0);
+        assert_eq!(clip.bound_grad(2.0), 0.0);
+    }
+
+    #[test]
+    fn pact_gradient_step_moves_bound() {
+        let mut clip = PactClip::new(6.0);
+        clip.accumulate_grad(1.0);
+        clip.accumulate_grad(1.0);
+        clip.apply_grad(0.5, 0.0);
+        assert!((clip.bound() - 5.0).abs() < 1e-6);
+        assert_eq!(clip.grad(), 0.0);
+        // Bound never collapses to zero or below.
+        let mut clip = PactClip::new(0.01);
+        clip.accumulate_grad(100.0);
+        clip.apply_grad(1.0, 0.0);
+        assert!(clip.bound() > 0.0);
+    }
+
+    #[test]
+    fn pact_quant_params_floor() {
+        let clip = PactClip::new(3.0);
+        let q = clip.quant_params(BitWidth::W2);
+        // S = 3/3 = 1.0, floor rounding.
+        assert_eq!(q.quantize(1.99), 1);
+        assert_eq!(q.quantize(3.5), 3);
+    }
+
+    #[test]
+    fn histogram_percentile_tracks_distribution() {
+        let mut h = HistogramObserver::new(100);
+        // 99 small values and one huge outlier.
+        let mut vals: Vec<f32> = (0..99).map(|i| (i as f32 % 10.0) * 0.1).collect();
+        vals.push(100.0);
+        h.observe(&vals);
+        assert_eq!(h.count(), 100);
+        // The 95th percentile ignores the outlier...
+        assert!(h.percentile_bound(0.95) < 5.0);
+        // ...while the 100th percentile reaches it.
+        assert!((h.percentile_bound(1.0) - 100.0).abs() < 1.0);
+        // Percentile-clipped quantizer has much finer resolution.
+        let q95 = h.quant_params(0.95, BitWidth::W8);
+        let q100 = h.quant_params(1.0, BitWidth::W8);
+        assert!(q95.scale() < q100.scale() / 10.0);
+    }
+
+    #[test]
+    fn histogram_rescaling_preserves_count() {
+        let mut h = HistogramObserver::new(16);
+        h.observe(&[0.1, 0.2, 0.3]);
+        h.observe(&[10.0]); // forces re-binning
+        assert_eq!(h.count(), 4);
+        assert!(h.percentile_bound(1.0) >= 10.0 - 1.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_nonfinite() {
+        let mut h = HistogramObserver::new(8);
+        h.observe(&[f32::NAN, f32::INFINITY]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_bound(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn histogram_percentile_range_checked() {
+        let h = HistogramObserver::new(8);
+        let _ = h.percentile_bound(1.5);
+    }
+
+    #[test]
+    fn displays() {
+        assert!(MinMaxObserver::new().to_string().contains("MinMax"));
+        assert!(PactClip::default().to_string().contains("PACT"));
+    }
+}

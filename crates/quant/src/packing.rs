@@ -1,0 +1,237 @@
+//! Sub-byte bit packing (§4.1: "weight-parameters are stored in memory as
+//! UINT-Q").
+//!
+//! On the MCU, 4-bit tensors store two codes per byte and 2-bit tensors four
+//! codes per byte, LSB-first within each byte. The integer kernels consume
+//! [`PackedTensor`]s directly, paying the unpack cost the cycle model
+//! accounts for.
+
+use std::fmt;
+
+use crate::BitWidth;
+
+/// A bit-packed buffer of unsigned `Q`-bit codes.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_quant::{BitWidth, PackedTensor};
+///
+/// let packed = PackedTensor::pack(&[1, 2, 3, 0, 1], BitWidth::W2);
+/// assert_eq!(packed.byte_len(), 2); // 5 × 2 bits → 2 bytes
+/// assert_eq!(packed.get(2), 3);
+/// assert_eq!(packed.unpack(), vec![1, 2, 3, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedTensor {
+    bytes: Vec<u8>,
+    len: usize,
+    bits: BitWidth,
+}
+
+impl PackedTensor {
+    /// Packs unsigned codes into a bit-packed buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code exceeds `2^Q − 1`.
+    pub fn pack(codes: &[u8], bits: BitWidth) -> Self {
+        let qmax = bits.qmax() as u8;
+        let per_byte = 8 / bits.bits() as usize;
+        let mut bytes = vec![0u8; codes.len().div_ceil(per_byte)];
+        for (i, &code) in codes.iter().enumerate() {
+            assert!(
+                code <= qmax,
+                "code {code} exceeds {qmax} for {bits} packing"
+            );
+            let byte = i / per_byte;
+            let offset = (i % per_byte) * bits.bits() as usize;
+            bytes[byte] |= code << offset;
+        }
+        PackedTensor {
+            bytes,
+            len: codes.len(),
+            bits,
+        }
+    }
+
+    /// Number of logical elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element precision.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Storage size in bytes — the quantity `mem(t, Q)` of Eq. 6–7.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Raw packed bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The `i`-th logical element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of range (len {})", self.len);
+        let q = self.bits.bits() as usize;
+        let per_byte = 8 / q;
+        let byte = self.bytes[i / per_byte];
+        let offset = (i % per_byte) * q;
+        (byte >> offset) & self.bits.qmax() as u8
+    }
+
+    /// Unpacks the whole buffer back to one code per byte.
+    pub fn unpack(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        let q = self.bits.bits() as usize;
+        let per_byte = 8 / q;
+        let mask = self.bits.qmax() as u8;
+        for i in 0..self.len {
+            let byte = self.bytes[i / per_byte];
+            let offset = (i % per_byte) * q;
+            out.push((byte >> offset) & mask);
+        }
+        out
+    }
+
+    /// Unpacks into a caller-provided buffer, returning the element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `len()`.
+    pub fn unpack_into(&self, out: &mut [u8]) -> usize {
+        assert!(out.len() >= self.len, "output buffer too small");
+        let q = self.bits.bits() as usize;
+        let per_byte = 8 / q;
+        let mask = self.bits.qmax() as u8;
+        for (i, dst) in out.iter_mut().take(self.len).enumerate() {
+            let byte = self.bytes[i / per_byte];
+            let offset = (i % per_byte) * q;
+            *dst = (byte >> offset) & mask;
+        }
+        self.len
+    }
+}
+
+impl fmt::Display for PackedTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PackedTensor({} elems @ {}, {} bytes)",
+            self.len,
+            self.bits,
+            self.bytes.len()
+        )
+    }
+}
+
+/// Bytes required to store `elements` codes at `bits` precision.
+///
+/// Convenience alias for [`BitWidth::bytes_for`], used throughout the memory
+/// model.
+pub fn packed_size(elements: usize, bits: BitWidth) -> usize {
+    bits.bytes_for(elements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        for bits in BitWidth::ALL {
+            let levels = bits.levels();
+            let codes: Vec<u8> = (0..37u32).map(|i| (i % levels) as u8).collect();
+            let packed = PackedTensor::pack(&codes, bits);
+            assert_eq!(packed.unpack(), codes, "{bits}");
+            assert_eq!(packed.len(), 37);
+            assert_eq!(packed.byte_len(), bits.bytes_for(37));
+        }
+    }
+
+    #[test]
+    fn get_matches_unpack() {
+        let codes: Vec<u8> = vec![3, 0, 1, 2, 3, 3, 0, 1, 2];
+        let packed = PackedTensor::pack(&codes, BitWidth::W2);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(packed.get(i), c);
+        }
+    }
+
+    #[test]
+    fn four_bit_layout_is_lsb_first() {
+        let packed = PackedTensor::pack(&[0x1, 0x2], BitWidth::W4);
+        // element 0 in low nibble, element 1 in high nibble
+        assert_eq!(packed.as_bytes(), &[0x21]);
+    }
+
+    #[test]
+    fn two_bit_layout_is_lsb_first() {
+        let packed = PackedTensor::pack(&[1, 2, 3, 0], BitWidth::W2);
+        // 0b00_11_10_01
+        assert_eq!(packed.as_bytes(), &[0b0011_1001]);
+    }
+
+    #[test]
+    fn eight_bit_is_identity() {
+        let codes = vec![0u8, 127, 255];
+        let packed = PackedTensor::pack(&codes, BitWidth::W8);
+        assert_eq!(packed.as_bytes(), codes.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overflowing_code_panics() {
+        let _ = PackedTensor::pack(&[4], BitWidth::W2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let packed = PackedTensor::pack(&[1], BitWidth::W4);
+        let _ = packed.get(1);
+    }
+
+    #[test]
+    fn unpack_into_buffer() {
+        let packed = PackedTensor::pack(&[5, 10, 15], BitWidth::W4);
+        let mut buf = [0u8; 8];
+        assert_eq!(packed.unpack_into(&mut buf), 3);
+        assert_eq!(&buf[..3], &[5, 10, 15]);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let packed = PackedTensor::pack(&[], BitWidth::W4);
+        assert!(packed.is_empty());
+        assert_eq!(packed.byte_len(), 0);
+        assert_eq!(packed.unpack(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn packed_size_helper() {
+        assert_eq!(packed_size(1000, BitWidth::W4), 500);
+        assert_eq!(packed_size(1001, BitWidth::W2), 251);
+    }
+
+    #[test]
+    fn display() {
+        let packed = PackedTensor::pack(&[1, 2, 3], BitWidth::W4);
+        assert!(packed.to_string().contains("3 elems"));
+    }
+}

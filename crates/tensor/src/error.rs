@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape;
+
+/// Errors produced by tensor construction and reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided buffer length does not match the number of elements
+    /// implied by the shape.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors were expected to share a shape but do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Shape,
+        /// Shape of the right operand.
+        right: Shape,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::LengthMismatch {
+            expected: 12,
+            actual: 10,
+        };
+        assert!(err.to_string().contains("12"));
+        assert!(err.to_string().contains("10"));
+
+        let err = TensorError::ShapeMismatch {
+            left: Shape::new(1, 2, 2, 3),
+            right: Shape::new(1, 2, 2, 4),
+        };
+        assert!(err.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,168 @@
+use std::fmt;
+
+/// Spatial padding mode of a convolution.
+///
+/// MobileNetV1 uses TensorFlow-style `SAME` padding everywhere; `Valid` is
+/// provided for the micro-CNNs and for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Padding {
+    /// Output spatial size is `ceil(input / stride)`; zero-pad as needed.
+    #[default]
+    Same,
+    /// No padding; output size is `floor((input - kernel) / stride) + 1`.
+    Valid,
+}
+
+impl fmt::Display for Padding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Padding::Same => write!(f, "same"),
+            Padding::Valid => write!(f, "valid"),
+        }
+    }
+}
+
+/// Geometry of a 2-D convolution: kernel, stride and padding.
+///
+/// Encapsulates the output-size and padding arithmetic shared by the float
+/// layers, the fake-quantized layers, the integer kernels and the memory
+/// model, so they can never disagree about shapes.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_tensor::{ConvGeometry, Padding};
+///
+/// // MobileNetV1 stem: 3x3 stride-2 SAME convolution on 224x224.
+/// let g = ConvGeometry::new(3, 3, 2, Padding::Same);
+/// assert_eq!(g.output_size(224, 224), (112, 112));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (equal in both spatial dimensions, as in the paper's models).
+    pub stride: usize,
+    /// Padding mode.
+    pub padding: Padding,
+}
+
+impl ConvGeometry {
+    /// Creates a new geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel or stride is zero.
+    pub fn new(kh: usize, kw: usize, stride: usize, padding: Padding) -> Self {
+        assert!(kh > 0 && kw > 0, "kernel dimensions must be positive");
+        assert!(stride > 0, "stride must be positive");
+        ConvGeometry {
+            kh,
+            kw,
+            stride,
+            padding,
+        }
+    }
+
+    /// Geometry of a 1x1 (pointwise) convolution.
+    pub fn pointwise() -> Self {
+        ConvGeometry::new(1, 1, 1, Padding::Same)
+    }
+
+    /// Output spatial size `(h_out, w_out)` for an `(h_in, w_in)` input.
+    pub fn output_size(&self, h_in: usize, w_in: usize) -> (usize, usize) {
+        match self.padding {
+            Padding::Same => (h_in.div_ceil(self.stride), w_in.div_ceil(self.stride)),
+            Padding::Valid => (
+                (h_in.saturating_sub(self.kh)) / self.stride + 1,
+                (w_in.saturating_sub(self.kw)) / self.stride + 1,
+            ),
+        }
+    }
+
+    /// Top/left zero-padding amounts `(pad_top, pad_left)` (TensorFlow SAME
+    /// semantics: total padding split with the extra cell on the
+    /// bottom/right).
+    pub fn pad_top_left(&self, h_in: usize, w_in: usize) -> (usize, usize) {
+        match self.padding {
+            Padding::Valid => (0, 0),
+            Padding::Same => {
+                let (h_out, w_out) = self.output_size(h_in, w_in);
+                let pad_h = ((h_out - 1) * self.stride + self.kh).saturating_sub(h_in);
+                let pad_w = ((w_out - 1) * self.stride + self.kw).saturating_sub(w_in);
+                (pad_h / 2, pad_w / 2)
+            }
+        }
+    }
+
+    /// Number of kernel positions, `kh * kw`.
+    pub const fn kernel_area(&self) -> usize {
+        self.kh * self.kw
+    }
+}
+
+impl Default for ConvGeometry {
+    fn default() -> Self {
+        ConvGeometry::new(3, 3, 1, Padding::Same)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_output_sizes() {
+        let s1 = ConvGeometry::new(3, 3, 1, Padding::Same);
+        assert_eq!(s1.output_size(7, 7), (7, 7));
+        let s2 = ConvGeometry::new(3, 3, 2, Padding::Same);
+        assert_eq!(s2.output_size(224, 224), (112, 112));
+        assert_eq!(s2.output_size(7, 7), (4, 4));
+        assert_eq!(s2.output_size(112, 112), (56, 56));
+    }
+
+    #[test]
+    fn valid_padding_output_sizes() {
+        let g = ConvGeometry::new(3, 3, 1, Padding::Valid);
+        assert_eq!(g.output_size(5, 5), (3, 3));
+        let g2 = ConvGeometry::new(2, 2, 2, Padding::Valid);
+        assert_eq!(g2.output_size(4, 4), (2, 2));
+    }
+
+    #[test]
+    fn same_padding_amounts() {
+        // 3x3 stride 1: one pixel on each side -> top/left = 1.
+        let g = ConvGeometry::new(3, 3, 1, Padding::Same);
+        assert_eq!(g.pad_top_left(7, 7), (1, 1));
+        // 3x3 stride 2 on even input: TF pads 0 on top/left, 1 on bottom/right.
+        let g2 = ConvGeometry::new(3, 3, 2, Padding::Same);
+        assert_eq!(g2.pad_top_left(224, 224), (0, 0));
+        // 3x3 stride 2 on odd input: symmetric single pixel.
+        assert_eq!(g2.pad_top_left(7, 7), (1, 1));
+        // Valid never pads.
+        let v = ConvGeometry::new(3, 3, 1, Padding::Valid);
+        assert_eq!(v.pad_top_left(9, 9), (0, 0));
+    }
+
+    #[test]
+    fn pointwise_helper() {
+        let p = ConvGeometry::pointwise();
+        assert_eq!(p.kernel_area(), 1);
+        assert_eq!(p.output_size(14, 14), (14, 14));
+        assert_eq!(p.pad_top_left(14, 14), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        let _ = ConvGeometry::new(3, 3, 0, Padding::Same);
+    }
+
+    #[test]
+    fn display_padding() {
+        assert_eq!(Padding::Same.to_string(), "same");
+        assert_eq!(Padding::Valid.to_string(), "valid");
+    }
+}

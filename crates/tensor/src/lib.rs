@@ -1,0 +1,34 @@
+//! # mixq-tensor
+//!
+//! Minimal NHWC tensor substrate used by every other `mixq` crate.
+//!
+//! The paper's inference graphs (MobileNetV1 family and the micro-CNNs used
+//! for quantization-aware training) only need dense, row-major, NHWC tensors
+//! with `f32` (training / fake-quant) and integer (`u8`/`i32`) storage for
+//! the integer-only deployment path. This crate provides exactly that — a
+//! deliberately small, well-tested surface rather than a general ndarray.
+//!
+//! # Examples
+//!
+//! ```
+//! use mixq_tensor::{Shape, Tensor};
+//!
+//! let mut t = Tensor::<f32>::zeros(Shape::new(1, 2, 2, 3));
+//! *t.at_mut(0, 1, 1, 2) = 7.0;
+//! assert_eq!(t.at(0, 1, 1, 2), 7.0);
+//! assert_eq!(t.len(), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod geometry;
+mod shape;
+#[allow(clippy::module_inception)]
+mod tensor;
+
+pub use error::TensorError;
+pub use geometry::{ConvGeometry, Padding};
+pub use shape::Shape;
+pub use tensor::Tensor;

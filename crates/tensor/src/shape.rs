@@ -1,0 +1,128 @@
+use std::fmt;
+
+/// The shape of a dense NHWC tensor: `(n, h, w, c)`.
+///
+/// Fully-connected activations are modelled as `(n, 1, 1, c)`, weight tensors
+/// of a `k_h × k_w` convolution with `c_i` input and `c_o` output channels as
+/// `(c_o, k_h, k_w, c_i)` (output channel outermost, matching the paper's
+/// per-channel quantization axis).
+///
+/// # Examples
+///
+/// ```
+/// use mixq_tensor::Shape;
+///
+/// let s = Shape::new(1, 224, 224, 3);
+/// assert_eq!(s.volume(), 150_528);
+/// assert_eq!(s.index(0, 0, 0, 2), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Batch (or output-channel for weight tensors).
+    pub n: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Channels (innermost, contiguous).
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates a new shape.
+    pub const fn new(n: usize, h: usize, w: usize, c: usize) -> Self {
+        Shape { n, h, w, c }
+    }
+
+    /// Shape of a flat vector `(1, 1, 1, c)`.
+    pub const fn vector(c: usize) -> Self {
+        Shape::new(1, 1, 1, c)
+    }
+
+    /// Shape of a feature map `(1, h, w, c)` (single image).
+    pub const fn feature_map(h: usize, w: usize, c: usize) -> Self {
+        Shape::new(1, h, w, c)
+    }
+
+    /// Total number of elements.
+    pub const fn volume(&self) -> usize {
+        self.n * self.h * self.w * self.c
+    }
+
+    /// Number of elements in one batch item.
+    pub const fn item_volume(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Number of spatial positions (`h · w`) in one batch item.
+    pub const fn pixels(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Row-major NHWC linear index of `(n, y, x, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that every coordinate is in bounds.
+    #[inline]
+    pub fn index(&self, n: usize, y: usize, x: usize, c: usize) -> usize {
+        debug_assert!(n < self.n && y < self.h && x < self.w && c < self.c);
+        ((n * self.h + y) * self.w + x) * self.c + c
+    }
+
+    /// Returns the same shape with a different batch size.
+    pub const fn with_batch(&self, n: usize) -> Self {
+        Shape::new(n, self.h, self.w, self.c)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}x{}x{}]", self.n, self.h, self.w, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_index_are_consistent() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.volume(), 120);
+        assert_eq!(s.item_volume(), 60);
+        assert_eq!(s.pixels(), 12);
+        // Last element maps to volume - 1.
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+        // Channel stride is 1.
+        assert_eq!(s.index(0, 0, 0, 1) - s.index(0, 0, 0, 0), 1);
+        // Width stride is c.
+        assert_eq!(s.index(0, 0, 1, 0) - s.index(0, 0, 0, 0), 5);
+        // Height stride is w*c.
+        assert_eq!(s.index(0, 1, 0, 0) - s.index(0, 0, 0, 0), 20);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(Shape::vector(10), Shape::new(1, 1, 1, 10));
+        assert_eq!(Shape::feature_map(4, 4, 8), Shape::new(1, 4, 4, 8));
+        assert_eq!(Shape::new(1, 2, 2, 2).with_batch(7).n, 7);
+        assert_eq!(format!("{}", Shape::new(1, 2, 3, 4)), "[1x2x3x4]");
+    }
+
+    #[test]
+    fn index_enumerates_row_major() {
+        let s = Shape::new(2, 2, 2, 2);
+        let mut expected = 0;
+        for n in 0..2 {
+            for y in 0..2 {
+                for x in 0..2 {
+                    for c in 0..2 {
+                        assert_eq!(s.index(n, y, x, c), expected);
+                        expected += 1;
+                    }
+                }
+            }
+        }
+    }
+}

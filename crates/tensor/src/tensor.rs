@@ -1,0 +1,333 @@
+use crate::{Shape, TensorError};
+
+/// A dense, row-major, NHWC tensor.
+///
+/// `T` is typically `f32` during training/fake-quantization and `u8`/`i32`
+/// on the integer-only deployment path.
+///
+/// # Examples
+///
+/// ```
+/// use mixq_tensor::{Shape, Tensor};
+///
+/// let t = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0f32, 2.0, 3.0, 4.0])?;
+/// assert_eq!(t.at(0, 0, 1, 1), 4.0);
+/// let doubled = t.map(|v| v * 2.0);
+/// assert_eq!(doubled.data()[3], 8.0);
+/// # Ok::<(), mixq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Creates a tensor filled with `T::default()` (zero for numeric types).
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![T::default(); shape.volume()],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Shape, value: T) -> Self {
+        Tensor {
+            shape,
+            data: vec![value; shape.volume()],
+        }
+    }
+}
+
+impl<T> Tensor<T> {
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != shape.volume()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Result<Self, TensorError> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer (row-major NHWC).
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major NHWC).
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Reinterprets the buffer under a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(self, shape: Shape) -> Result<Self, TensorError> {
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Element at `(n, y, x, c)`.
+    #[inline]
+    pub fn at(&self, n: usize, y: usize, x: usize, c: usize) -> T {
+        self.data[self.shape.index(n, y, x, c)]
+    }
+
+    /// Mutable element at `(n, y, x, c)`.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, y: usize, x: usize, c: usize) -> &mut T {
+        let idx = self.shape.index(n, y, x, c);
+        &mut self.data[idx]
+    }
+
+    /// Applies `f` elementwise, producing a new tensor of the same shape.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns the `n`-th batch item as a new single-item tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= shape().n`.
+    pub fn batch_item(&self, n: usize) -> Tensor<T> {
+        assert!(n < self.shape.n, "batch index {n} out of range");
+        let vol = self.shape.item_volume();
+        Tensor {
+            shape: self.shape.with_batch(1),
+            data: self.data[n * vol..(n + 1) * vol].to_vec(),
+        }
+    }
+
+    /// Iterates over the values of channel `c` across all `(n, y, x)`.
+    pub fn channel_iter(&self, c: usize) -> impl Iterator<Item = T> + '_ {
+        let ch = self.shape.c;
+        self.data.iter().skip(c).step_by(ch).copied()
+    }
+}
+
+impl Tensor<f32> {
+    /// Maximum absolute element, or 0.0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Minimum and maximum element, or `(0.0, 0.0)` for an empty tensor.
+    pub fn min_max(&self) -> (f32, f32) {
+        if self.data.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor<f32>) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape,
+                right: other.shape,
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// Sum of squared differences against `other`, useful as an error metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn squared_distance(&self, other: &Tensor<f32>) -> Result<f64, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape,
+                right: other.shape,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum())
+    }
+}
+
+impl<T: Copy + Default> Default for Tensor<T> {
+    fn default() -> Self {
+        Tensor::zeros(Shape::new(0, 0, 0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(Shape::new(1, 2, 2, 2), (0..8).map(|v| v as f32).collect())
+            .expect("valid length");
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at(0, 1, 1, 1), 7.0);
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Tensor::from_vec(Shape::new(1, 2, 2, 2), vec![0.0f32; 7]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 8,
+                actual: 7
+            }
+        );
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::vector(6), vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let r = t.clone().reshape(Shape::new(1, 2, 3, 1)).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(Shape::new(1, 2, 3, 2)).is_err());
+    }
+
+    #[test]
+    fn map_and_inplace() {
+        let t = Tensor::from_vec(Shape::vector(3), vec![1.0f32, -2.0, 3.0]).unwrap();
+        let abs = t.map(|v| v.abs());
+        assert_eq!(abs.data(), &[1.0, 2.0, 3.0]);
+        let mut u = t;
+        u.map_inplace(|v| v * 10.0);
+        assert_eq!(u.data(), &[10.0, -20.0, 30.0]);
+    }
+
+    #[test]
+    fn batch_item_extracts_slice() {
+        let t =
+            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![1, 2, 3, 4, 5, 6]).expect("valid");
+        let b1 = t.batch_item(1);
+        assert_eq!(b1.shape(), Shape::new(1, 1, 1, 3));
+        assert_eq!(b1.data(), &[4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch index")]
+    fn batch_item_out_of_range_panics() {
+        let t = Tensor::<i32>::zeros(Shape::new(1, 1, 1, 1));
+        let _ = t.batch_item(1);
+    }
+
+    #[test]
+    fn channel_iter_strides_channels() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 3, 2), vec![0, 10, 1, 11, 2, 12]).unwrap();
+        let c0: Vec<i32> = t.channel_iter(0).collect();
+        let c1: Vec<i32> = t.channel_iter(1).collect();
+        assert_eq!(c0, vec![0, 1, 2]);
+        assert_eq!(c1, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn float_statistics() {
+        let t = Tensor::from_vec(Shape::vector(4), vec![-3.0f32, 1.0, 2.0, 0.0]).unwrap();
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.min_max(), (-3.0, 2.0));
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_and_distance() {
+        let mut a = Tensor::from_vec(Shape::vector(2), vec![1.0f32, 2.0]).unwrap();
+        let b = Tensor::from_vec(Shape::vector(2), vec![0.5f32, 0.5]).unwrap();
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.data(), &[1.5, 2.5]);
+        let d = a.squared_distance(&b).unwrap();
+        assert!((d - (1.0 + 4.0)).abs() < 1e-9);
+
+        let c = Tensor::<f32>::zeros(Shape::vector(3));
+        assert!(a.add_assign(&c).is_err());
+        assert!(a.squared_distance(&c).is_err());
+    }
+
+    #[test]
+    fn zeros_full_default() {
+        let z = Tensor::<f32>::zeros(Shape::vector(3));
+        assert_eq!(z.data(), &[0.0, 0.0, 0.0]);
+        let f = Tensor::full(Shape::vector(2), 9u8);
+        assert_eq!(f.data(), &[9, 9]);
+        assert!(Tensor::<f32>::default().is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Deploy-plan a MobileNetV1 onto the STM32H7 (the paper's §5–§6 flow at
+//! shape level): run the memory-driven mixed-precision assignment, print
+//! the per-layer bit map, the memory fit report and the simulated latency.
+//!
+//! Run with: `cargo run --release --example deploy_mobilenet -- 192 0.5`
+//! (default model: 192_0.5, the paper's highlighted configuration).
+
+use mixq::core::memory::{mib, QuantScheme};
+use mixq::core::mixed::{assign_bits, MixedPrecisionConfig};
+use mixq::mcu::{CortexM7CycleModel, Device};
+use mixq::models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+
+fn parse_args() -> MobileNetConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let res = match args.get(1).map(String::as_str) {
+        Some("128") => Resolution::R128,
+        Some("160") => Resolution::R160,
+        Some("224") => Resolution::R224,
+        _ => Resolution::R192,
+    };
+    let width = match args.get(2).map(String::as_str) {
+        Some("0.25") => WidthMultiplier::X0_25,
+        Some("0.75") => WidthMultiplier::X0_75,
+        Some("1.0") => WidthMultiplier::X1_0,
+        _ => WidthMultiplier::X0_5,
+    };
+    MobileNetConfig::new(res, width)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = parse_args();
+    let spec = model.build();
+    let device = Device::stm32h7();
+    println!("== deploying MobileNetV1_{} onto {} ==", model.label(), device);
+
+    for scheme in [QuantScheme::PerLayerIcn, QuantScheme::PerChannelIcn] {
+        let cfg = MixedPrecisionConfig::new(device.budget(), scheme);
+        let assignment = assign_bits(&spec, &cfg)?;
+        let fit = device.fit_report(&spec, &assignment, scheme);
+        let cycles = CortexM7CycleModel::default().network_cycles(&spec, &assignment, scheme);
+        println!("\n-- scheme {scheme} --");
+        println!("memory: {fit}");
+        println!(
+            "latency: {:.1} ms ({:.2} fps)",
+            device.latency_ms(cycles),
+            device.fps(cycles)
+        );
+        if assignment.has_cuts() {
+            println!("cuts (layer: weights / output activation):");
+            for (i, layer) in spec.layers().iter().enumerate() {
+                let wq = assignment.weight_bits[i];
+                let aq = assignment.act_bits[i + 1];
+                if wq != mixq::quant::BitWidth::W8 || aq != mixq::quant::BitWidth::W8 {
+                    println!("  {:>6}: w{} / a{}", layer.name(), wq.bits(), aq.bits());
+                }
+            }
+        } else {
+            println!("no cuts needed: the 8-bit model already fits");
+        }
+        println!(
+            "flash {:.3} MiB of {:.0} MiB, peak RAM {:.0} KiB of {} KiB",
+            mib(fit.flash_bytes),
+            mib(fit.flash_budget),
+            fit.ram_bytes as f64 / 1024.0,
+            fit.ram_budget / 1024
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Exercise the sub-byte integer kernels directly: pack a 2-bit weight
+//! tensor, run the ICN convolution, inspect the op-count ledger and the
+//! modelled Cortex-M7 cost — the microscope view of what the extended
+//! CMSIS-NN library does on the device.
+//!
+//! Run with: `cargo run --release --example kernel_playground`
+
+use mixq::kernels::{
+    OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, Requantizer, ThresholdChannel,
+    WeightOffset,
+};
+use mixq::mcu::CortexM7CycleModel;
+use mixq::quant::{BitWidth, FixedPointMultiplier, PackedTensor};
+use mixq::tensor::{ConvGeometry, Padding, Shape};
+
+fn main() {
+    println!("== sub-byte packing ==");
+    let codes: Vec<u8> = (0..12).map(|i| i % 4).collect();
+    let packed = PackedTensor::pack(&codes, BitWidth::W2);
+    println!(
+        "12 2-bit codes -> {} bytes: {:02x?}",
+        packed.byte_len(),
+        packed.as_bytes()
+    );
+
+    println!("\n== ICN convolution at 2-bit weights, 4-bit activations ==");
+    // 3x3 depthwise over an 8x8x2 map.
+    let weights = QConvWeights::new(
+        Shape::new(2, 3, 3, 1),
+        true,
+        &[1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2],
+        BitWidth::W2,
+        WeightOffset::PerChannel(vec![1, 2]),
+    );
+    let requant = Requantizer::icn(
+        vec![4, -4],
+        vec![
+            FixedPointMultiplier::from_real(0.11),
+            FixedPointMultiplier::from_real(0.07),
+        ],
+        0,
+        BitWidth::W4,
+    );
+    let conv = QConv2d::new(weights, ConvGeometry::new(3, 3, 1, Padding::Same), requant);
+    let act_codes: Vec<u8> = (0..128).map(|i| (i % 13) as u8).collect();
+    let x = QActivation::from_codes(Shape::feature_map(8, 8, 2), &act_codes, BitWidth::W4, 3);
+    let mut ops = OpCounts::default();
+    let y = conv.execute(&x, &mut ops);
+    println!("output shape {}, first row {:?}", y.shape(), &y.codes()[..8]);
+    println!("ledger: {ops}");
+    let model = CortexM7CycleModel::default();
+    println!(
+        "modelled Cortex-M7 cost: ~{} cycles",
+        model.cycles_from_counts(&ops)
+    );
+
+    println!("\n== thresholds vs ICN on one channel ==");
+    let m = 0.04375;
+    let icn = Requantizer::icn(
+        vec![17],
+        vec![FixedPointMultiplier::from_real(m)],
+        0,
+        BitWidth::W4,
+    );
+    let thr = ThresholdChannel::from_affine(m, 17, 0, BitWidth::W4);
+    let mut diffs = 0;
+    let (mut r, mut c) = (0, 0);
+    for phi in -300..300i64 {
+        let a = icn.apply(0, phi, &mut r, &mut c);
+        let b = thr.eval(phi, &mut c);
+        if a != b {
+            diffs += 1;
+        }
+    }
+    println!(
+        "codes over 600 accumulator values: {} disagreements \
+         (ICN pays Q31 mantissa rounding; thresholds are exact)",
+        diffs
+    );
+
+    println!("\n== integer average pooling ==");
+    let mut ops = OpCounts::default();
+    let pooled = QAvgPool.execute(&y, &mut ops);
+    println!("pooled codes: {:?}", pooled.codes());
+}

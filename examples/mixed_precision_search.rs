@@ -1,0 +1,62 @@
+//! Sweep the full 16-model MobileNetV1 grid through the memory-driven
+//! procedure (paper Figure 3): for each model, report which tensors the
+//! algorithms cut and what the resulting footprint and latency are.
+//!
+//! Run with: `cargo run --release --example mixed_precision_search`
+
+use mixq::core::memory::{mib, QuantScheme};
+use mixq::core::mixed::{assign_bits, MixedPrecisionConfig};
+use mixq::mcu::{CortexM7CycleModel, Device};
+use mixq::models::mobilenet::MobileNetConfig;
+use mixq::quant::BitWidth;
+
+fn main() {
+    let device = Device::stm32h7();
+    let scheme = QuantScheme::PerChannelIcn;
+    let model = CortexM7CycleModel::default();
+    println!(
+        "== MixQ-PC-ICN assignments for all 16 MobileNetV1 models on {} ==",
+        device
+    );
+    println!(
+        "{:<10} {:>6} {:>6} {:>10} {:>9} {:>8}  cut tensors",
+        "model", "w-cuts", "a-cuts", "flash", "ram", "fps"
+    );
+    for cfg_m in MobileNetConfig::all() {
+        let spec = cfg_m.build();
+        let cfg = MixedPrecisionConfig::new(device.budget(), scheme);
+        match assign_bits(&spec, &cfg) {
+            Ok(a) => {
+                let w_cuts = a
+                    .weight_bits
+                    .iter()
+                    .filter(|&&b| b != BitWidth::W8)
+                    .count();
+                let a_cuts = a.act_bits.iter().filter(|&&b| b != BitWidth::W8).count();
+                let flash = a.flash_bytes(&spec, scheme);
+                let ram = a.peak_rw_bytes(&spec);
+                let cycles = model.network_cycles(&spec, &a, scheme);
+                let cut_names: Vec<String> = spec
+                    .layers()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| a.weight_bits[*i] != BitWidth::W8)
+                    .map(|(i, l)| format!("{}:w{}", l.name(), a.weight_bits[i].bits()))
+                    .take(4)
+                    .collect();
+                println!(
+                    "{:<10} {:>6} {:>6} {:>8.2}Mi {:>7.0}Ki {:>8.2}  {}{}",
+                    cfg_m.label(),
+                    w_cuts,
+                    a_cuts,
+                    mib(flash),
+                    ram as f64 / 1024.0,
+                    device.fps(cycles),
+                    cut_names.join(" "),
+                    if w_cuts > 4 { " ..." } else { "" }
+                );
+            }
+            Err(e) => println!("{:<10} INFEASIBLE: {e}", cfg_m.label()),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: train a micro-CNN on synthetic data, quantize it with the
+//! paper's PC+ICN scheme, convert it to an integer-only model and verify
+//! that the deployment graph matches the fake-quantized one.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mixq::core::memory::QuantScheme;
+use mixq::core::pipeline::{deploy, PipelineConfig};
+use mixq::data::{DatasetSpec, SyntheticKind};
+use mixq::nn::qat::MicroCnnSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-class orientation task on 8x8 synthetic images (the ImageNet
+    // stand-in; see DESIGN.md "Substitutions").
+    let dataset = DatasetSpec::new(SyntheticKind::Bars, 8, 8, 1, 4)
+        .with_samples(256)
+        .with_noise(0.05)
+        .generate(7);
+    let split = dataset.split(0.8, 1);
+
+    // Fig. 1 flow: float training -> fake-quantized QAT -> integer-only
+    // conversion with Integer Channel-Normalization activations.
+    let spec = MicroCnnSpec::new(8, 8, 1, 4, &[8, 16]);
+    let cfg = PipelineConfig::new(QuantScheme::PerChannelIcn);
+    let (int_net, report) = deploy(&spec, &split.train, &cfg)?;
+
+    println!("== quickstart: PC+ICN deployment of a micro-CNN ==");
+    println!("{report}");
+    let (test_acc, ops) = int_net.evaluate(&split.test);
+    println!(
+        "held-out test accuracy of the integer-only model: {:.1}%",
+        test_acc * 100.0
+    );
+    println!("total kernel ops across the test set: {ops}");
+    println!(
+        "flash footprint: {} bytes ({} weights layers + classifier)",
+        int_net.flash_bytes(),
+        int_net.layers().len()
+    );
+    Ok(())
+}

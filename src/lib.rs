@@ -1,0 +1,40 @@
+//! # mixq — memory-driven mixed low-precision quantization for MCUs
+//!
+//! A Rust reproduction of *Rusci, Capotondi, Benini — "Memory-Driven Mixed
+//! Low Precision Quantization For Enabling Deep Network Inference On
+//! Microcontrollers"* (MLSys 2020).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — NHWC tensor substrate.
+//! * [`quant`] — uniform affine quantization, observers, sub-byte packing,
+//!   fixed-point decomposition (paper §3).
+//! * [`nn`] — float + fake-quantized layers, backprop, Adam, QAT (paper Fig. 1).
+//! * [`kernels`] — CMSIS-NN-style integer kernels with op counters.
+//! * [`models`] — MobileNetV1 family specs + trainable micro-CNNs.
+//! * [`core`] — ICN integer-only conversion, Table-1 memory model,
+//!   Algorithms 1 & 2 (paper §4–§5, the primary contribution).
+//! * [`mcu`] — STM32H7 device model and Cortex-M7 cycle model.
+//! * [`data`] — synthetic datasets standing in for ImageNet.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mixq::models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+//! use mixq::core::memory::{QuantScheme, network_flash_footprint};
+//! use mixq::quant::BitWidth;
+//!
+//! let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+//! let bytes = network_flash_footprint(&spec, QuantScheme::PerChannelIcn,
+//!                                     &vec![BitWidth::W8; spec.num_layers()]);
+//! assert!(bytes > 4_000_000); // ≈ 4.06 MiB at 8 bit (paper Table 2)
+//! ```
+
+pub use mixq_core as core;
+pub use mixq_data as data;
+pub use mixq_kernels as kernels;
+pub use mixq_mcu as mcu;
+pub use mixq_models as models;
+pub use mixq_nn as nn;
+pub use mixq_quant as quant;
+pub use mixq_tensor as tensor;

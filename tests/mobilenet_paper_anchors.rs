@@ -1,0 +1,241 @@
+//! Paper-anchor integration tests on the MobileNetV1 grid: the §6 claims
+//! that are exactly computable at shape level (footprints, bit
+//! assignments, latency trends) — the quantitative backbone of Tables 2–3
+//! and Figures 2–3.
+
+use mixq::core::memory::{
+    mib, network_flash_footprint, network_flash_footprint_with_acts, MemoryBudget, QuantScheme,
+};
+use mixq::core::mixed::{
+    assign_bits, cut_activation_bits, hybrid_pl_flash_bytes, BitAssignment, MixedPrecisionConfig,
+};
+use mixq::mcu::{CortexM7CycleModel, Device};
+use mixq::models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
+use mixq::quant::BitWidth;
+
+#[test]
+fn table2_footprint_column_reproduces() {
+    let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
+    let l = spec.num_layers();
+    let w4 = vec![BitWidth::W4; l];
+    let w8 = vec![BitWidth::W8; l];
+    let a8 = vec![BitWidth::W8; l + 1];
+    let a4 = vec![BitWidth::W4; l + 1];
+    // Paper Table 2 (MiB): 4.06 / 2.05 / 2.10 / 2.12 / 2.35.
+    let rows = [
+        (
+            network_flash_footprint(&spec, QuantScheme::PerLayerFolded, &w8),
+            4.06,
+            0.03,
+        ),
+        (
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerLayerFolded, &w4, &a8),
+            2.05,
+            0.02,
+        ),
+        (
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerLayerIcn, &w4, &a8),
+            2.10,
+            0.02,
+        ),
+        (
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerChannelIcn, &w4, &a8),
+            2.12,
+            0.02,
+        ),
+        (
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerChannelThresholds, &w4, &a4),
+            2.35,
+            0.04,
+        ),
+    ];
+    for (i, (bytes, expected, tol)) in rows.iter().enumerate() {
+        let got = mib(*bytes);
+        assert!(
+            (got - expected).abs() < *tol,
+            "row {i}: got {got:.3} MiB, paper reports {expected}"
+        );
+    }
+}
+
+#[test]
+fn figure3_cut_structure_across_the_grid() {
+    // Appendix Figure 3 structure at M_RO = 2 MB, M_RW = 512 kB:
+    // width 0.25/0.5 → no cuts (except 224_0.5's one activation);
+    // width 0.75 → weight cuts on the heavy tail (pw13 + fc);
+    // width 1.0 → weight cuts spread over the 512-channel pointwise block.
+    let budget = MemoryBudget::stm32h7();
+    for cfg_m in MobileNetConfig::all() {
+        let spec = cfg_m.build();
+        let cfg = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn);
+        let a = assign_bits(&spec, &cfg).expect("feasible");
+        let w_cut: Vec<&str> = spec
+            .layers()
+            .iter()
+            .zip(&a.weight_bits)
+            .filter(|(_, &b)| b != BitWidth::W8)
+            .map(|(l, _)| l.name())
+            .collect();
+        match cfg_m.width() {
+            WidthMultiplier::X0_25 => {
+                assert!(w_cut.is_empty(), "{}: {w_cut:?}", cfg_m.label())
+            }
+            WidthMultiplier::X0_5 => {
+                assert!(w_cut.is_empty(), "{}: {w_cut:?}", cfg_m.label());
+                let a_cuts = a.act_bits.iter().filter(|&&b| b != BitWidth::W8).count();
+                if cfg_m.resolution() == Resolution::R224 {
+                    assert_eq!(a_cuts, 1, "{} cuts pw1's output", cfg_m.label());
+                } else {
+                    assert_eq!(a_cuts, 0, "{}", cfg_m.label());
+                }
+            }
+            WidthMultiplier::X0_75 => {
+                assert_eq!(
+                    w_cut,
+                    vec!["pw13", "fc"],
+                    "{} cuts the heavy tail",
+                    cfg_m.label()
+                );
+            }
+            WidthMultiplier::X1_0 => {
+                assert!(
+                    w_cut.len() >= 5,
+                    "{} needs many cuts: {w_cut:?}",
+                    cfg_m.label()
+                );
+                // The central 512-channel pointwise block is the target.
+                assert!(w_cut.contains(&"pw7"), "{}: {w_cut:?}", cfg_m.label());
+            }
+        }
+        assert!(a.satisfies(&spec, &cfg), "{}", cfg_m.label());
+    }
+}
+
+#[test]
+fn table3_row2_anchor_192_05_at_1mb_256kb() {
+    // §6 text + Table 3: 192_0.5 under 1 MB + 256 kB → Q1y,Q2y,Q5y = 4 and
+    // 4-bit weights on pw13 and fc.
+    let spec = MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5).build();
+    let cfg = MixedPrecisionConfig::new(
+        MemoryBudget::one_megabyte_small_ram(),
+        QuantScheme::PerChannelIcn,
+    );
+    let a = assign_bits(&spec, &cfg).expect("feasible");
+    assert_eq!(a.act_bits[2], BitWidth::W4, "Q1y");
+    assert_eq!(a.act_bits[3], BitWidth::W4, "Q2y");
+    assert_eq!(a.act_bits[6], BitWidth::W4, "Q5y");
+    assert_eq!(
+        a.act_bits.iter().filter(|&&b| b != BitWidth::W8).count(),
+        3,
+        "exactly three activation cuts"
+    );
+    let fc = spec.num_layers() - 1;
+    assert_eq!(a.weight_bits[fc], BitWidth::W4, "fc at 4 bits");
+    assert_eq!(a.weight_bits[fc - 1], BitWidth::W4, "pw13 at 4 bits");
+}
+
+#[test]
+fn table3_row1_anchor_224_05_at_1mb_512kb() {
+    // Table 3 row 1: 224_0.5 fits 1 MB RO + 512 kB RW after cuts.
+    let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X0_5).build();
+    let cfg =
+        MixedPrecisionConfig::new(MemoryBudget::one_megabyte(), QuantScheme::PerChannelIcn);
+    let a = assign_bits(&spec, &cfg).expect("feasible");
+    assert!(a.satisfies(&spec, &cfg));
+    assert!(a.has_cuts());
+}
+
+#[test]
+fn figure2_fps_span_and_ordering() {
+    // Figure 2's latency axis: ≈10 fps for 128_0.25 MixQ-PL down to
+    // ≈0.5 fps for 224_0.75 PC+ICN (§6 quotes 20×), with latency
+    // monotonically increasing in resolution at fixed width.
+    let device = Device::stm32h7();
+    let model = CortexM7CycleModel::default();
+    let mut fps_by_label = std::collections::HashMap::new();
+    for cfg_m in MobileNetConfig::all() {
+        let spec = cfg_m.build();
+        let cfg = MixedPrecisionConfig::new(device.budget(), QuantScheme::PerChannelIcn);
+        let a = assign_bits(&spec, &cfg).expect("feasible");
+        let cycles = model.network_cycles(&spec, &a, QuantScheme::PerChannelIcn);
+        fps_by_label.insert(cfg_m.label(), device.fps(cycles));
+    }
+    // MixQ-PL fastest point.
+    let fast_spec = MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_25).build();
+    let fast_cycles = model.network_cycles(
+        &fast_spec,
+        &BitAssignment::uniform8(&fast_spec),
+        QuantScheme::PerLayerFolded,
+    );
+    let fast_fps = device.fps(fast_cycles);
+    assert!((7.0..14.0).contains(&fast_fps), "fastest ≈10 fps: {fast_fps}");
+    let slow_fps = fps_by_label["224_0.75"];
+    let ratio = fast_fps / slow_fps;
+    assert!((14.0..32.0).contains(&ratio), "≈20x span, got {ratio:.1}");
+    // Latency grows with resolution at fixed width.
+    for w in ["0.25", "0.5", "0.75", "1.0"] {
+        let series: Vec<f64> = ["128", "160", "192", "224"]
+            .iter()
+            .map(|r| fps_by_label[&format!("{r}_{w}")])
+            .collect();
+        for pair in series.windows(2) {
+            assert!(
+                pair[0] > pair[1],
+                "width {w}: fps must fall with resolution ({series:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure2_pc_icn_latency_overhead_about_20_percent() {
+    let model = CortexM7CycleModel::default();
+    for cfg_m in [
+        MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_25),
+        MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5),
+        MobileNetConfig::new(Resolution::R224, WidthMultiplier::X0_75),
+    ] {
+        let spec = cfg_m.build();
+        let bits = BitAssignment::uniform8(&spec);
+        let pl = model.network_cycles(&spec, &bits, QuantScheme::PerLayerIcn);
+        let pc = model.network_cycles(&spec, &bits, QuantScheme::PerChannelIcn);
+        let overhead = pc as f64 / pl as f64 - 1.0;
+        assert!(
+            (0.08..0.30).contains(&overhead),
+            "{}: PC overhead {:.0}%",
+            cfg_m.label(),
+            overhead * 100.0
+        );
+    }
+}
+
+#[test]
+fn hybrid_mixq_pl_footprint_never_exceeds_pure_icn() {
+    // MixQ-PL uses folding on 8-bit layers and ICN only where cut (§6):
+    // its footprint is bounded by the pure PL+ICN deployment.
+    for cfg_m in MobileNetConfig::all() {
+        let spec = cfg_m.build();
+        let cfg = MixedPrecisionConfig::new(MemoryBudget::stm32h7(), QuantScheme::PerLayerIcn);
+        let a = assign_bits(&spec, &cfg).expect("feasible");
+        let hybrid = hybrid_pl_flash_bytes(&spec, &a);
+        let pure = a.flash_bytes(&spec, QuantScheme::PerLayerIcn);
+        assert!(hybrid <= pure, "{}", cfg_m.label());
+    }
+}
+
+#[test]
+fn activation_cuts_move_upstream_with_resolution() {
+    // Higher resolution puts more early pairs over budget: the number of
+    // cut activation tensors is non-decreasing in resolution (width 1.0).
+    let budget = MemoryBudget::stm32h7();
+    let mut cuts = Vec::new();
+    for r in Resolution::ALL {
+        let spec = MobileNetConfig::new(r, WidthMultiplier::X1_0).build();
+        let cfg = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn);
+        let act = cut_activation_bits(&spec, &cfg).expect("feasible");
+        cuts.push(act.iter().filter(|&&b| b != BitWidth::W8).count());
+    }
+    for pair in cuts.windows(2) {
+        assert!(pair[0] <= pair[1], "cuts {cuts:?} must be non-decreasing");
+    }
+}

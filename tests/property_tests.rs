@@ -1,0 +1,346 @@
+//! Property-based tests (proptest) on the core quantization data
+//! structures and algorithms: round-trips, fixed-point accuracy, threshold
+//! equivalence, kernel/float agreement, and constraint satisfaction of the
+//! memory-driven assignment on randomized network shapes.
+
+use proptest::prelude::*;
+
+use mixq::core::memory::{MemoryBudget, QuantScheme};
+use mixq::core::mixed::{assign_bits, MixedPrecisionConfig};
+use mixq::kernels::{
+    OpCounts, QActivation, QConv2d, QConvWeights, Requantizer, ThresholdChannel, WeightOffset,
+};
+use mixq::models::{LayerSpec, NetworkSpec};
+use mixq::quant::{BitWidth, FixedPointMultiplier, PackedTensor, QuantParams};
+use mixq::tensor::{ConvGeometry, Padding, Shape};
+
+fn bitwidth_strategy() -> impl Strategy<Value = BitWidth> {
+    prop_oneof![
+        Just(BitWidth::W2),
+        Just(BitWidth::W4),
+        Just(BitWidth::W8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantizer_round_trip_error_bounded(
+        lo in -100.0f32..0.0,
+        span in 0.01f32..200.0,
+        bits in bitwidth_strategy(),
+        x in -150.0f32..150.0,
+    ) {
+        let q = QuantParams::from_min_max(lo, lo + span, bits);
+        let x_clamped = x.clamp(q.range_min(), q.range_max());
+        let err = (q.fake_quantize(x_clamped) - x_clamped).abs();
+        // Nearest rounding: half a step plus float slack.
+        prop_assert!(err <= 0.5 * q.scale() * 1.001 + 1e-5,
+                     "err {err} step {}", q.scale());
+    }
+
+    #[test]
+    fn pact_quantizer_floor_error_bounded(
+        clip in 0.1f32..50.0,
+        bits in bitwidth_strategy(),
+        x in -10.0f32..60.0,
+    ) {
+        let q = QuantParams::from_pact_clip(clip, bits);
+        let x_clamped = x.clamp(0.0, clip);
+        let fq = q.fake_quantize(x_clamped);
+        // Floor rounding: strictly below one full step.
+        prop_assert!(fq <= x_clamped + 1e-5);
+        prop_assert!(x_clamped - fq < q.scale() * 1.001 + 1e-5);
+    }
+
+    #[test]
+    fn packing_round_trips(
+        bits in bitwidth_strategy(),
+        raw in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let mask = bits.qmax() as u8;
+        let codes: Vec<u8> = raw.iter().map(|v| v & mask).collect();
+        let packed = PackedTensor::pack(&codes, bits);
+        prop_assert_eq!(packed.unpack(), codes.clone());
+        prop_assert_eq!(packed.byte_len(), bits.bytes_for(codes.len()));
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), c);
+        }
+    }
+
+    #[test]
+    fn fixed_point_apply_matches_float_floor(
+        mantissa in -1000000i32..1000000,
+        exp in -12i32..12,
+        v in -100000i32..100000,
+    ) {
+        prop_assume!(mantissa != 0);
+        let m = mantissa as f64 / 1e5 * f64::powi(2.0, exp);
+        let fp = FixedPointMultiplier::from_real(m);
+        let exact = (m * v as f64).floor();
+        let got = fp.apply(v) as f64;
+        // Q31 mantissa rounding can move the product across an integer
+        // boundary: allow one unit.
+        prop_assert!((got - exact).abs() <= 1.0, "m={m} v={v} got={got} exact={exact}");
+    }
+
+    #[test]
+    fn threshold_tables_equal_affine_requant(
+        m_raw in -200i32..200,
+        bq in -500i64..500,
+        zy in 0i32..16,
+        bits in bitwidth_strategy(),
+        phi in -2000i64..2000,
+    ) {
+        prop_assume!(m_raw != 0);
+        let m = m_raw as f64 / 100.0;
+        let ch = ThresholdChannel::from_affine(m, bq, zy, bits);
+        let mut cmps = 0;
+        let got = ch.eval(phi, &mut cmps) as i64;
+        let exact = (zy as i64 + (m * (phi + bq) as f64).floor() as i64)
+            .clamp(0, bits.qmax() as i64);
+        // When m·(phi+bq) lands exactly on an integer, the two float
+        // evaluation orders may legitimately disagree by one ulp → one code.
+        prop_assert!((got - exact).abs() <= 1,
+                     "m={} bq={} zy={} phi={}: {} vs {}", m, bq, zy, phi, got, exact);
+    }
+
+    #[test]
+    fn icn_requant_within_one_code_of_exact(
+        m_raw in -200i32..200,
+        bq in -500i32..500,
+        phi in -5000i64..5000,
+        bits in bitwidth_strategy(),
+    ) {
+        prop_assume!(m_raw != 0);
+        let m = m_raw as f64 / 317.0;
+        let req = Requantizer::icn(
+            vec![bq],
+            vec![FixedPointMultiplier::from_real(m)],
+            0,
+            bits,
+        );
+        let mut r = 0;
+        let mut c = 0;
+        let got = req.apply(0, phi, &mut r, &mut c) as i64;
+        let exact = ((m * (phi + bq as i64) as f64).floor() as i64)
+            .clamp(0, bits.qmax() as i64);
+        prop_assert!((got - exact).abs() <= 1);
+    }
+
+    #[test]
+    fn integer_conv_matches_float_reference(
+        codes in proptest::collection::vec(0u8..=15, 16),
+        wcodes in proptest::collection::vec(0u8..=15, 9),
+        zx in 0u8..=7,
+        zw in 0u8..=7,
+    ) {
+        // 4x4 input, one channel, 3x3 SAME conv; identity requant to W8.
+        let w = QConvWeights::new(
+            Shape::new(1, 3, 3, 1),
+            false,
+            &wcodes,
+            BitWidth::W4,
+            WeightOffset::PerLayer(zw),
+        );
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            Requantizer::icn(
+                vec![0],
+                vec![FixedPointMultiplier::from_real(0.25)],
+                0,
+                BitWidth::W8,
+            ),
+        );
+        let x = QActivation::from_codes(Shape::feature_map(4, 4, 1), &codes, BitWidth::W4, zx);
+        let mut ops = OpCounts::default();
+        let y = conv.execute(&x, &mut ops);
+        // Float reference computed the same way (floor of quarter of Φ).
+        for oy in 0..4usize {
+            for ox in 0..4usize {
+                let mut acc = 0i64;
+                for ky in 0..3usize {
+                    for kx in 0..3usize {
+                        let iy = oy as isize + ky as isize - 1;
+                        let ix = ox as isize + kx as isize - 1;
+                        if iy < 0 || iy >= 4 || ix < 0 || ix >= 4 {
+                            continue;
+                        }
+                        let xv = codes[(iy * 4 + ix) as usize] as i64 - zx as i64;
+                        let wv = wcodes[ky * 3 + kx] as i64 - zw as i64;
+                        acc += xv * wv;
+                    }
+                }
+                let expected = ((acc as f64) * 0.25).floor().clamp(0.0, 255.0) as u8;
+                let got = y.get(0, oy, ox, 0);
+                prop_assert!((got as i16 - expected as i16).abs() <= 1,
+                             "({oy},{ox}): {got} vs {expected}");
+            }
+        }
+        prop_assert_eq!(ops.macs as usize,
+                        (0..4).flat_map(|oy: i32| (0..4).map(move |ox: i32| {
+                            let mut n = 0;
+                            for ky in 0..3 {
+                                for kx in 0..3 {
+                                    let iy = oy + ky - 1;
+                                    let ix = ox + kx - 1;
+                                    if (0..4).contains(&iy) && (0..4).contains(&ix) { n += 1; }
+                                }
+                            }
+                            n
+                        })).sum::<usize>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_path_equals_direct_path(
+        co in 1usize..5,
+        ci in 1usize..4,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+        stride in 1usize..3,
+        h in 3usize..8,
+        zx in 0u8..6,
+        per_channel in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // Randomized layer; codes derived deterministically from the seed.
+        let wshape = Shape::new(co, k, k, ci);
+        let wcodes: Vec<u8> = (0..wshape.volume())
+            .map(|i| ((i as u64 * 31 + seed * 7) % 16) as u8)
+            .collect();
+        let offset = if per_channel {
+            WeightOffset::PerChannel((0..co).map(|c| (c as i16 % 5) - 2).collect())
+        } else {
+            WeightOffset::PerLayer(2)
+        };
+        let weights = QConvWeights::new(wshape, false, &wcodes, BitWidth::W4, offset);
+        let requant = Requantizer::icn(
+            (0..co).map(|c| c as i32 - 1).collect(),
+            (0..co)
+                .map(|c| FixedPointMultiplier::from_real(0.01 + c as f64 * 0.005))
+                .collect(),
+            0,
+            BitWidth::W8,
+        );
+        let conv = QConv2d::new(
+            weights,
+            ConvGeometry::new(k, k, stride, Padding::Same),
+            requant,
+        );
+        let in_shape = Shape::feature_map(h, h, ci);
+        let codes: Vec<u8> = (0..in_shape.volume())
+            .map(|i| ((i as u64 * 13 + seed) % 200) as u8)
+            .collect();
+        let x = QActivation::from_codes(in_shape, &codes, BitWidth::W8, zx);
+        let mut oa = OpCounts::default();
+        let mut ob = OpCounts::default();
+        let direct = conv.execute(&x, &mut oa);
+        let gemm = conv.execute_gemm(&x, &mut ob);
+        prop_assert_eq!(direct, gemm);
+        prop_assert_eq!(oa.requants, ob.requants);
+    }
+
+    #[test]
+    fn histogram_percentile_is_monotone(
+        values in proptest::collection::vec(-50.0f32..50.0, 1..200),
+        p1 in 0.0f32..1.0,
+        p2 in 0.0f32..1.0,
+    ) {
+        use mixq::quant::observer::HistogramObserver;
+        let mut h = HistogramObserver::new(64);
+        h.observe(&values);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(h.percentile_bound(lo) <= h.percentile_bound(hi) + 1e-6);
+        // The full percentile covers the maximum magnitude.
+        let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        prop_assert!(h.percentile_bound(1.0) >= max_abs * 0.95);
+    }
+
+    #[test]
+    fn assignment_satisfies_constraints_on_random_networks(
+        depth in 1usize..6,
+        base_channels in 1usize..12,
+        res in 8usize..40,
+        ro_kb in 2usize..64,
+        rw_kb in 1usize..64,
+    ) {
+        // Build a random-but-valid conv chain.
+        let mut layers = Vec::new();
+        let mut c = 1usize;
+        let mut h = res;
+        for i in 0..depth {
+            let out = base_channels * (i + 1);
+            layers.push(LayerSpec::conv(&format!("c{i}"), 3, if i % 2 == 1 { 2 } else { 1 }, c, out, h, h));
+            h = h.div_ceil(if i % 2 == 1 { 2 } else { 1 });
+            c = out;
+        }
+        layers.push(LayerSpec::linear("fc", c, 10));
+        let spec = NetworkSpec::new("rand", Shape::feature_map(res, res, 1), layers);
+        let cfg = MixedPrecisionConfig::new(
+            MemoryBudget::new(ro_kb * 1024, rw_kb * 1024),
+            QuantScheme::PerChannelIcn,
+        );
+        match assign_bits(&spec, &cfg) {
+            Ok(a) => {
+                // The invariant: a returned assignment always satisfies
+                // both constraints and never dips below the minimums.
+                prop_assert!(a.satisfies(&spec, &cfg));
+                prop_assert!(a.act_bits.iter().all(|&b| b >= cfg.qa_min));
+                prop_assert!(a.weight_bits.iter().all(|&b| b >= cfg.qw_min));
+                // Input and logits stay at 8 bits.
+                prop_assert_eq!(a.act_bits[0], BitWidth::W8);
+                prop_assert_eq!(*a.act_bits.last().unwrap(), BitWidth::W8);
+            }
+            Err(mixq::core::MixQError::InfeasibleActivations { layer, pair_bytes, budget }) => {
+                // Algorithm 1 is a greedy heuristic (the paper's CutBits
+                // rule never cuts a tensor below its partner's precision),
+                // so it may stop above the true minimum. The guarantee is
+                // internal consistency: the reported violation is real.
+                prop_assert!(pair_bytes > budget);
+                prop_assert!(layer < spec.num_layers());
+                prop_assert_eq!(budget, cfg.budget.rw_bytes);
+            }
+            Err(mixq::core::MixQError::InfeasibleWeights { total_bytes, budget }) => {
+                // Algorithm 2 *is* complete (it can drive every layer to
+                // the minimum), so weight infeasibility must be absolute.
+                prop_assert!(total_bytes > budget);
+                let l = spec.num_layers();
+                let min_assign = mixq::core::mixed::BitAssignment {
+                    act_bits: {
+                        let mut a = vec![cfg.qa_min; l + 1];
+                        a[0] = BitWidth::W8;
+                        a[l] = BitWidth::W8;
+                        a
+                    },
+                    weight_bits: vec![cfg.qw_min; l],
+                };
+                prop_assert!(
+                    min_assign.flash_bytes(&spec, cfg.scheme) > cfg.budget.ro_bytes,
+                    "claimed weight-infeasible but minimum weights fit"
+                );
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn flash_footprint_monotone_in_precision(
+        co in 1usize..64,
+        ci in 1usize..64,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+    ) {
+        let layer = LayerSpec::conv("l", k, 1, ci, co, 16, 16);
+        let mut last = 0usize;
+        for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
+            let b = mixq::core::memory::layer_flash_footprint(
+                &layer, QuantScheme::PerChannelIcn, bits, BitWidth::W8);
+            prop_assert!(b >= last);
+            last = b;
+        }
+    }
+}
