@@ -15,11 +15,9 @@
 
 use mixq_bench::harness::{rule, stress_dataset};
 use mixq_core::convert::convert;
-use mixq_core::memory::{MemoryBudget, QuantScheme};
-use mixq_core::mixed::{
-    assign_bits, cut_activation_bits, MixedPrecisionConfig, TieBreak,
-};
 use mixq_core::convert::scheme_granularity;
+use mixq_core::memory::{MemoryBudget, QuantScheme};
+use mixq_core::mixed::{assign_bits, cut_activation_bits, MixedPrecisionConfig, TieBreak};
 use mixq_kernels::{Requantizer, ThresholdChannel};
 use mixq_models::mobilenet::{MobileNetConfig, Resolution, WidthMultiplier};
 use mixq_nn::qat::QatNetwork;
@@ -40,10 +38,12 @@ fn ablation_tie_break() {
     let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X1_0).build();
     for rw_kb in [512usize, 384, 320] {
         let budget = MemoryBudget::new(2 << 20, rw_kb * 1024);
-        for (name, tie) in [("strict (paper-literal)", TieBreak::Strict),
-                            ("cut-producer (default)", TieBreak::CutProducer)] {
-            let cfg = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn)
-                .with_tie_break(tie);
+        for (name, tie) in [
+            ("strict (paper-literal)", TieBreak::Strict),
+            ("cut-producer (default)", TieBreak::CutProducer),
+        ] {
+            let cfg =
+                MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn).with_tie_break(tie);
             match cut_activation_bits(&spec, &cfg) {
                 Ok(act) => {
                     let cuts = act.iter().filter(|&&b| b != BitWidth::W8).count();
@@ -99,12 +99,7 @@ fn ablation_mantissa() {
     let mut total = 0u64;
     for m_i in 1..40 {
         let m = m_i as f64 * 0.013;
-        let icn = Requantizer::icn(
-            vec![7],
-            vec![FixedPointMultiplier::from_real(m)],
-            0,
-            bits,
-        );
+        let icn = Requantizer::icn(vec![7], vec![FixedPointMultiplier::from_real(m)], 0, bits);
         let thr = ThresholdChannel::from_affine(m, 7, 0, bits);
         let (mut r, mut c) = (0, 0);
         for phi in -400..400i64 {
@@ -141,8 +136,7 @@ fn ablation_cycle_model_sensitivity() {
         .iter()
         .map(|c| {
             let spec = c.build();
-            let cfg =
-                MixedPrecisionConfig::new(device.budget(), QuantScheme::PerChannelIcn);
+            let cfg = MixedPrecisionConfig::new(device.budget(), QuantScheme::PerChannelIcn);
             let a = assign_bits(&spec, &cfg).expect("feasible");
             (spec, a)
         })
@@ -172,11 +166,7 @@ fn ablation_cycle_model_sensitivity() {
             ..CortexM7CycleModel::default()
         };
         let order = baseline_order(&m);
-        let agree = order
-            .iter()
-            .zip(&nominal)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = order.iter().zip(&nominal).filter(|(a, b)| a == b).count();
         // PC overhead under this perturbation.
         let spec = MobileNetConfig::new(Resolution::R192, WidthMultiplier::X0_5).build();
         let bits = BitAssignment::uniform8(&spec);
@@ -228,9 +218,8 @@ fn ablation_threshold_datatype() {
             wshape.h * wshape.w * wshape.c
         };
         // Reachable accumulator magnitude: |Φ| ≤ macs/output · qmax_x · qmax_w.
-        let reach = (macs_per_output as i64)
-            * in_bits.qmax() as i64
-            * layer.weights().bits().qmax() as i64;
+        let reach =
+            (macs_per_output as i64) * in_bits.qmax() as i64 * layer.weights().bits().qmax() as i64;
         if let Requantizer::Thresholds { channels, .. } = layer.requant() {
             for ch in channels {
                 for &t in ch.thresholds() {

@@ -16,7 +16,9 @@ use mixq_models::mobilenet::MobileNetConfig;
 use mixq_quant::BitWidth;
 
 fn bitmap(bits: &[BitWidth]) -> String {
-    bits.iter().map(|b| char::from_digit(b.bits(), 10).unwrap_or('?')).collect()
+    bits.iter()
+        .map(|b| char::from_digit(b.bits(), 10).unwrap_or('?'))
+        .collect()
 }
 
 fn main() {
@@ -62,8 +64,7 @@ fn main() {
                         .iter()
                         .enumerate()
                         .filter(|(i, _)| {
-                            a.weight_bits[*i] != BitWidth::W8
-                                || a.act_bits[*i + 1] != BitWidth::W8
+                            a.weight_bits[*i] != BitWidth::W8 || a.act_bits[*i + 1] != BitWidth::W8
                         })
                         .map(|(i, l)| {
                             format!(

@@ -1,23 +1,47 @@
-//! Criterion microbenchmarks of the integer kernels (the substrate behind
-//! Figure 2's latency axis): convolution at 8/4/2-bit operands, depthwise
-//! vs pointwise, and ICN vs thresholds requantization.
+//! Microbenchmarks of the integer kernels (the substrate behind Figure 2's
+//! latency axis): convolution at 8/4/2-bit operands, depthwise vs
+//! pointwise, and ICN vs thresholds requantization — plus the `QGraph`
+//! executor against a hand-rolled layer loop.
 //!
-//! These measure *host* throughput; the MCU latency comes from the cycle
-//! model. The shape to check here is relative: sub-byte kernels pay an
-//! unpack cost, per-channel offsets cost extra work, thresholds replace
+//! These measure *host* throughput with a simple median-of-samples timer
+//! (the build environment has no registry access for criterion; the shape
+//! under test is relative, not absolute). The MCU latency itself comes
+//! from the cycle model. Expected shape: sub-byte kernels pay an unpack
+//! cost, per-channel offsets cost extra work, thresholds replace
 //! multiplies with comparisons.
 //!
 //! Run with: `cargo bench --bench kernel_microbench`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use mixq_kernels::{
-    OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, Requantizer, ThresholdChannel,
+    OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QGraph, Requantizer, ThresholdChannel,
     WeightOffset,
 };
 use mixq_quant::{BitWidth, FixedPointMultiplier};
 use mixq_tensor::{ConvGeometry, Padding, Shape};
+
+/// Times `f` over `samples` timed runs (after warmup) and reports the
+/// median duration in microseconds.
+fn time_us<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut runs: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    runs.sort_by(|a, b| a.total_cmp(b));
+    runs[runs.len() / 2]
+}
+
+fn report(group: &str, name: &str, us: f64) {
+    println!("{group:>18} / {name:<14} {us:>10.1} µs");
+}
 
 fn conv_layer(weight_bits: BitWidth, per_channel: bool, thresholds: bool) -> QConv2d {
     let co = 16;
@@ -59,121 +83,138 @@ fn input(bits: BitWidth) -> QActivation {
     QActivation::from_codes(shape, &codes, bits, 0)
 }
 
-fn bench_conv_bitwidths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conv16x16x16_3x3");
-    group.sample_size(20);
+const SAMPLES: usize = 20;
+
+fn bench_conv_bitwidths() {
     for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
         let conv = conv_layer(bits, false, false);
         let x = input(BitWidth::W8);
-        group.bench_function(format!("weights_{bits}"), |b| {
-            b.iter(|| {
-                let mut ops = OpCounts::default();
-                black_box(conv.execute(black_box(&x), &mut ops))
-            })
+        let us = time_us(SAMPLES, || {
+            let mut ops = OpCounts::default();
+            conv.execute(black_box(&x), &mut ops)
         });
+        report("conv16x16x16_3x3", &format!("weights_{bits}"), us);
     }
-    group.finish();
 }
 
-fn bench_pc_vs_pl(c: &mut Criterion) {
-    let mut group = c.benchmark_group("offset_mode");
-    group.sample_size(20);
+fn bench_pc_vs_pl() {
     for (name, per_channel) in [("per_layer", false), ("per_channel", true)] {
         let conv = conv_layer(BitWidth::W8, per_channel, false);
         let x = input(BitWidth::W8);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut ops = OpCounts::default();
-                black_box(conv.execute(black_box(&x), &mut ops))
-            })
+        let us = time_us(SAMPLES, || {
+            let mut ops = OpCounts::default();
+            conv.execute(black_box(&x), &mut ops)
         });
+        report("offset_mode", name, us);
     }
-    group.finish();
 }
 
-fn bench_requant_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("requant_mode");
-    group.sample_size(20);
+fn bench_requant_modes() {
     for (name, thresholds) in [("icn", false), ("thresholds", true)] {
         let conv = conv_layer(BitWidth::W4, true, thresholds);
         let x = input(BitWidth::W4);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut ops = OpCounts::default();
-                black_box(conv.execute(black_box(&x), &mut ops))
-            })
+        let us = time_us(SAMPLES, || {
+            let mut ops = OpCounts::default();
+            conv.execute(black_box(&x), &mut ops)
         });
+        report("requant_mode", name, us);
     }
-    group.finish();
 }
 
-fn bench_depthwise_vs_pointwise(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dw_vs_pw");
-    group.sample_size(20);
-    let co = 32;
-    let dw_w = QConvWeights::new(
+fn icn_identity(co: usize, bits: BitWidth) -> Requantizer {
+    Requantizer::icn(
+        vec![0; co],
+        vec![FixedPointMultiplier::from_real(0.01); co],
+        0,
+        bits,
+    )
+}
+
+fn depthwise(co: usize) -> QConv2d {
+    let w = QConvWeights::new(
         Shape::new(co, 3, 3, 1),
         true,
         &vec![1u8; co * 9],
         BitWidth::W8,
         WeightOffset::PerLayer(0),
     );
-    let dw = QConv2d::new(
-        dw_w,
+    QConv2d::new(
+        w,
         ConvGeometry::new(3, 3, 1, Padding::Same),
-        Requantizer::icn(
-            vec![0; co],
-            vec![FixedPointMultiplier::from_real(0.01); co],
-            0,
-            BitWidth::W8,
-        ),
-    );
-    let pw_w = QConvWeights::new(
+        icn_identity(co, BitWidth::W8),
+    )
+}
+
+fn pointwise(co: usize) -> QConv2d {
+    let w = QConvWeights::new(
         Shape::new(co, 1, 1, co),
         false,
         &vec![1u8; co * co],
         BitWidth::W8,
         WeightOffset::PerLayer(0),
     );
-    let pw = QConv2d::new(
-        pw_w,
-        ConvGeometry::pointwise(),
-        Requantizer::icn(
-            vec![0; co],
-            vec![FixedPointMultiplier::from_real(0.01); co],
-            0,
-            BitWidth::W8,
-        ),
-    );
+    QConv2d::new(w, ConvGeometry::pointwise(), icn_identity(co, BitWidth::W8))
+}
+
+fn bench_depthwise_vs_pointwise() {
+    let co = 32;
+    let dw = depthwise(co);
+    let pw = pointwise(co);
     let shape = Shape::feature_map(16, 16, co);
     let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 256) as u8).collect();
     let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
-    group.bench_function("depthwise_3x3", |b| {
-        b.iter(|| {
-            let mut ops = OpCounts::default();
-            black_box(dw.execute(black_box(&x), &mut ops))
-        })
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        dw.execute(black_box(&x), &mut ops)
     });
-    group.bench_function("pointwise_1x1", |b| {
-        b.iter(|| {
-            let mut ops = OpCounts::default();
-            black_box(pw.execute(black_box(&x), &mut ops))
-        })
+    report("dw_vs_pw", "depthwise_3x3", us);
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        pw.execute(black_box(&x), &mut ops)
     });
-    group.bench_function("avgpool", |b| {
-        b.iter(|| {
-            let mut ops = OpCounts::default();
-            black_box(QAvgPool.execute(black_box(&x), &mut ops))
-        })
+    report("dw_vs_pw", "pointwise_1x1", us);
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        QAvgPool.execute(black_box(&x), &mut ops)
     });
-    group.finish();
+    report("dw_vs_pw", "avgpool", us);
 }
 
-criterion_group!(
-    benches,
-    bench_conv_bitwidths,
-    bench_pc_vs_pl,
-    bench_requant_modes,
-    bench_depthwise_vs_pointwise
-);
-criterion_main!(benches);
+/// The graph executor's arena (reused output buffers) against the naive
+/// per-layer loop that allocates a fresh activation every layer.
+fn bench_graph_vs_loop() {
+    let co = 32;
+    let layers = vec![depthwise(co), pointwise(co), depthwise(co), pointwise(co)];
+    let shape = Shape::feature_map(16, 16, co);
+    let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 256) as u8).collect();
+    let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+
+    let mut graph = QGraph::new();
+    for (i, l) in layers.iter().enumerate() {
+        graph.push(format!("blk{i}"), l.clone());
+    }
+    let us = time_us(SAMPLES, || {
+        let run = graph.run(black_box(x.clone()));
+        run.total_ops()
+    });
+    report("graph_executor", "qgraph_run", us);
+
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        let mut a = black_box(x.clone());
+        for l in &layers {
+            a = l.execute(&a, &mut ops);
+        }
+        ops
+    });
+    report("graph_executor", "naive_loop", us);
+}
+
+fn main() {
+    println!("kernel microbench (median of {SAMPLES} runs, host CPU)");
+    bench_conv_bitwidths();
+    bench_pc_vs_pl();
+    bench_requant_modes();
+    bench_depthwise_vs_pointwise();
+    bench_graph_vs_loop();
+}

@@ -21,16 +21,26 @@ fn main() {
     );
     println!();
     println!("symbolic parameter counts (paper Table 1):");
-    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
-             "scheme", "Zx", "Zw", "Bq", "M0", "N0", "Zy", "", "Thr");
-    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
-             "PL+FB [11]", "1", "1", "cO", "1", "1", "1", "", "-");
-    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
-             "PL+ICN (our)", "1", "1", "cO", "cO", "cO", "1", "", "-");
-    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
-             "PC+ICN (our)", "1", "cO", "cO", "cO", "cO", "1", "", "-");
-    println!("{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
-             "PC+Thr [21,8]", "1", "cO", "-", "-", "-", "1", "", "cO·2^Q");
+    println!(
+        "{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+        "scheme", "Zx", "Zw", "Bq", "M0", "N0", "Zy", "", "Thr"
+    );
+    println!(
+        "{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+        "PL+FB [11]", "1", "1", "cO", "1", "1", "1", "", "-"
+    );
+    println!(
+        "{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+        "PL+ICN (our)", "1", "1", "cO", "cO", "cO", "1", "", "-"
+    );
+    println!(
+        "{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+        "PC+ICN (our)", "1", "cO", "cO", "cO", "cO", "1", "", "-"
+    );
+    println!(
+        "{:<16} {:>4} {:>6} {:>4} {:>4} {:>4} {:>4} {:>4} {:>9}",
+        "PC+Thr [21,8]", "1", "cO", "-", "-", "-", "1", "", "cO·2^Q"
+    );
     println!();
     println!("evaluated bytes (weights packed at Q bits; §4.1 datatypes):");
     println!(

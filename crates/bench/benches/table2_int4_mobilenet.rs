@@ -12,7 +12,7 @@
 //!
 //! Run with: `cargo bench --bench table2_int4_mobilenet`
 
-use mixq_bench::harness::{run_stress_scheme, rule, stress_dataset};
+use mixq_bench::harness::{rule, run_stress_scheme, stress_dataset};
 use mixq_bench::reference::TABLE2;
 use mixq_core::memory::{
     mib, network_flash_footprint, network_flash_footprint_with_acts, QuantScheme,
@@ -29,10 +29,7 @@ fn main() {
     let a4 = vec![BitWidth::W4; l + 1];
 
     println!("== Table 2 (part 1): MobilenetV1_224_1.0 weight memory footprint ==");
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "method", "paper (MB)", "ours (MiB)"
-    );
+    println!("{:<22} {:>12} {:>12}", "method", "paper (MB)", "ours (MiB)");
     rule(48);
     let fp32 = spec.total_weight_elements() * 4;
     let rows: [(&str, usize); 6] = [
@@ -81,10 +78,20 @@ fn main() {
     let ds = stress_dataset(11);
     let split = ds.split(0.8, 3);
     let cases = [
-        ("PL+FB INT8", QuantScheme::PerLayerFolded, BitWidth::W8, 70.1),
+        (
+            "PL+FB INT8",
+            QuantScheme::PerLayerFolded,
+            BitWidth::W8,
+            70.1,
+        ),
         ("PL+FB INT4", QuantScheme::PerLayerFolded, BitWidth::W4, 0.1),
         ("PL+ICN INT4", QuantScheme::PerLayerIcn, BitWidth::W4, 61.75),
-        ("PC+ICN INT4", QuantScheme::PerChannelIcn, BitWidth::W4, 66.41),
+        (
+            "PC+ICN INT4",
+            QuantScheme::PerChannelIcn,
+            BitWidth::W4,
+            66.41,
+        ),
         (
             "PC+Thresholds INT4",
             QuantScheme::PerChannelThresholds,

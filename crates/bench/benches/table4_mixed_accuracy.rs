@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo bench --bench table4_mixed_accuracy`
 
-use mixq_bench::harness::{run_stress_ptq, run_stress_scheme, rule, stress_dataset};
+use mixq_bench::harness::{rule, run_stress_ptq, run_stress_scheme, stress_dataset};
 use mixq_bench::reference::TABLE4;
 use mixq_core::memory::{mib, QuantScheme};
 use mixq_core::mixed::{assign_bits, hybrid_pl_flash_bytes, MixedPrecisionConfig};

@@ -17,14 +17,12 @@
 
 use mixq_data::Dataset;
 use mixq_kernels::{
-    OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QLinear, Requantizer,
-    ThresholdChannel, WeightOffset,
+    ActivationArena, GraphRun, OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QGraph,
+    QLinear, Requantizer, ThresholdChannel, WeightOffset,
 };
 use mixq_nn::qat::{ConvBlock, QatMode, QatNetwork};
 use mixq_nn::ConvKind;
-use mixq_quant::{
-    BitWidth, ChannelParams, FixedPointMultiplier, Granularity, QuantParams,
-};
+use mixq_quant::{BitWidth, ChannelParams, FixedPointMultiplier, Granularity, QuantParams};
 use mixq_tensor::{Shape, Tensor};
 
 use crate::memory::QuantScheme;
@@ -34,16 +32,19 @@ use crate::MixQError;
 /// near this; guards the `β·σ/γ` term of Eq. 4).
 const GAMMA_EPS: f32 = 1e-6;
 
-/// The integer-only deployment network `g'(x)`.
+/// The integer-only deployment network `g'(x)`: a [`QGraph`] of integer
+/// kernels plus the input quantizer.
+///
+/// Inference, flash accounting and peak-RAM accounting all delegate to the
+/// graph — the network is a thin façade that adds input quantization and
+/// dataset-level evaluation.
 ///
 /// See the [crate-level example](crate) and `examples/quickstart.rs`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntNetwork {
     input_quant: QuantParams,
     input_shape: Shape,
-    layers: Vec<QConv2d>,
-    pool: QAvgPool,
-    linear: QLinear,
+    graph: QGraph,
     scheme: QuantScheme,
 }
 
@@ -53,14 +54,23 @@ impl IntNetwork {
         self.scheme
     }
 
-    /// The convolution layers.
-    pub fn layers(&self) -> &[QConv2d] {
-        &self.layers
+    /// The executable deployment graph.
+    pub fn graph(&self) -> &QGraph {
+        &self.graph
+    }
+
+    /// The convolution layers, in execution order.
+    pub fn layers(&self) -> Vec<&QConv2d> {
+        self.graph.convs()
     }
 
     /// The classifier head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no head (a converted network always does).
     pub fn linear(&self) -> &QLinear {
-        &self.linear
+        self.graph.head().expect("converted network has a head")
     }
 
     /// The 8-bit input quantizer.
@@ -91,14 +101,15 @@ impl IntNetwork {
     /// Runs integer-only inference on one float image, returning the `i32`
     /// logits and the operation counts.
     pub fn infer(&self, image: &Tensor<f32>) -> (Vec<i32>, OpCounts) {
-        let mut ops = OpCounts::default();
-        let mut x = self.quantize_input(image);
-        for layer in &self.layers {
-            x = layer.execute(&x, &mut ops);
-        }
-        let pooled = self.pool.execute(&x, &mut ops);
-        let logits = self.linear.execute(&pooled, &mut ops);
-        (logits, ops)
+        let run = self.infer_detailed(image);
+        let ops = run.total_ops();
+        (run.into_logits(), ops)
+    }
+
+    /// Runs integer-only inference keeping the full per-layer ledger — the
+    /// record cycle models turn into per-layer latency breakdowns.
+    pub fn infer_detailed(&self, image: &Tensor<f32>) -> GraphRun {
+        self.graph.run(self.quantize_input(image))
     }
 
     /// Predicted class of one image.
@@ -108,21 +119,23 @@ impl IntNetwork {
     }
 
     /// Classification accuracy over a dataset plus total op counts.
+    ///
+    /// The whole evaluation shares one activation arena, so the unpacked
+    /// output-code scratch is reused across samples (packed activations
+    /// are still allocated per layer; see ROADMAP "Arena-aware packing").
     pub fn evaluate(&self, dataset: &Dataset) -> (f32, OpCounts) {
         let mut ops = OpCounts::default();
         if dataset.is_empty() {
             return (0.0, ops);
         }
+        let mut arena = ActivationArena::new();
         let mut correct = 0usize;
         for i in 0..dataset.len() {
             let sample = dataset.sample(i);
-            let mut x = self.quantize_input(&sample.images);
-            for layer in &self.layers {
-                x = layer.execute(&x, &mut ops);
-            }
-            let pooled = self.pool.execute(&x, &mut ops);
-            let logits = self.linear.execute(&pooled, &mut ops);
-            if argmax(&logits) == sample.labels[0] {
+            let x = self.quantize_input(&sample.images);
+            let run = self.graph.run_with_arena(x, &mut arena);
+            ops += run.total_ops();
+            if argmax(&run.into_logits()) == sample.labels[0] {
                 correct += 1;
             }
         }
@@ -131,57 +144,16 @@ impl IntNetwork {
 
     /// Peak RAM of the inference (Eq. 7 evaluated on the *actual* converted
     /// tensors): the largest input+output activation byte pair across the
-    /// layers, with each tensor at its deployed precision.
+    /// graph, with each tensor at its deployed precision.
     pub fn peak_ram_bytes(&self) -> usize {
-        let mut shape = self.input_shape;
-        let mut bits = BitWidth::W8;
-        let mut peak = 0usize;
-        for layer in &self.layers {
-            let out_shape = layer.output_shape(shape);
-            let out_bits = layer.requant().out_bits();
-            let pair = bits.bytes_for(shape.volume()) + out_bits.bytes_for(out_shape.volume());
-            peak = peak.max(pair);
-            shape = out_shape;
-            bits = out_bits;
-        }
-        // Pool + classifier pairs are dominated by the conv pairs but are
-        // included for completeness.
-        let pooled = Shape::new(shape.n, 1, 1, shape.c);
-        let pool_pair =
-            bits.bytes_for(shape.volume()) + bits.bytes_for(pooled.volume());
-        let fc_pair = bits.bytes_for(pooled.volume()) + 4 * self.linear.out_features();
-        peak.max(pool_pair).max(fc_pair)
+        self.graph.peak_ram_bytes(self.input_shape, BitWidth::W8)
     }
 
     /// Actual flash bytes of this network: packed weights plus every static
     /// parameter at its §4.1 datatype. Cross-checked against the Table-1
     /// memory model in the integration tests.
     pub fn flash_bytes(&self) -> usize {
-        let mut total = 0usize;
-        for layer in &self.layers {
-            total += layer.weights().byte_len();
-            total += offset_bytes(layer.weights().offset());
-            total += 2; // Zx, Zy
-            total += match layer.requant() {
-                Requantizer::FoldedPerLayer { bq, .. } => 4 * bq.len() + 4 + 1,
-                Requantizer::Icn { bq, mult, .. } => 4 * bq.len() + 5 * mult.len(),
-                Requantizer::Thresholds { channels, .. } => {
-                    // i16 per stored threshold (2^Q − 1 per channel).
-                    channels.iter().map(|c| 2 * c.len()).sum::<usize>()
-                }
-            };
-        }
-        total += self.linear.weights().byte_len();
-        total += offset_bytes(self.linear.weights().offset());
-        total += 2 + 9 * self.linear.out_features(); // Zx/Zy + Bq/M0/N0 per class
-        total
-    }
-}
-
-fn offset_bytes(offset: &WeightOffset) -> usize {
-    match offset {
-        WeightOffset::PerLayer(_) => 1,
-        WeightOffset::PerChannel(zs) => 2 * zs.len(),
+        self.graph.flash_bytes()
     }
 }
 
@@ -219,25 +191,29 @@ pub fn convert(net: &QatNetwork, scheme: QuantScheme) -> Result<IntNetwork, MixQ
         return Err(MixQError::NotFakeQuantized);
     }
     let granularity = scheme_granularity(scheme);
-    let mut layers = Vec::with_capacity(net.num_blocks());
+    let mut graph = QGraph::new();
     // Scale and zero-point of the tensor flowing *into* each block.
     let mut s_in = input_quant.scale();
     let mut z_in = input_quant.zero_point();
-    for block in net.blocks() {
+    for (i, block) in net.blocks().iter().enumerate() {
         let out_q = block.act().quant_params();
         let layer = convert_block(block, scheme, granularity, s_in, z_in)?;
-        layers.push(layer);
+        let kind = if block.conv().kind() == ConvKind::Depthwise {
+            "dw"
+        } else {
+            "conv"
+        };
+        graph.push(format!("{kind}{i}"), layer);
         s_in = out_q.scale();
         z_in = 0; // PACT activations are zero-based
     }
+    graph.push("avgpool", QAvgPool);
     // The classifier consumes the pooled features (same scale/zero-point).
-    let linear = convert_linear(net, granularity, s_in, z_in);
+    graph.push("fc", convert_linear(net, granularity, s_in, z_in));
     Ok(IntNetwork {
         input_quant,
         input_shape: net.input_shape(),
-        layers,
-        pool: QAvgPool,
-        linear,
+        graph,
         scheme,
     })
 }

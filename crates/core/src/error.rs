@@ -76,7 +76,9 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("layer 3") && s.contains("1000") && s.contains("512"));
         assert!(MixQError::NotCalibrated.to_string().contains("calibrate"));
-        assert!(MixQError::NotFakeQuantized.to_string().contains("float mode"));
+        assert!(MixQError::NotFakeQuantized
+            .to_string()
+            .contains("float mode"));
         let w = MixQError::InfeasibleWeights {
             total_bytes: 9,
             budget: 4,

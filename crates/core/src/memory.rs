@@ -124,11 +124,7 @@ pub fn weight_bytes(layer: &LayerSpec, bits: BitWidth) -> usize {
 ///
 /// `act_out_bits` only matters for the thresholds scheme, whose table size
 /// is `c_O · 2^Q` entries.
-pub fn static_param_bytes(
-    layer: &LayerSpec,
-    scheme: QuantScheme,
-    act_out_bits: BitWidth,
-) -> usize {
+pub fn static_param_bytes(layer: &LayerSpec, scheme: QuantScheme, act_out_bits: BitWidth) -> usize {
     let co = layer.out_channels();
     // Zx and Zy: one UINT8 each, every scheme.
     let zx_zy = 2;

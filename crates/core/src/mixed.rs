@@ -301,12 +301,14 @@ pub fn cut_weight_bits(
             .iter()
             .enumerate()
             .filter(|(i, _)| w[*i] > cfg.qw_min)
-            .map(|(i, l)| (i, weight_bytes(l, w[i]) as f64 / weights_total.max(1) as f64))
+            .map(|(i, l)| {
+                (
+                    i,
+                    weight_bytes(l, w[i]) as f64 / weights_total.max(1) as f64,
+                )
+            })
             .collect();
-        let Some(&(_, r_max)) = eligible
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-        else {
+        let Some(&(_, r_max)) = eligible.iter().max_by(|a, b| a.1.total_cmp(&b.1)) else {
             return Err(MixQError::InfeasibleWeights {
                 total_bytes: total,
                 budget: cfg.budget.ro_bytes,
@@ -457,11 +459,7 @@ mod tests {
             assert!(a.has_cuts());
             assert!(a.satisfies(&spec, &cfg), "{r}_1.0 violates budget");
             // 4.2M weights into ≤2 MiB means many sub-byte layers.
-            let sub_byte = a
-                .weight_bits
-                .iter()
-                .filter(|&&b| b < BitWidth::W8)
-                .count();
+            let sub_byte = a.weight_bits.iter().filter(|&&b| b < BitWidth::W8).count();
             assert!(sub_byte > 5, "{r}_1.0 cut only {sub_byte} layers");
         }
     }
@@ -566,9 +564,7 @@ mod tests {
         let overhead: usize = spec
             .layers()
             .iter()
-            .map(|l| {
-                crate::memory::static_param_bytes(l, QuantScheme::PerLayerIcn, BitWidth::W8)
-            })
+            .map(|l| crate::memory::static_param_bytes(l, QuantScheme::PerLayerIcn, BitWidth::W8))
             .sum();
         let total8: usize = spec
             .layers()
@@ -579,7 +575,7 @@ mod tests {
             MemoryBudget::new(total8 + overhead - w_a / 4, usize::MAX),
             QuantScheme::PerLayerIcn,
         );
-        let w = cut_weight_bits(&spec, &cfg, &vec![BitWidth::W8; 4]).expect("feasible");
+        let w = cut_weight_bits(&spec, &cfg, &[BitWidth::W8; 4]).expect("feasible");
         assert_eq!(w[0], BitWidth::W4, "earliest twin cut first");
         assert_eq!(w[1], BitWidth::W8);
     }

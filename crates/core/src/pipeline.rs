@@ -8,9 +8,9 @@ use std::fmt;
 
 use mixq_data::Dataset;
 use mixq_kernels::OpCounts;
+use mixq_models::micro::network_spec_of;
 use mixq_nn::qat::{MicroCnnSpec, QatNetwork};
 use mixq_nn::train::{evaluate, train, TrainConfig};
-use mixq_models::micro::network_spec_of;
 
 use crate::convert::{convert, scheme_granularity, IntNetwork};
 use crate::memory::{mib, MemoryBudget, QuantScheme};
@@ -119,7 +119,12 @@ impl fmt::Display for DeploymentReport {
             self.int_accuracy * 100.0,
             self.prediction_agreement * 100.0
         )?;
-        write!(f, "flash {:.3} MiB; {}", mib(self.flash_bytes), self.ops_per_inference)?;
+        write!(
+            f,
+            "flash {:.3} MiB; {}",
+            mib(self.flash_bytes),
+            self.ops_per_inference
+        )?;
         if let Some(a) = &self.assignment {
             write!(f, "; bits {a}")?;
         }
@@ -167,23 +172,8 @@ pub fn deploy(
     // Phase 3: integer-only conversion (deployment graph g'(x)).
     let int_net = convert(&net, cfg.scheme)?;
     let (int_accuracy, _) = int_net.evaluate(dataset);
-    // Phase 4: verification.
-    let mut agree = 0usize;
-    for i in 0..dataset.len() {
-        let s = dataset.sample(i);
-        let fq_logits = net.forward(&s.images);
-        let fq_pred = mixq_nn::loss::accuracy(&fq_logits, &[0]); // placeholder, replaced below
-        let _ = fq_pred;
-        let fq_class = argmax_f32(fq_logits.data());
-        if fq_class == int_net.predict(&s.images) {
-            agree += 1;
-        }
-    }
-    let prediction_agreement = if dataset.is_empty() {
-        1.0
-    } else {
-        agree as f32 / dataset.len() as f32
-    };
+    // Phase 4: verification — loss(g'(x)) ≈ loss(g(x)) at prediction level.
+    let prediction_agreement = prediction_agreement(&net, &int_net, dataset);
     let (_, ops) = int_net.infer(&dataset.sample(0).images);
     let report = DeploymentReport {
         float_accuracy,
@@ -191,13 +181,31 @@ pub fn deploy(
         int_accuracy,
         prediction_agreement,
         flash_bytes: int_net.flash_bytes(),
-        fits_budget: cfg
-            .budget
-            .map(|b| int_net.flash_bytes() <= b.ro_bytes),
+        fits_budget: cfg.budget.map(|b| int_net.flash_bytes() <= b.ro_bytes),
         assignment,
         ops_per_inference: ops,
     };
     Ok((int_net, report))
+}
+
+/// Fraction of samples where the fake-quantized network `g(x)` and the
+/// integer-only deployment graph `g'(x)` predict the same class — the
+/// paper's Figure-1 verification step, with the integer side running
+/// through the [`QGraph`](mixq_kernels::QGraph) executor behind
+/// [`IntNetwork::predict`]. An empty dataset counts as full agreement.
+pub fn prediction_agreement(net: &QatNetwork, int_net: &IntNetwork, dataset: &Dataset) -> f32 {
+    if dataset.is_empty() {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    for i in 0..dataset.len() {
+        let s = dataset.sample(i);
+        let fq_class = argmax_f32(net.forward(&s.images).data());
+        if fq_class == int_net.predict(&s.images) {
+            agree += 1;
+        }
+    }
+    agree as f32 / dataset.len() as f32
 }
 
 fn argmax_f32(values: &[f32]) -> usize {
@@ -228,7 +236,11 @@ mod tests {
         let spec = MicroCnnSpec::new(8, 8, 1, 2, &[6]);
         let cfg = PipelineConfig::new(QuantScheme::PerChannelIcn);
         let (int_net, report) = deploy(&spec, &ds, &cfg).expect("pipeline runs");
-        assert!(report.float_accuracy > 0.75, "float {}", report.float_accuracy);
+        assert!(
+            report.float_accuracy > 0.75,
+            "float {}",
+            report.float_accuracy
+        );
         assert!(
             report.int_accuracy > 0.7,
             "integer-only {}",
@@ -269,8 +281,8 @@ mod tests {
     fn infeasible_budget_propagates() {
         let ds = dataset();
         let spec = MicroCnnSpec::new(8, 8, 1, 2, &[6]);
-        let cfg = PipelineConfig::new(QuantScheme::PerChannelIcn)
-            .with_budget(MemoryBudget::new(64, 64));
+        let cfg =
+            PipelineConfig::new(QuantScheme::PerChannelIcn).with_budget(MemoryBudget::new(64, 64));
         assert!(deploy(&spec, &ds, &cfg).is_err());
     }
 }

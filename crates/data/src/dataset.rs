@@ -1,6 +1,6 @@
 use mixq_tensor::{Shape, Tensor};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// A labelled mini-batch: images `(B, h, w, c)` plus class indices.
@@ -195,11 +195,8 @@ mod tests {
     use super::*;
 
     fn toy(n: usize) -> Dataset {
-        let images = Tensor::from_vec(
-            Shape::new(n, 1, 1, 1),
-            (0..n).map(|i| i as f32).collect(),
-        )
-        .unwrap();
+        let images =
+            Tensor::from_vec(Shape::new(n, 1, 1, 1), (0..n).map(|i| i as f32).collect()).unwrap();
         Dataset::new(images, (0..n).map(|i| i % 2).collect(), 2).unwrap()
     }
 

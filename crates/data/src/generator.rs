@@ -217,7 +217,7 @@ impl DatasetSpec {
 /// Standard normal sample via Box–Muller (rand 0.10 ships no distributions).
 fn gaussian(rng: &mut StdRng) -> f32 {
     let u1: f32 = rng.random_range(f32::EPSILON..1.0);
-    let u2: f32 = rng.random_range(0.0..1.0);
+    let u2: f32 = rng.random_range(0.0f32..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
 }
 

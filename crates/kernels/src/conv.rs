@@ -76,6 +76,18 @@ impl QConv2d {
     ///
     /// Panics if the input channel count disagrees with the weights.
     pub fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> QActivation {
+        self.execute_buffered(x, &mut Vec::new(), ops)
+    }
+
+    /// [`QConv2d::execute`] writing its unpacked output codes through
+    /// `out_codes` — the hook the [`crate::QGraph`] executor uses to reuse
+    /// one arena buffer across layers instead of allocating per layer.
+    pub fn execute_buffered(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> QActivation {
         let in_shape = x.shape();
         let depthwise = self.weights.is_depthwise();
         if depthwise {
@@ -96,7 +108,8 @@ impl QConv2d {
         let w_unpack = self.weights.needs_unpack() as u64;
         let x_unpack = x.needs_unpack() as u64;
 
-        let mut out_codes = vec![0u8; out_shape.volume()];
+        out_codes.clear();
+        out_codes.resize(out_shape.volume(), 0);
         let mut macs = 0u64;
         let mut unpacks = 0u64;
         let mut act_loads = 0u64;
@@ -136,12 +149,9 @@ impl QConv2d {
                                 }
                             }
                         }
-                        let code = self.requant.apply(
-                            co,
-                            acc,
-                            &mut ops.requants,
-                            &mut ops.threshold_cmps,
-                        );
+                        let code =
+                            self.requant
+                                .apply(co, acc, &mut ops.requants, &mut ops.threshold_cmps);
                         out_codes[out_shape.index(n, oy, ox, co)] = code;
                     }
                 }
@@ -158,7 +168,7 @@ impl QConv2d {
         }
         QActivation::from_codes(
             out_shape,
-            &out_codes,
+            out_codes,
             self.requant.out_bits(),
             self.requant.zero_point().clamp(0, 255) as u8,
         )
@@ -191,13 +201,13 @@ mod tests {
             BitWidth::W8,
             WeightOffset::PerLayer(0),
         );
-        let conv = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(1, BitWidth::W8));
-        let x = QActivation::from_codes(
-            Shape::feature_map(2, 2, 1),
-            &[5, 6, 7, 8],
-            BitWidth::W8,
-            0,
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::pointwise(),
+            identity_requant(1, BitWidth::W8),
         );
+        let x =
+            QActivation::from_codes(Shape::feature_map(2, 2, 1), &[5, 6, 7, 8], BitWidth::W8, 0);
         let mut ops = OpCounts::default();
         let y = conv.execute(&x, &mut ops);
         assert_eq!(y.codes(), vec![5, 6, 7, 8]);
@@ -248,12 +258,7 @@ mod tests {
             ConvGeometry::new(3, 3, 1, Padding::Same),
             identity_requant(1, BitWidth::W8),
         );
-        let x = QActivation::from_codes(
-            Shape::feature_map(3, 3, 1),
-            &[1; 9],
-            BitWidth::W8,
-            0,
-        );
+        let x = QActivation::from_codes(Shape::feature_map(3, 3, 1), &[1; 9], BitWidth::W8, 0);
         let mut ops = OpCounts::default();
         let y = conv.execute(&x, &mut ops);
         assert_eq!(y.get(0, 1, 1, 0), 9);
@@ -270,7 +275,11 @@ mod tests {
             BitWidth::W4,
             WeightOffset::PerChannel(vec![0, 0]),
         );
-        let conv = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(2, BitWidth::W8));
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::pointwise(),
+            identity_requant(2, BitWidth::W8),
+        );
         let x = QActivation::from_codes(Shape::feature_map(1, 1, 2), &[4, 5], BitWidth::W8, 0);
         let mut ops = OpCounts::default();
         let y = conv.execute(&x, &mut ops);
@@ -287,7 +296,11 @@ mod tests {
             BitWidth::W4, // sub-byte weights
             WeightOffset::PerLayer(0),
         );
-        let conv = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(1, BitWidth::W8));
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::pointwise(),
+            identity_requant(1, BitWidth::W8),
+        );
         let x = QActivation::from_codes(
             Shape::feature_map(2, 2, 1),
             &[1, 2, 3, 0],
@@ -314,12 +327,7 @@ mod tests {
             ConvGeometry::new(3, 3, 2, Padding::Same),
             identity_requant(4, BitWidth::W4),
         );
-        let x = QActivation::from_codes(
-            Shape::feature_map(8, 8, 2),
-            &[0; 128],
-            BitWidth::W8,
-            0,
-        );
+        let x = QActivation::from_codes(Shape::feature_map(8, 8, 2), &[0; 128], BitWidth::W8, 0);
         let mut ops = OpCounts::default();
         let y = conv.execute(&x, &mut ops);
         assert_eq!(y.shape(), Shape::feature_map(4, 4, 4));
@@ -336,6 +344,10 @@ mod tests {
             BitWidth::W8,
             WeightOffset::PerLayer(0),
         );
-        let _ = QConv2d::new(w, ConvGeometry::pointwise(), identity_requant(3, BitWidth::W8));
+        let _ = QConv2d::new(
+            w,
+            ConvGeometry::pointwise(),
+            identity_requant(3, BitWidth::W8),
+        );
     }
 }

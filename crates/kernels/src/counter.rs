@@ -1,5 +1,6 @@
 use std::fmt;
-use std::ops::AddAssign;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
 
 /// Abstract operation counts accumulated by the integer kernels.
 ///
@@ -69,6 +70,32 @@ impl AddAssign for OpCounts {
     }
 }
 
+impl AddAssign<&OpCounts> for OpCounts {
+    fn add_assign(&mut self, rhs: &OpCounts) {
+        *self += *rhs;
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(mut self, rhs: OpCounts) -> OpCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl Sum for OpCounts {
+    fn sum<I: Iterator<Item = OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::default(), Add::add)
+    }
+}
+
+impl<'a> Sum<&'a OpCounts> for OpCounts {
+    fn sum<I: Iterator<Item = &'a OpCounts>>(iter: I) -> OpCounts {
+        iter.fold(OpCounts::default(), |acc, c| acc + *c)
+    }
+}
+
 impl fmt::Display for OpCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -101,6 +128,43 @@ mod tests {
         assert_eq!(a.macs, 2);
         assert_eq!(a.act_stores, 16);
         assert_eq!(a.total(), 2 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+    }
+
+    #[test]
+    fn sum_folds_per_layer_ledgers() {
+        let per_layer = [
+            OpCounts {
+                macs: 10,
+                requants: 1,
+                ..OpCounts::default()
+            },
+            OpCounts {
+                macs: 20,
+                unpacks: 5,
+                ..OpCounts::default()
+            },
+            OpCounts {
+                macs: 30,
+                act_loads: 2,
+                ..OpCounts::default()
+            },
+        ];
+        let by_ref: OpCounts = per_layer.iter().sum();
+        let by_val: OpCounts = per_layer.into_iter().sum();
+        assert_eq!(by_ref, by_val);
+        assert_eq!(by_ref.macs, 60);
+        assert_eq!(by_ref.unpacks, 5);
+        assert_eq!(by_ref.requants, 1);
+        assert_eq!(by_ref.act_loads, 2);
+        let a = OpCounts {
+            macs: 1,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            bias_adds: 2,
+            ..OpCounts::default()
+        };
+        assert_eq!((a + b).total(), 3);
     }
 
     #[test]

@@ -243,7 +243,10 @@ mod tests {
                 let mut ops_b = OpCounts::default();
                 let direct = conv.execute(&x, &mut ops_a);
                 let gemm = conv.execute_gemm(&x, &mut ops_b);
-                assert_eq!(direct, gemm, "co={co} ci={ci} k={k} s={stride} pc={per_channel}");
+                assert_eq!(
+                    direct, gemm,
+                    "co={co} ci={ci} k={k} s={stride} pc={per_channel}"
+                );
                 assert_eq!(ops_a.requants, ops_b.requants);
                 // Same mathematical MAC work modulo padded-tap counting
                 // (GEMM multiplies padded zero-contributions too).

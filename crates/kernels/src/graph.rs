@@ -1,0 +1,809 @@
+//! The layer-graph executor: a uniform [`QOp`] abstraction over the
+//! integer kernels and a sequential [`QGraph`] that runs any topology of
+//! them — the deployment graph `g'(x)` of §4 as an executable object
+//! rather than a hardcoded conv-stack.
+//!
+//! The executor owns an [`ActivationArena`]: two preallocated code buffers
+//! that ping-pong between a layer's input and output, mirroring the
+//! double-buffered activation memory a real MCU deployment uses and whose
+//! peak pair is exactly the Eq. 7 read-write footprint the memory model in
+//! `mixq-core` budgets.
+//!
+//! Every layer executed through the graph records a [`LayerRun`]: its
+//! [`OpCounts`] ledger, activation bytes and operator class. Cycle models
+//! (`mixq-mcu`) consume the ledger for per-layer latency breakdowns.
+//!
+//! # Examples
+//!
+//! ```
+//! use mixq_kernels::{OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QGraph,
+//!                    Requantizer, WeightOffset};
+//! use mixq_quant::{BitWidth, FixedPointMultiplier};
+//! use mixq_tensor::{ConvGeometry, Shape};
+//!
+//! let w = QConvWeights::new(Shape::new(1, 1, 1, 1), false, &[2], BitWidth::W4,
+//!                           WeightOffset::PerLayer(0));
+//! let requant = Requantizer::icn(vec![0], vec![FixedPointMultiplier::from_real(1.0)],
+//!                                0, BitWidth::W8);
+//! let mut graph = QGraph::new();
+//! graph.push("pw", QConv2d::new(w, ConvGeometry::pointwise(), requant));
+//! graph.push("pool", QAvgPool);
+//!
+//! let x = QActivation::from_codes(Shape::feature_map(1, 1, 1), &[3], BitWidth::W8, 0);
+//! let run = graph.run(x);
+//! assert_eq!(run.output.as_ref().unwrap().codes(), vec![6]); // 3 × 2
+//! assert_eq!(run.layers.len(), 2);
+//! assert_eq!(run.total_ops().macs, 1);
+//! ```
+
+use mixq_quant::BitWidth;
+use mixq_tensor::Shape;
+
+use crate::gemm::im2col_scratch_bytes;
+use crate::{OpCounts, QActivation, QAvgPool, QConv2d, QLinear};
+
+/// Coarse operator class of a graph node — what a cycle model needs to
+/// pick the right per-MAC rate (dense convolutions stream through the
+/// dual-MAC `SMLAD`; depthwise kernels have poor data reuse; the
+/// fully-connected head is a single dot-product sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Standard or pointwise convolution.
+    Conv,
+    /// Depthwise convolution.
+    DepthwiseConv,
+    /// Global average pooling.
+    Pool,
+    /// Fully-connected classifier head.
+    Linear,
+}
+
+impl OpKind {
+    /// Short human-readable label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OpKind::Conv => "conv",
+            OpKind::DepthwiseConv => "dwconv",
+            OpKind::Pool => "pool",
+            OpKind::Linear => "linear",
+        }
+    }
+}
+
+/// What executing one op produces: the next activation tensor, or — for a
+/// terminal classifier head — the `i32` logits (which cannot be
+/// represented as sub-byte codes without loss).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutput {
+    /// A quantized activation feeding the next layer.
+    Act(QActivation),
+    /// Terminal integer logits.
+    Logits(Vec<i32>),
+}
+
+/// A single integer-inference operator, executable inside a [`QGraph`].
+///
+/// The contract mirrors the deployment memory model: `flash_bytes` is the
+/// op's read-only footprint (packed weights + §4.1 static parameters),
+/// `output_bytes` its contribution to the Eq. 7 activation pair, and
+/// `scratch_bytes` any transient buffer (e.g. an im2col expansion) a
+/// lowered implementation would need on top of the activation pair.
+pub trait QOp {
+    /// Operator class (for cycle models and reporting).
+    fn kind(&self) -> OpKind;
+
+    /// Runs the op, charging `ops`.
+    fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> OpOutput {
+        self.execute_into(x, &mut Vec::new(), ops)
+    }
+
+    /// Runs the op writing unpacked output codes through `out_codes` — the
+    /// arena hook. Implementations that produce no code tensor (the
+    /// classifier head) ignore the buffer.
+    fn execute_into(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> OpOutput;
+
+    /// Output shape for a given input shape.
+    fn output_shape(&self, input: Shape) -> Shape;
+
+    /// Output activation precision given the input precision. For the
+    /// classifier head the value is nominal (its real output is `i32`
+    /// logits, accounted by [`QOp::output_bytes`]).
+    fn out_bits(&self, in_bits: BitWidth) -> BitWidth;
+
+    /// RAM bytes of this op's output tensor (`mem(y, Q_y)` of Eq. 7).
+    fn output_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
+        self.out_bits(in_bits)
+            .bytes_for(self.output_shape(input).volume())
+    }
+
+    /// Flash bytes of the op: packed weights plus §4.1 static parameters.
+    fn flash_bytes(&self) -> usize;
+
+    /// Transient scratch bytes a lowered implementation needs over `input`
+    /// (zero for ops that run in place over the activation pair).
+    fn scratch_bytes(&self, input: Shape) -> usize {
+        let _ = input;
+        0
+    }
+}
+
+impl QOp for QConv2d {
+    fn kind(&self) -> OpKind {
+        if self.weights().is_depthwise() {
+            OpKind::DepthwiseConv
+        } else {
+            OpKind::Conv
+        }
+    }
+
+    fn execute_into(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> OpOutput {
+        OpOutput::Act(self.execute_buffered(x, out_codes, ops))
+    }
+
+    fn output_shape(&self, input: Shape) -> Shape {
+        QConv2d::output_shape(self, input)
+    }
+
+    fn out_bits(&self, _in_bits: BitWidth) -> BitWidth {
+        self.requant().out_bits()
+    }
+
+    fn flash_bytes(&self) -> usize {
+        // Packed weights + Zw + Zx/Zy + requant parameters (Table 1 row).
+        self.weights().byte_len()
+            + self.weights().offset().flash_bytes()
+            + 2
+            + self.requant().flash_bytes()
+    }
+
+    fn scratch_bytes(&self, input: Shape) -> usize {
+        if self.weights().is_depthwise() {
+            // CMSIS-NN lowers depthwise directly, no im2col buffer.
+            0
+        } else {
+            im2col_scratch_bytes(self, input)
+        }
+    }
+}
+
+impl QOp for QAvgPool {
+    fn kind(&self) -> OpKind {
+        OpKind::Pool
+    }
+
+    fn execute_into(
+        &self,
+        x: &QActivation,
+        _out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> OpOutput {
+        OpOutput::Act(self.execute(x, ops))
+    }
+
+    fn output_shape(&self, input: Shape) -> Shape {
+        Shape::new(input.n, 1, 1, input.c)
+    }
+
+    fn out_bits(&self, in_bits: BitWidth) -> BitWidth {
+        in_bits
+    }
+
+    fn flash_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl QOp for QLinear {
+    fn kind(&self) -> OpKind {
+        OpKind::Linear
+    }
+
+    fn execute_into(
+        &self,
+        x: &QActivation,
+        _out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> OpOutput {
+        OpOutput::Logits(self.execute(x, ops))
+    }
+
+    fn output_shape(&self, input: Shape) -> Shape {
+        Shape::new(input.n, 1, 1, self.out_features())
+    }
+
+    fn out_bits(&self, in_bits: BitWidth) -> BitWidth {
+        in_bits
+    }
+
+    fn output_bytes(&self, _input: Shape, _in_bits: BitWidth) -> usize {
+        // The head's output is i32 logits, one per class.
+        4 * self.out_features()
+    }
+
+    fn flash_bytes(&self) -> usize {
+        // Packed weights + Zw + Zx/Zy + Bq (i32) and M0/N0 (5 bytes) per
+        // class when a rescale is present.
+        self.weights().byte_len()
+            + self.weights().offset().flash_bytes()
+            + 2
+            + 4 * self.bq().len()
+            + self.rescale().map_or(0, |r| 5 * r.len())
+    }
+}
+
+/// Closed set of graph node operators.
+///
+/// The graph stores this enum rather than `Box<dyn QOp>` so that networks
+/// stay `Clone`/`PartialEq` (conversion tests compare whole deployments)
+/// and dispatch stays static — the executor adds no indirection over the
+/// kernels it schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyOp {
+    /// Convolution (standard, pointwise or depthwise).
+    Conv(QConv2d),
+    /// Global average pooling.
+    Pool(QAvgPool),
+    /// Fully-connected classifier head.
+    Linear(QLinear),
+}
+
+impl From<QConv2d> for AnyOp {
+    fn from(op: QConv2d) -> Self {
+        AnyOp::Conv(op)
+    }
+}
+
+impl From<QAvgPool> for AnyOp {
+    fn from(op: QAvgPool) -> Self {
+        AnyOp::Pool(op)
+    }
+}
+
+impl From<QLinear> for AnyOp {
+    fn from(op: QLinear) -> Self {
+        AnyOp::Linear(op)
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $op:ident => $call:expr) => {
+        match $self {
+            AnyOp::Conv($op) => $call,
+            AnyOp::Pool($op) => $call,
+            AnyOp::Linear($op) => $call,
+        }
+    };
+}
+
+impl QOp for AnyOp {
+    fn kind(&self) -> OpKind {
+        dispatch!(self, op => op.kind())
+    }
+
+    fn execute_into(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> OpOutput {
+        dispatch!(self, op => op.execute_into(x, out_codes, ops))
+    }
+
+    fn output_shape(&self, input: Shape) -> Shape {
+        dispatch!(self, op => QOp::output_shape(op, input))
+    }
+
+    fn out_bits(&self, in_bits: BitWidth) -> BitWidth {
+        dispatch!(self, op => op.out_bits(in_bits))
+    }
+
+    fn output_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
+        dispatch!(self, op => op.output_bytes(input, in_bits))
+    }
+
+    fn flash_bytes(&self) -> usize {
+        dispatch!(self, op => QOp::flash_bytes(op))
+    }
+
+    fn scratch_bytes(&self, input: Shape) -> usize {
+        dispatch!(self, op => op.scratch_bytes(input))
+    }
+}
+
+/// A named node of a [`QGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphNode {
+    name: String,
+    op: AnyOp,
+}
+
+impl GraphNode {
+    /// Node name (layer label in breakdowns and exports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator.
+    pub fn op(&self) -> &AnyOp {
+        &self.op
+    }
+}
+
+/// The per-layer record the executor writes: the ledger a cycle model
+/// turns into a latency breakdown, plus the activation traffic of the
+/// layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRun {
+    /// Node name.
+    pub name: String,
+    /// Operator class.
+    pub kind: OpKind,
+    /// Abstract operation counts charged by this layer alone.
+    pub ops: OpCounts,
+    /// Input activation bytes (packed, `mem(x, Q_x)` of Eq. 7).
+    pub in_bytes: usize,
+    /// Output bytes (packed activation, or `4·classes` for the head).
+    pub out_bytes: usize,
+    /// Output shape.
+    pub out_shape: Shape,
+}
+
+/// Result of one [`QGraph::run`]: the terminal product plus the per-layer
+/// ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphRun {
+    /// Integer logits, when the graph ends in a classifier head.
+    pub logits: Option<Vec<i32>>,
+    /// Final activation, when the graph ends in a code-producing op.
+    pub output: Option<QActivation>,
+    /// One record per executed node, in execution order.
+    pub layers: Vec<LayerRun>,
+}
+
+impl GraphRun {
+    /// Folds the per-layer ledgers into network totals.
+    pub fn total_ops(&self) -> OpCounts {
+        self.layers.iter().map(|l| l.ops).sum()
+    }
+
+    /// The logits of a head-terminated graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not end in a classifier head.
+    pub fn into_logits(self) -> Vec<i32> {
+        self.logits
+            .expect("graph does not end in a classifier head")
+    }
+}
+
+/// The double-buffered activation arena: two reusable unpacked-code
+/// buffers that alternate between consecutive layers, so the per-layer
+/// output-code scratch is allocated once per run (and once per *dataset*
+/// via [`QGraph::run_with_arena`]) instead of once per layer. Packed
+/// activations are still allocated per layer for now — making packing
+/// arena-aware is a tracked follow-up.
+///
+/// The arena is the executor-side twin of the Eq. 7 accounting: at any
+/// step exactly two activation tensors are live (the running layer's input
+/// and output), and [`QGraph::peak_ram_bytes`] reports the largest such
+/// pair in packed bytes.
+#[derive(Debug, Default)]
+pub struct ActivationArena {
+    buffers: [Vec<u8>; 2],
+    cursor: usize,
+}
+
+impl ActivationArena {
+    /// An empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        ActivationArena::default()
+    }
+
+    /// Preallocates both buffers to `code_capacity` unpacked codes.
+    pub fn with_capacity(code_capacity: usize) -> Self {
+        ActivationArena {
+            buffers: [
+                Vec::with_capacity(code_capacity),
+                Vec::with_capacity(code_capacity),
+            ],
+            cursor: 0,
+        }
+    }
+
+    /// Hands out the next buffer of the ping-pong pair.
+    pub fn checkout(&mut self) -> &mut Vec<u8> {
+        self.cursor ^= 1;
+        &mut self.buffers[self.cursor]
+    }
+
+    /// Current allocated capacity across both buffers, in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.buffers.iter().map(|b| b.capacity()).sum()
+    }
+}
+
+/// A sequential graph of integer ops — the executable deployment model.
+///
+/// See the [module docs](self) for an example.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QGraph {
+    nodes: Vec<GraphNode>,
+}
+
+impl QGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        QGraph::default()
+    }
+
+    /// Appends a named node.
+    pub fn push(&mut self, name: impl Into<String>, op: impl Into<AnyOp>) {
+        self.nodes.push(GraphNode {
+            name: name.into(),
+            op: op.into(),
+        });
+    }
+
+    /// The nodes, in execution order.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All convolution nodes, in order.
+    pub fn convs(&self) -> Vec<&QConv2d> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                AnyOp::Conv(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The classifier head, if the graph has one.
+    pub fn head(&self) -> Option<&QLinear> {
+        self.nodes.iter().find_map(|n| match &n.op {
+            AnyOp::Linear(l) => Some(l),
+            _ => None,
+        })
+    }
+
+    /// Total flash footprint of the graph (packed weights + §4.1 static
+    /// parameters of every node).
+    pub fn flash_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| QOp::flash_bytes(&n.op)).sum()
+    }
+
+    /// Peak activation RAM (Eq. 7): the largest input+output byte pair
+    /// across the nodes, each tensor at its deployed precision.
+    pub fn peak_ram_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
+        let mut shape = input;
+        let mut bits = in_bits;
+        let mut peak = 0usize;
+        for node in &self.nodes {
+            let pair = bits.bytes_for(shape.volume()) + node.op.output_bytes(shape, bits);
+            peak = peak.max(pair);
+            shape = node.op.output_shape(shape);
+            bits = node.op.out_bits(bits);
+        }
+        peak
+    }
+
+    /// Largest transient scratch buffer any node would need when lowered
+    /// (e.g. im2col expansions), on top of the activation pair.
+    pub fn peak_scratch_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
+        let mut shape = input;
+        let mut bits = in_bits;
+        let mut peak = 0usize;
+        for node in &self.nodes {
+            peak = peak.max(node.op.scratch_bytes(shape));
+            shape = node.op.output_shape(shape);
+            bits = node.op.out_bits(bits);
+        }
+        peak
+    }
+
+    /// Shape of the graph's terminal output for a given input shape.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        self.nodes.iter().fold(input, |s, n| n.op.output_shape(s))
+    }
+
+    /// Largest unpacked output code count across the nodes — the arena
+    /// preallocation size.
+    fn peak_code_volume(&self, input: Shape) -> usize {
+        let mut shape = input;
+        let mut peak = 0usize;
+        for node in &self.nodes {
+            shape = node.op.output_shape(shape);
+            peak = peak.max(shape.volume());
+        }
+        peak
+    }
+
+    /// Runs the graph on `input` with a freshly planned arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a classifier head appears before the last node (logits
+    /// cannot feed a code-consuming op).
+    pub fn run(&self, input: QActivation) -> GraphRun {
+        let mut arena = ActivationArena::with_capacity(self.peak_code_volume(input.shape()));
+        self.run_with_arena(input, &mut arena)
+    }
+
+    /// Runs the graph reusing a caller-owned arena (amortizes the working
+    /// set across inferences, e.g. over a whole evaluation set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a classifier head appears before the last node.
+    pub fn run_with_arena(&self, input: QActivation, arena: &mut ActivationArena) -> GraphRun {
+        let mut layers = Vec::with_capacity(self.nodes.len());
+        let mut cur = input;
+        let mut logits = None;
+        for node in &self.nodes {
+            assert!(
+                logits.is_none(),
+                "classifier head must be the terminal node (violated at `{}`)",
+                node.name
+            );
+            let in_shape = cur.shape();
+            let in_bits = cur.bits();
+            let mut ops = OpCounts::default();
+            let out = node.op.execute_into(&cur, arena.checkout(), &mut ops);
+            let (out_bytes, out_shape) = match &out {
+                OpOutput::Act(a) => (a.byte_len(), a.shape()),
+                OpOutput::Logits(l) => (4 * l.len(), node.op.output_shape(in_shape)),
+            };
+            layers.push(LayerRun {
+                name: node.name.clone(),
+                kind: node.op.kind(),
+                ops,
+                in_bytes: in_bits.bytes_for(in_shape.volume()),
+                out_bytes,
+                out_shape,
+            });
+            match out {
+                OpOutput::Act(a) => cur = a,
+                OpOutput::Logits(l) => logits = Some(l),
+            }
+        }
+        GraphRun {
+            output: if logits.is_none() { Some(cur) } else { None },
+            logits,
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QConvWeights, Requantizer, WeightOffset};
+    use mixq_quant::{BitWidth, FixedPointMultiplier};
+    use mixq_tensor::{ConvGeometry, Padding};
+
+    fn identity_requant(channels: usize, bits: BitWidth) -> Requantizer {
+        Requantizer::icn(
+            vec![0; channels],
+            vec![FixedPointMultiplier::from_real(1.0); channels],
+            0,
+            bits,
+        )
+    }
+
+    fn pointwise(ci: usize, co: usize, wcode: u8) -> QConv2d {
+        let shape = Shape::new(co, 1, 1, ci);
+        let w = QConvWeights::new(
+            shape,
+            false,
+            &vec![wcode; shape.volume()],
+            BitWidth::W4,
+            WeightOffset::PerLayer(0),
+        );
+        QConv2d::new(
+            w,
+            ConvGeometry::pointwise(),
+            identity_requant(co, BitWidth::W8),
+        )
+    }
+
+    fn depthwise(c: usize, wcode: u8) -> QConv2d {
+        let shape = Shape::new(c, 3, 3, 1);
+        let w = QConvWeights::new(
+            shape,
+            true,
+            &vec![wcode; shape.volume()],
+            BitWidth::W4,
+            WeightOffset::PerChannel(vec![0; c]),
+        );
+        QConv2d::new(
+            w,
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            identity_requant(c, BitWidth::W8),
+        )
+    }
+
+    #[test]
+    fn kinds_distinguish_depthwise() {
+        assert_eq!(QOp::kind(&pointwise(2, 3, 1)), OpKind::Conv);
+        assert_eq!(QOp::kind(&depthwise(2, 1)), OpKind::DepthwiseConv);
+        assert_eq!(QAvgPool.kind(), OpKind::Pool);
+        assert_eq!(OpKind::DepthwiseConv.label(), "dwconv");
+    }
+
+    #[test]
+    fn graph_matches_manual_layer_loop() {
+        // A depthwise-separable block graph must be bit-identical, op for
+        // op, with the hand-rolled loop over the same layers.
+        let dw = depthwise(2, 2);
+        let pw = pointwise(2, 4, 1);
+        let shape = Shape::feature_map(5, 5, 2);
+        let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 11) as u8).collect();
+        let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+
+        let mut graph = QGraph::new();
+        graph.push("dw", dw.clone());
+        graph.push("pw", pw.clone());
+        graph.push("pool", QAvgPool);
+        let run = graph.run(x.clone());
+
+        let mut ops = OpCounts::default();
+        let manual = QAvgPool.execute(&pw.execute(&dw.execute(&x, &mut ops), &mut ops), &mut ops);
+        assert_eq!(run.output, Some(manual));
+        assert_eq!(run.total_ops(), ops);
+        assert_eq!(run.layers.len(), 3);
+        assert_eq!(run.layers[0].kind, OpKind::DepthwiseConv);
+        assert_eq!(run.layers[1].kind, OpKind::Conv);
+        // The ledger decomposes: depthwise layer charges its own MACs only.
+        assert_eq!(run.layers[0].ops.macs + run.layers[1].ops.macs, ops.macs);
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_across_runs() {
+        let mut graph = QGraph::new();
+        graph.push("dw", depthwise(3, 1));
+        graph.push("pw", pointwise(3, 3, 2));
+        let shape = Shape::feature_map(4, 4, 3);
+        let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 7) as u8).collect();
+        let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+        let mut arena = ActivationArena::with_capacity(shape.volume());
+        let a = graph.run_with_arena(x.clone(), &mut arena);
+        let b = graph.run_with_arena(x.clone(), &mut arena);
+        let c = graph.run(x);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(arena.capacity_bytes() >= 2 * shape.volume());
+    }
+
+    #[test]
+    fn peak_ram_matches_manual_pair_walk() {
+        let mut graph = QGraph::new();
+        graph.push("dw", depthwise(4, 1));
+        graph.push("pw", pointwise(4, 8, 1));
+        graph.push("pool", QAvgPool);
+        let input = Shape::feature_map(6, 6, 4);
+        // dw: 144 in + 144 out; pw: 144 in + 288 out (8 ch); pool: 288 + 8.
+        assert_eq!(graph.peak_ram_bytes(input, BitWidth::W8), 144 + 288);
+        // A 4-bit input halves the first pair's input tensor; the binding
+        // pair here is pw (all-W8), so the peak cannot grow.
+        assert!(graph.peak_ram_bytes(input, BitWidth::W4) <= 144 + 288);
+        // When the first pair binds, the saving is strict.
+        let mut dw_only = QGraph::new();
+        dw_only.push("dw", depthwise(4, 1));
+        assert_eq!(dw_only.peak_ram_bytes(input, BitWidth::W8), 144 + 144);
+        assert_eq!(dw_only.peak_ram_bytes(input, BitWidth::W4), 72 + 144);
+    }
+
+    #[test]
+    fn flash_bytes_sums_nodes() {
+        let dw = depthwise(2, 1);
+        let pw = pointwise(2, 3, 1);
+        let mut graph = QGraph::new();
+        graph.push("dw", dw.clone());
+        graph.push("pw", pw.clone());
+        graph.push("pool", QAvgPool);
+        assert_eq!(
+            graph.flash_bytes(),
+            QOp::flash_bytes(&dw) + QOp::flash_bytes(&pw)
+        );
+        assert!(graph.flash_bytes() > 0);
+    }
+
+    #[test]
+    fn scratch_reports_im2col_for_dense_only() {
+        let dense = QConv2d::new(
+            QConvWeights::new(
+                Shape::new(2, 3, 3, 3),
+                false,
+                &[0; 54],
+                BitWidth::W8,
+                WeightOffset::PerLayer(0),
+            ),
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            identity_requant(2, BitWidth::W8),
+        );
+        let input = Shape::feature_map(8, 8, 3);
+        assert_eq!(dense.scratch_bytes(input), 8 * 8 * 9 * 3);
+        assert_eq!(depthwise(3, 1).scratch_bytes(input), 0);
+        let mut graph = QGraph::new();
+        graph.push("dw", depthwise(3, 1));
+        graph.push("c", dense);
+        assert_eq!(graph.peak_scratch_bytes(input, BitWidth::W8), 8 * 8 * 9 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal node")]
+    fn head_must_be_terminal() {
+        let head = QLinear::new(
+            QConvWeights::new(
+                Shape::new(2, 1, 1, 3),
+                false,
+                &[1; 6],
+                BitWidth::W8,
+                WeightOffset::PerLayer(0),
+            ),
+            vec![0, 0],
+            None,
+        );
+        let mut graph = QGraph::new();
+        graph.push("fc", head);
+        graph.push("pool", QAvgPool);
+        let x = QActivation::from_codes(Shape::new(1, 1, 1, 3), &[1, 2, 3], BitWidth::W8, 0);
+        let _ = graph.run(x);
+    }
+
+    #[test]
+    fn head_terminated_graph_yields_logits() {
+        let head = QLinear::new(
+            QConvWeights::new(
+                Shape::new(2, 1, 1, 2),
+                false,
+                &[1, 0, 0, 1],
+                BitWidth::W8,
+                WeightOffset::PerLayer(0),
+            ),
+            vec![10, 20],
+            None,
+        );
+        let mut graph = QGraph::new();
+        graph.push("pool", QAvgPool);
+        graph.push("fc", head.clone());
+        let shape = Shape::feature_map(2, 2, 2);
+        let x = QActivation::from_codes(shape, &[4, 8, 4, 8, 4, 8, 4, 8], BitWidth::W8, 0);
+        let run = graph.run(x.clone());
+        // Pool → [4, 8]; identity weights + bias.
+        assert_eq!(run.clone().into_logits(), vec![14, 28]);
+        assert!(run.output.is_none());
+        // Ledger bytes: head output is 4 bytes per class.
+        assert_eq!(run.layers.last().unwrap().out_bytes, 8);
+        assert_eq!(run.layers.last().unwrap().kind, OpKind::Linear);
+        // Head accounting hooks.
+        assert_eq!(head.output_bytes(Shape::new(1, 1, 1, 2), BitWidth::W8), 8);
+        assert_eq!(
+            QOp::output_shape(&head, Shape::new(1, 1, 1, 2)),
+            Shape::new(1, 1, 1, 2)
+        );
+    }
+}

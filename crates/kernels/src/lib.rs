@@ -47,14 +47,18 @@
 mod conv;
 mod counter;
 pub mod gemm;
+pub mod graph;
 mod linear;
 mod pool;
 mod requant;
 mod tensorq;
 
 pub use conv::QConv2d;
-pub use gemm::{im2col_scratch_bytes, Im2Col};
 pub use counter::OpCounts;
+pub use gemm::{im2col_scratch_bytes, Im2Col};
+pub use graph::{
+    ActivationArena, AnyOp, GraphNode, GraphRun, LayerRun, OpKind, OpOutput, QGraph, QOp,
+};
 pub use linear::{linear_rescale_of, QLinear};
 pub use pool::QAvgPool;
 pub use requant::{Requantizer, ThresholdChannel};

@@ -1,5 +1,5 @@
-use mixq_quant::FixedPointMultiplier;
 use crate::{OpCounts, QActivation, QConvWeights, Requantizer};
+use mixq_quant::FixedPointMultiplier;
 
 /// An integer-only fully-connected classifier head.
 ///

@@ -32,12 +32,7 @@ impl QAvgPool {
             ops.unpacks += s.volume() as u64;
         }
         let codes: Vec<u8> = sums.iter().map(|&v| (v / area.max(1)) as u8).collect();
-        QActivation::from_codes(
-            Shape::new(s.n, 1, 1, s.c),
-            &codes,
-            x.bits(),
-            x.zero_point(),
-        )
+        QActivation::from_codes(Shape::new(s.n, 1, 1, s.c), &codes, x.bits(), x.zero_point())
     }
 }
 
@@ -65,12 +60,8 @@ mod tests {
 
     #[test]
     fn sub_byte_input_counts_unpacks() {
-        let x = QActivation::from_codes(
-            Shape::feature_map(2, 2, 1),
-            &[1, 2, 3, 0],
-            BitWidth::W2,
-            0,
-        );
+        let x =
+            QActivation::from_codes(Shape::feature_map(2, 2, 1), &[1, 2, 3, 0], BitWidth::W2, 0);
         let mut ops = OpCounts::default();
         let y = QAvgPool.execute(&x, &mut ops);
         assert_eq!(y.codes(), vec![1]); // floor(6/4)

@@ -240,6 +240,19 @@ impl Requantizer {
         }
     }
 
+    /// Flash bytes of the stored requantization parameters (Table 1,
+    /// §4.1 datatypes, excluding `Zx`/`Zy`/`Zw`): `Bq` INT32, `M0` INT32 +
+    /// `N0` INT8 (5 bytes per multiplier), threshold entries INT16.
+    pub fn flash_bytes(&self) -> usize {
+        match self {
+            Requantizer::FoldedPerLayer { bq, .. } => 4 * bq.len() + 4 + 1,
+            Requantizer::Icn { bq, mult, .. } => 4 * bq.len() + 5 * mult.len(),
+            Requantizer::Thresholds { channels, .. } => {
+                channels.iter().map(|c| 2 * c.len()).sum::<usize>()
+            }
+        }
+    }
+
     /// Number of output channels covered.
     pub fn channels(&self) -> usize {
         match self {
@@ -294,17 +307,11 @@ mod tests {
     fn icn_matches_direct_formula() {
         let bits = BitWidth::W4;
         let m = 0.037;
-        let req = Requantizer::icn(
-            vec![10],
-            vec![FixedPointMultiplier::from_real(m)],
-            2,
-            bits,
-        );
+        let req = Requantizer::icn(vec![10], vec![FixedPointMultiplier::from_real(m)], 2, bits);
         let mut r = 0;
         let mut c = 0;
         for phi in -500..500i64 {
-            let expected = (2 + ((m * (phi + 10) as f64).floor() as i64))
-                .clamp(0, 15) as u8;
+            let expected = (2 + ((m * (phi + 10) as f64).floor() as i64)).clamp(0, 15) as u8;
             let got = req.apply(0, phi, &mut r, &mut c);
             assert!(
                 (got as i64 - expected as i64).abs() <= 1,
@@ -329,8 +336,7 @@ mod tests {
             assert_eq!(ch.len(), 15);
             let mut cmps = 0;
             for phi in -400..400i64 {
-                let exact =
-                    (zy as i64 + (m * (phi + bq) as f64).floor() as i64).clamp(0, 15) as u8;
+                let exact = (zy as i64 + (m * (phi + bq) as f64).floor() as i64).clamp(0, 15) as u8;
                 let got = ch.eval(phi, &mut cmps);
                 assert_eq!(got, exact, "m={m} bq={bq} zy={zy} phi={phi}");
             }
@@ -381,7 +387,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "align")]
     fn icn_length_mismatch_panics() {
-        let _ = Requantizer::icn(vec![0, 1], vec![FixedPointMultiplier::ZERO], 0, BitWidth::W8);
+        let _ = Requantizer::icn(
+            vec![0, 1],
+            vec![FixedPointMultiplier::ZERO],
+            0,
+            BitWidth::W8,
+        );
     }
 
     #[test]
@@ -393,7 +404,11 @@ mod tests {
         let mut cmps = 0;
         // Within i16 reach the two agree...
         for phi in [-30000i64, -100, 0, 100, 30000] {
-            assert_eq!(ch.eval(phi, &mut cmps), sat.eval(phi, &mut cmps), "phi={phi}");
+            assert_eq!(
+                ch.eval(phi, &mut cmps),
+                sat.eval(phi, &mut cmps),
+                "phi={phi}"
+            );
         }
         // ...beyond it the saturated table is lossy: every (clamped)
         // threshold looks crossed even though the exact transfer is still 0.

@@ -27,6 +27,15 @@ impl WeightOffset {
     pub fn is_per_channel(&self) -> bool {
         matches!(self, WeightOffset::PerChannel(_))
     }
+
+    /// Flash bytes of the stored zero-points (Table 1: UINT8 per layer,
+    /// INT16 per output channel).
+    pub fn flash_bytes(&self) -> usize {
+        match self {
+            WeightOffset::PerLayer(_) => 1,
+            WeightOffset::PerChannel(zs) => 2 * zs.len(),
+        }
+    }
 }
 
 /// A bit-packed quantized activation tensor with its zero-point.

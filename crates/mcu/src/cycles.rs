@@ -2,7 +2,7 @@ use std::fmt;
 
 use mixq_core::memory::QuantScheme;
 use mixq_core::mixed::BitAssignment;
-use mixq_kernels::OpCounts;
+use mixq_kernels::{LayerRun, OpCounts, OpKind};
 use mixq_models::{LayerKind, LayerSpec, NetworkSpec};
 use mixq_quant::BitWidth;
 
@@ -40,6 +40,8 @@ pub struct CortexM7CycleModel {
     pub requant_cycles: f64,
     /// Cycles per threshold comparison.
     pub threshold_cmp_cycles: f64,
+    /// Cycles per output element stored (write-back of the result code).
+    pub act_store_cycles: f64,
     /// Fixed per-layer scheduling overhead.
     pub layer_overhead: u64,
 }
@@ -55,6 +57,7 @@ impl Default for CortexM7CycleModel {
             pc_offset_cycles: 0.45,
             requant_cycles: 8.0,
             threshold_cmp_cycles: 3.0,
+            act_store_cycles: 0.5,
             layer_overhead: 1500,
         }
     }
@@ -73,7 +76,11 @@ pub struct LayerLatency {
 
 impl fmt::Display for LayerLatency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} cycles ({} MACs)", self.name, self.cycles, self.macs)
+        write!(
+            f,
+            "{}: {} cycles ({} MACs)",
+            self.name, self.cycles, self.macs
+        )
     }
 }
 
@@ -165,6 +172,44 @@ impl CortexM7CycleModel {
             .collect()
     }
 
+    /// Cycles of one executed layer from its measured [`OpCounts`] ledger.
+    ///
+    /// Unlike [`CortexM7CycleModel::cycles_from_counts`], the operator
+    /// class is known, so the right per-MAC rate applies — this is the
+    /// path the `QGraph` executor's per-layer records feed.
+    pub fn op_cycles(&self, kind: OpKind, ops: &OpCounts) -> u64 {
+        let per_mac = match kind {
+            OpKind::Conv | OpKind::Pool => self.conv_cycles_per_mac,
+            OpKind::DepthwiseConv => self.dw_cycles_per_mac,
+            OpKind::Linear => self.fc_cycles_per_mac,
+        };
+        (ops.macs as f64 * per_mac
+            + ops.unpacks as f64 * self.unpack_cycles
+            + ops.offset_subs as f64 * self.pc_offset_cycles
+            + ops.requants as f64 * self.requant_cycles
+            + ops.threshold_cmps as f64 * self.threshold_cmp_cycles
+            + ops.act_stores as f64 * self.act_store_cycles) as u64
+            + self.layer_overhead
+    }
+
+    /// Per-layer latency breakdown from a `QGraph` execution ledger — the
+    /// measured twin of [`CortexM7CycleModel::layer_breakdown`], which
+    /// works from shape-level specs instead.
+    pub fn breakdown_from_runs(&self, runs: &[LayerRun]) -> Vec<LayerLatency> {
+        runs.iter()
+            .map(|r| LayerLatency {
+                name: r.name.clone(),
+                cycles: self.op_cycles(r.kind, &r.ops),
+                macs: r.ops.macs as usize,
+            })
+            .collect()
+    }
+
+    /// Total cycles of a `QGraph` execution ledger.
+    pub fn cycles_from_runs(&self, runs: &[LayerRun]) -> u64 {
+        runs.iter().map(|r| self.op_cycles(r.kind, &r.ops)).sum()
+    }
+
     /// Coarse cycle estimate from measured kernel op counts (the
     /// instrumentation path; cannot distinguish depthwise from dense MACs,
     /// so it uses a blended MAC rate).
@@ -175,7 +220,7 @@ impl CortexM7CycleModel {
             + ops.offset_subs as f64 * self.pc_offset_cycles
             + ops.requants as f64 * self.requant_cycles
             + ops.threshold_cmps as f64 * self.threshold_cmp_cycles
-            + ops.act_stores as f64 * 0.5) as u64
+            + ops.act_stores as f64 * self.act_store_cycles) as u64
     }
 }
 

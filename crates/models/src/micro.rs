@@ -70,7 +70,12 @@ pub fn folding_stress_cnn(channels: usize, num_classes: usize) -> MicroCnnSpec {
 /// With `input_res = 128` and `width_div = 4` this *is* MobileNetV1
 /// 128_0.25 (identical shapes); smaller resolutions scale the feature maps
 /// only.
-pub fn mobilenet_like(input_res: usize, input_channels: usize, width_div: usize, num_classes: usize) -> MicroCnnSpec {
+pub fn mobilenet_like(
+    input_res: usize,
+    input_channels: usize,
+    width_div: usize,
+    num_classes: usize,
+) -> MicroCnnSpec {
     use mixq_nn::qat::BlockSpec;
     assert!(width_div >= 1, "width divisor");
     let ch = |c: usize| (c / width_div).max(1);
@@ -111,8 +116,7 @@ pub fn mobilenet_like(input_res: usize, input_channels: usize, width_div: usize,
         });
         prev = ch(out);
     }
-    MicroCnnSpec::new(input_res, input_res, input_channels, num_classes, &[1])
-        .with_blocks(blocks)
+    MicroCnnSpec::new(input_res, input_res, input_channels, num_classes, &[1]).with_blocks(blocks)
 }
 
 /// Converts a built QAT network into a shape-level [`NetworkSpec`], so the
@@ -153,7 +157,11 @@ pub fn network_spec_of(net: &QatNetwork, name: &str) -> NetworkSpec {
     ));
     NetworkSpec::new(
         name,
-        Shape::feature_map(net.input_shape().h, net.input_shape().w, net.input_shape().c),
+        Shape::feature_map(
+            net.input_shape().h,
+            net.input_shape().w,
+            net.input_shape().c,
+        ),
         layers,
     )
 }
@@ -186,7 +194,10 @@ mod tests {
         let ns = network_spec_of(&net, "minimobile");
         let reference = MobileNetConfig::new(Resolution::R128, WidthMultiplier::X0_25).build();
         assert_eq!(ns.num_layers(), reference.num_layers());
-        assert_eq!(ns.total_weight_elements(), reference.total_weight_elements());
+        assert_eq!(
+            ns.total_weight_elements(),
+            reference.total_weight_elements()
+        );
         assert_eq!(ns.total_macs(), reference.total_macs());
     }
 
@@ -198,7 +209,12 @@ mod tests {
         assert_eq!(ns.num_layers(), net.num_blocks() + 1);
         // Weight elements agree layer by layer with the actual tensors.
         for (l, b) in ns.layers().iter().zip(net.blocks()) {
-            assert_eq!(l.weight_elements(), b.conv().weights().len(), "{}", l.name());
+            assert_eq!(
+                l.weight_elements(),
+                b.conv().weights().len(),
+                "{}",
+                l.name()
+            );
         }
         assert_eq!(
             ns.layers().last().unwrap().weight_elements(),

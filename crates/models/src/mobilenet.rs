@@ -201,15 +201,7 @@ impl MobileNetConfig {
             ));
             h = h.div_ceil(stride);
             w = w.div_ceil(stride);
-            layers.push(LayerSpec::conv(
-                &format!("pw{}", i + 1),
-                1,
-                1,
-                c,
-                out,
-                h,
-                w,
-            ));
+            layers.push(LayerSpec::conv(&format!("pw{}", i + 1), 1, 1, c, out, h, w));
             c = out;
         }
         layers.push(LayerSpec::linear("fc", c, self.num_classes));

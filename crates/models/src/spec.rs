@@ -181,9 +181,7 @@ impl LayerSpec {
     /// Table 1).
     pub fn weight_elements(&self) -> usize {
         match self.kind {
-            LayerKind::Conv => {
-                self.out_channels * self.kernel * self.kernel * self.in_channels
-            }
+            LayerKind::Conv => self.out_channels * self.kernel * self.kernel * self.in_channels,
             LayerKind::DepthwiseConv => self.out_channels * self.kernel * self.kernel,
             LayerKind::Linear => self.out_channels * self.in_channels,
         }
@@ -366,10 +364,7 @@ mod tests {
         ];
         let net = NetworkSpec::new("toy", Shape::feature_map(8, 8, 1), layers);
         assert_eq!(net.num_layers(), 3);
-        assert_eq!(
-            net.total_weight_elements(),
-            9 * 4 + 9 * 4 * 8 + 16
-        );
+        assert_eq!(net.total_weight_elements(), 9 * 4 + 9 * 4 * 8 + 16);
         assert!(net.total_macs() > 0);
         assert_eq!(net.max_activation_elements(), 8 * 8 * 4);
     }

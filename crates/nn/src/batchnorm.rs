@@ -164,7 +164,8 @@ impl BatchNorm {
         let mut y = Tensor::<f32>::zeros(x.shape());
         for (i, &v) in x.data().iter().enumerate() {
             let ch = i % c;
-            y.data_mut()[i] = self.gamma[ch] * (v - self.running_mean[ch]) / std[ch] + self.beta[ch];
+            y.data_mut()[i] =
+                self.gamma[ch] * (v - self.running_mean[ch]) / std[ch] + self.beta[ch];
         }
         y
     }
@@ -275,11 +276,8 @@ mod tests {
         let mut bn = BatchNorm::new(2);
         bn.gamma_mut().copy_from_slice(&[1.5, 0.5]);
         bn.beta_mut().copy_from_slice(&[0.1, -0.2]);
-        let x = Tensor::from_vec(
-            Shape::new(3, 1, 1, 2),
-            vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(Shape::new(3, 1, 1, 2), vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0]).unwrap();
         let (y, cache) = bn.forward_train(&x);
         let dy = y.clone(); // L = sum(y^2)/2
         let (dx, dgamma, dbeta) = bn.backward(&dy, &cache);

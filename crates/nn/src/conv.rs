@@ -69,7 +69,7 @@ impl Conv2d {
         let data = (0..w_shape.volume())
             .map(|_| {
                 // Uniform(-√3σ, √3σ) has std σ; avoids needing a normal dist.
-                let r: f32 = rng.random_range(-1.0..1.0);
+                let r: f32 = rng.random_range(-1.0f32..1.0);
                 r * std * 3f32.sqrt()
             })
             .collect();

@@ -171,8 +171,7 @@ mod tests {
     fn batch_forward() {
         let mut lin = Linear::new(2, 1, 0);
         lin.weights_mut().data_mut().copy_from_slice(&[1.0, 2.0]);
-        let x =
-            Tensor::from_vec(Shape::new(2, 1, 1, 2), vec![1.0, 1.0, 2.0, 0.5]).unwrap();
+        let x = Tensor::from_vec(Shape::new(2, 1, 1, 2), vec![1.0, 1.0, 2.0, 0.5]).unwrap();
         let y = lin.forward(&x);
         assert_eq!(y.data(), &[3.0, 3.0]);
     }
@@ -180,11 +179,8 @@ mod tests {
     #[test]
     fn gradient_check() {
         let lin = Linear::new(3, 2, 7);
-        let x = Tensor::from_vec(
-            Shape::new(2, 1, 1, 3),
-            vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]).unwrap();
         let y = lin.forward(&x);
         let dy = y.clone(); // L = sum(y^2)/2
         let (dx, dw, db) = lin.backward(&x, lin.weights(), &dy);
@@ -210,7 +206,9 @@ mod tests {
             let mut lm = lin.clone();
             lm.weights_mut().data_mut()[idx] -= eps;
             let num = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps as f64);
-            assert!((num - dw.data()[idx] as f64).abs() < 1e-2 * (1.0 + dw.data()[idx].abs() as f64));
+            assert!(
+                (num - dw.data()[idx] as f64).abs() < 1e-2 * (1.0 + dw.data()[idx].abs() as f64)
+            );
         }
         for o in 0..2 {
             let mut lp = lin.clone();

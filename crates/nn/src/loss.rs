@@ -89,11 +89,8 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let logits = Tensor::from_vec(
-            Shape::new(2, 1, 1, 3),
-            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
         let p = softmax(&logits);
         for b in 0..2 {
             let sum: f32 = p.data()[b * 3..(b + 1) * 3].iter().sum();
@@ -132,8 +129,7 @@ mod tests {
     #[test]
     fn gradient_check() {
         let logits =
-            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![0.3, -0.1, 0.5, 1.0, 0.0, -1.0])
-                .unwrap();
+            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![0.3, -0.1, 0.5, 1.0, 0.0, -1.0]).unwrap();
         let labels = [2usize, 0];
         let (_, grad) = cross_entropy(&logits, &labels);
         let eps = 1e-3f32;
@@ -155,11 +151,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits = Tensor::from_vec(
-            Shape::new(2, 1, 1, 2),
-            vec![2.0, 1.0, 0.0, 3.0],
-        )
-        .unwrap();
+        let logits = Tensor::from_vec(Shape::new(2, 1, 1, 2), vec![2.0, 1.0, 0.0, 3.0]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
         assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
     }

@@ -277,11 +277,9 @@ impl ConvBlock {
                 QuantParams::symmetric(clip.bound(), self.weight_bits),
                 self.conv.out_channels(),
             ),
-            _ => ChannelParams::from_granularity(
-                self.conv.weights(),
-                self.weight_bits,
-                granularity,
-            ),
+            _ => {
+                ChannelParams::from_granularity(self.conv.weights(), self.weight_bits, granularity)
+            }
         }
     }
 }
@@ -561,7 +559,8 @@ impl QatNetwork {
             h = a;
         }
         let pooled = self.pool.forward(&h);
-        self.linear.forward_with(&pooled, &self.effective_linear_weights())
+        self.linear
+            .forward_with(&pooled, &self.effective_linear_weights())
     }
 
     /// Training forward pass; returns logits plus caches for
@@ -750,7 +749,10 @@ mod tests {
         assert_ne!(y_float, y_q, "quantization must perturb outputs");
         let d = y_float.squared_distance(&y_q).unwrap();
         let scale: f64 = y_float.data().iter().map(|&v| (v as f64).powi(2)).sum();
-        assert!(d < scale.max(1e-3), "8-bit error should be small: {d} vs {scale}");
+        assert!(
+            d < scale.max(1e-3),
+            "8-bit error should be small: {d} vs {scale}"
+        );
     }
 
     #[test]
@@ -797,7 +799,10 @@ mod tests {
                 .copy_from_slice(&wbuf[..wlen]);
             let mut lbuf = net.linear().weights().data().to_vec();
             opt_lw.step(&mut lbuf, grads.linear_w.data());
-            net.linear_mut().weights_mut().data_mut().copy_from_slice(&lbuf);
+            net.linear_mut()
+                .weights_mut()
+                .data_mut()
+                .copy_from_slice(&lbuf);
         }
         let (logits, _) = net.forward_train(&x);
         let (loss1, _) = cross_entropy(&logits, &labels);

@@ -211,7 +211,11 @@ fn apply_gradients(
             let block = &mut net.blocks_mut()[i];
             let mut wbuf = block.conv().weights().data().to_vec();
             bank.conv_w[i].step(&mut wbuf, grads.conv_w[i].data());
-            block.conv_mut().weights_mut().data_mut().copy_from_slice(&wbuf);
+            block
+                .conv_mut()
+                .weights_mut()
+                .data_mut()
+                .copy_from_slice(&wbuf);
             let mut bbuf = block.conv().bias().to_vec();
             bank.conv_b[i].step(&mut bbuf, &grads.conv_b[i]);
             block.conv_mut().bias_mut().copy_from_slice(&bbuf);
@@ -237,7 +241,10 @@ fn apply_gradients(
     }
     let mut lw = net.linear().weights().data().to_vec();
     bank.linear_w.step(&mut lw, grads.linear_w.data());
-    net.linear_mut().weights_mut().data_mut().copy_from_slice(&lw);
+    net.linear_mut()
+        .weights_mut()
+        .data_mut()
+        .copy_from_slice(&lw);
     let mut lb = net.linear().bias().to_vec();
     bank.linear_b.step(&mut lb, &grads.linear_b);
     net.linear_mut().bias_mut().copy_from_slice(&lb);

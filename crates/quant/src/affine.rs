@@ -429,8 +429,7 @@ mod tests {
 
     #[test]
     fn per_channel_adapts_scales() {
-        let w =
-            Tensor::from_vec(Shape::new(2, 1, 1, 2), vec![0.1, -0.1, 10.0, -10.0]).unwrap();
+        let w = Tensor::from_vec(Shape::new(2, 1, 1, 2), vec![0.1, -0.1, 10.0, -10.0]).unwrap();
         let pc = ChannelParams::per_channel_min_max(&w, BitWidth::W4);
         assert!(pc.is_per_channel());
         assert_eq!(pc.num_channels(), 2);

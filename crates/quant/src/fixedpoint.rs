@@ -102,11 +102,8 @@ impl FixedPointMultiplier {
             prod >> shift
         } else {
             // Large positive exponents: exact left shift (saturating).
-            prod.checked_shl((-shift) as u32).unwrap_or(if prod < 0 {
-                i64::MIN
-            } else {
-                i64::MAX
-            })
+            prod.checked_shl((-shift) as u32)
+                .unwrap_or(if prod < 0 { i64::MIN } else { i64::MAX })
         };
         shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32
     }
@@ -134,10 +131,7 @@ mod tests {
             for sign in [1.0, -1.0] {
                 let fp = FixedPointMultiplier::from_real(m * sign);
                 let frac = fp.mantissa().abs() as f64 / ONE_Q31 as f64;
-                assert!(
-                    (0.5..1.0).contains(&frac),
-                    "m={m} sign={sign} frac={frac}"
-                );
+                assert!((0.5..1.0).contains(&frac), "m={m} sign={sign} frac={frac}");
             }
         }
     }
@@ -153,7 +147,10 @@ mod tests {
 
     #[test]
     fn zero_and_nonfinite_collapse() {
-        assert_eq!(FixedPointMultiplier::from_real(0.0), FixedPointMultiplier::ZERO);
+        assert_eq!(
+            FixedPointMultiplier::from_real(0.0),
+            FixedPointMultiplier::ZERO
+        );
         assert_eq!(
             FixedPointMultiplier::from_real(f64::NAN),
             FixedPointMultiplier::ZERO

@@ -191,8 +191,8 @@ impl HistogramObserver {
                     let mut rebinned = vec![0u64; self.bins.len()];
                     for (i, &c) in self.bins.iter().enumerate() {
                         let centre = (i as f32 + 0.5) / self.bins.len() as f32 * ratio;
-                        let j = ((centre * self.bins.len() as f32) as usize)
-                            .min(self.bins.len() - 1);
+                        let j =
+                            ((centre * self.bins.len() as f32) as usize).min(self.bins.len() - 1);
                         rebinned[j] += c;
                     }
                     self.bins = rebinned;

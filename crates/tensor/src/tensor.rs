@@ -277,8 +277,7 @@ mod tests {
 
     #[test]
     fn batch_item_extracts_slice() {
-        let t =
-            Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![1, 2, 3, 4, 5, 6]).expect("valid");
+        let t = Tensor::from_vec(Shape::new(2, 1, 1, 3), vec![1, 2, 3, 4, 5, 6]).expect("valid");
         let b1 = t.batch_item(1);
         assert_eq!(b1.shape(), Shape::new(1, 1, 1, 3));
         assert_eq!(b1.data(), &[4, 5, 6]);

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = parse_args();
     let spec = model.build();
     let device = Device::stm32h7();
-    println!("== deploying MobileNetV1_{} onto {} ==", model.label(), device);
+    println!(
+        "== deploying MobileNetV1_{} onto {} ==",
+        model.label(),
+        device
+    );
 
     for scheme in [QuantScheme::PerLayerIcn, QuantScheme::PerChannelIcn] {
         let cfg = MixedPrecisionConfig::new(device.budget(), scheme);

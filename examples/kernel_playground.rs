@@ -46,7 +46,11 @@ fn main() {
     let x = QActivation::from_codes(Shape::feature_map(8, 8, 2), &act_codes, BitWidth::W4, 3);
     let mut ops = OpCounts::default();
     let y = conv.execute(&x, &mut ops);
-    println!("output shape {}, first row {:?}", y.shape(), &y.codes()[..8]);
+    println!(
+        "output shape {}, first row {:?}",
+        y.shape(),
+        &y.codes()[..8]
+    );
     println!("ledger: {ops}");
     let model = CortexM7CycleModel::default();
     println!(

@@ -1,0 +1,68 @@
+//! Per-layer latency breakdown of an executed deployment graph.
+//!
+//! Trains a MobileNet-style depthwise-separable micro CNN, converts it to
+//! the integer-only graph `g'(x)`, runs one inference through the `QGraph`
+//! executor, and prices each layer's measured `OpCounts` ledger with the
+//! Cortex-M7 cycle model — the instrumentation-side twin of Figure 2's
+//! shape-level latency analysis.
+//!
+//! Run with: `cargo run --release --example layer_breakdown`
+
+use mixq::core::memory::QuantScheme;
+use mixq::core::pipeline::{deploy, PipelineConfig};
+use mixq::data::{DatasetSpec, SyntheticKind};
+use mixq::mcu::{CortexM7CycleModel, Device};
+use mixq::nn::qat::MicroCnnSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = DatasetSpec::new(SyntheticKind::Bars, 12, 12, 2, 3)
+        .with_samples(96)
+        .with_noise(0.05)
+        .generate(7);
+    let spec = MicroCnnSpec::separable(12, 12, 2, 3, &[6, 8]);
+    let cfg = PipelineConfig::new(QuantScheme::PerChannelIcn);
+    let (int_net, report) = deploy(&spec, &ds, &cfg)?;
+    println!("== deployment ==\n{report}\n");
+
+    // One inference, keeping the per-layer ledger.
+    let run = int_net.infer_detailed(&ds.sample(0).images);
+    let model = CortexM7CycleModel::default();
+    let breakdown = model.breakdown_from_runs(&run.layers);
+    let total_cycles: u64 = breakdown.iter().map(|l| l.cycles).sum();
+
+    println!("== per-layer breakdown (measured ledger × Cortex-M7 model) ==");
+    println!(
+        "{:<10} {:<8} {:>10} {:>10} {:>8} {:>8} {:>7}",
+        "layer", "kind", "macs", "cycles", "in B", "out B", "share"
+    );
+    for (latency, layer) in breakdown.iter().zip(&run.layers) {
+        println!(
+            "{:<10} {:<8} {:>10} {:>10} {:>8} {:>8} {:>6.1}%",
+            latency.name,
+            layer.kind.label(),
+            latency.macs,
+            latency.cycles,
+            layer.in_bytes,
+            layer.out_bytes,
+            100.0 * latency.cycles as f64 / total_cycles as f64
+        );
+    }
+
+    let device = Device::stm32h7();
+    println!(
+        "\ntotal: {} cycles ≈ {:.3} ms ({:.1} fps) on {}",
+        total_cycles,
+        device.latency_ms(total_cycles),
+        device.fps(total_cycles),
+        device
+    );
+    println!(
+        "graph: flash {} B, peak activation RAM {} B, arena scratch {} B",
+        int_net.flash_bytes(),
+        int_net.peak_ram_bytes(),
+        int_net
+            .graph()
+            .peak_scratch_bytes(ds.sample(0).images.shape(), mixq::quant::BitWidth::W8)
+    );
+    Ok(())
+}

@@ -27,11 +27,7 @@ fn main() {
         let cfg = MixedPrecisionConfig::new(device.budget(), scheme);
         match assign_bits(&spec, &cfg) {
             Ok(a) => {
-                let w_cuts = a
-                    .weight_bits
-                    .iter()
-                    .filter(|&&b| b != BitWidth::W8)
-                    .count();
+                let w_cuts = a.weight_bits.iter().filter(|&&b| b != BitWidth::W8).count();
                 let a_cuts = a.act_bits.iter().filter(|&&b| b != BitWidth::W8).count();
                 let flash = a.flash_bytes(&spec, scheme);
                 let ram = a.peak_rw_bytes(&spec);

@@ -5,9 +5,7 @@
 
 use mixq::core::convert::{convert, scheme_granularity, IntNetwork};
 use mixq::core::export::emit_c_header;
-use mixq::core::memory::{
-    network_flash_footprint_with_acts, peak_activation_bytes, QuantScheme,
-};
+use mixq::core::memory::{network_flash_footprint_with_acts, peak_activation_bytes, QuantScheme};
 use mixq::data::{Dataset, DatasetSpec, SyntheticKind};
 use mixq::kernels::OpCounts;
 use mixq::models::micro::network_spec_of;

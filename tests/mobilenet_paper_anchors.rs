@@ -138,8 +138,7 @@ fn table3_row2_anchor_192_05_at_1mb_256kb() {
 fn table3_row1_anchor_224_05_at_1mb_512kb() {
     // Table 3 row 1: 224_0.5 fits 1 MB RO + 512 kB RW after cuts.
     let spec = MobileNetConfig::new(Resolution::R224, WidthMultiplier::X0_5).build();
-    let cfg =
-        MixedPrecisionConfig::new(MemoryBudget::one_megabyte(), QuantScheme::PerChannelIcn);
+    let cfg = MixedPrecisionConfig::new(MemoryBudget::one_megabyte(), QuantScheme::PerChannelIcn);
     let a = assign_bits(&spec, &cfg).expect("feasible");
     assert!(a.satisfies(&spec, &cfg));
     assert!(a.has_cuts());
@@ -168,7 +167,10 @@ fn figure2_fps_span_and_ordering() {
         QuantScheme::PerLayerFolded,
     );
     let fast_fps = device.fps(fast_cycles);
-    assert!((7.0..14.0).contains(&fast_fps), "fastest ≈10 fps: {fast_fps}");
+    assert!(
+        (7.0..14.0).contains(&fast_fps),
+        "fastest ≈10 fps: {fast_fps}"
+    );
     let slow_fps = fps_by_label["224_0.75"];
     let ratio = fast_fps / slow_fps;
     assert!((14.0..32.0).contains(&ratio), "≈20x span, got {ratio:.1}");

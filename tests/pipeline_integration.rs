@@ -87,7 +87,10 @@ fn table2_shape_pl_fb_collapses_at_int4_but_icn_survives() {
     );
     assert!(pl_icn4_int > 0.85, "PL+ICN INT4 integer model works");
     assert!(pc_icn4_int > 0.85, "PC+ICN INT4 integer model works");
-    assert!(fb4_int < 0.75, "collapsed training stays collapsed deployed");
+    assert!(
+        fb4_int < 0.75,
+        "collapsed training stays collapsed deployed"
+    );
 }
 
 #[test]
@@ -156,7 +159,11 @@ fn deploy_pipeline_end_to_end_with_budget() {
     assert!(report.flash_bytes <= full8 * 3 / 5, "fits the budget");
     assert_eq!(report.fits_budget, Some(true));
     // Mixed-precision QAT still learns the task and deploys faithfully.
-    assert!(report.fake_quant_accuracy > 0.8, "{}", report.fake_quant_accuracy);
+    assert!(
+        report.fake_quant_accuracy > 0.8,
+        "{}",
+        report.fake_quant_accuracy
+    );
     let (test_acc, _) = int_net.evaluate(&split.test);
     assert!(test_acc > 0.7, "integer test accuracy {test_acc}");
     assert!(report.prediction_agreement > 0.85);

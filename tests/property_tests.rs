@@ -15,11 +15,7 @@ use mixq::quant::{BitWidth, FixedPointMultiplier, PackedTensor, QuantParams};
 use mixq::tensor::{ConvGeometry, Padding, Shape};
 
 fn bitwidth_strategy() -> impl Strategy<Value = BitWidth> {
-    prop_oneof![
-        Just(BitWidth::W2),
-        Just(BitWidth::W4),
-        Just(BitWidth::W8),
-    ]
+    prop_oneof![Just(BitWidth::W2), Just(BitWidth::W4), Just(BitWidth::W8),]
 }
 
 proptest! {
@@ -165,7 +161,7 @@ proptest! {
                     for kx in 0..3usize {
                         let iy = oy as isize + ky as isize - 1;
                         let ix = ox as isize + kx as isize - 1;
-                        if iy < 0 || iy >= 4 || ix < 0 || ix >= 4 {
+                        if !(0..4).contains(&iy) || !(0..4).contains(&ix) {
                             continue;
                         }
                         let xv = codes[(iy * 4 + ix) as usize] as i64 - zx as i64;

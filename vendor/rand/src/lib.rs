@@ -1,0 +1,194 @@
+//! Offline, deterministic subset of the `rand` crate API used by this
+//! workspace (see `vendor/README.md`).
+//!
+//! The generator is SplitMix64: statistically solid for simulation
+//! workloads, trivially seedable, and — crucially for this repo — the same
+//! seed produces the same stream on every platform and build, so every
+//! synthetic dataset and weight initialization is reproducible.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// The next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling on top of any [`RngCore`] (the `rand 0.9` `Rng`
+/// extension surface this workspace uses).
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range`. Panics on an empty range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                // Guard the half-open contract against rounding up.
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// In-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(-3i32..9);
+            assert!((-3..9).contains(&v));
+            let f = rng.random_range(0.25f32..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let u = rng.random_range(0usize..7);
+            assert!(u < 7);
+            let i = rng.random_range(0u8..=255);
+            let _ = i; // full domain: any value is valid
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_half = 0;
+        for _ in 0..1000 {
+            if rng.random_range(0.0f32..1.0) < 0.5 {
+                lo_half += 1;
+            }
+        }
+        assert!((300..700).contains(&lo_half), "wildly skewed: {lo_half}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_dependent() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b = a.clone();
+        let mut c = a.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(1));
+        b.shuffle(&mut StdRng::seed_from_u64(1));
+        c.shuffle(&mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_ne!(a, c, "different seed, different permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
