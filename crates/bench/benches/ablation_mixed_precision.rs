@@ -9,7 +9,8 @@
 //!    decomposition vs exact thresholds, over a dense accumulator sweep.
 //! 4. **Threshold datatype** — how many threshold entries of converted
 //!    networks would overflow the INT16 storage Table 2's footprint
-//!    implies.
+//!    implies, and the **end-to-end accuracy** of actually executing the
+//!    saturated-INT16 tables vs the full-range ones.
 //!
 //! Run with: `cargo bench --bench ablation_mixed_precision`
 
@@ -29,6 +30,7 @@ fn main() {
     ablation_delta();
     ablation_mantissa();
     ablation_threshold_datatype();
+    ablation_saturated_thresholds_end_to_end();
     ablation_cycle_model_sensitivity();
 }
 
@@ -244,4 +246,43 @@ fn ablation_threshold_datatype() {
          always/never-crossed codes and saturate losslessly — the lossy count is what \
          a deployment must watch)"
     );
+}
+
+/// Ablation 4b: execute the saturated tables. `ThresholdChannel::
+/// saturated_i16` clamps every entry to the INT16 storage range; here the
+/// whole converted network is rewritten (`IntNetwork::
+/// with_saturated_thresholds`) and re-evaluated end to end, so the
+/// datatype decision is measured as accuracy, not just overflow counts.
+fn ablation_saturated_thresholds_end_to_end() {
+    println!("== ablation 4b: saturated INT16 tables, end-to-end accuracy ==");
+    let ds = stress_dataset(11);
+    let split = ds.split(0.8, 3);
+    let spec = mixq_models::micro::folding_stress_cnn(2, 4);
+    for bits in [BitWidth::W4, BitWidth::W2] {
+        let mut net = QatNetwork::build(&spec, 4242);
+        let _ = train(&mut net, &split.train, &TrainConfig::fast(10));
+        net.calibrate_input(split.train.images());
+        net.enable_fake_quant(scheme_granularity(QuantScheme::PerChannelThresholds));
+        for i in 0..net.num_blocks() {
+            net.set_weight_bits(i, bits);
+        }
+        net.set_linear_weight_bits(bits);
+        let _ = train(&mut net, &split.train, &TrainConfig::fast(6));
+        let full = convert(&net, QuantScheme::PerChannelThresholds).expect("convertible");
+        let saturated = full.with_saturated_thresholds();
+        let (acc_full, _) = full.evaluate(&split.test);
+        let (acc_sat, _) = saturated.evaluate(&split.test);
+        println!(
+            "  W{} weights: full-range tables {:>5.1}% | saturated INT16 {:>5.1}% ({})",
+            bits.bits(),
+            acc_full * 100.0,
+            acc_sat * 100.0,
+            if (acc_full - acc_sat).abs() < 1e-6 {
+                "lossless here — saturated entries unreachable"
+            } else {
+                "lossy — accumulator reaches the clamped entries"
+            }
+        );
+    }
+    println!();
 }

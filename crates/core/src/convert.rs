@@ -17,8 +17,8 @@
 
 use mixq_data::Dataset;
 use mixq_kernels::{
-    ActivationArena, GraphRun, OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QGraph,
-    QLinear, Requantizer, ThresholdChannel, WeightOffset,
+    ActivationArena, AnyOp, GraphRun, OpCounts, QActivation, QAdd, QAvgPool, QConv2d, QConvWeights,
+    QGraph, QLinear, Requantizer, ThresholdChannel, WeightOffset,
 };
 use mixq_nn::qat::{ConvBlock, QatMode, QatNetwork};
 use mixq_nn::ConvKind;
@@ -118,33 +118,137 @@ impl IntNetwork {
         argmax(&logits)
     }
 
+    /// Quantizes a float image drawing code scratch and packed storage
+    /// from `arena` — together with
+    /// [`QGraph::infer_pooled`](mixq_kernels::QGraph::infer_pooled), the
+    /// allocation-free steady-state inference path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not a single item of the expected shape.
+    pub fn quantize_input_pooled(
+        &self,
+        image: &Tensor<f32>,
+        arena: &mut ActivationArena,
+    ) -> QActivation {
+        assert_eq!(image.shape(), self.input_shape, "input shape");
+        let mut codes = arena.take_scratch();
+        codes.clear();
+        codes.extend(
+            image
+                .data()
+                .iter()
+                .map(|&v| self.input_quant.quantize(v) as u8),
+        );
+        let act = QActivation::from_codes_in(
+            self.input_shape,
+            &codes,
+            BitWidth::W8,
+            self.input_quant.zero_point() as u8,
+            arena.take_packed(),
+        );
+        arena.put_scratch(codes);
+        act
+    }
+
     /// Classification accuracy over a dataset plus total op counts.
     ///
-    /// The whole evaluation shares one activation arena, so the unpacked
-    /// output-code scratch is reused across samples (packed activations
-    /// are still allocated per layer; see ROADMAP "Arena-aware packing").
+    /// The whole evaluation shares one activation arena: code scratch and
+    /// packed activation storage are recycled across samples, so the loop
+    /// allocates nothing after its first iteration (asserted by the
+    /// `allocation_free` integration test).
     pub fn evaluate(&self, dataset: &Dataset) -> (f32, OpCounts) {
         let mut ops = OpCounts::default();
         if dataset.is_empty() {
             return (0.0, ops);
         }
         let mut arena = ActivationArena::new();
+        let mut logits = Vec::new();
         let mut correct = 0usize;
         for i in 0..dataset.len() {
             let sample = dataset.sample(i);
-            let x = self.quantize_input(&sample.images);
-            let run = self.graph.run_with_arena(x, &mut arena);
-            ops += run.total_ops();
-            if argmax(&run.into_logits()) == sample.labels[0] {
+            let x = self.quantize_input_pooled(&sample.images, &mut arena);
+            self.graph
+                .infer_pooled(x, &mut arena, &mut logits, &mut ops);
+            if argmax(&logits) == sample.labels[0] {
                 correct += 1;
             }
         }
         (correct as f32 / dataset.len() as f32, ops)
     }
 
+    /// [`IntNetwork::evaluate`] sharded across `workers` threads
+    /// (`std::thread::scope`), one arena per worker. Accuracy and
+    /// `OpCounts` are identical to the sequential path — samples are
+    /// disjoint and the ledger sums are order-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn evaluate_parallel(&self, dataset: &Dataset, workers: usize) -> (f32, OpCounts) {
+        assert!(workers > 0, "need at least one worker");
+        if dataset.is_empty() {
+            return (0.0, OpCounts::default());
+        }
+        let n = dataset.len();
+        let workers = workers.min(n);
+        let chunk = n.div_ceil(workers);
+        let mut results = vec![(0usize, OpCounts::default()); workers];
+        std::thread::scope(|s| {
+            for (w, slot) in results.iter_mut().enumerate() {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                s.spawn(move || {
+                    let mut arena = ActivationArena::new();
+                    let mut logits = Vec::new();
+                    let mut ops = OpCounts::default();
+                    let mut correct = 0usize;
+                    for i in lo..hi {
+                        let sample = dataset.sample(i);
+                        let x = self.quantize_input_pooled(&sample.images, &mut arena);
+                        self.graph
+                            .infer_pooled(x, &mut arena, &mut logits, &mut ops);
+                        if argmax(&logits) == sample.labels[0] {
+                            correct += 1;
+                        }
+                    }
+                    *slot = (correct, ops);
+                });
+            }
+        });
+        let (correct, ops) = results
+            .into_iter()
+            .fold((0usize, OpCounts::default()), |(c, o), (c2, o2)| {
+                (c + c2, o + o2)
+            });
+        (correct as f32 / n as f32, ops)
+    }
+
+    /// A copy of the network whose threshold tables are saturated to the
+    /// INT16 storage range Table 2's footprint implies — what a deployment
+    /// that stores tables as `int16_t` actually executes. No-op for
+    /// non-threshold schemes. See the `ablation_mixed_precision` bench for
+    /// the end-to-end accuracy comparison.
+    pub fn with_saturated_thresholds(&self) -> IntNetwork {
+        let mut net = self.clone();
+        for node in net.graph.nodes_mut() {
+            if let AnyOp::Conv(c) = node.op_mut() {
+                *c = QConv2d::new(
+                    c.weights().clone(),
+                    c.geometry(),
+                    c.requant().saturated_i16(),
+                );
+            }
+        }
+        net
+    }
+
     /// Peak RAM of the inference (Eq. 7 evaluated on the *actual* converted
-    /// tensors): the largest input+output activation byte pair across the
-    /// graph, with each tensor at its deployed precision.
+    /// tensors): the liveness-planned high-water mark of the graph's
+    /// schedule, with each tensor at its deployed precision. On a chain
+    /// this is the classic largest input+output pair; on a residual graph
+    /// the pending skip tensor is priced too, and the value matches the
+    /// executor's measured `GraphRun::peak_live_bytes` exactly.
     pub fn peak_ram_bytes(&self) -> usize {
         self.graph.peak_ram_bytes(self.input_shape, BitWidth::W8)
     }
@@ -195,6 +299,11 @@ pub fn convert(net: &QatNetwork, scheme: QuantScheme) -> Result<IntNetwork, MixQ
     // Scale and zero-point of the tensor flowing *into* each block.
     let mut s_in = input_quant.scale();
     let mut z_in = input_quant.zero_point();
+    // Tensor id and scale of each block's (post-residual) output, so skip
+    // connections can reference their source branch in the DAG.
+    let mut cur_id = 0usize;
+    let mut out_ids = Vec::with_capacity(net.num_blocks());
+    let mut out_scales = Vec::with_capacity(net.num_blocks());
     for (i, block) in net.blocks().iter().enumerate() {
         let out_q = block.act().quant_params();
         let layer = convert_block(block, scheme, granularity, s_in, z_in)?;
@@ -203,8 +312,29 @@ pub fn convert(net: &QatNetwork, scheme: QuantScheme) -> Result<IntNetwork, MixQ
         } else {
             "conv"
         };
-        graph.push(format!("{kind}{i}"), layer);
-        s_in = out_q.scale();
+        cur_id = graph.push_node(format!("{kind}{i}"), layer, &[cur_id]);
+        let mut s_cur = out_q.scale();
+        if let Some(r) = net.residual_ending_at(i) {
+            // Lower the skip join to a requantizing add: both branches are
+            // zero-based PACT activations, the output lives on the
+            // residual activation's grid.
+            let skip = &net.residuals()[r];
+            let s_res = skip.act().quant_params().scale();
+            let add = QAdd::from_scales(
+                s_cur as f64,
+                out_scales[skip.from()] as f64,
+                s_res as f64,
+                0,
+                0,
+                0,
+                skip.act().bits(),
+            );
+            cur_id = graph.push_node(format!("add{i}"), add, &[cur_id, out_ids[skip.from()]]);
+            s_cur = s_res;
+        }
+        out_ids.push(cur_id);
+        out_scales.push(s_cur);
+        s_in = s_cur;
         z_in = 0; // PACT activations are zero-based
     }
     graph.push("avgpool", QAvgPool);

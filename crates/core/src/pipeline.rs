@@ -102,8 +102,13 @@ pub struct DeploymentReport {
     pub flash_bytes: usize,
     /// The bit assignment, when a budget was given.
     pub assignment: Option<BitAssignment>,
-    /// Whether the assignment satisfied the budget (always true on
-    /// success; kept for reporting).
+    /// Whether the *converted* network fits the budget: actual flash bytes
+    /// against `M_RO` and the graph's liveness-planned peak activation RAM
+    /// against `M_RW`. The RAM check matters for residual networks — the
+    /// shape-level §5 assignment prices only input+output pairs and cannot
+    /// see the live skip tensor, so this is where an over-budget residual
+    /// deployment is caught (see ROADMAP, "Residual tensors in the §5
+    /// assignment").
     pub fits_budget: Option<bool>,
     /// Operation counts of one inference.
     pub ops_per_inference: OpCounts,
@@ -181,7 +186,9 @@ pub fn deploy(
         int_accuracy,
         prediction_agreement,
         flash_bytes: int_net.flash_bytes(),
-        fits_budget: cfg.budget.map(|b| int_net.flash_bytes() <= b.ro_bytes),
+        fits_budget: cfg
+            .budget
+            .map(|b| int_net.flash_bytes() <= b.ro_bytes && int_net.peak_ram_bytes() <= b.rw_bytes),
         assignment,
         ops_per_inference: ops,
     };

@@ -88,6 +88,29 @@ impl QConv2d {
         out_codes: &mut Vec<u8>,
         ops: &mut OpCounts,
     ) -> QActivation {
+        let out_shape = self.execute_codes(x, out_codes, ops);
+        QActivation::from_codes(
+            out_shape,
+            out_codes,
+            self.requant.out_bits(),
+            self.requant.zero_point().clamp(0, 255) as u8,
+        )
+    }
+
+    /// The codes-only kernel core: runs the convolution writing unpacked
+    /// output codes into `out_codes` (cleared and resized in place) and
+    /// returns the output shape, without packing an output tensor. The
+    /// arena-aware executor packs the codes into recycled storage itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count disagrees with the weights.
+    pub fn execute_codes(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> Shape {
         let in_shape = x.shape();
         let depthwise = self.weights.is_depthwise();
         if depthwise {
@@ -166,12 +189,12 @@ impl QConv2d {
             // One extra in-loop subtraction per MAC (§6's ≈ 20% overhead).
             ops.offset_subs += macs;
         }
-        QActivation::from_codes(
-            out_shape,
-            out_codes,
-            self.requant.out_bits(),
-            self.requant.zero_point().clamp(0, 255) as u8,
-        )
+        out_shape
+    }
+
+    /// Output zero-point of the layer as an activation code.
+    pub(crate) fn out_zero_point(&self) -> u8 {
+        self.requant.zero_point().clamp(0, 255) as u8
     }
 }
 

@@ -1,13 +1,23 @@
 //! The layer-graph executor: a uniform [`QOp`] abstraction over the
-//! integer kernels and a sequential [`QGraph`] that runs any topology of
-//! them — the deployment graph `g'(x)` of §4 as an executable object
-//! rather than a hardcoded conv-stack.
+//! integer kernels and a [`QGraph`] **DAG** that runs any topology of them
+//! — the deployment graph `g'(x)` of §4 as an executable object rather
+//! than a hardcoded conv-stack.
 //!
-//! The executor owns an [`ActivationArena`]: two preallocated code buffers
-//! that ping-pong between a layer's input and output, mirroring the
-//! double-buffered activation memory a real MCU deployment uses and whose
-//! peak pair is exactly the Eq. 7 read-write footprint the memory model in
-//! `mixq-core` budgets.
+//! Nodes reference explicit input *tensor ids* (id 0 is the graph input,
+//! id `k + 1` the output of node `k`), so residual branches — the
+//! [`QAdd`]-joined skips MobileNetV2-style bottlenecks need — are first
+//! class: [`QGraph::push`] keeps the familiar chain behaviour, while
+//! [`QGraph::push_node`] wires arbitrary predecessors.
+//!
+//! The executor owns an [`ActivationArena`]: a liveness-planned buffer
+//! pool. The node order is already a topological schedule (inputs must be
+//! defined before use), per-tensor live ranges follow from each tensor's
+//! last consumer, and packed activation storage is recycled the moment a
+//! tensor dies. [`QGraph::peak_ram_bytes`] reports the true multi-branch
+//! high-water mark of that schedule per Eq. 7 — for a chain it degenerates
+//! to the classic input+output pair, for a residual graph it prices the
+//! extra live skip tensor; [`GraphRun::peak_live_bytes`] is the measured
+//! twin recorded by the executor.
 //!
 //! Every layer executed through the graph records a [`LayerRun`]: its
 //! [`OpCounts`] ledger, activation bytes and operator class. Cycle models
@@ -35,17 +45,34 @@
 //! assert_eq!(run.layers.len(), 2);
 //! assert_eq!(run.total_ops().macs, 1);
 //! ```
+//!
+//! A residual branch joined by a requantizing add:
+//!
+//! ```
+//! use mixq_kernels::{QActivation, QAdd, QGraph};
+//! use mixq_quant::BitWidth;
+//! use mixq_tensor::Shape;
+//!
+//! let mut graph = QGraph::new();
+//! // Identity add of the input with itself: ids [0, 0].
+//! graph.push_node("res", QAdd::from_scales(1.0, 1.0, 1.0, 0, 0, 0, BitWidth::W8), &[0, 0]);
+//! let x = QActivation::from_codes(Shape::feature_map(1, 1, 1), &[5], BitWidth::W8, 0);
+//! assert_eq!(graph.run(x).output.unwrap().codes(), vec![10]);
+//! ```
+
+use std::mem;
 
 use mixq_quant::BitWidth;
 use mixq_tensor::Shape;
 
 use crate::gemm::im2col_scratch_bytes;
-use crate::{OpCounts, QActivation, QAvgPool, QConv2d, QLinear};
+use crate::{OpCounts, QActivation, QAdd, QAvgPool, QConv2d, QLinear};
 
 /// Coarse operator class of a graph node — what a cycle model needs to
 /// pick the right per-MAC rate (dense convolutions stream through the
 /// dual-MAC `SMLAD`; depthwise kernels have poor data reuse; the
-/// fully-connected head is a single dot-product sweep).
+/// fully-connected head is a single dot-product sweep; residual adds are
+/// MAC-free requantization traffic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Standard or pointwise convolution.
@@ -56,6 +83,8 @@ pub enum OpKind {
     Pool,
     /// Fully-connected classifier head.
     Linear,
+    /// Requantizing residual add.
+    Add,
 }
 
 impl OpKind {
@@ -66,6 +95,7 @@ impl OpKind {
             OpKind::DepthwiseConv => "dwconv",
             OpKind::Pool => "pool",
             OpKind::Linear => "linear",
+            OpKind::Add => "add",
         }
     }
 }
@@ -83,51 +113,63 @@ pub enum OpOutput {
 
 /// A single integer-inference operator, executable inside a [`QGraph`].
 ///
-/// The contract mirrors the deployment memory model: `flash_bytes` is the
-/// op's read-only footprint (packed weights + §4.1 static parameters),
-/// `output_bytes` its contribution to the Eq. 7 activation pair, and
+/// Ops take a slice of input activations (`arity` of them — one for the
+/// kernels, two for the residual add) and produce one output. The contract
+/// mirrors the deployment memory model: `flash_bytes` is the op's
+/// read-only footprint (packed weights + §4.1 static parameters),
+/// `output_bytes` its contribution to the Eq. 7 live set, and
 /// `scratch_bytes` any transient buffer (e.g. an im2col expansion) a
-/// lowered implementation would need on top of the activation pair.
+/// lowered implementation would need on top of the live activations.
 pub trait QOp {
     /// Operator class (for cycle models and reporting).
     fn kind(&self) -> OpKind;
 
-    /// Runs the op, charging `ops`.
-    fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> OpOutput {
-        self.execute_into(x, &mut Vec::new(), ops)
+    /// Number of input tensors the op consumes.
+    fn arity(&self) -> usize {
+        1
     }
 
-    /// Runs the op writing unpacked output codes through `out_codes` — the
-    /// arena hook. Implementations that produce no code tensor (the
-    /// classifier head) ignore the buffer.
+    /// Runs the op with a throwaway arena, charging `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` (implementations index the
+    /// slice directly).
+    fn execute(&self, inputs: &[&QActivation], ops: &mut OpCounts) -> OpOutput {
+        self.execute_into(inputs, &mut ActivationArena::new(), ops)
+    }
+
+    /// Runs the op drawing scratch and packed output storage from `arena`
+    /// — the buffer-pool hook that makes steady-state inference
+    /// allocation-free.
     fn execute_into(
         &self,
-        x: &QActivation,
-        out_codes: &mut Vec<u8>,
+        inputs: &[&QActivation],
+        arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput;
 
-    /// Output shape for a given input shape.
-    fn output_shape(&self, input: Shape) -> Shape;
+    /// Output shape for the given input shapes.
+    fn output_shape(&self, inputs: &[Shape]) -> Shape;
 
-    /// Output activation precision given the input precision. For the
+    /// Output activation precision given the input precisions. For the
     /// classifier head the value is nominal (its real output is `i32`
     /// logits, accounted by [`QOp::output_bytes`]).
-    fn out_bits(&self, in_bits: BitWidth) -> BitWidth;
+    fn out_bits(&self, in_bits: &[BitWidth]) -> BitWidth;
 
     /// RAM bytes of this op's output tensor (`mem(y, Q_y)` of Eq. 7).
-    fn output_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
+    fn output_bytes(&self, inputs: &[Shape], in_bits: &[BitWidth]) -> usize {
         self.out_bits(in_bits)
-            .bytes_for(self.output_shape(input).volume())
+            .bytes_for(self.output_shape(inputs).volume())
     }
 
     /// Flash bytes of the op: packed weights plus §4.1 static parameters.
     fn flash_bytes(&self) -> usize;
 
-    /// Transient scratch bytes a lowered implementation needs over `input`
-    /// (zero for ops that run in place over the activation pair).
-    fn scratch_bytes(&self, input: Shape) -> usize {
-        let _ = input;
+    /// Transient scratch bytes a lowered implementation needs over the
+    /// inputs (zero for ops that run in place over the live activations).
+    fn scratch_bytes(&self, inputs: &[Shape]) -> usize {
+        let _ = inputs;
         0
     }
 }
@@ -143,18 +185,28 @@ impl QOp for QConv2d {
 
     fn execute_into(
         &self,
-        x: &QActivation,
-        out_codes: &mut Vec<u8>,
+        inputs: &[&QActivation],
+        arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
-        OpOutput::Act(self.execute_buffered(x, out_codes, ops))
+        let mut codes = arena.take_scratch();
+        let shape = self.execute_codes(inputs[0], &mut codes, ops);
+        let act = QActivation::from_codes_in(
+            shape,
+            &codes,
+            self.requant().out_bits(),
+            self.out_zero_point(),
+            arena.take_packed(),
+        );
+        arena.put_scratch(codes);
+        OpOutput::Act(act)
     }
 
-    fn output_shape(&self, input: Shape) -> Shape {
-        QConv2d::output_shape(self, input)
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        QConv2d::output_shape(self, inputs[0])
     }
 
-    fn out_bits(&self, _in_bits: BitWidth) -> BitWidth {
+    fn out_bits(&self, _in_bits: &[BitWidth]) -> BitWidth {
         self.requant().out_bits()
     }
 
@@ -166,12 +218,12 @@ impl QOp for QConv2d {
             + self.requant().flash_bytes()
     }
 
-    fn scratch_bytes(&self, input: Shape) -> usize {
+    fn scratch_bytes(&self, inputs: &[Shape]) -> usize {
         if self.weights().is_depthwise() {
             // CMSIS-NN lowers depthwise directly, no im2col buffer.
             0
         } else {
-            im2col_scratch_bytes(self, input)
+            im2col_scratch_bytes(self, inputs[0])
         }
     }
 }
@@ -183,19 +235,31 @@ impl QOp for QAvgPool {
 
     fn execute_into(
         &self,
-        x: &QActivation,
-        _out_codes: &mut Vec<u8>,
+        inputs: &[&QActivation],
+        arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
-        OpOutput::Act(self.execute(x, ops))
+        let x = inputs[0];
+        let mut codes = arena.take_scratch();
+        let shape = self.execute_codes(x, &mut codes, ops);
+        let act = QActivation::from_codes_in(
+            shape,
+            &codes,
+            x.bits(),
+            x.zero_point(),
+            arena.take_packed(),
+        );
+        arena.put_scratch(codes);
+        OpOutput::Act(act)
     }
 
-    fn output_shape(&self, input: Shape) -> Shape {
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        let input = inputs[0];
         Shape::new(input.n, 1, 1, input.c)
     }
 
-    fn out_bits(&self, in_bits: BitWidth) -> BitWidth {
-        in_bits
+    fn out_bits(&self, in_bits: &[BitWidth]) -> BitWidth {
+        in_bits[0]
     }
 
     fn flash_bytes(&self) -> usize {
@@ -210,22 +274,22 @@ impl QOp for QLinear {
 
     fn execute_into(
         &self,
-        x: &QActivation,
-        _out_codes: &mut Vec<u8>,
+        inputs: &[&QActivation],
+        _arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
-        OpOutput::Logits(self.execute(x, ops))
+        OpOutput::Logits(self.execute(inputs[0], ops))
     }
 
-    fn output_shape(&self, input: Shape) -> Shape {
-        Shape::new(input.n, 1, 1, self.out_features())
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        Shape::new(inputs[0].n, 1, 1, self.out_features())
     }
 
-    fn out_bits(&self, in_bits: BitWidth) -> BitWidth {
-        in_bits
+    fn out_bits(&self, in_bits: &[BitWidth]) -> BitWidth {
+        in_bits[0]
     }
 
-    fn output_bytes(&self, _input: Shape, _in_bits: BitWidth) -> usize {
+    fn output_bytes(&self, _inputs: &[Shape], _in_bits: &[BitWidth]) -> usize {
         // The head's output is i32 logits, one per class.
         4 * self.out_features()
     }
@@ -238,6 +302,47 @@ impl QOp for QLinear {
             + 2
             + 4 * self.bq().len()
             + self.rescale().map_or(0, |r| 5 * r.len())
+    }
+}
+
+impl QOp for QAdd {
+    fn kind(&self) -> OpKind {
+        OpKind::Add
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn execute_into(
+        &self,
+        inputs: &[&QActivation],
+        arena: &mut ActivationArena,
+        ops: &mut OpCounts,
+    ) -> OpOutput {
+        let mut codes = arena.take_scratch();
+        let shape = self.execute_codes(inputs[0], inputs[1], &mut codes, ops);
+        let act = QActivation::from_codes_in(
+            shape,
+            &codes,
+            QAdd::out_bits(self),
+            self.zero_point() as u8, // validated to be a code at construction
+            arena.take_packed(),
+        );
+        arena.put_scratch(codes);
+        OpOutput::Act(act)
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        inputs[0]
+    }
+
+    fn out_bits(&self, _in_bits: &[BitWidth]) -> BitWidth {
+        QAdd::out_bits(self)
+    }
+
+    fn flash_bytes(&self) -> usize {
+        QAdd::flash_bytes(self)
     }
 }
 
@@ -255,6 +360,8 @@ pub enum AnyOp {
     Pool(QAvgPool),
     /// Fully-connected classifier head.
     Linear(QLinear),
+    /// Requantizing residual add.
+    Add(QAdd),
 }
 
 impl From<QConv2d> for AnyOp {
@@ -275,12 +382,19 @@ impl From<QLinear> for AnyOp {
     }
 }
 
+impl From<QAdd> for AnyOp {
+    fn from(op: QAdd) -> Self {
+        AnyOp::Add(op)
+    }
+}
+
 macro_rules! dispatch {
     ($self:expr, $op:ident => $call:expr) => {
         match $self {
             AnyOp::Conv($op) => $call,
             AnyOp::Pool($op) => $call,
             AnyOp::Linear($op) => $call,
+            AnyOp::Add($op) => $call,
         }
     };
 }
@@ -290,41 +404,46 @@ impl QOp for AnyOp {
         dispatch!(self, op => op.kind())
     }
 
+    fn arity(&self) -> usize {
+        dispatch!(self, op => QOp::arity(op))
+    }
+
     fn execute_into(
         &self,
-        x: &QActivation,
-        out_codes: &mut Vec<u8>,
+        inputs: &[&QActivation],
+        arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
-        dispatch!(self, op => op.execute_into(x, out_codes, ops))
+        dispatch!(self, op => QOp::execute_into(op, inputs, arena, ops))
     }
 
-    fn output_shape(&self, input: Shape) -> Shape {
-        dispatch!(self, op => QOp::output_shape(op, input))
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        dispatch!(self, op => QOp::output_shape(op, inputs))
     }
 
-    fn out_bits(&self, in_bits: BitWidth) -> BitWidth {
-        dispatch!(self, op => op.out_bits(in_bits))
+    fn out_bits(&self, in_bits: &[BitWidth]) -> BitWidth {
+        dispatch!(self, op => QOp::out_bits(op, in_bits))
     }
 
-    fn output_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
-        dispatch!(self, op => op.output_bytes(input, in_bits))
+    fn output_bytes(&self, inputs: &[Shape], in_bits: &[BitWidth]) -> usize {
+        dispatch!(self, op => op.output_bytes(inputs, in_bits))
     }
 
     fn flash_bytes(&self) -> usize {
         dispatch!(self, op => QOp::flash_bytes(op))
     }
 
-    fn scratch_bytes(&self, input: Shape) -> usize {
-        dispatch!(self, op => op.scratch_bytes(input))
+    fn scratch_bytes(&self, inputs: &[Shape]) -> usize {
+        dispatch!(self, op => op.scratch_bytes(inputs))
     }
 }
 
-/// A named node of a [`QGraph`].
+/// A named node of a [`QGraph`] with its input tensor ids.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphNode {
     name: String,
     op: AnyOp,
+    inputs: Vec<usize>,
 }
 
 impl GraphNode {
@@ -336,6 +455,16 @@ impl GraphNode {
     /// The operator.
     pub fn op(&self) -> &AnyOp {
         &self.op
+    }
+
+    /// Mutable operator (deployment rewrites, e.g. threshold saturation).
+    pub fn op_mut(&mut self) -> &mut AnyOp {
+        &mut self.op
+    }
+
+    /// Input tensor ids (0 = graph input, `k + 1` = output of node `k`).
+    pub fn inputs(&self) -> &[usize] {
+        &self.inputs
     }
 }
 
@@ -350,7 +479,8 @@ pub struct LayerRun {
     pub kind: OpKind,
     /// Abstract operation counts charged by this layer alone.
     pub ops: OpCounts,
-    /// Input activation bytes (packed, `mem(x, Q_x)` of Eq. 7).
+    /// Input activation bytes (packed, summed over all inputs —
+    /// `mem(x, Q_x)` of Eq. 7).
     pub in_bytes: usize,
     /// Output bytes (packed activation, or `4·classes` for the head).
     pub out_bytes: usize,
@@ -368,6 +498,9 @@ pub struct GraphRun {
     pub output: Option<QActivation>,
     /// One record per executed node, in execution order.
     pub layers: Vec<LayerRun>,
+    /// Measured high-water mark of live activation bytes across the run —
+    /// the executor-side twin of [`QGraph::peak_ram_bytes`].
+    pub peak_live_bytes: usize,
 }
 
 impl GraphRun {
@@ -387,21 +520,22 @@ impl GraphRun {
     }
 }
 
-/// The double-buffered activation arena: two reusable unpacked-code
-/// buffers that alternate between consecutive layers, so the per-layer
-/// output-code scratch is allocated once per run (and once per *dataset*
-/// via [`QGraph::run_with_arena`]) instead of once per layer. Packed
-/// activations are still allocated per layer for now — making packing
-/// arena-aware is a tracked follow-up.
+/// The liveness-planned activation buffer pool: one shared unpacked-code
+/// scratch plus a free list of recycled packed-storage buffers, so that —
+/// after a warm-up run — steady-state inference through
+/// [`QGraph::infer_pooled`] performs **zero heap allocations**.
 ///
-/// The arena is the executor-side twin of the Eq. 7 accounting: at any
-/// step exactly two activation tensors are live (the running layer's input
-/// and output), and [`QGraph::peak_ram_bytes`] reports the largest such
-/// pair in packed bytes.
+/// The arena is the executor-side twin of the Eq. 7 accounting: the
+/// schedule keeps a tensor's storage exactly as long as a consumer still
+/// needs it, recycling it the instant the tensor dies, and
+/// [`QGraph::peak_ram_bytes`] prices the largest live set that plan ever
+/// holds.
 #[derive(Debug, Default)]
 pub struct ActivationArena {
-    buffers: [Vec<u8>; 2],
-    cursor: usize,
+    scratch: Vec<u8>,
+    packed: Vec<Vec<u8>>,
+    slots: Vec<Option<QActivation>>,
+    last_uses: Vec<usize>,
 }
 
 impl ActivationArena {
@@ -410,32 +544,55 @@ impl ActivationArena {
         ActivationArena::default()
     }
 
-    /// Preallocates both buffers to `code_capacity` unpacked codes.
+    /// Preallocates the code scratch for `code_capacity` unpacked codes.
     pub fn with_capacity(code_capacity: usize) -> Self {
         ActivationArena {
-            buffers: [
-                Vec::with_capacity(code_capacity),
-                Vec::with_capacity(code_capacity),
-            ],
-            cursor: 0,
+            scratch: Vec::with_capacity(code_capacity),
+            ..ActivationArena::default()
         }
     }
 
-    /// Hands out the next buffer of the ping-pong pair.
-    pub fn checkout(&mut self) -> &mut Vec<u8> {
-        self.cursor ^= 1;
-        &mut self.buffers[self.cursor]
+    /// Takes ownership of the unpacked-code scratch buffer. Pair with
+    /// [`ActivationArena::put_scratch`]; takes nested between a take and
+    /// its put see an empty buffer.
+    pub fn take_scratch(&mut self) -> Vec<u8> {
+        mem::take(&mut self.scratch)
     }
 
-    /// Current allocated capacity across both buffers, in bytes.
+    /// Returns the scratch buffer taken by
+    /// [`ActivationArena::take_scratch`].
+    pub fn put_scratch(&mut self, buf: Vec<u8>) {
+        self.scratch = buf;
+    }
+
+    /// Hands out a recycled packed-storage buffer (empty if the pool is
+    /// dry).
+    pub fn take_packed(&mut self) -> Vec<u8> {
+        self.packed.pop().unwrap_or_default()
+    }
+
+    /// Recycles a dead activation's packed storage into the pool.
+    pub fn recycle(&mut self, act: QActivation) {
+        self.packed.push(act.into_storage());
+    }
+
+    /// Current allocated capacity across scratch and pooled buffers, in
+    /// bytes.
     pub fn capacity_bytes(&self) -> usize {
-        self.buffers.iter().map(|b| b.capacity()).sum()
+        self.scratch.capacity() + self.packed.iter().map(|b| b.capacity()).sum::<usize>()
+    }
+
+    /// Number of packed buffers currently waiting in the pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.packed.len()
     }
 }
 
-/// A sequential graph of integer ops — the executable deployment model.
+/// A DAG of integer ops — the executable deployment model.
 ///
-/// See the [module docs](self) for an example.
+/// Nodes are appended in topological order: every input tensor id must
+/// already be defined, so the node order doubles as the execution
+/// schedule. See the [module docs](self) for examples.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QGraph {
     nodes: Vec<GraphNode>,
@@ -447,17 +604,60 @@ impl QGraph {
         QGraph::default()
     }
 
-    /// Appends a named node.
-    pub fn push(&mut self, name: impl Into<String>, op: impl Into<AnyOp>) {
-        self.nodes.push(GraphNode {
-            name: name.into(),
-            op: op.into(),
-        });
+    /// Appends a chain node consuming the most recent tensor (the previous
+    /// node's output, or the graph input for the first node). Returns the
+    /// new node's output tensor id.
+    pub fn push(&mut self, name: impl Into<String>, op: impl Into<AnyOp>) -> usize {
+        let prev = self.nodes.len();
+        self.push_node(name, op, &[prev])
     }
 
-    /// The nodes, in execution order.
+    /// Appends a node with explicit input tensor ids (0 = graph input,
+    /// `k + 1` = output of node `k`). Returns the new node's output tensor
+    /// id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input id is not yet defined or the input count does
+    /// not match the op's arity.
+    pub fn push_node(
+        &mut self,
+        name: impl Into<String>,
+        op: impl Into<AnyOp>,
+        inputs: &[usize],
+    ) -> usize {
+        let name = name.into();
+        let op = op.into();
+        let out_id = self.nodes.len() + 1;
+        assert_eq!(
+            inputs.len(),
+            QOp::arity(&op),
+            "node `{name}`: {} inputs for an arity-{} op",
+            inputs.len(),
+            QOp::arity(&op)
+        );
+        for &t in inputs {
+            assert!(
+                t < out_id,
+                "node `{name}`: input tensor {t} is not defined yet (next id is {out_id})"
+            );
+        }
+        self.nodes.push(GraphNode {
+            name,
+            op,
+            inputs: inputs.to_vec(),
+        });
+        out_id
+    }
+
+    /// The nodes, in schedule order.
     pub fn nodes(&self) -> &[GraphNode] {
         &self.nodes
+    }
+
+    /// Mutable nodes (deployment rewrites keep the topology intact).
+    pub fn nodes_mut(&mut self) -> &mut [GraphNode] {
+        &mut self.nodes
     }
 
     /// Number of nodes.
@@ -495,50 +695,104 @@ impl QGraph {
         self.nodes.iter().map(|n| QOp::flash_bytes(&n.op)).sum()
     }
 
-    /// Peak activation RAM (Eq. 7): the largest input+output byte pair
-    /// across the nodes, each tensor at its deployed precision.
-    pub fn peak_ram_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
-        let mut shape = input;
-        let mut bits = in_bits;
-        let mut peak = 0usize;
+    /// Shape and precision of every tensor (index = tensor id).
+    fn tensor_plan(&self, input: Shape, in_bits: BitWidth) -> (Vec<Shape>, Vec<BitWidth>) {
+        let mut shapes = Vec::with_capacity(self.nodes.len() + 1);
+        let mut bits = Vec::with_capacity(self.nodes.len() + 1);
+        shapes.push(input);
+        bits.push(in_bits);
+        let mut in_shapes = Vec::new();
+        let mut in_bits_v = Vec::new();
         for node in &self.nodes {
-            let pair = bits.bytes_for(shape.volume()) + node.op.output_bytes(shape, bits);
-            peak = peak.max(pair);
-            shape = node.op.output_shape(shape);
-            bits = node.op.out_bits(bits);
+            in_shapes.clear();
+            in_bits_v.clear();
+            for &t in &node.inputs {
+                in_shapes.push(shapes[t]);
+                in_bits_v.push(bits[t]);
+            }
+            shapes.push(node.op.output_shape(&in_shapes));
+            bits.push(node.op.out_bits(&in_bits_v));
+        }
+        (shapes, bits)
+    }
+
+    /// Last schedule step at which each tensor is still needed: the index
+    /// of its final consuming node, its defining node when unused, and a
+    /// past-the-end sentinel for the terminal tensor (which must survive
+    /// the run).
+    fn last_uses_into(&self, out: &mut Vec<usize>) {
+        let n = self.nodes.len();
+        out.clear();
+        out.push(0); // graph input: droppable after node 0 if unused
+        for k in 0..n {
+            out.push(k); // tensor k + 1, defined by node k
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &t in &node.inputs {
+                out[t] = out[t].max(i);
+            }
+        }
+        if n > 0 {
+            out[n] = n; // terminal tensor: never dropped mid-run
+        }
+    }
+
+    /// Peak activation RAM (Eq. 7) of the liveness-planned schedule: for
+    /// every step, the bytes of all tensors still needed plus the step's
+    /// output, each at its deployed precision; the peak over steps. On a
+    /// chain this is the classic largest input+output pair; on a residual
+    /// graph the pending skip tensor is priced too.
+    pub fn peak_ram_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
+        let (shapes, bits) = self.tensor_plan(input, in_bits);
+        let mut last = Vec::new();
+        self.last_uses_into(&mut last);
+        let mut peak = 0usize;
+        let mut in_shapes = Vec::new();
+        let mut in_bits_v = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            in_shapes.clear();
+            in_bits_v.clear();
+            for &t in &node.inputs {
+                in_shapes.push(shapes[t]);
+                in_bits_v.push(bits[t]);
+            }
+            let out_bytes = node.op.output_bytes(&in_shapes, &in_bits_v);
+            let live: usize = (0..=i)
+                .filter(|&t| last[t] >= i)
+                .map(|t| bits[t].bytes_for(shapes[t].volume()))
+                .sum();
+            peak = peak.max(live + out_bytes);
         }
         peak
     }
 
     /// Largest transient scratch buffer any node would need when lowered
-    /// (e.g. im2col expansions), on top of the activation pair.
+    /// (e.g. im2col expansions), on top of the live activations.
     pub fn peak_scratch_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
-        let mut shape = input;
-        let mut bits = in_bits;
+        let (shapes, _) = self.tensor_plan(input, in_bits);
         let mut peak = 0usize;
+        let mut in_shapes = Vec::new();
         for node in &self.nodes {
-            peak = peak.max(node.op.scratch_bytes(shape));
-            shape = node.op.output_shape(shape);
-            bits = node.op.out_bits(bits);
+            in_shapes.clear();
+            for &t in &node.inputs {
+                in_shapes.push(shapes[t]);
+            }
+            peak = peak.max(node.op.scratch_bytes(&in_shapes));
         }
         peak
     }
 
     /// Shape of the graph's terminal output for a given input shape.
     pub fn output_shape(&self, input: Shape) -> Shape {
-        self.nodes.iter().fold(input, |s, n| n.op.output_shape(s))
+        let (shapes, _) = self.tensor_plan(input, BitWidth::W8);
+        *shapes.last().expect("plan includes the input")
     }
 
-    /// Largest unpacked output code count across the nodes — the arena
+    /// Largest unpacked code count across the tensors — the scratch
     /// preallocation size.
     fn peak_code_volume(&self, input: Shape) -> usize {
-        let mut shape = input;
-        let mut peak = 0usize;
-        for node in &self.nodes {
-            shape = node.op.output_shape(shape);
-            peak = peak.max(shape.volume());
-        }
-        peak
+        let (shapes, _) = self.tensor_plan(input, BitWidth::W8);
+        shapes.iter().map(|s| s.volume()).max().unwrap_or(0)
     }
 
     /// Runs the graph on `input` with a freshly planned arena.
@@ -546,10 +800,47 @@ impl QGraph {
     /// # Panics
     ///
     /// Panics if a classifier head appears before the last node (logits
-    /// cannot feed a code-consuming op).
+    /// cannot feed a code-consuming op), or if a node consumes a logits
+    /// tensor.
     pub fn run(&self, input: QActivation) -> GraphRun {
         let mut arena = ActivationArena::with_capacity(self.peak_code_volume(input.shape()));
         self.run_with_arena(input, &mut arena)
+    }
+
+    /// Takes the arena's reusable schedule state and initializes it: the
+    /// last-use table and the tensor slots, with the graph input in slot 0.
+    /// Pair with [`QGraph::end_schedule`].
+    fn begin_schedule(
+        &self,
+        input: QActivation,
+        arena: &mut ActivationArena,
+    ) -> (Vec<usize>, Vec<Option<QActivation>>) {
+        let mut last = mem::take(&mut arena.last_uses);
+        self.last_uses_into(&mut last);
+        let mut slots = mem::take(&mut arena.slots);
+        slots.clear();
+        slots.resize_with(self.nodes.len() + 1, || None);
+        slots[0] = Some(input);
+        (last, slots)
+    }
+
+    /// Tears a schedule down: extracts the terminal activation (if any),
+    /// recycles every remaining live tensor and hands the reusable state
+    /// back to the arena.
+    fn end_schedule(
+        arena: &mut ActivationArena,
+        last: Vec<usize>,
+        mut slots: Vec<Option<QActivation>>,
+    ) -> Option<QActivation> {
+        let output = slots.last_mut().and_then(|s| s.take());
+        for slot in slots.iter_mut() {
+            if let Some(a) = slot.take() {
+                arena.recycle(a);
+            }
+        }
+        arena.slots = slots;
+        arena.last_uses = last;
+        output
     }
 
     /// Runs the graph reusing a caller-owned arena (amortizes the working
@@ -557,42 +848,152 @@ impl QGraph {
     ///
     /// # Panics
     ///
-    /// Panics if a classifier head appears before the last node.
+    /// See [`QGraph::run`].
     pub fn run_with_arena(&self, input: QActivation, arena: &mut ActivationArena) -> GraphRun {
-        let mut layers = Vec::with_capacity(self.nodes.len());
-        let mut cur = input;
-        let mut logits = None;
-        for node in &self.nodes {
+        let n = self.nodes.len();
+        let (last, mut slots) = self.begin_schedule(input, arena);
+        let mut layers = Vec::with_capacity(n);
+        let mut logits: Option<Vec<i32>> = None;
+        let mut peak_live = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
             assert!(
                 logits.is_none(),
                 "classifier head must be the terminal node (violated at `{}`)",
                 node.name
             );
-            let in_shape = cur.shape();
-            let in_bits = cur.bits();
             let mut ops = OpCounts::default();
-            let out = node.op.execute_into(&cur, arena.checkout(), &mut ops);
+            let (out, in_bytes, in_shape) = execute_node(node, &slots, arena, &mut ops);
             let (out_bytes, out_shape) = match &out {
                 OpOutput::Act(a) => (a.byte_len(), a.shape()),
-                OpOutput::Logits(l) => (4 * l.len(), node.op.output_shape(in_shape)),
+                OpOutput::Logits(l) => (4 * l.len(), node.op.output_shape(&[in_shape])),
             };
+            let live_now: usize =
+                slots.iter().flatten().map(|a| a.byte_len()).sum::<usize>() + out_bytes;
+            peak_live = peak_live.max(live_now);
             layers.push(LayerRun {
                 name: node.name.clone(),
                 kind: node.op.kind(),
                 ops,
-                in_bytes: in_bits.bytes_for(in_shape.volume()),
+                in_bytes,
                 out_bytes,
                 out_shape,
             });
             match out {
-                OpOutput::Act(a) => cur = a,
+                OpOutput::Act(a) => slots[i + 1] = Some(a),
                 OpOutput::Logits(l) => logits = Some(l),
             }
+            retire_dead(node, i, &last, &mut slots, arena);
         }
+        let output = QGraph::end_schedule(arena, last, slots);
         GraphRun {
-            output: if logits.is_none() { Some(cur) } else { None },
+            output,
             logits,
             layers,
+            peak_live_bytes: peak_live,
+        }
+    }
+
+    /// The allocation-free inference path: runs a head-terminated graph
+    /// writing the logits into `logits_out` (cleared in place) and
+    /// accumulating the op ledger into `ops`, drawing every buffer from
+    /// `arena`. After one warm-up run over a given graph, subsequent calls
+    /// perform no heap allocation (asserted by the `allocation_free`
+    /// integration test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not end in a classifier head, plus the
+    /// conditions of [`QGraph::run`].
+    pub fn infer_pooled(
+        &self,
+        input: QActivation,
+        arena: &mut ActivationArena,
+        logits_out: &mut Vec<i32>,
+        ops: &mut OpCounts,
+    ) {
+        let (last, mut slots) = self.begin_schedule(input, arena);
+        let mut have_logits = false;
+        for (i, node) in self.nodes.iter().enumerate() {
+            assert!(
+                !have_logits,
+                "classifier head must be the terminal node (violated at `{}`)",
+                node.name
+            );
+            if let AnyOp::Linear(lin) = &node.op {
+                let x = expect_act(&slots, node.inputs[0], node.name());
+                lin.execute_into(x, logits_out, ops);
+                have_logits = true;
+            } else {
+                let (out, _, _) = execute_node(node, &slots, arena, ops);
+                match out {
+                    OpOutput::Act(a) => slots[i + 1] = Some(a),
+                    OpOutput::Logits(_) => unreachable!("heads are matched above"),
+                }
+            }
+            retire_dead(node, i, &last, &mut slots, arena);
+        }
+        if let Some(a) = QGraph::end_schedule(arena, last, slots) {
+            arena.recycle(a); // head-terminated graphs leave no activation
+        }
+        assert!(have_logits, "graph does not end in a classifier head");
+    }
+}
+
+fn expect_act<'s>(slots: &'s [Option<QActivation>], t: usize, consumer: &str) -> &'s QActivation {
+    slots[t].as_ref().unwrap_or_else(|| {
+        panic!("node `{consumer}` consumes tensor {t}, which is not a live activation")
+    })
+}
+
+/// Executes one node against the live tensor slots, returning the output,
+/// the summed input bytes and the first input's shape.
+fn execute_node(
+    node: &GraphNode,
+    slots: &[Option<QActivation>],
+    arena: &mut ActivationArena,
+    ops: &mut OpCounts,
+) -> (OpOutput, usize, Shape) {
+    match *node.inputs.as_slice() {
+        [a] => {
+            let xa = expect_act(slots, a, node.name());
+            (
+                node.op.execute_into(&[xa], arena, ops),
+                xa.byte_len(),
+                xa.shape(),
+            )
+        }
+        [a, b] => {
+            let xa = expect_act(slots, a, node.name());
+            let xb = expect_act(slots, b, node.name());
+            (
+                node.op.execute_into(&[xa, xb], arena, ops),
+                xa.byte_len() + xb.byte_len(),
+                xa.shape(),
+            )
+        }
+        _ => unreachable!("arity is validated by push_node"),
+    }
+}
+
+/// Recycles every tensor whose last consumer was node `i` (including the
+/// node's own output when nothing ever reads it).
+fn retire_dead(
+    node: &GraphNode,
+    i: usize,
+    last: &[usize],
+    slots: &mut [Option<QActivation>],
+    arena: &mut ActivationArena,
+) {
+    for &t in &node.inputs {
+        if last[t] == i {
+            if let Some(a) = slots[t].take() {
+                arena.recycle(a);
+            }
+        }
+    }
+    if last[i + 1] == i {
+        if let Some(a) = slots[i + 1].take() {
+            arena.recycle(a);
         }
     }
 }
@@ -645,12 +1046,20 @@ mod tests {
         )
     }
 
+    fn identity_add() -> QAdd {
+        QAdd::from_scales(1.0, 1.0, 1.0, 0, 0, 0, BitWidth::W8)
+    }
+
     #[test]
     fn kinds_distinguish_depthwise() {
         assert_eq!(QOp::kind(&pointwise(2, 3, 1)), OpKind::Conv);
         assert_eq!(QOp::kind(&depthwise(2, 1)), OpKind::DepthwiseConv);
         assert_eq!(QAvgPool.kind(), OpKind::Pool);
+        assert_eq!(QOp::kind(&identity_add()), OpKind::Add);
         assert_eq!(OpKind::DepthwiseConv.label(), "dwconv");
+        assert_eq!(OpKind::Add.label(), "add");
+        assert_eq!(QOp::arity(&identity_add()), 2);
+        assert_eq!(QOp::arity(&pointwise(1, 1, 1)), 1);
     }
 
     #[test]
@@ -694,7 +1103,63 @@ mod tests {
         let c = graph.run(x);
         assert_eq!(a, b);
         assert_eq!(a, c);
-        assert!(arena.capacity_bytes() >= 2 * shape.volume());
+        assert!(arena.capacity_bytes() >= shape.volume());
+        assert!(arena.pooled_buffers() > 0, "dead tensors were recycled");
+    }
+
+    #[test]
+    fn pooled_inference_matches_ledger_run() {
+        let mut graph = QGraph::new();
+        graph.push("dw", depthwise(2, 1));
+        graph.push("pool", QAvgPool);
+        let head = QLinear::new(
+            QConvWeights::new(
+                Shape::new(2, 1, 1, 2),
+                false,
+                &[1, 0, 0, 1],
+                BitWidth::W8,
+                WeightOffset::PerLayer(0),
+            ),
+            vec![3, 4],
+            None,
+        );
+        graph.push("fc", head);
+        let shape = Shape::feature_map(4, 4, 2);
+        let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 9) as u8).collect();
+        let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+        let run = graph.run(x.clone());
+        let mut arena = ActivationArena::new();
+        let mut logits = Vec::new();
+        let mut ops = OpCounts::default();
+        graph.infer_pooled(x, &mut arena, &mut logits, &mut ops);
+        assert_eq!(Some(logits), run.logits);
+        assert_eq!(ops, run.total_ops());
+    }
+
+    #[test]
+    fn residual_add_joins_branches() {
+        // input -> dw -> pw(a); skip: input; add(pw, input).
+        let mut graph = QGraph::new();
+        let dw_id = graph.push("dw", depthwise(2, 1));
+        let pw_id = graph.push_node("pw", pointwise(2, 2, 1), &[dw_id]);
+        let add_id = graph.push_node("res", identity_add(), &[pw_id, 0]);
+        assert_eq!((dw_id, pw_id, add_id), (1, 2, 3));
+        assert_eq!(graph.nodes()[2].inputs(), &[2, 0]);
+
+        let shape = Shape::feature_map(3, 3, 2);
+        let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 5) as u8).collect();
+        let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+        let run = graph.run(x.clone());
+
+        // Manual: y = pw(dw(x)) + x (identity add on the same grid).
+        let mut ops = OpCounts::default();
+        let branch = pointwise(2, 2, 1).execute(&depthwise(2, 1).execute(&x, &mut ops), &mut ops);
+        let manual = identity_add().execute(&branch, &x, &mut ops);
+        assert_eq!(run.output, Some(manual));
+        assert_eq!(run.total_ops(), ops);
+        assert_eq!(run.layers[2].kind, OpKind::Add);
+        // The add's ledger records both branch inputs.
+        assert_eq!(run.layers[2].in_bytes, 2 * shape.volume());
     }
 
     #[test]
@@ -717,6 +1182,42 @@ mod tests {
     }
 
     #[test]
+    fn diamond_graph_prices_the_extra_live_tensor() {
+        // in -> A; A -> B; A -> C; add(B, C). All tensors 4x4x2 = 32 B.
+        let mut graph = QGraph::new();
+        let a = graph.push("a", depthwise(2, 1));
+        let b = graph.push_node("b", pointwise(2, 2, 1), &[a]);
+        let c = graph.push_node("c", pointwise(2, 2, 2), &[a]);
+        graph.push_node("add", identity_add(), &[b, c]);
+        let input = Shape::feature_map(4, 4, 2);
+        // While C runs, A (its input), B (pending) and C's output are all
+        // live: 3 × 32 = 96 — beyond any double-buffered pair.
+        assert_eq!(graph.peak_ram_bytes(input, BitWidth::W8), 96);
+
+        // The measured high-water mark of a real run agrees exactly.
+        let codes: Vec<u8> = (0..input.volume()).map(|i| (i % 4) as u8).collect();
+        let x = QActivation::from_codes(input, &codes, BitWidth::W8, 0);
+        let run = graph.run(x);
+        assert_eq!(run.peak_live_bytes, 96);
+    }
+
+    #[test]
+    fn chain_measured_peak_matches_planner() {
+        let mut graph = QGraph::new();
+        graph.push("dw", depthwise(4, 1));
+        graph.push("pw", pointwise(4, 8, 1));
+        graph.push("pool", QAvgPool);
+        let input = Shape::feature_map(6, 6, 4);
+        let codes: Vec<u8> = (0..input.volume()).map(|i| (i % 13) as u8).collect();
+        let x = QActivation::from_codes(input, &codes, BitWidth::W8, 0);
+        let run = graph.run(x);
+        assert_eq!(
+            run.peak_live_bytes,
+            graph.peak_ram_bytes(input, BitWidth::W8)
+        );
+    }
+
+    #[test]
     fn flash_bytes_sums_nodes() {
         let dw = depthwise(2, 1);
         let pw = pointwise(2, 3, 1);
@@ -729,6 +1230,12 @@ mod tests {
             QOp::flash_bytes(&dw) + QOp::flash_bytes(&pw)
         );
         assert!(graph.flash_bytes() > 0);
+        // Adds contribute their multiplier/zero-point block.
+        graph.push_node("res", identity_add(), &[3, 3]);
+        assert_eq!(
+            graph.flash_bytes(),
+            QOp::flash_bytes(&dw) + QOp::flash_bytes(&pw) + 13
+        );
     }
 
     #[test]
@@ -745,8 +1252,8 @@ mod tests {
             identity_requant(2, BitWidth::W8),
         );
         let input = Shape::feature_map(8, 8, 3);
-        assert_eq!(dense.scratch_bytes(input), 8 * 8 * 9 * 3);
-        assert_eq!(depthwise(3, 1).scratch_bytes(input), 0);
+        assert_eq!(QOp::scratch_bytes(&dense, &[input]), 8 * 8 * 9 * 3);
+        assert_eq!(QOp::scratch_bytes(&depthwise(3, 1), &[input]), 0);
         let mut graph = QGraph::new();
         graph.push("dw", depthwise(3, 1));
         graph.push("c", dense);
@@ -775,6 +1282,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not defined yet")]
+    fn forward_references_are_rejected() {
+        let mut graph = QGraph::new();
+        graph.push_node("dw", depthwise(2, 1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity-2")]
+    fn add_arity_is_enforced() {
+        let mut graph = QGraph::new();
+        graph.push_node("res", identity_add(), &[0]);
+    }
+
+    #[test]
     fn head_terminated_graph_yields_logits() {
         let head = QLinear::new(
             QConvWeights::new(
@@ -800,9 +1321,12 @@ mod tests {
         assert_eq!(run.layers.last().unwrap().out_bytes, 8);
         assert_eq!(run.layers.last().unwrap().kind, OpKind::Linear);
         // Head accounting hooks.
-        assert_eq!(head.output_bytes(Shape::new(1, 1, 1, 2), BitWidth::W8), 8);
         assert_eq!(
-            QOp::output_shape(&head, Shape::new(1, 1, 1, 2)),
+            head.output_bytes(&[Shape::new(1, 1, 1, 2)], &[BitWidth::W8]),
+            8
+        );
+        assert_eq!(
+            QOp::output_shape(&head, &[Shape::new(1, 1, 1, 2)]),
             Shape::new(1, 1, 1, 2)
         );
     }

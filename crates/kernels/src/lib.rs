@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod add;
 mod conv;
 mod counter;
 pub mod gemm;
@@ -53,6 +54,7 @@ mod pool;
 mod requant;
 mod tensorq;
 
+pub use add::QAdd;
 pub use conv::QConv2d;
 pub use counter::OpCounts;
 pub use gemm::{im2col_scratch_bytes, Im2Col};

@@ -70,6 +70,18 @@ impl QLinear {
     ///
     /// Panics if the input feature count disagrees.
     pub fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> Vec<i32> {
+        let mut logits = Vec::with_capacity(self.out_features());
+        self.execute_into(x, &mut logits, ops);
+        logits
+    }
+
+    /// [`QLinear::execute`] writing the logits into a caller-owned buffer
+    /// (cleared in place), so steady-state inference reuses its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input feature count disagrees.
+    pub fn execute_into(&self, x: &QActivation, logits: &mut Vec<i32>, ops: &mut OpCounts) {
         assert_eq!(
             x.shape().item_volume(),
             self.in_features(),
@@ -80,7 +92,7 @@ impl QLinear {
         let w_unpack = self.weights.needs_unpack() as u64;
         let x_unpack = x.needs_unpack() as u64;
         let per_channel = self.weights.offset().is_per_channel();
-        let mut logits = Vec::with_capacity(self.out_features());
+        logits.clear();
         for o in 0..self.out_features() {
             let zw = self.weights.offset().at(o) as i64;
             let mut acc: i64 = self.bq[o] as i64;
@@ -106,7 +118,6 @@ impl QLinear {
             logits.push(logit);
         }
         ops.act_stores += self.out_features() as u64;
-        logits
     }
 
     /// Predicted class (argmax of the logits).

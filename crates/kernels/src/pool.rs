@@ -13,16 +13,33 @@ pub struct QAvgPool;
 impl QAvgPool {
     /// Pools `(1, h, w, c)` codes to `(1, 1, 1, c)`.
     pub fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> QActivation {
+        let mut codes = Vec::new();
+        let out_shape = self.execute_codes(x, &mut codes, ops);
+        QActivation::from_codes(out_shape, &codes, x.bits(), x.zero_point())
+    }
+
+    /// The codes-only core: pools into `out_codes` (cleared and resized in
+    /// place), returning the output shape. The arena-aware executor packs
+    /// the codes into recycled storage itself.
+    pub fn execute_codes(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> Shape {
         let s = x.shape();
         let area = s.pixels() as u64;
-        let mut sums = vec![0u64; s.n * s.c];
+        out_codes.clear();
+        out_codes.resize(s.n * s.c, 0);
         for n in 0..s.n {
-            for y in 0..s.h {
-                for xx in 0..s.w {
-                    for c in 0..s.c {
-                        sums[n * s.c + c] += x.get(n, y, xx, c) as u64;
+            for c in 0..s.c {
+                let mut sum = 0u64;
+                for y in 0..s.h {
+                    for xx in 0..s.w {
+                        sum += x.get(n, y, xx, c) as u64;
                     }
                 }
+                out_codes[n * s.c + c] = (sum / area.max(1)) as u8;
             }
         }
         ops.act_loads += s.volume() as u64;
@@ -31,8 +48,7 @@ impl QAvgPool {
         if x.needs_unpack() {
             ops.unpacks += s.volume() as u64;
         }
-        let codes: Vec<u8> = sums.iter().map(|&v| (v / area.max(1)) as u8).collect();
-        QActivation::from_codes(Shape::new(s.n, 1, 1, s.c), &codes, x.bits(), x.zero_point())
+        Shape::new(s.n, 1, 1, s.c)
     }
 }
 

@@ -262,6 +262,25 @@ impl Requantizer {
         }
     }
 
+    /// A copy with every threshold table saturated to the INT16 storage
+    /// range (see [`ThresholdChannel::saturated_i16`]); non-threshold
+    /// schemes, whose parameters already fit their §4.1 datatypes, are
+    /// returned unchanged.
+    pub fn saturated_i16(&self) -> Requantizer {
+        match self {
+            Requantizer::Thresholds {
+                channels,
+                zy,
+                out_bits,
+            } => Requantizer::Thresholds {
+                channels: channels.iter().map(|c| c.saturated_i16()).collect(),
+                zy: *zy,
+                out_bits: *out_bits,
+            },
+            other => other.clone(),
+        }
+    }
+
     /// Maps accumulator `phi` of output channel `c` to its output code,
     /// incrementing `requants`/`cmps` cost counters.
     #[inline]

@@ -77,6 +77,36 @@ impl QActivation {
         }
     }
 
+    /// Packs raw codes reusing a recycled byte buffer for the packed
+    /// storage — the arena-aware twin of [`QActivation::from_codes`], so
+    /// steady-state inference performs no heap allocation (see
+    /// [`crate::ActivationArena`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != shape.volume()` or a code exceeds the
+    /// precision.
+    pub fn from_codes_in(
+        shape: Shape,
+        codes: &[u8],
+        bits: BitWidth,
+        zero_point: u8,
+        storage: Vec<u8>,
+    ) -> Self {
+        assert_eq!(codes.len(), shape.volume(), "code count vs shape");
+        QActivation {
+            shape,
+            packed: PackedTensor::pack_into(codes, bits, storage),
+            zero_point,
+        }
+    }
+
+    /// Consumes the activation, returning its packed byte buffer for
+    /// recycling through a buffer pool.
+    pub fn into_storage(self) -> Vec<u8> {
+        self.packed.into_bytes()
+    }
+
     /// Tensor shape.
     pub fn shape(&self) -> Shape {
         self.shape

@@ -179,7 +179,9 @@ impl CortexM7CycleModel {
     /// path the `QGraph` executor's per-layer records feed.
     pub fn op_cycles(&self, kind: OpKind, ops: &OpCounts) -> u64 {
         let per_mac = match kind {
-            OpKind::Conv | OpKind::Pool => self.conv_cycles_per_mac,
+            // Residual adds are MAC-free; their cost is the per-element
+            // requantization and load/store traffic priced below.
+            OpKind::Conv | OpKind::Pool | OpKind::Add => self.conv_cycles_per_mac,
             OpKind::DepthwiseConv => self.dw_cycles_per_mac,
             OpKind::Linear => self.fc_cycles_per_mac,
         };

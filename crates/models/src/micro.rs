@@ -119,6 +119,38 @@ pub fn mobilenet_like(
     MicroCnnSpec::new(input_res, input_res, input_channels, num_classes, &[1]).with_blocks(blocks)
 }
 
+/// The MobileNet topology of [`mobilenet_like`] with MobileNetV2-style
+/// identity residuals added on every stride-1 pair whose input and output
+/// channel counts agree (at full scale: the 128-channel pair, the
+/// 256-channel pair, the five consecutive 512-channel pairs and the final
+/// 1024 pair) — the "optional residual blocks" variant whose skip tensors
+/// exercise the DAG executor's multi-branch liveness planning.
+///
+/// Each skip runs from the previous pair's pointwise output to the current
+/// pair's pointwise output; the join is re-quantized by a dedicated PACT
+/// activation and lowers to a `QAdd` graph node.
+pub fn mobilenet_like_residual(
+    input_res: usize,
+    input_channels: usize,
+    width_div: usize,
+    num_classes: usize,
+) -> MicroCnnSpec {
+    let mut spec = mobilenet_like(input_res, input_channels, width_div, num_classes);
+    let blocks = spec.blocks().to_vec();
+    // Pair p (1-based) occupies blocks 2p-1 (depthwise) and 2p (pointwise);
+    // its input is the output of block 2p-2. A skip fits when the depthwise
+    // keeps stride 1 and the pointwise preserves the channel count.
+    let pairs = (blocks.len() - 1) / 2;
+    for p in 1..=pairs {
+        let (dw, pw) = (&blocks[2 * p - 1], &blocks[2 * p]);
+        let in_channels = blocks[2 * p - 2].out_channels;
+        if dw.stride == 1 && pw.out_channels == in_channels {
+            spec = spec.with_residual(2 * p - 2, 2 * p);
+        }
+    }
+    spec
+}
+
 /// Converts a built QAT network into a shape-level [`NetworkSpec`], so the
 /// same memory model and bit-assignment algorithms used for MobileNetV1
 /// apply to the micro-CNNs.

@@ -48,6 +48,7 @@ pub struct MicroCnnSpec {
     channels: usize,
     num_classes: usize,
     blocks: Vec<BlockSpec>,
+    residuals: Vec<(usize, usize)>,
     initial_clip: f32,
 }
 
@@ -78,6 +79,7 @@ impl MicroCnnSpec {
             channels,
             num_classes,
             blocks,
+            residuals: Vec::new(),
             initial_clip: 8.0,
         }
     }
@@ -120,15 +122,33 @@ impl MicroCnnSpec {
             channels,
             num_classes,
             blocks,
+            residuals: Vec::new(),
             initial_clip: 8.0,
         }
     }
 
-    /// Replaces the block list wholesale.
+    /// Replaces the block list wholesale (clears any residual skips, which
+    /// index into the old list).
     pub fn with_blocks(mut self, blocks: Vec<BlockSpec>) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         self.blocks = blocks;
+        self.residuals.clear();
         self
+    }
+
+    /// Adds a residual skip: block `to`'s output gains block `from`'s
+    /// output before re-quantization (a MobileNetV2-style identity
+    /// shortcut). Validated against the actual shapes when the network is
+    /// built.
+    pub fn with_residual(mut self, from: usize, to: usize) -> Self {
+        assert!(from < to, "skip must run forward: {from} -> {to}");
+        self.residuals.push((from, to));
+        self
+    }
+
+    /// The declared residual skips, as `(from, to)` block indices.
+    pub fn residuals(&self) -> &[(usize, usize)] {
+        &self.residuals
     }
 
     /// Sets the initial PACT clip (default 8.0).
@@ -284,6 +304,40 @@ impl ConvBlock {
     }
 }
 
+/// A residual skip connection of the fake-quantized graph: block `to`'s
+/// activated output gains block `from`'s activated output, and the sum is
+/// re-quantized by a dedicated PACT activation (whose scale the integer
+/// conversion lowers into a requantizing `QAdd` node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualSkip {
+    from: usize,
+    to: usize,
+    act: PactQuantAct,
+}
+
+impl ResidualSkip {
+    /// Source block index (its post-residual output feeds the skip).
+    pub fn from(&self) -> usize {
+        self.from
+    }
+
+    /// Destination block index (the skip joins after this block's own
+    /// activation).
+    pub fn to(&self) -> usize {
+        self.to
+    }
+
+    /// The PACT activation re-quantizing the sum.
+    pub fn act(&self) -> &PactQuantAct {
+        &self.act
+    }
+
+    /// Mutable activation (the trainer applies the clip gradient).
+    pub fn act_mut(&mut self) -> &mut PactQuantAct {
+        &mut self.act
+    }
+}
+
 /// Quantization mode of the whole network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QatMode {
@@ -302,6 +356,7 @@ pub struct ForwardCache {
     bn_caches: Vec<Option<BnCache>>,
     act_caches: Vec<ActCache>,
     fold_scales: Vec<Option<Vec<f32>>>,
+    res_caches: Vec<Option<ActCache>>,
     pool_input_shape: Shape,
     linear_input: Tensor<f32>,
     linear_weights: Tensor<f32>,
@@ -313,6 +368,7 @@ pub struct ForwardCache {
 #[derive(Debug, Clone, PartialEq)]
 pub struct QatNetwork {
     blocks: Vec<ConvBlock>,
+    residuals: Vec<ResidualSkip>,
     pool: GlobalAvgPool,
     linear: Linear,
     linear_weight_bits: BitWidth,
@@ -353,8 +409,9 @@ impl QatNetwork {
             in_c = b.out_channels;
         }
         let linear = Linear::new(in_c, spec.num_classes(), seed + 7777);
-        QatNetwork {
+        let mut net = QatNetwork {
             blocks,
+            residuals: Vec::new(),
             pool: GlobalAvgPool,
             linear,
             linear_weight_bits: BitWidth::W8,
@@ -364,7 +421,75 @@ impl QatNetwork {
             fold_bn: false,
             num_classes: spec.num_classes(),
             input_shape: spec.input_shape(),
+        };
+        for &(from, to) in spec.residuals() {
+            net.add_residual_with_clip(from, to, spec.initial_clip);
         }
+        net
+    }
+
+    /// Adds a residual skip from block `from`'s output to block `to`'s
+    /// output, with the sum re-quantized by a fresh PACT activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range or not strictly forward, if
+    /// block `to` already receives a skip, or if the two block output
+    /// shapes disagree (identity shortcuts only — no projection).
+    pub fn add_residual(&mut self, from: usize, to: usize) {
+        self.add_residual_with_clip(from, to, 8.0);
+    }
+
+    fn add_residual_with_clip(&mut self, from: usize, to: usize, clip: f32) {
+        assert!(from < to, "skip must run forward: {from} -> {to}");
+        assert!(to < self.blocks.len(), "skip destination out of range");
+        assert!(
+            self.residuals.iter().all(|r| r.to != to),
+            "block {to} already receives a residual skip"
+        );
+        let shapes = self.block_output_shapes();
+        assert_eq!(
+            shapes[from], shapes[to],
+            "identity skip needs matching shapes: block {from} {:?} vs block {to} {:?}",
+            shapes[from], shapes[to]
+        );
+        self.residuals.push(ResidualSkip {
+            from,
+            to,
+            act: PactQuantAct::new(clip, BitWidth::W8, self.mode == QatMode::FakeQuant),
+        });
+    }
+
+    /// The residual skips, in insertion order.
+    pub fn residuals(&self) -> &[ResidualSkip] {
+        &self.residuals
+    }
+
+    /// Mutable residual skips (the trainer applies clip gradients).
+    pub fn residuals_mut(&mut self) -> &mut [ResidualSkip] {
+        &mut self.residuals
+    }
+
+    /// Index (into [`QatNetwork::residuals`]) of the skip joining after
+    /// block `block`, if any.
+    pub fn residual_ending_at(&self, block: usize) -> Option<usize> {
+        self.residuals.iter().position(|r| r.to == block)
+    }
+
+    fn residual_sourced_at(&self, block: usize) -> bool {
+        self.residuals.iter().any(|r| r.from == block)
+    }
+
+    /// Single-image output shape of every block (post-convolution).
+    fn block_output_shapes(&self) -> Vec<Shape> {
+        let mut shape = self.input_shape;
+        self.blocks
+            .iter()
+            .map(|b| {
+                shape = b.conv().output_shape(shape);
+                shape
+            })
+            .collect()
     }
 
     /// Number of convolution blocks (the `L` of Algorithms 1–2, excluding
@@ -447,6 +572,9 @@ impl QatNetwork {
         for b in &mut self.blocks {
             b.act.set_quant_enabled(true);
         }
+        for r in &mut self.residuals {
+            r.act.set_quant_enabled(true);
+        }
     }
 
     /// Enables learned symmetric PACT clips on every block's weights
@@ -463,6 +591,9 @@ impl QatNetwork {
         self.mode = QatMode::Float;
         for b in &mut self.blocks {
             b.act.set_quant_enabled(false);
+        }
+        for r in &mut self.residuals {
+            r.act.set_quant_enabled(false);
         }
     }
 
@@ -546,6 +677,7 @@ impl QatNetwork {
     /// Inference forward pass (batch-norm in eval mode).
     pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
         let mut h = self.quantize_input(x);
+        let mut saved: Vec<Option<Tensor<f32>>> = vec![None; self.blocks.len()];
         for i in 0..self.blocks.len() {
             let (w, bias, _) = self.effective_block_params(i);
             let block = &self.blocks[i];
@@ -557,6 +689,16 @@ impl QatNetwork {
             };
             let (a, _) = block.act.forward(&z);
             h = a;
+            if let Some(r) = self.residual_ending_at(i) {
+                let skip = saved[self.residuals[r].from]
+                    .as_ref()
+                    .expect("skip source runs before its destination");
+                let (a, _) = self.residuals[r].act.forward(&add_tensors(&h, skip));
+                h = a;
+            }
+            if self.residual_sourced_at(i) {
+                saved[i] = Some(h.clone());
+            }
         }
         let pooled = self.pool.forward(&h);
         self.linear
@@ -573,6 +715,8 @@ impl QatNetwork {
         let mut bn_caches = Vec::with_capacity(n);
         let mut act_caches = Vec::with_capacity(n);
         let mut fold_scales = Vec::with_capacity(n);
+        let mut res_caches: Vec<Option<ActCache>> = vec![None; self.residuals.len()];
+        let mut saved: Vec<Option<Tensor<f32>>> = vec![None; n];
         for i in 0..n {
             let (w, bias, scale) = self.effective_block_params(i);
             block_inputs.push(h.clone());
@@ -590,6 +734,17 @@ impl QatNetwork {
             act_caches.push(act_cache);
             fold_scales.push(scale);
             h = a;
+            if let Some(r) = self.residual_ending_at(i) {
+                let skip = saved[self.residuals[r].from]
+                    .as_ref()
+                    .expect("skip source runs before its destination");
+                let (a, cache) = self.residuals[r].act.forward(&add_tensors(&h, skip));
+                res_caches[r] = Some(cache);
+                h = a;
+            }
+            if self.residual_sourced_at(i) {
+                saved[i] = Some(h.clone());
+            }
         }
         let pool_input_shape = h.shape();
         let pooled = self.pool.forward(&h);
@@ -603,6 +758,7 @@ impl QatNetwork {
                 bn_caches,
                 act_caches,
                 fold_scales,
+                res_caches,
                 pool_input_shape,
                 linear_input: pooled,
                 linear_weights: lw,
@@ -625,7 +781,27 @@ impl QatNetwork {
         let mut conv_b = vec![Vec::new(); n];
         let mut bn_gamma = vec![Vec::new(); n];
         let mut bn_beta = vec![Vec::new(); n];
+        // Gradient pending for each block's post-residual output via a
+        // skip branch, added when the reverse sweep reaches that block.
+        let mut skip_grads: Vec<Option<Tensor<f32>>> = vec![None; n];
         for i in (0..n).rev() {
+            if let Some(e) = skip_grads[i].take() {
+                accumulate(&mut dh, &e);
+            }
+            if let Some(r) = self.residual_ending_at(i) {
+                // The sum feeds the residual PACT; its gradient flows to
+                // both the block branch and the skip source.
+                let res_cache = cache.res_caches[r]
+                    .as_ref()
+                    .expect("forward_train cached every residual");
+                let d_sum = self.residuals[r].act.backward(&dh, res_cache);
+                let from = self.residuals[r].from;
+                match &mut skip_grads[from] {
+                    Some(acc) => accumulate(acc, &d_sum),
+                    slot => *slot = Some(d_sum.clone()),
+                }
+                dh = d_sum;
+            }
             let block = &mut self.blocks[i];
             let da = block.act.backward(&dh, &cache.act_caches[i]);
             let dz = match (&cache.bn_caches[i], block.bn.is_frozen()) {
@@ -678,6 +854,26 @@ impl QatNetwork {
             linear_w: dlw,
             linear_b: dlb,
         }
+    }
+}
+
+/// Element-wise sum of two same-shape tensors (the residual join).
+fn add_tensors(a: &Tensor<f32>, b: &Tensor<f32>) -> Tensor<f32> {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "residual branches must agree in shape"
+    );
+    let mut out = a.clone();
+    accumulate(&mut out, b);
+    out
+}
+
+/// `acc += g`, element-wise.
+fn accumulate(acc: &mut Tensor<f32>, g: &Tensor<f32>) {
+    assert_eq!(acc.shape(), g.shape(), "gradient shapes must agree");
+    for (o, &v) in acc.data_mut().iter_mut().zip(g.data()) {
+        *o += v;
     }
 }
 
@@ -883,6 +1079,89 @@ mod tests {
             before * 0.2,
             "clip moves after a step"
         );
+    }
+
+    fn residual_spec() -> MicroCnnSpec {
+        // Two same-shape standard blocks joined by an identity skip.
+        let block = |c: usize| BlockSpec {
+            out_channels: c,
+            stride: 1,
+            kind: ConvKind::Standard,
+            kernel: 3,
+        };
+        MicroCnnSpec::new(6, 6, 2, 2, &[4])
+            .with_blocks(vec![block(4), block(4), block(4)])
+            .with_residual(0, 2)
+    }
+
+    #[test]
+    fn residual_network_builds_and_runs() {
+        let spec = residual_spec();
+        let net = QatNetwork::build(&spec, 17);
+        assert_eq!(net.residuals().len(), 1);
+        assert_eq!(net.residuals()[0].from(), 0);
+        assert_eq!(net.residuals()[0].to(), 2);
+        assert_eq!(net.residual_ending_at(2), Some(0));
+        assert_eq!(net.residual_ending_at(1), None);
+        let x = toy_input(3, &spec);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), Shape::new(3, 1, 1, 2));
+        // The skip changes the function: compare with the skip-free twin.
+        let plain = QatNetwork::build(&residual_spec().with_blocks(spec.blocks().to_vec()), 17);
+        assert!(plain.residuals().is_empty());
+        assert_ne!(net.forward(&x), plain.forward(&x));
+    }
+
+    #[test]
+    fn residual_backward_matches_finite_differences() {
+        use crate::loss::cross_entropy;
+        let spec = residual_spec();
+        let mut net = QatNetwork::build(&spec, 23);
+        net.freeze_batch_norms(); // deterministic forward for the probe
+        let x = toy_input(2, &spec);
+        let labels = vec![0usize, 1];
+        let (logits, cache) = net.forward_train(&x);
+        let (_, dlogits) = cross_entropy(&logits, &labels);
+        let grads = net.backward(&dlogits, &cache);
+        // Probe weights in the skip source (block 0, feeds both branches)
+        // and inside the skipped segment (block 1).
+        for (bi, wi) in [(0usize, 3usize), (0, 11), (1, 0), (1, 7), (2, 5)] {
+            let eps = 1e-3f32;
+            let orig = net.blocks()[bi].conv().weights().data()[wi];
+            let loss_at = |net: &mut QatNetwork, v: f32| {
+                net.blocks_mut()[bi].conv_mut().weights_mut().data_mut()[wi] = v;
+                let (logits, _) = net.forward_train(&x);
+                let (loss, _) = cross_entropy(&logits, &labels);
+                loss
+            };
+            let lp = loss_at(&mut net, orig + eps);
+            let lm = loss_at(&mut net, orig - eps);
+            loss_at(&mut net, orig); // restore
+            let fd = (lp - lm) / (2.0 * eps);
+            let analytic = grads.conv_w[bi].data()[wi];
+            assert!(
+                (fd - analytic).abs() <= 0.05 * analytic.abs().max(0.01),
+                "block {bi} weight {wi}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_act_follows_quant_mode() {
+        let mut net = QatNetwork::build(&residual_spec(), 5);
+        assert!(!net.residuals()[0].act().quant_enabled());
+        net.enable_fake_quant(Granularity::PerChannel);
+        assert!(net.residuals()[0].act().quant_enabled());
+        net.disable_fake_quant();
+        assert!(!net.residuals()[0].act().quant_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "matching shapes")]
+    fn residual_shape_mismatch_rejected() {
+        // Block 1 strides down: shapes no longer match for an identity skip.
+        let spec = MicroCnnSpec::new(8, 8, 1, 2, &[4, 4]).with_residual(0, 1);
+        let _ = QatNetwork::build(&spec, 0);
     }
 
     #[test]

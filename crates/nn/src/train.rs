@@ -239,6 +239,12 @@ fn apply_gradients(
             clip.apply_grad(cfg.pact_lr, cfg.pact_decay);
         }
     }
+    // Residual-join PACT clips learn like the block activations.
+    for r in net.residuals_mut() {
+        r.act_mut()
+            .clip_mut()
+            .apply_grad(cfg.pact_lr, cfg.pact_decay);
+    }
     let mut lw = net.linear().weights().data().to_vec();
     bank.linear_w.step(&mut lw, grads.linear_w.data());
     net.linear_mut()

@@ -55,6 +55,40 @@ impl PackedTensor {
         }
     }
 
+    /// Packs unsigned codes reusing a caller-provided byte buffer (cleared
+    /// and resized in place), so steady-state inference can recycle packed
+    /// storage instead of allocating per tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code exceeds `2^Q − 1`.
+    pub fn pack_into(codes: &[u8], bits: BitWidth, mut storage: Vec<u8>) -> Self {
+        let qmax = bits.qmax() as u8;
+        let per_byte = 8 / bits.bits() as usize;
+        storage.clear();
+        storage.resize(codes.len().div_ceil(per_byte), 0);
+        for (i, &code) in codes.iter().enumerate() {
+            assert!(
+                code <= qmax,
+                "code {code} exceeds {qmax} for {bits} packing"
+            );
+            let byte = i / per_byte;
+            let offset = (i % per_byte) * bits.bits() as usize;
+            storage[byte] |= code << offset;
+        }
+        PackedTensor {
+            bytes: storage,
+            len: codes.len(),
+            bits,
+        }
+    }
+
+    /// Consumes the tensor, returning the packed byte buffer (for recycling
+    /// through a buffer pool).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
     /// Number of logical elements.
     pub fn len(&self) -> usize {
         self.len
@@ -162,6 +196,22 @@ mod tests {
             assert_eq!(packed.len(), 37);
             assert_eq!(packed.byte_len(), bits.bytes_for(37));
         }
+    }
+
+    #[test]
+    fn pack_into_matches_pack_and_recycles_storage() {
+        let codes: Vec<u8> = (0..33u8).map(|i| i % 16).collect();
+        let fresh = PackedTensor::pack(&codes, BitWidth::W4);
+        // A dirty, over-sized recycled buffer must not leak into the result.
+        let recycled = vec![0xFFu8; 64];
+        let cap = recycled.capacity();
+        let pooled = PackedTensor::pack_into(&codes, BitWidth::W4, recycled);
+        assert_eq!(pooled, fresh);
+        assert_eq!(pooled.unpack(), codes);
+        // The buffer ownership round-trips without reallocating.
+        let bytes = pooled.into_bytes();
+        assert_eq!(bytes.capacity(), cap);
+        assert_eq!(bytes.len(), BitWidth::W4.bytes_for(33));
     }
 
     #[test]

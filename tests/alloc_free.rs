@@ -1,0 +1,108 @@
+//! Arena-aware packing acceptance: after a warm-up pass, steady-state
+//! integer inference through the pooled path (`quantize_input_pooled` +
+//! `QGraph::infer_pooled`) performs **zero heap allocations** — every code
+//! scratch, packed activation and logits buffer is recycled.
+//!
+//! This file installs a counting global allocator, so it deliberately
+//! contains a single test (parallel tests in the same binary would pollute
+//! the counter).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mixq::core::convert::convert;
+use mixq::core::memory::QuantScheme;
+use mixq::data::{DatasetSpec, SyntheticKind};
+use mixq::kernels::{ActivationArena, OpCounts};
+use mixq::nn::qat::{MicroCnnSpec, QatNetwork};
+use mixq::quant::Granularity;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_inference_is_allocation_free() {
+    // Build a depthwise-separable micro network with a residual skip, so
+    // the pooled path covers conv, depthwise, add, pool and head nodes.
+    // (Setup may allocate freely; only the steady state is measured.)
+    let spec = {
+        use mixq::nn::qat::BlockSpec;
+        use mixq::nn::ConvKind;
+        let std_block = |c: usize, kernel: usize| BlockSpec {
+            out_channels: c,
+            stride: 1,
+            kind: ConvKind::Standard,
+            kernel,
+        };
+        let dw_block = |c: usize| BlockSpec {
+            out_channels: c,
+            stride: 1,
+            kind: ConvKind::Depthwise,
+            kernel: 3,
+        };
+        MicroCnnSpec::new(8, 8, 2, 3, &[4])
+            .with_blocks(vec![std_block(4, 3), dw_block(4), std_block(4, 1)])
+            .with_residual(0, 2)
+    };
+    let ds = DatasetSpec::new(SyntheticKind::Bars, 8, 8, 2, 3)
+        .with_samples(4)
+        .generate(7);
+    let mut net = QatNetwork::build(&spec, 13);
+    net.calibrate_input(ds.images());
+    net.enable_fake_quant(Granularity::PerChannel);
+    let int_net = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+    let image = ds.sample(0).images.clone();
+
+    let mut arena = ActivationArena::new();
+    let mut logits = Vec::new();
+    let mut ops = OpCounts::default();
+    // Warm-up: buffers are created and grown to their steady capacities.
+    for _ in 0..2 {
+        let x = int_net.quantize_input_pooled(&image, &mut arena);
+        int_net
+            .graph()
+            .infer_pooled(x, &mut arena, &mut logits, &mut ops);
+    }
+    let warm_logits = logits.clone();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..8 {
+        let x = int_net.quantize_input_pooled(&image, &mut arena);
+        int_net
+            .graph()
+            .infer_pooled(x, &mut arena, &mut logits, &mut ops);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state inference must not touch the heap"
+    );
+    // And it still computes the same thing.
+    assert_eq!(logits, warm_logits);
+}

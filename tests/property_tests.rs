@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use mixq::core::memory::{MemoryBudget, QuantScheme};
 use mixq::core::mixed::{assign_bits, MixedPrecisionConfig};
 use mixq::kernels::{
-    OpCounts, QActivation, QConv2d, QConvWeights, Requantizer, ThresholdChannel, WeightOffset,
+    OpCounts, QActivation, QConv2d, QConvWeights, QGraph, Requantizer, ThresholdChannel,
+    WeightOffset,
 };
 use mixq::models::{LayerSpec, NetworkSpec};
 use mixq::quant::{BitWidth, FixedPointMultiplier, PackedTensor, QuantParams};
@@ -239,6 +240,59 @@ proptest! {
         let gemm = conv.execute_gemm(&x, &mut ob);
         prop_assert_eq!(direct, gemm);
         prop_assert_eq!(oa.requants, ob.requants);
+    }
+
+    #[test]
+    fn chain_and_dag_wiring_run_identically(
+        depth in 1usize..4,
+        ch in 1usize..4,
+        h in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        // A stack of pointwise convolutions built twice: once through the
+        // chain `push`, once through explicit DAG input ids. The runs must
+        // be bit-identical — ledger, logits-free output, measured peak —
+        // and on a linear graph the liveness planner must degenerate to
+        // the classic input+output pair walk.
+        let layer = |l: usize| {
+            let wshape = Shape::new(ch, 1, 1, ch);
+            let wcodes: Vec<u8> = (0..wshape.volume())
+                .map(|i| ((i as u64 * 17 + seed + l as u64 * 5) % 16) as u8)
+                .collect();
+            QConv2d::new(
+                QConvWeights::new(wshape, false, &wcodes, BitWidth::W4,
+                                  WeightOffset::PerLayer(1)),
+                ConvGeometry::pointwise(),
+                Requantizer::icn(
+                    vec![0; ch],
+                    (0..ch)
+                        .map(|c| FixedPointMultiplier::from_real(0.05 + c as f64 * 0.01))
+                        .collect(),
+                    0,
+                    BitWidth::W8,
+                ),
+            )
+        };
+        let mut chain = QGraph::new();
+        let mut dag = QGraph::new();
+        let mut id = 0usize;
+        for l in 0..depth {
+            chain.push(format!("c{l}"), layer(l));
+            id = dag.push_node(format!("c{l}"), layer(l), &[id]);
+        }
+        let in_shape = Shape::feature_map(h, h, ch);
+        let codes: Vec<u8> = (0..in_shape.volume())
+            .map(|i| ((i as u64 * 7 + seed) % 256) as u8)
+            .collect();
+        let x = QActivation::from_codes(in_shape, &codes, BitWidth::W8, 1);
+        let a = chain.run(x.clone());
+        let b = dag.run(x);
+        prop_assert_eq!(&a, &b);
+        // Pointwise stack at W8: every tensor has the same byte size, so
+        // the peak is exactly one input+output pair.
+        let bytes = in_shape.volume();
+        prop_assert_eq!(chain.peak_ram_bytes(in_shape, BitWidth::W8), 2 * bytes);
+        prop_assert_eq!(a.peak_live_bytes, 2 * bytes);
     }
 
     #[test]
