@@ -47,7 +47,7 @@ fn ablation_tie_break() {
             let cfg =
                 MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn).with_tie_break(tie);
             match cut_activation_bits(&spec, &cfg) {
-                Ok(act) => {
+                Ok((act, _)) => {
                     let cuts = act.iter().filter(|&&b| b != BitWidth::W8).count();
                     println!("  RW {rw_kb:>3} kB, {name:<24}: ok, {cuts} tensors cut");
                 }

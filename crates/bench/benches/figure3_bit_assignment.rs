@@ -7,8 +7,10 @@
 //! same information.
 //!
 //! Run with: `cargo bench --bench figure3_bit_assignment`
+//! (`-- --json <path>` additionally emits every bit map as JSON for the
+//! golden-regression CI job.)
 
-use mixq_bench::harness::rule;
+use mixq_bench::harness::{json_array, json_out_path, rule, write_json, JsonObject};
 use mixq_core::memory::{mib, QuantScheme};
 use mixq_core::mixed::{assign_bits, MixedPrecisionConfig};
 use mixq_mcu::Device;
@@ -24,6 +26,7 @@ fn bitmap(bits: &[BitWidth]) -> String {
 fn main() {
     let device = Device::stm32h7();
     let mut csv = String::from("model,config,layer,weight_bits,act_out_bits\n");
+    let mut json_rows = Vec::new();
     println!(
         "== Figure 3: per-tensor bit precision under {} ==",
         device.budget()
@@ -80,10 +83,26 @@ fn main() {
                     } else {
                         println!("{:<12} cuts: {}", "", cut.join(" "));
                     }
+                    let mut row = JsonObject::new();
+                    row.string("model", &cfg_m.label())
+                        .string("config", name)
+                        .string("weight_bits", &bitmap(&a.weight_bits))
+                        .string("act_bits", &bitmap(&a.act_bits))
+                        .int("flash_bytes", a.flash_bytes(&spec, scheme))
+                        .int("peak_rw_bytes", a.peak_rw_bytes(&spec));
+                    json_rows.push(row.render());
                 }
                 Err(e) => println!("{name}: INFEASIBLE ({e})"),
             }
         }
+    }
+
+    if let Some(path) = json_out_path() {
+        let mut doc = JsonObject::new();
+        doc.string("figure", "figure3_bit_assignment")
+            .string("device", &device.to_string())
+            .raw("rows", json_array(json_rows));
+        write_json(&path, &doc.render());
     }
     let dir = std::path::Path::new("target/bench-data");
     if std::fs::create_dir_all(dir).is_ok() {

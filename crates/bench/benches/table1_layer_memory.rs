@@ -4,7 +4,10 @@
 //! `Q ∈ {2, 4, 8}`.
 //!
 //! Run with: `cargo bench --bench table1_layer_memory`
+//! (`-- --json <path>` additionally emits the evaluated bytes as JSON for
+//! the golden-regression CI job.)
 
+use mixq_bench::harness::{json_array, json_out_path, write_json, JsonObject};
 use mixq_core::memory::{static_param_bytes, weight_bytes, QuantScheme};
 use mixq_models::LayerSpec;
 use mixq_quant::BitWidth;
@@ -71,4 +74,28 @@ fn main() {
         static_param_bytes(&layer, QuantScheme::PerChannelThresholds, BitWidth::W8),
         static_param_bytes(&layer, QuantScheme::PerChannelIcn, BitWidth::W8)
     );
+
+    if let Some(path) = json_out_path() {
+        let rows = json_array(QuantScheme::ALL.iter().map(|&scheme| {
+            let mut row = JsonObject::new();
+            row.string("scheme", scheme.label());
+            for q in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+                row.int(
+                    &format!("total_bytes_q{}", q.bits()),
+                    weight_bytes(&layer, q) + static_param_bytes(&layer, scheme, q),
+                );
+            }
+            row.int(
+                "static_bytes_q4",
+                static_param_bytes(&layer, scheme, BitWidth::W4),
+            );
+            row.render()
+        }));
+        let mut doc = JsonObject::new();
+        doc.string("table", "table1_layer_memory")
+            .string("layer", &layer.to_string())
+            .int("weight_elements", layer.weight_elements())
+            .raw("rows", rows);
+        write_json(&path, &doc.render());
+    }
 }

@@ -11,8 +11,12 @@
 //!    the ICN/thresholds recovery.
 //!
 //! Run with: `cargo bench --bench table2_int4_mobilenet`
+//! (`-- --json <path>` additionally emits the recomputed part-1 footprints
+//! as JSON for the golden-regression CI job; the trained part-2 accuracies
+//! are deliberately excluded from the goldens.)
 
-use mixq_bench::harness::{rule, run_stress_scheme, stress_dataset};
+use mixq_bench::harness::{json_array, json_out_path, rule, run_stress_scheme, stress_dataset};
+use mixq_bench::harness::{write_json, JsonObject};
 use mixq_bench::reference::TABLE2;
 use mixq_core::memory::{
     mib, network_flash_footprint, network_flash_footprint_with_acts, QuantScheme,
@@ -65,6 +69,19 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
             mib(*bytes)
         );
+    }
+
+    if let Some(path) = json_out_path() {
+        let json_rows = json_array(rows.iter().map(|(label, bytes)| {
+            let mut row = JsonObject::new();
+            row.string("method", label).int("footprint_bytes", *bytes);
+            row.render()
+        }));
+        let mut doc = JsonObject::new();
+        doc.string("table", "table2_int4_mobilenet")
+            .string("model", spec.name())
+            .raw("rows", json_rows);
+        write_json(&path, &doc.render());
     }
 
     println!();

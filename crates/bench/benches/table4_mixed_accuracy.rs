@@ -9,7 +9,11 @@
 //! ≈ 4%).
 //!
 //! Run with: `cargo bench --bench table4_mixed_accuracy`
+//! (`-- --json <path>` additionally emits the recomputed assignments and
+//! footprints as JSON for the golden-regression CI job; the trained
+//! synthetic accuracies are deliberately excluded from the goldens.)
 
+use mixq_bench::harness::{json_array, json_out_path, write_json, JsonObject};
 use mixq_bench::harness::{rule, run_stress_ptq, run_stress_scheme, stress_dataset};
 use mixq_bench::reference::TABLE4;
 use mixq_core::memory::{mib, QuantScheme};
@@ -26,6 +30,7 @@ fn main() {
         "model", "PL (paper)", "PC-ICN (paper)", "PL MiB", "PC MiB", "fits"
     );
     rule(72);
+    let mut json_rows = Vec::new();
     for cfg_m in MobileNetConfig::all() {
         let spec = cfg_m.build();
         let (pl_ref, pc_ref) = TABLE4
@@ -39,7 +44,8 @@ fn main() {
         let pc = assign_bits(&spec, &pc_cfg).expect("PC feasible");
         let pl_bytes = hybrid_pl_flash_bytes(&spec, &pl);
         let pc_bytes = pc.flash_bytes(&spec, QuantScheme::PerChannelIcn);
-        let fits = pl_bytes <= device.budget().ro_bytes && pc_bytes <= device.budget().ro_bytes;
+        let fits = device.budget().fits(pl_bytes, pl.peak_rw_bytes(&spec))
+            && device.budget().fits(pc_bytes, pc.peak_rw_bytes(&spec));
         println!(
             "{:<10} {:>11.2}% {:>13.2}% {:>12.2} {:>12.2} {:>6}",
             cfg_m.label(),
@@ -49,6 +55,24 @@ fn main() {
             mib(pc_bytes),
             if fits { "yes" } else { "NO" }
         );
+        let mut row = JsonObject::new();
+        row.string("model", &cfg_m.label())
+            .string("pl_assignment", &pl.to_string())
+            .string("pc_assignment", &pc.to_string())
+            .int("pl_flash_bytes", pl_bytes)
+            .int("pc_flash_bytes", pc_bytes)
+            .int("pl_peak_rw_bytes", pl.peak_rw_bytes(&spec))
+            .int("pc_peak_rw_bytes", pc.peak_rw_bytes(&spec))
+            .bool("fits", fits);
+        json_rows.push(row.render());
+    }
+
+    if let Some(path) = json_out_path() {
+        let mut doc = JsonObject::new();
+        doc.string("table", "table4_mixed_accuracy")
+            .string("device", &device.to_string())
+            .raw("rows", json_array(json_rows));
+        write_json(&path, &doc.render());
     }
 
     println!();

@@ -112,6 +112,103 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// The `--json <path>` target from the bench binary's arguments, if given.
+///
+/// Each Table/Figure bench accepts `--json` and writes its *deterministic*
+/// shape-math outputs (footprints, bit assignments — never timings or
+/// trained accuracies) as machine-readable JSON; the golden-regression CI
+/// job diffs those files against the checked-in goldens under
+/// `tests/goldens/`. Unknown arguments (e.g. the `--bench` flag cargo
+/// passes to harness-free targets) are ignored.
+pub fn json_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return Some(std::path::PathBuf::from(
+                args.next().expect("--json needs a path"),
+            ));
+        }
+    }
+    None
+}
+
+/// A minimal deterministic JSON writer for the golden outputs: an object
+/// whose values are appended in insertion order (stable key order ⇒ stable
+/// byte-for-byte files, so a plain `diff` is the regression check).
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Appends a string field (the value is escaped).
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        self.fields.push((key.to_owned(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn int(&mut self, key: &str, value: usize) -> &mut Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Appends an already-rendered JSON value (e.g. a nested array).
+    pub fn raw(&mut self, key: &str, value: String) -> &mut Self {
+        self.fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Renders a JSON array of pre-rendered values.
+pub fn json_array(values: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = values.into_iter().collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// Writes rendered JSON to `path` (creating parent directories), with a
+/// trailing newline so the checked-in goldens stay POSIX-friendly.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a golden run must not silently
+/// skip its output.
+pub fn write_json(path: &std::path::Path, rendered: &str) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create JSON output directory");
+    }
+    std::fs::write(path, format!("{rendered}\n")).expect("write JSON output");
+    println!("json written to {}", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

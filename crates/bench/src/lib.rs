@@ -5,7 +5,7 @@
 //! target is a `harness = false` main that prints the regenerated rows next
 //! to the paper-reported values; `EXPERIMENTS.md` records both.
 //!
-//! * [`reference`] — the numbers the paper reports (Tables 2–4), used for
+//! * [`reference`](mod@reference) — the numbers the paper reports (Tables 2–4), used for
 //!   side-by-side comparison. ImageNet accuracies cannot be re-measured
 //!   without the dataset (see `DESIGN.md`, "Substitutions"); footprints,
 //!   bit assignments and latency trends are recomputed from scratch.

@@ -9,9 +9,12 @@ pub enum MixQError {
     /// Algorithm 1 cannot satisfy the read-write budget even at the minimum
     /// activation precision.
     InfeasibleActivations {
-        /// Index of the first violating layer.
+        /// Index of the first violating schedule step (one step per conv
+        /// layer, plus residual-add, pool and classifier steps).
         layer: usize,
-        /// The violating pair footprint in bytes at the point of failure.
+        /// The violating live-set footprint in bytes at the point of
+        /// failure (input+output pair on a chain; on a residual graph the
+        /// pending skip tensor is included).
         pair_bytes: usize,
         /// The read-write budget in bytes.
         budget: usize,
@@ -41,7 +44,7 @@ impl fmt::Display for MixQError {
                 budget,
             } => write!(
                 f,
-                "activation pair of layer {layer} needs {pair_bytes} B, exceeding the {budget} B read-write budget at minimum precision"
+                "live activation set at step/layer {layer} needs {pair_bytes} B, exceeding the {budget} B read-write budget at minimum precision"
             ),
             MixQError::InfeasibleWeights {
                 total_bytes,

@@ -2,29 +2,35 @@
 //!
 //! Read-only (flash) memory holds the bit-packed weights plus each layer's
 //! static parameters; read-write (RAM) memory holds, at every step of the
-//! inference, the input and output activation tensors of the running layer.
+//! inference, every activation tensor still needed — for a chain that is
+//! the running layer's input+output pair, for a residual graph it also
+//! includes the pending skip tensor. [`peak_live_bytes`] prices that live
+//! set over the [`GraphSpec`] schedule, mirroring
+//! the executor's `QGraph::peak_ram_bytes` plan step for step.
 //!
 //! Static-parameter datatypes (§4.1): `Zx`, `Zy` are UINT8; `Zw` is UINT8
 //! per-layer or INT16 per-channel; `Bq`, `M0` are INT32; `N0` is INT8;
 //! threshold entries are INT16 (`c_O · 2^Q` of them — the datatype implied
-//! by Table 2's 2.35 MB footprint; see DESIGN.md).
+//! by Table 2's 2.35 MB footprint; see DESIGN.md). Residual-add nodes
+//! store two `M0`/`N0` branch multipliers plus three zero-points
+//! ([`RESIDUAL_ADD_PARAM_BYTES`]).
 
 use std::fmt;
 
-use mixq_models::{LayerSpec, NetworkSpec};
+use mixq_models::{GraphSpec, LayerSpec, NetworkSpec, TensorSource};
 use mixq_quant::BitWidth;
 
 /// The four integer-only deployment schemes compared in the paper
 /// (Table 1 / Table 2 rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QuantScheme {
-    /// Per-layer quantization with batch-norm folding (Jacob et al. [11]).
+    /// Per-layer quantization with batch-norm folding (Jacob et al. \[11\]).
     PerLayerFolded,
     /// Per-layer quantization with ICN activation layers (ours).
     PerLayerIcn,
     /// Per-channel quantization with ICN activation layers (ours).
     PerChannelIcn,
-    /// Per-channel quantization with integer thresholds [21, 8].
+    /// Per-channel quantization with integer thresholds \[21, 8\].
     PerChannelThresholds,
 }
 
@@ -100,6 +106,14 @@ impl MemoryBudget {
     /// The Table-3 small configuration: 1 MB flash, 256 kB RAM.
     pub const fn one_megabyte_small_ram() -> Self {
         MemoryBudget::new(1024 * 1024, 256 * 1024)
+    }
+
+    /// Whether a deployment needing `ro_used` flash bytes and `rw_used`
+    /// peak RAM bytes fits this budget — the single Eq. 6/7 predicate
+    /// shared by `BitAssignment::satisfies` and the deployment report's
+    /// `fits_budget`, so the two checks cannot diverge.
+    pub const fn fits(&self, ro_used: usize, rw_used: usize) -> bool {
+        ro_used <= self.ro_bytes && rw_used <= self.rw_bytes
     }
 }
 
@@ -180,9 +194,16 @@ pub fn network_flash_footprint(
     )
 }
 
+/// Flash bytes of one residual-add node's static parameters: two `M0`/`N0`
+/// branch multipliers (5 bytes each) plus `Z_a`, `Z_b`, `Z_y` (UINT8 each)
+/// — the spec-level twin of the kernel's `QAdd::flash_bytes`, asserted
+/// equal in the deployment-consistency tests.
+pub const RESIDUAL_ADD_PARAM_BYTES: usize = 2 * 5 + 3;
+
 /// Total flash footprint with explicit activation precisions
 /// (`act_bits[i]` = precision of activation tensor `i`, where tensor 0 is
-/// the network input and tensor `i+1` is layer `i`'s output).
+/// the network input and tensor `i+1` is layer `i`'s output). Residual
+/// skips each add one [`RESIDUAL_ADD_PARAM_BYTES`] block.
 ///
 /// # Panics
 ///
@@ -207,28 +228,100 @@ pub fn network_flash_footprint_with_acts(
         .iter()
         .enumerate()
         .map(|(i, l)| layer_flash_footprint(l, scheme, weight_bits[i], act_bits[i + 1]))
-        .sum()
+        .sum::<usize>()
+        + spec.num_skips() * RESIDUAL_ADD_PARAM_BYTES
 }
 
-/// RAM footprint of layer `i`'s activation pair (Eq. 7 left-hand side):
-/// `mem(x_i, Q_x) + mem(y_i, Q_y)`.
+/// RAM footprint of layer `i`'s activation pair (Eq. 7 on a chain):
+/// `mem(x_i, Q_x) + mem(y_i, Q_y)` — the classic double-buffer bound. On a
+/// residual graph the pair *understates* the live set (it misses the
+/// pending skip tensor); [`peak_live_bytes`] prices the true set.
 pub fn activation_pair_bytes(layer: &LayerSpec, qx: BitWidth, qy: BitWidth) -> usize {
     qx.bytes_for(layer.in_act_elements()) + qy.bytes_for(layer.out_act_elements())
 }
 
-/// Peak RAM across all layers for a given activation assignment.
+/// Resolves tensor `t`'s RAM bytes under an assignment: activations are
+/// packed at their assigned precision, pool outputs inherit their input's
+/// precision, logits are `i32`.
+pub(crate) fn spec_tensor_bytes(
+    graph: &GraphSpec,
+    act_bits: &[BitWidth],
+    res_bits: &[BitWidth],
+    t: usize,
+) -> usize {
+    let tensor = graph.tensors()[t];
+    match spec_tensor_bits(graph, act_bits, res_bits, t) {
+        Some(bits) => bits.bytes_for(tensor.elements),
+        None => 4 * tensor.elements,
+    }
+}
+
+/// The assigned precision of tensor `t`, or `None` for the `i32` logits.
+pub(crate) fn spec_tensor_bits(
+    graph: &GraphSpec,
+    act_bits: &[BitWidth],
+    res_bits: &[BitWidth],
+    t: usize,
+) -> Option<BitWidth> {
+    match graph.tensors()[t].source {
+        TensorSource::Input => Some(act_bits[0]),
+        TensorSource::Layer(i) => Some(act_bits[i + 1]),
+        TensorSource::Residual(s) => Some(res_bits[s]),
+        TensorSource::Pool { of } => spec_tensor_bits(graph, act_bits, res_bits, of),
+        TensorSource::Logits => None,
+    }
+}
+
+/// Live activation bytes while step `i` of the schedule executes: every
+/// tensor still needed plus the step's output (Eq. 7's left-hand side,
+/// generalized from a pair to the schedule's true live set).
+pub(crate) fn spec_step_live_bytes(
+    graph: &GraphSpec,
+    act_bits: &[BitWidth],
+    res_bits: &[BitWidth],
+    i: usize,
+) -> usize {
+    let pending: usize = graph
+        .live_at(i)
+        .map(|t| spec_tensor_bytes(graph, act_bits, res_bits, t))
+        .sum();
+    pending + spec_tensor_bytes(graph, act_bits, res_bits, graph.steps()[i].output)
+}
+
+/// Peak activation RAM of the liveness-planned schedule (Eq. 7): for every
+/// step, the bytes of all tensors still needed plus the step's output,
+/// each at its assigned precision; the maximum over steps. Matches the
+/// executor's `QGraph::peak_ram_bytes` of the lowered network exactly —
+/// on a chain it degenerates to the classic largest input+output pair, on
+/// a residual graph the pending skip tensor is priced too.
 ///
 /// # Panics
 ///
-/// Panics if `act_bits.len() != spec.num_layers() + 1`.
-pub fn peak_activation_bytes(spec: &NetworkSpec, act_bits: &[BitWidth]) -> usize {
+/// Panics unless `act_bits.len() == spec.num_layers() + 1` and
+/// `res_bits.len() == spec.num_skips()`.
+pub fn peak_live_bytes(spec: &NetworkSpec, act_bits: &[BitWidth], res_bits: &[BitWidth]) -> usize {
     assert_eq!(act_bits.len(), spec.num_layers() + 1, "activation count");
-    spec.layers()
-        .iter()
-        .enumerate()
-        .map(|(i, l)| activation_pair_bytes(l, act_bits[i], act_bits[i + 1]))
+    assert_eq!(res_bits.len(), spec.num_skips(), "residual tensor count");
+    let graph = spec.graph();
+    (0..graph.steps().len())
+        .map(|i| spec_step_live_bytes(&graph, act_bits, res_bits, i))
         .max()
         .unwrap_or(0)
+}
+
+/// Peak RAM for a chain (skip-free) spec under an activation assignment —
+/// [`peak_live_bytes`] with no residual tensors.
+///
+/// # Panics
+///
+/// Panics if the spec declares skips (pass `res_bits` to
+/// [`peak_live_bytes`] instead) or on an activation-count mismatch.
+pub fn peak_activation_bytes(spec: &NetworkSpec, act_bits: &[BitWidth]) -> usize {
+    assert!(
+        spec.skips().is_empty(),
+        "residual spec: use peak_live_bytes with per-skip precisions"
+    );
+    peak_live_bytes(spec, act_bits, &[])
 }
 
 /// Pretty bytes → MiB with two decimals (the paper's "MB" are mebibytes;
@@ -361,6 +454,40 @@ mod tests {
         assert_eq!(MemoryBudget::one_megabyte_small_ram().rw_bytes, 262_144);
         let s = MemoryBudget::stm32h7().to_string();
         assert!(s.contains("2.00 MiB"));
+        // The shared Eq. 6/7 predicate: inclusive on both axes.
+        let b = MemoryBudget::new(100, 10);
+        assert!(b.fits(100, 10));
+        assert!(!b.fits(101, 10));
+        assert!(!b.fits(100, 11));
+    }
+
+    #[test]
+    fn liveness_peak_prices_residual_live_sets() {
+        // A squeeze bottleneck with an identity skip: the pairwise model
+        // sees at most 768 B, the schedule's add step holds 1536 B.
+        let spec = NetworkSpec::new(
+            "squeeze",
+            mixq_tensor::Shape::feature_map(8, 8, 2),
+            vec![
+                LayerSpec::conv("a", 3, 1, 2, 8, 8, 8),
+                LayerSpec::conv("b", 1, 1, 8, 4, 8, 8),
+                LayerSpec::conv("c", 1, 1, 4, 8, 8, 8),
+                LayerSpec::linear("fc", 8, 3),
+            ],
+        )
+        .with_skip(0, 2);
+        let a8 = vec![BitWidth::W8; spec.num_layers() + 1];
+        assert_eq!(peak_live_bytes(&spec, &a8, &[BitWidth::W8]), 1536);
+        // Halving the residual-add output shrinks only the add step.
+        assert_eq!(peak_live_bytes(&spec, &a8, &[BitWidth::W4]), 1280);
+        // The flash model prices the add's parameter block.
+        let w8 = vec![BitWidth::W8; spec.num_layers()];
+        let chain = NetworkSpec::new("chain", spec.input(), spec.layers().to_vec());
+        assert_eq!(
+            network_flash_footprint_with_acts(&spec, QuantScheme::PerChannelIcn, &w8, &a8),
+            network_flash_footprint_with_acts(&chain, QuantScheme::PerChannelIcn, &w8, &a8)
+                + RESIDUAL_ADD_PARAM_BYTES
+        );
     }
 
     #[test]

@@ -1,13 +1,17 @@
-//! Memory-driven mixed-precision bit assignment (paper §5).
+//! Memory-driven mixed-precision bit assignment (paper §5), generalized
+//! from the layer chain to the residual DAG the executor runs.
 //!
-//! Algorithm 1 cuts *activation* precisions until every layer's
-//! input+output pair fits the read-write budget (Eq. 7), sweeping the
-//! layers forward (cutting outputs) and backward (cutting inputs).
-//! Algorithm 2 cuts *weight* precisions until packed weights plus static
-//! parameters fit the read-only budget (Eq. 6), repeatedly cutting the
-//! earliest layer whose footprint share is within `δ` of the maximum —
-//! the heuristic that "favorites the cut of central layers with respect to
-//! the last layers".
+//! Algorithm 1 cuts *activation* precisions until every schedule step's
+//! live set fits the read-write budget (Eq. 7), sweeping the schedule
+//! forward (cutting step outputs) and backward (cutting step inputs) —
+//! on a chain the live set is the classic input+output pair; on a residual
+//! graph it also holds the pending skip tensor, which keeps its precision
+//! alive across the whole branch and is cut through the residual-add step
+//! that consumes it. Algorithm 2 cuts *weight* precisions until packed
+//! weights plus static parameters fit the read-only budget (Eq. 6),
+//! repeatedly cutting the earliest layer whose footprint share is within
+//! `δ` of the maximum — the heuristic that "favorites the cut of central
+//! layers with respect to the last layers".
 //!
 //! ## Tie-break note (documented deviation)
 //!
@@ -23,12 +27,13 @@
 
 use std::fmt;
 
-use mixq_models::NetworkSpec;
+use mixq_models::{GraphSpec, NetworkSpec, TensorSource};
 use mixq_quant::BitWidth;
 
 use crate::memory::{
-    activation_pair_bytes, layer_flash_footprint, network_flash_footprint_with_acts,
-    peak_activation_bytes, weight_bytes, MemoryBudget, QuantScheme,
+    layer_flash_footprint, network_flash_footprint_with_acts, peak_live_bytes,
+    spec_step_live_bytes, spec_tensor_bits, spec_tensor_bytes, weight_bytes, MemoryBudget,
+    QuantScheme, RESIDUAL_ADD_PARAM_BYTES,
 };
 use crate::MixQError;
 
@@ -118,13 +123,16 @@ impl MixedPrecisionConfig {
 /// `act_bits[i]` is the precision of activation tensor `i` (tensor 0 is the
 /// network input, tensor `i+1` is layer `i`'s output, so layer `i` reads
 /// `act_bits[i]` and writes `act_bits[i+1]`); `weight_bits[i]` is layer
-/// `i`'s weight precision.
+/// `i`'s weight precision; `res_bits[s]` is the precision of residual skip
+/// `s`'s add-output tensor (empty on chain networks).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitAssignment {
     /// Activation precisions (`spec.num_layers() + 1` entries).
     pub act_bits: Vec<BitWidth>,
     /// Weight precisions (`spec.num_layers()` entries).
     pub weight_bits: Vec<BitWidth>,
+    /// Residual-add output precisions (`spec.num_skips()` entries).
+    pub res_bits: Vec<BitWidth>,
 }
 
 impl BitAssignment {
@@ -133,6 +141,7 @@ impl BitAssignment {
         BitAssignment {
             act_bits: vec![BitWidth::W8; spec.num_layers() + 1],
             weight_bits: vec![BitWidth::W8; spec.num_layers()],
+            res_bits: vec![BitWidth::W8; spec.num_skips()],
         }
     }
 
@@ -140,6 +149,7 @@ impl BitAssignment {
     pub fn has_cuts(&self) -> bool {
         self.act_bits.iter().any(|&b| b != BitWidth::W8)
             || self.weight_bits.iter().any(|&b| b != BitWidth::W8)
+            || self.res_bits.iter().any(|&b| b != BitWidth::W8)
     }
 
     /// Total flash footprint under `scheme` (Eq. 6 LHS).
@@ -147,15 +157,17 @@ impl BitAssignment {
         network_flash_footprint_with_acts(spec, scheme, &self.weight_bits, &self.act_bits)
     }
 
-    /// Peak RAM footprint (max over Eq. 7 LHS).
+    /// Peak RAM footprint (Eq. 7 over the liveness schedule — matches the
+    /// executor's `QGraph::peak_ram_bytes` of the lowered network).
     pub fn peak_rw_bytes(&self, spec: &NetworkSpec) -> usize {
-        peak_activation_bytes(spec, &self.act_bits)
+        peak_live_bytes(spec, &self.act_bits, &self.res_bits)
     }
 
-    /// Whether both memory constraints hold.
+    /// Whether both memory constraints hold (the shared
+    /// [`MemoryBudget::fits`] predicate).
     pub fn satisfies(&self, spec: &NetworkSpec, cfg: &MixedPrecisionConfig) -> bool {
-        self.flash_bytes(spec, cfg.scheme) <= cfg.budget.ro_bytes
-            && self.peak_rw_bytes(spec) <= cfg.budget.rw_bytes
+        cfg.budget
+            .fits(self.flash_bytes(spec, cfg.scheme), self.peak_rw_bytes(spec))
     }
 }
 
@@ -169,80 +181,190 @@ impl fmt::Display for BitAssignment {
         for b in &self.act_bits {
             write!(f, "{}", b.bits())?;
         }
-        write!(f, "]")
+        write!(f, "]")?;
+        if !self.res_bits.is_empty() {
+            write!(f, " r[")?;
+            for b in &self.res_bits {
+                write!(f, "{}", b.bits())?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 
-/// `CutBits` of Algorithm 1: should tensor 2 (precision `q2`, footprint
-/// `m2`) be cut, given the paired tensor 1?
-fn cut_bits(
-    q1: BitWidth,
-    m1: usize,
-    q2: BitWidth,
-    m2: usize,
+/// The cuttable precision entry behind a schedule tensor: an interior
+/// activation (`act_bits[i + 1]`), a residual-add output (`res_bits[s]`),
+/// or — for a pool output — the entry of the tensor it aliases. The
+/// network input and the logits are never cut, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CutEntry {
+    Act(usize),
+    Res(usize),
+}
+
+/// Mutable per-tensor precision state of Algorithm 1 over a [`GraphSpec`].
+struct LiveCutter<'a> {
+    graph: &'a GraphSpec,
+    act: Vec<BitWidth>,
+    res: Vec<BitWidth>,
     qa_min: BitWidth,
     tie: TieBreak,
-) -> bool {
-    if q2 <= qa_min {
-        return false;
-    }
-    if q2 > q1 {
-        return true;
-    }
-    if q2 == q1 {
-        return match tie {
-            TieBreak::Strict => m2 > m1,
-            TieBreak::CutProducer => m2 >= m1,
-        };
-    }
-    false
 }
 
-/// Algorithm 1: cut activation bits until every layer pair fits `M_RW`.
+impl LiveCutter<'_> {
+    /// RAM bytes of tensor `t` — the same pricing rule the peak model
+    /// uses, so cut decisions and the Eq. 7 verdict cannot diverge.
+    fn bytes(&self, t: usize) -> usize {
+        spec_tensor_bytes(self.graph, &self.act, &self.res, t)
+    }
+
+    /// Precision of tensor `t` for `CutBits` comparisons (logits compare
+    /// as 8-bit, as the chain algorithm treated the classifier output).
+    fn bits(&self, t: usize) -> BitWidth {
+        spec_tensor_bits(self.graph, &self.act, &self.res, t).unwrap_or(BitWidth::W8)
+    }
+
+    /// Live bytes while step `i` executes (Eq. 7 LHS).
+    fn live_bytes(&self, i: usize) -> usize {
+        spec_step_live_bytes(self.graph, &self.act, &self.res, i)
+    }
+
+    /// The precision entry behind tensor `t`, if it may be cut at all.
+    fn entry_of(&self, t: usize) -> Option<CutEntry> {
+        match self.graph.tensors()[t].source {
+            TensorSource::Input | TensorSource::Logits => None,
+            TensorSource::Layer(i) => Some(CutEntry::Act(i + 1)),
+            TensorSource::Residual(s) => Some(CutEntry::Res(s)),
+            TensorSource::Pool { of } => self.entry_of(of),
+        }
+    }
+
+    /// Whether tensor `t` can still be cut (has an entry above `Q_a,min`).
+    fn cuttable(&self, t: usize) -> bool {
+        self.entry_of(t).is_some() && self.bits(t) > self.qa_min
+    }
+
+    /// Steps down tensor `t`'s precision entry.
+    fn cut(&mut self, t: usize) {
+        let stepped = self.bits(t).step_down().expect("cuttable tensor");
+        match self.entry_of(t).expect("cuttable tensor") {
+            CutEntry::Act(i) => self.act[i] = stepped,
+            CutEntry::Res(s) => self.res[s] = stepped,
+        }
+    }
+
+    /// `CutBits` generalized to a live set: tensor `cand` is cut only when
+    /// no other tensor in the comparison set dominates it — where `other`
+    /// dominates `cand` iff it has higher precision, or equal precision and
+    /// (strictly, under [`TieBreak::CutProducer`]; weakly, under
+    /// [`TieBreak::Strict`]) larger footprint. On a chain the set is the
+    /// step's pair and this is exactly the paper's rule.
+    fn undominated(&self, cand: usize, others: impl Iterator<Item = usize>) -> bool {
+        let (qc, mc) = (self.bits(cand), self.bytes(cand));
+        for o in others {
+            if o == cand {
+                continue;
+            }
+            let (qo, mo) = (self.bits(o), self.bytes(o));
+            let dominates = qo > qc
+                || (qo == qc
+                    && match self.tie {
+                        TieBreak::CutProducer => mo > mc,
+                        TieBreak::Strict => mo >= mc,
+                    });
+            if dominates {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Comparison set of step `i`: its live tensors plus its output.
+    fn step_set(&self, i: usize) -> Vec<usize> {
+        let mut set: Vec<usize> = self.graph.live_at(i).collect();
+        set.push(self.graph.steps()[i].output);
+        set
+    }
+
+    /// Cut-candidate priority: widest precision first, then largest
+    /// footprint, then latest-produced tensor (the producer bias) — the
+    /// single ordering both the backward pass and the relief cut use.
+    fn cut_priority(&self, t: usize) -> impl Ord {
+        (
+            std::cmp::Reverse(self.bits(t)),
+            std::cmp::Reverse(self.bytes(t)),
+            std::cmp::Reverse(t),
+        )
+    }
+
+    /// Tries to cut tensor `cand` against the rest of step `i`'s live set.
+    fn try_cut(&mut self, i: usize, cand: usize) -> bool {
+        if !self.cuttable(cand) {
+            return false;
+        }
+        let set = self.step_set(i);
+        if self.undominated(cand, set.into_iter()) {
+            self.cut(cand);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Algorithm 1 over the DAG schedule: cut activation bits until every
+/// step's live set fits `M_RW`.
 ///
-/// Returns the activation precisions (`spec.num_layers() + 1` entries; the
-/// network input and the final logits stay at 8 bits, as in the paper).
+/// Sweeps the schedule forward (cutting each violating step's *output*)
+/// and backward (cutting each violating step's *inputs* — for a
+/// residual-add step that includes the pending skip tensor, whose extended
+/// live range is priced at every step it spans). If a full sweep stalls
+/// while a violation remains, one relief cut is applied to the largest
+/// undominated live tensor of the first violating step (on a chain both
+/// passes already cover the live pair, so this fires only on residual
+/// graphs). Returns the activation and residual-tensor precisions; the
+/// network input and the final logits stay at 8 bits, as in the paper.
 ///
 /// # Errors
 ///
-/// [`MixQError::InfeasibleActivations`] if a full forward+backward sweep
-/// makes no progress while a pair still violates the budget.
+/// [`MixQError::InfeasibleActivations`] if no cut can relieve a violating
+/// step's live set.
 pub fn cut_activation_bits(
     spec: &NetworkSpec,
     cfg: &MixedPrecisionConfig,
-) -> Result<Vec<BitWidth>, MixQError> {
-    let layers = spec.layers();
-    let l = layers.len();
+) -> Result<(Vec<BitWidth>, Vec<BitWidth>), MixQError> {
+    let graph = spec.graph();
     let rw = cfg.budget.rw_bytes;
-    let mut act = vec![BitWidth::W8; l + 1];
-    let pair = |act: &[BitWidth], i: usize| -> usize {
-        activation_pair_bytes(&layers[i], act[i], act[i + 1])
+    let mut state = LiveCutter {
+        graph: &graph,
+        act: vec![BitWidth::W8; spec.num_layers() + 1],
+        res: vec![BitWidth::W8; spec.num_skips()],
+        qa_min: cfg.qa_min,
+        tie: cfg.tie_break,
     };
+    let n = graph.steps().len();
     loop {
-        if (0..l).all(|i| pair(&act, i) <= rw) {
-            return Ok(act);
+        if (0..n).all(|i| state.live_bytes(i) <= rw) {
+            return Ok((state.act, state.res));
         }
         let mut progressed = false;
-        // Forward pass: cut outputs Q_y^i ≡ Q_x^{i+1} (never the logits).
-        for i in 0..l.saturating_sub(1) {
-            while pair(&act, i) > rw {
-                let m1 = act[i].bytes_for(layers[i].in_act_elements());
-                let m2 = act[i + 1].bytes_for(layers[i].out_act_elements());
-                if cut_bits(act[i], m1, act[i + 1], m2, cfg.qa_min, cfg.tie_break) {
-                    act[i + 1] = act[i + 1].step_down().expect("above minimum");
-                    progressed = true;
-                } else {
-                    break;
-                }
+        // Forward pass: cut step outputs Q_y (never the logits; a pool
+        // output aliases its source tensor and is handled as an input).
+        for i in 0..n {
+            let out = graph.steps()[i].output;
+            while state.live_bytes(i) > rw && state.try_cut(i, out) {
+                progressed = true;
             }
         }
-        // Backward pass: cut inputs Q_x^i ≡ Q_y^{i-1} (never the input).
-        for i in (1..l).rev() {
-            while pair(&act, i) > rw {
-                let m1 = act[i + 1].bytes_for(layers[i].out_act_elements());
-                let m2 = act[i].bytes_for(layers[i].in_act_elements());
-                if cut_bits(act[i + 1], m1, act[i], m2, cfg.qa_min, cfg.tie_break) {
-                    act[i] = act[i].step_down().expect("above minimum");
+        // Backward pass: cut step inputs Q_x (never the network input).
+        // Residual-add steps offer both branches, widest-then-largest
+        // first — this is where a pending skip tensor gets cut.
+        for i in (0..n).rev() {
+            while state.live_bytes(i) > rw {
+                let mut inputs = graph.steps()[i].inputs.clone();
+                inputs.sort_by_key(|&t| state.cut_priority(t));
+                if inputs.into_iter().any(|t| state.try_cut(i, t)) {
                     progressed = true;
                 } else {
                     break;
@@ -250,14 +372,21 @@ pub fn cut_activation_bits(
             }
         }
         if !progressed {
-            let layer = (0..l)
-                .find(|&i| pair(&act, i) > rw)
+            // Relief: a violating step whose input/output candidates are
+            // exhausted may still hold a cuttable *pending* tensor (a skip
+            // branch passing through). Cut the largest undominated one.
+            let step = (0..n)
+                .find(|&i| state.live_bytes(i) > rw)
                 .expect("a violation exists when no progress is made");
-            return Err(MixQError::InfeasibleActivations {
-                layer,
-                pair_bytes: pair(&act, layer),
-                budget: rw,
-            });
+            let mut live = state.step_set(step);
+            live.sort_by_key(|&t| state.cut_priority(t));
+            if !live.into_iter().any(|t| state.try_cut(step, t)) {
+                return Err(MixQError::InfeasibleActivations {
+                    layer: step,
+                    pair_bytes: state.live_bytes(step),
+                    budget: rw,
+                });
+            }
         }
     }
 }
@@ -281,13 +410,18 @@ pub fn cut_weight_bits(
 ) -> Result<Vec<BitWidth>, MixQError> {
     let layers = spec.layers();
     assert_eq!(act_bits.len(), layers.len() + 1, "activation count");
+    // Weight cuts cannot shrink the residual-add parameter blocks, but
+    // Eq. 6 must still price them — otherwise a budget in that band would
+    // approve an assignment that fails its own `satisfies` check.
+    let add_params = spec.num_skips() * RESIDUAL_ADD_PARAM_BYTES;
     let mut w = vec![BitWidth::W8; layers.len()];
     loop {
         let total: usize = layers
             .iter()
             .enumerate()
             .map(|(i, l)| layer_flash_footprint(l, cfg.scheme, w[i], act_bits[i + 1]))
-            .sum();
+            .sum::<usize>()
+            + add_params;
         if total <= cfg.budget.ro_bytes {
             return Ok(w);
         }
@@ -335,11 +469,12 @@ pub fn assign_bits(
     spec: &NetworkSpec,
     cfg: &MixedPrecisionConfig,
 ) -> Result<BitAssignment, MixQError> {
-    let act_bits = cut_activation_bits(spec, cfg)?;
+    let (act_bits, res_bits) = cut_activation_bits(spec, cfg)?;
     let weight_bits = cut_weight_bits(spec, cfg, &act_bits)?;
     Ok(BitAssignment {
         act_bits,
         weight_bits,
+        res_bits,
     })
 }
 
@@ -362,7 +497,8 @@ pub fn hybrid_pl_flash_bytes(spec: &NetworkSpec, assignment: &BitAssignment) -> 
             };
             layer_flash_footprint(l, scheme, wq, aq)
         })
-        .sum()
+        .sum::<usize>()
+        + spec.num_skips() * crate::memory::RESIDUAL_ADD_PARAM_BYTES
 }
 
 #[cfg(test)]
@@ -405,7 +541,8 @@ mod tests {
         // y: 112·112·32 = 602112 B total); the forward pass cuts the output.
         let spec = mobilenet(Resolution::R224, WidthMultiplier::X0_5);
         let cfg = stm32h7_cfg(QuantScheme::PerLayerIcn);
-        let act = cut_activation_bits(&spec, &cfg).expect("feasible");
+        let (act, res) = cut_activation_bits(&spec, &cfg).expect("feasible");
+        assert!(res.is_empty(), "chain spec has no residual tensors");
         for (i, &b) in act.iter().enumerate() {
             if i == 3 {
                 assert_eq!(b, BitWidth::W4, "pw1 output cut to 4 bits");
@@ -519,7 +656,7 @@ mod tests {
         assert!(matches!(err, MixQError::InfeasibleActivations { .. }));
         // The producer-biased default resolves it.
         let default = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn);
-        let act = cut_activation_bits(&spec, &default).expect("feasible");
+        let (act, _) = cut_activation_bits(&spec, &default).expect("feasible");
         assert!(act.iter().any(|&b| b < BitWidth::W8));
     }
 

@@ -104,11 +104,10 @@ pub struct DeploymentReport {
     pub assignment: Option<BitAssignment>,
     /// Whether the *converted* network fits the budget: actual flash bytes
     /// against `M_RO` and the graph's liveness-planned peak activation RAM
-    /// against `M_RW`. The RAM check matters for residual networks — the
-    /// shape-level §5 assignment prices only input+output pairs and cannot
-    /// see the live skip tensor, so this is where an over-budget residual
-    /// deployment is caught (see ROADMAP, "Residual tensors in the §5
-    /// assignment").
+    /// against `M_RW`, through the same [`MemoryBudget::fits`] predicate
+    /// `BitAssignment::satisfies` uses. Since the §5 assignment prices the
+    /// DAG liveness schedule itself, an assignment-approved network also
+    /// passes this check — asserted by `tests/dag_assignment.rs`.
     pub fits_budget: Option<bool>,
     /// Operation counts of one inference.
     pub ops_per_inference: OpCounts,
@@ -162,12 +161,17 @@ pub fn deploy(
     }
     let mut assignment = None;
     if let Some(budget) = cfg.budget {
+        // The spec carries the residual skips, so Algorithms 1–2 price the
+        // same DAG liveness the executor will run.
         let net_spec = network_spec_of(&net, "pipeline");
         let mp_cfg = MixedPrecisionConfig::new(budget, cfg.scheme);
         let bits = assign_bits(&net_spec, &mp_cfg)?;
         for i in 0..net.num_blocks() {
             net.set_weight_bits(i, bits.weight_bits[i]);
             net.set_act_bits(i, bits.act_bits[i + 1]);
+        }
+        for (r, &b) in bits.res_bits.iter().enumerate() {
+            net.set_residual_act_bits(r, b);
         }
         net.set_linear_weight_bits(bits.weight_bits[net.num_blocks()]);
         assignment = Some(bits);
@@ -188,7 +192,7 @@ pub fn deploy(
         flash_bytes: int_net.flash_bytes(),
         fits_budget: cfg
             .budget
-            .map(|b| int_net.flash_bytes() <= b.ro_bytes && int_net.peak_ram_bytes() <= b.rw_bytes),
+            .map(|b| b.fits(int_net.flash_bytes(), int_net.peak_ram_bytes())),
         assignment,
         ops_per_inference: ops,
     };

@@ -33,4 +33,7 @@ pub mod micro;
 pub mod mobilenet;
 pub mod spec;
 
-pub use spec::{LayerKind, LayerSpec, NetworkSpec};
+pub use spec::{
+    GraphSpec, LayerKind, LayerSpec, NetworkSpec, SkipSpec, SpecOp, SpecStep, SpecTensor,
+    TensorSource,
+};

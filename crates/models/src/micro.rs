@@ -151,9 +151,11 @@ pub fn mobilenet_like_residual(
     spec
 }
 
-/// Converts a built QAT network into a shape-level [`NetworkSpec`], so the
-/// same memory model and bit-assignment algorithms used for MobileNetV1
-/// apply to the micro-CNNs.
+/// Converts a built QAT network into a shape-level [`NetworkSpec`] —
+/// including its residual skips, carried over edge for edge (skip `s` of
+/// the spec is residual `s` of the network) — so the same memory model and
+/// bit-assignment algorithms used for MobileNetV1 apply to the micro-CNNs
+/// and their residual variants.
 pub fn network_spec_of(net: &QatNetwork, name: &str) -> NetworkSpec {
     let mut layers = Vec::with_capacity(net.num_blocks() + 1);
     let mut shape = net.input_shape();
@@ -187,7 +189,7 @@ pub fn network_spec_of(net: &QatNetwork, name: &str) -> NetworkSpec {
         net.linear().in_features(),
         net.linear().out_features(),
     ));
-    NetworkSpec::new(
+    let mut spec = NetworkSpec::new(
         name,
         Shape::feature_map(
             net.input_shape().h,
@@ -195,7 +197,11 @@ pub fn network_spec_of(net: &QatNetwork, name: &str) -> NetworkSpec {
             net.input_shape().c,
         ),
         layers,
-    )
+    );
+    for r in net.residuals() {
+        spec = spec.with_skip(r.from(), r.to());
+    }
+    spec
 }
 
 #[cfg(test)]

@@ -1,10 +1,17 @@
 //! Shape-level network descriptors.
 //!
-//! A [`NetworkSpec`] is the chain of "quantized convolutional layers" the
+//! A [`NetworkSpec`] is the graph of "quantized convolutional layers" the
 //! paper's Algorithms 1–2 operate on (§5): each layer has an input and an
 //! output activation tensor (`y_i ≡ x_{i+1}`) plus a weight tensor. The
 //! classifier ([`LayerKind::Linear`]) participates in the weight budget
 //! (Eq. 6) exactly like a 1×1 convolution over a 1×1 feature map.
+//!
+//! Beyond the chain, a spec may declare identity residual [`SkipSpec`]
+//! edges (MobileNetV2-style bottleneck skips). [`NetworkSpec::graph`]
+//! lowers the spec to a [`GraphSpec`]: an execution schedule with explicit
+//! tensor ids mirroring the executor's `QGraph` wiring node for node, so
+//! the deployment memory model can price the true multi-tensor live set of
+//! every step instead of just input+output pairs.
 
 use std::fmt;
 
@@ -233,17 +240,42 @@ impl fmt::Display for LayerSpec {
     }
 }
 
-/// A whole network as an ordered chain of weight-carrying layers.
+/// An identity residual skip edge: layer `to`'s output gains layer
+/// `from`'s (post-residual) output, and the sum is a *new* activation
+/// tensor with its own precision — the shape-level twin of the executor's
+/// requantizing `QAdd` node and of the QAT graph's `ResidualSkip`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SkipSpec {
+    from: usize,
+    to: usize,
+}
+
+impl SkipSpec {
+    /// Source layer index (its post-residual output feeds the skip).
+    pub fn from(&self) -> usize {
+        self.from
+    }
+
+    /// Destination layer index (the join happens after this layer).
+    pub fn to(&self) -> usize {
+        self.to
+    }
+}
+
+/// A whole network as an ordered list of weight-carrying layers plus
+/// optional identity residual [`SkipSpec`] edges.
 ///
-/// Consecutive layers share activation tensors (`y_i ≡ x_{i+1}`); a global
-/// average pool (if any) is implicit between the last convolution and the
-/// classifier — it carries no weights and shrinks the activation, so it
-/// never binds in Eq. 7.
+/// Consecutive layers share activation tensors (`y_i ≡ x_{i+1}`) — except
+/// across a skip join, where the next layer consumes the residual-add
+/// output instead. A global average pool is implicit between the last
+/// convolution and the classifier; [`NetworkSpec::graph`] makes it (and
+/// every tensor's true live range) explicit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
     name: String,
     input: Shape,
     layers: Vec<LayerSpec>,
+    skips: Vec<SkipSpec>,
 }
 
 impl NetworkSpec {
@@ -269,7 +301,56 @@ impl NetworkSpec {
             name: name.to_owned(),
             input,
             layers,
+            skips: Vec::new(),
         }
+    }
+
+    /// Declares an identity residual skip from layer `from`'s output to
+    /// layer `to`'s output (mirrors `QatNetwork::add_residual`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range or not strictly forward, if
+    /// either endpoint is the classifier, if layer `to` already receives a
+    /// skip, or if the two output tensors differ in element count
+    /// (identity shortcuts only — no projection).
+    pub fn with_skip(mut self, from: usize, to: usize) -> Self {
+        assert!(from < to, "skip must run forward: {from} -> {to}");
+        assert!(to < self.layers.len(), "skip destination out of range");
+        assert!(
+            self.layers[from].kind() != LayerKind::Linear
+                && self.layers[to].kind() != LayerKind::Linear,
+            "skips join convolution outputs, not the classifier"
+        );
+        assert!(
+            self.skips.iter().all(|s| s.to != to),
+            "layer {to} already receives a residual skip"
+        );
+        assert_eq!(
+            self.layers[from].out_act_elements(),
+            self.layers[to].out_act_elements(),
+            "identity skip needs matching tensors: {} vs {}",
+            self.layers[from].name(),
+            self.layers[to].name()
+        );
+        self.skips.push(SkipSpec { from, to });
+        self
+    }
+
+    /// The declared residual skips, in insertion order (the index is the
+    /// skip's id in `BitAssignment::res_bits`).
+    pub fn skips(&self) -> &[SkipSpec] {
+        &self.skips
+    }
+
+    /// Number of residual skips.
+    pub fn num_skips(&self) -> usize {
+        self.skips.len()
+    }
+
+    /// Index of the skip joining after layer `layer`, if any.
+    pub fn skip_ending_at(&self, layer: usize) -> Option<usize> {
+        self.skips.iter().position(|s| s.to == layer)
     }
 
     /// Model name (e.g. `"224_1.0"`).
@@ -312,6 +393,18 @@ impl NetworkSpec {
             .max()
             .unwrap_or(0)
     }
+
+    /// Lowers the spec to its execution schedule with explicit tensor ids —
+    /// the wiring the executor's `QGraph` will actually run, node for node:
+    /// one step per layer, a residual-add step after each skip destination,
+    /// and an explicit global-average-pool step ahead of the classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`LayerKind::Linear`] layer appears anywhere but last.
+    pub fn graph(&self) -> GraphSpec {
+        GraphSpec::plan(self)
+    }
 }
 
 impl fmt::Display for NetworkSpec {
@@ -320,7 +413,196 @@ impl fmt::Display for NetworkSpec {
         for l in &self.layers {
             writeln!(f, "  {l}")?;
         }
+        for s in &self.skips {
+            writeln!(
+                f,
+                "  skip {} -> {}",
+                self.layers[s.from()].name(),
+                self.layers[s.to()].name()
+            )?;
+        }
         Ok(())
+    }
+}
+
+/// What defines a [`GraphSpec`] tensor — the key the memory model uses to
+/// resolve the tensor's precision from a bit assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorSource {
+    /// The network input (`act_bits[0]`; never cut).
+    Input,
+    /// Output of layer `i` (`act_bits[i + 1]`).
+    Layer(usize),
+    /// Output of the residual add joining skip `s` (`res_bits[s]`).
+    Residual(usize),
+    /// Global-average-pool output: same precision as its input tensor
+    /// (the pool passes codes through), referenced by tensor id.
+    Pool {
+        /// Tensor id of the pool's input.
+        of: usize,
+    },
+    /// The classifier's `i32` logits (4 bytes per element, fixed).
+    Logits,
+}
+
+/// One tensor of the lowered schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecTensor {
+    /// Element count.
+    pub elements: usize,
+    /// What defines the tensor.
+    pub source: TensorSource,
+}
+
+/// The operation a [`SpecStep`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecOp {
+    /// Layer `i` of the spec (convolution, depthwise or classifier).
+    Layer(usize),
+    /// The residual add joining skip `s`.
+    ResidualAdd(usize),
+    /// The implicit global average pool ahead of the classifier.
+    AvgPool,
+}
+
+/// One step of the lowered execution schedule. The step's output tensor id
+/// is always `step_index + 1` (id 0 is the network input), exactly as in
+/// the executor's `QGraph`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpecStep {
+    /// The operation.
+    pub op: SpecOp,
+    /// Input tensor ids.
+    pub inputs: Vec<usize>,
+    /// Output tensor id (`step_index + 1`).
+    pub output: usize,
+}
+
+/// The lowered execution schedule of a [`NetworkSpec`]: steps in
+/// topological order, explicit tensors, and each tensor's last-use step —
+/// the structural mirror of the executor's `QGraph` liveness plan, so that
+/// shape-level Eq. 7 accounting and the deployed graph price the *same*
+/// live sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    steps: Vec<SpecStep>,
+    tensors: Vec<SpecTensor>,
+    last_uses: Vec<usize>,
+}
+
+impl GraphSpec {
+    fn plan(spec: &NetworkSpec) -> GraphSpec {
+        let layers = spec.layers();
+        let mut steps = Vec::new();
+        let mut tensors = vec![SpecTensor {
+            elements: layers[0].in_act_elements(),
+            source: TensorSource::Input,
+        }];
+        // Post-residual output tensor of each layer processed so far.
+        let mut out_tensor = Vec::with_capacity(layers.len());
+        let mut cur = 0usize;
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.kind() == LayerKind::Linear {
+                assert_eq!(i, layers.len() - 1, "classifier must be the terminal layer");
+                // The executor pools ahead of the head: pool output keeps
+                // its input's precision and shrinks to one pixel per
+                // channel (= the classifier's input features).
+                let pool_out = tensors.len();
+                steps.push(SpecStep {
+                    op: SpecOp::AvgPool,
+                    inputs: vec![cur],
+                    output: pool_out,
+                });
+                tensors.push(SpecTensor {
+                    elements: layer.in_act_elements(),
+                    source: TensorSource::Pool { of: cur },
+                });
+                cur = pool_out;
+                let logits = tensors.len();
+                steps.push(SpecStep {
+                    op: SpecOp::Layer(i),
+                    inputs: vec![cur],
+                    output: logits,
+                });
+                tensors.push(SpecTensor {
+                    elements: layer.out_act_elements(),
+                    source: TensorSource::Logits,
+                });
+                cur = logits;
+                out_tensor.push(cur);
+                continue;
+            }
+            let out = tensors.len();
+            steps.push(SpecStep {
+                op: SpecOp::Layer(i),
+                inputs: vec![cur],
+                output: out,
+            });
+            tensors.push(SpecTensor {
+                elements: layer.out_act_elements(),
+                source: TensorSource::Layer(i),
+            });
+            cur = out;
+            if let Some(s) = spec.skip_ending_at(i) {
+                let skip_src = out_tensor[spec.skips()[s].from()];
+                let add_out = tensors.len();
+                steps.push(SpecStep {
+                    op: SpecOp::ResidualAdd(s),
+                    inputs: vec![cur, skip_src],
+                    output: add_out,
+                });
+                tensors.push(SpecTensor {
+                    elements: layers[i].out_act_elements(),
+                    source: TensorSource::Residual(s),
+                });
+                cur = add_out;
+            }
+            out_tensor.push(cur);
+        }
+        // Last schedule step needing each tensor, mirroring the executor:
+        // a tensor's defining step when unused, its final consumer
+        // otherwise, and a past-the-end pin for the terminal tensor.
+        let mut last_uses = vec![0usize];
+        for k in 0..steps.len() {
+            last_uses.push(k);
+        }
+        for (i, step) in steps.iter().enumerate() {
+            for &t in &step.inputs {
+                last_uses[t] = last_uses[t].max(i);
+            }
+        }
+        if !steps.is_empty() {
+            let n = steps.len();
+            last_uses[n] = n;
+        }
+        GraphSpec {
+            steps,
+            tensors,
+            last_uses,
+        }
+    }
+
+    /// The schedule steps, in execution order.
+    pub fn steps(&self) -> &[SpecStep] {
+        &self.steps
+    }
+
+    /// The tensors (index = tensor id; id 0 is the network input).
+    pub fn tensors(&self) -> &[SpecTensor] {
+        &self.tensors
+    }
+
+    /// Last schedule step at which each tensor is still needed.
+    pub fn last_uses(&self) -> &[usize] {
+        &self.last_uses
+    }
+
+    /// Tensor ids live *while step `i` executes*, excluding the step's own
+    /// output: every earlier-defined tensor whose last consumer has not run
+    /// yet. With the output added, this is the Eq. 7 live set of the step.
+    pub fn live_at(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let last = &self.last_uses;
+        (0..=i).filter(move |&t| last[t] >= i)
     }
 }
 
@@ -377,6 +659,115 @@ mod tests {
             LayerSpec::conv("c1", 3, 1, 8, 8, 8, 8),
         ];
         let _ = NetworkSpec::new("bad", Shape::feature_map(8, 8, 1), layers);
+    }
+
+    fn skip_spec() -> NetworkSpec {
+        NetworkSpec::new(
+            "skip",
+            Shape::feature_map(6, 6, 2),
+            vec![
+                LayerSpec::conv("a", 3, 1, 2, 4, 6, 6),
+                LayerSpec::depthwise("d", 3, 1, 4, 6, 6),
+                LayerSpec::conv("p", 1, 1, 4, 4, 6, 6),
+                LayerSpec::linear("fc", 4, 2),
+            ],
+        )
+        .with_skip(0, 2)
+    }
+
+    #[test]
+    fn skips_are_recorded_and_scheduled() {
+        let spec = skip_spec();
+        assert_eq!(spec.num_skips(), 1);
+        assert_eq!(spec.skips()[0].from(), 0);
+        assert_eq!(spec.skips()[0].to(), 2);
+        assert_eq!(spec.skip_ending_at(2), Some(0));
+        assert_eq!(spec.skip_ending_at(1), None);
+        let g = spec.graph();
+        // a, d, p, add, pool, fc.
+        assert_eq!(g.steps().len(), 6);
+        assert_eq!(g.tensors().len(), 7);
+        assert_eq!(g.steps()[3].op, SpecOp::ResidualAdd(0));
+        assert_eq!(g.steps()[3].inputs, vec![3, 1]);
+        // The skip source lives until the add; the add output feeds pool.
+        assert_eq!(g.last_uses()[1], 3);
+        assert_eq!(g.steps()[4].inputs, vec![4]);
+        assert_eq!(g.tensors()[5].source, TensorSource::Pool { of: 4 });
+        assert_eq!(g.tensors()[6].source, TensorSource::Logits);
+        // Live set at step p (index 2): skip source (1) and d's output (2).
+        let live: Vec<usize> = g.live_at(2).collect();
+        assert_eq!(live, vec![1, 2]);
+        assert!(spec.to_string().contains("skip a -> p"));
+    }
+
+    #[test]
+    fn chained_skips_reference_post_residual_sources() {
+        // Two back-to-back skips: the second's source is the first's add
+        // output, exactly as the QAT graph and the executor wire it.
+        let layers = vec![
+            LayerSpec::conv("a", 3, 1, 2, 4, 6, 6),
+            LayerSpec::conv("b", 1, 1, 4, 4, 6, 6),
+            LayerSpec::conv("c", 1, 1, 4, 4, 6, 6),
+            LayerSpec::linear("fc", 4, 2),
+        ];
+        let spec = NetworkSpec::new("chained", Shape::feature_map(6, 6, 2), layers)
+            .with_skip(0, 1)
+            .with_skip(1, 2);
+        let g = spec.graph();
+        // a, b, add0, c, add1, pool, fc.
+        assert_eq!(g.steps().len(), 7);
+        assert_eq!(g.steps()[2].op, SpecOp::ResidualAdd(0));
+        // add1 consumes c's output and add0's output (tensor 3), not b's.
+        assert_eq!(g.steps()[4].op, SpecOp::ResidualAdd(1));
+        assert_eq!(g.steps()[4].inputs, vec![4, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching tensors")]
+    fn mismatched_skip_shapes_panic() {
+        let layers = vec![
+            LayerSpec::conv("a", 3, 1, 2, 4, 6, 6),
+            LayerSpec::conv("b", 3, 2, 4, 4, 6, 6),
+            LayerSpec::linear("fc", 4, 2),
+        ];
+        let _ = NetworkSpec::new("bad", Shape::feature_map(6, 6, 2), layers).with_skip(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already receives")]
+    fn duplicate_skip_destination_panics() {
+        let _ = skip_spec().with_skip(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not the classifier")]
+    fn skip_into_classifier_panics() {
+        let layers = vec![
+            LayerSpec::conv("a", 3, 1, 2, 4, 6, 6),
+            LayerSpec::linear("fc", 4, 2),
+        ];
+        let _ = NetworkSpec::new("bad", Shape::feature_map(6, 6, 2), layers).with_skip(0, 1);
+    }
+
+    #[test]
+    fn chain_schedule_matches_layer_list() {
+        let layers = vec![
+            LayerSpec::conv("c0", 3, 1, 1, 4, 8, 8),
+            LayerSpec::conv("c1", 3, 2, 4, 8, 8, 8),
+            LayerSpec::linear("fc", 8, 2),
+        ];
+        let spec = NetworkSpec::new("toy", Shape::feature_map(8, 8, 1), layers);
+        let g = spec.graph();
+        // c0, c1, pool, fc.
+        assert_eq!(g.steps().len(), 4);
+        assert_eq!(g.steps()[2].op, SpecOp::AvgPool);
+        assert_eq!(g.steps()[3].op, SpecOp::Layer(2));
+        assert_eq!(g.tensors()[1].source, TensorSource::Layer(0));
+        assert_eq!(g.tensors()[0].source, TensorSource::Input);
+        // Pool output has one element per classifier input feature.
+        assert_eq!(g.tensors()[3].elements, 8);
+        // Logits are the terminal tensor, pinned past the final step.
+        assert_eq!(g.last_uses()[4], 4);
     }
 
     #[test]

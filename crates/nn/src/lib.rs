@@ -14,7 +14,7 @@
 //!
 //! Layer inventory: [`Conv2d`] (standard + depthwise), [`BatchNorm`],
 //! [`Linear`], [`GlobalAvgPool`], [`PactQuantAct`]; losses in [`loss`];
-//! [`Adam`] in [`optim`]; the assembled QAT network in [`qat`] and the
+//! [`Adam`](optim::Adam) in [`optim`]; the assembled QAT network in [`qat`] and the
 //! training loop in [`train`].
 //!
 //! # Examples

@@ -622,6 +622,17 @@ impl QatNetwork {
         self.blocks[i].set_weight_bits(bits);
     }
 
+    /// Sets the activation precision of residual skip `r`'s re-quantizing
+    /// PACT activation — the width the memory-driven assignment gives the
+    /// residual-add output tensor (lowered onto the `QAdd` node's output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn set_residual_act_bits(&mut self, r: usize, bits: BitWidth) {
+        self.residuals[r].act.set_bits(bits);
+    }
+
     /// Freezes every batch-norm layer (paper: after the first epoch).
     pub fn freeze_batch_norms(&mut self) {
         for b in &mut self.blocks {

@@ -149,7 +149,7 @@ impl EmaObserver {
 }
 
 /// Histogram-based range estimator with percentile calibration — the
-/// TensorRT-style alternative the paper cites (§2, [18]): instead of the
+/// TensorRT-style alternative the paper cites (§2, \[18\]): instead of the
 /// raw min/max, clip the range at a percentile of the observed magnitude
 /// distribution, trading saturation of outliers for resolution on the bulk.
 #[derive(Debug, Clone, PartialEq)]

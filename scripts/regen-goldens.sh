@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the golden-output regression files under tests/goldens/.
+#
+# Run after an *intentional* change to the Table 1/2/4 or Figure 3
+# reproductions, review the diff, and commit the updated goldens. The CI
+# golden-regression job diffs freshly emitted JSON against these files, so
+# an unreviewed change to any checked-in number fails the build.
+#
+# Bench binaries run with the package directory as CWD, hence the absolute
+# paths.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+root="$PWD"
+for bench in table1_layer_memory table2_int4_mobilenet \
+             table4_mixed_accuracy figure3_bit_assignment; do
+  echo "== $bench =="
+  cargo bench --bench "$bench" -- --json "$root/tests/goldens/$bench.json" >/dev/null
+done
+echo "goldens updated:"
+git status --short tests/goldens/

@@ -1,0 +1,261 @@
+//! DAG-aware memory-driven bit assignment (Algorithms 1–2 over residual
+//! graphs): the §5 procedure now prices the executor's liveness schedule,
+//! so assignment-approved residual networks always fit the deployed
+//! graph's measured peak RAM, a deliberately tight `M_RW` cuts the skip
+//! tensor the chain-era pairwise model could not even see, and the
+//! assignment lowers end to end (QAT residual activations take their
+//! assigned widths, `QAdd` joins carry them).
+
+mod common;
+
+use common::{lowered_peak_ram, pairwise_peak_bytes};
+
+use mixq::core::convert::{convert, scheme_granularity};
+use mixq::core::memory::{peak_live_bytes, MemoryBudget, QuantScheme, RESIDUAL_ADD_PARAM_BYTES};
+use mixq::core::mixed::{assign_bits, BitAssignment, MixedPrecisionConfig};
+use mixq::kernels::AnyOp;
+use mixq::models::micro::{mobilenet_like_residual, network_spec_of};
+use mixq::models::{LayerSpec, NetworkSpec, SpecOp, TensorSource};
+use mixq::nn::qat::QatNetwork;
+use mixq::quant::BitWidth;
+use mixq::tensor::{Shape, Tensor};
+
+/// A bottleneck whose skip tensor is the widest thing alive mid-branch:
+/// the branch squeezes channels 8 → 4 → 8 while the skip holds the full
+/// 8-channel tensor across it.
+fn squeeze_skip_spec() -> NetworkSpec {
+    NetworkSpec::new(
+        "squeeze-skip",
+        Shape::feature_map(8, 8, 2),
+        vec![
+            LayerSpec::conv("a", 3, 1, 2, 8, 8, 8),
+            LayerSpec::conv("b", 1, 1, 8, 4, 8, 8),
+            LayerSpec::conv("c", 1, 1, 4, 8, 8, 8),
+            LayerSpec::linear("fc", 8, 3),
+        ],
+    )
+    .with_skip(0, 2)
+}
+
+fn residual_mobilenet_spec() -> NetworkSpec {
+    // Width /4 keeps the binding step's output at least as large as its
+    // input, so Algorithm 1 has room to cut below the uniform-8 peak (the
+    // network input itself is never cut).
+    let spec = mobilenet_like_residual(32, 2, 4, 3);
+    let net = QatNetwork::build(&spec, 7);
+    network_spec_of(&net, "mobilenet-residual")
+}
+
+#[test]
+fn spec_schedule_mirrors_graph_wiring() {
+    let spec = squeeze_skip_spec();
+    assert_eq!(spec.num_skips(), 1);
+    assert_eq!(spec.skip_ending_at(2), Some(0));
+    let g = spec.graph();
+    // a, b, c, add, pool, fc = 6 steps; input + 6 outputs = 7 tensors.
+    assert_eq!(g.steps().len(), 6);
+    assert_eq!(g.tensors().len(), 7);
+    assert_eq!(g.steps()[3].op, SpecOp::ResidualAdd(0));
+    // The add consumes c's output and the skip source (a's output).
+    assert_eq!(g.steps()[3].inputs, vec![3, 1]);
+    assert_eq!(g.steps()[4].op, SpecOp::AvgPool);
+    assert_eq!(g.tensors()[4].source, TensorSource::Residual(0));
+    assert_eq!(g.tensors()[6].source, TensorSource::Logits);
+    // The skip source stays alive from its definition to the add step.
+    assert_eq!(g.last_uses()[1], 3);
+    // Layer b's consumer chain ends at c.
+    assert_eq!(g.last_uses()[2], 2);
+}
+
+#[test]
+fn assignment_peak_matches_lowered_planner_on_mobilenet_residual() {
+    // The acceptance bar: on `mobilenet_like_residual`, the assignment's
+    // predicted peak equals `QGraph::peak_ram_bytes` of the lowered
+    // network — at uniform 8 bits and after budget-forced cuts alike.
+    let spec = residual_mobilenet_spec();
+    assert_eq!(spec.num_skips(), 8, "width/4 variant declares 8 skips");
+    let uniform = BitAssignment::uniform8(&spec);
+    let peak8 = uniform.peak_rw_bytes(&spec);
+    assert_eq!(peak8, lowered_peak_ram(&spec, &uniform));
+
+    // Budgets down to the fixed 8-bit input's floor (the network input is
+    // never cut, so the binding step cannot shrink below input + Q_a,min).
+    let mut forced_cuts = false;
+    for rw in [peak8, peak8 * 7 / 8, peak8 * 3 / 4] {
+        let cfg = MixedPrecisionConfig::new(
+            MemoryBudget::new(usize::MAX, rw),
+            QuantScheme::PerChannelIcn,
+        );
+        let a = assign_bits(&spec, &cfg).expect("feasible");
+        forced_cuts |= a.has_cuts();
+        assert!(a.satisfies(&spec, &cfg));
+        assert_eq!(
+            a.peak_rw_bytes(&spec),
+            lowered_peak_ram(&spec, &a),
+            "assignment and executor disagree at RW {rw}: {a}"
+        );
+    }
+    assert!(forced_cuts, "the tighter budgets must force cuts");
+}
+
+#[test]
+fn tight_rw_cuts_the_skip_tensor_the_chain_model_missed() {
+    let spec = squeeze_skip_spec();
+    let uniform = BitAssignment::uniform8(&spec);
+    // Tensor bytes at 8 bits: a_out 512 (the skip), b_out 256, c_out 512,
+    // add_out 512. The chain-era pairwise model tops out at b's pair
+    // (512 + 256 = 768); the true live set peaks at the add step
+    // (a_out + c_out + add_out = 1536).
+    assert_eq!(pairwise_peak_bytes(&spec, &uniform), 768);
+    assert_eq!(uniform.peak_rw_bytes(&spec), 1536);
+
+    // A budget the pairwise model accepts at uniform 8 bits...
+    let budget = MemoryBudget::new(usize::MAX, 768);
+    assert!(pairwise_peak_bytes(&spec, &uniform) <= budget.rw_bytes);
+    // ...which the executor would reject outright.
+    assert!(uniform.peak_rw_bytes(&spec) > budget.rw_bytes);
+
+    // The DAG-aware assignment sees the violation and resolves it by
+    // cutting the skip-source tensor (and the branch tensors around it).
+    let cfg = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn);
+    let a = assign_bits(&spec, &cfg).expect("feasible");
+    assert_eq!(
+        a.act_bits[1],
+        BitWidth::W4,
+        "the pending skip tensor must be cut: {a}"
+    );
+    assert!(a.res_bits[0] < BitWidth::W8, "residual output cut: {a}");
+    assert!(a.satisfies(&spec, &cfg));
+    assert_eq!(a.peak_rw_bytes(&spec), lowered_peak_ram(&spec, &a));
+    assert!(a.peak_rw_bytes(&spec) <= budget.rw_bytes);
+}
+
+#[test]
+fn assignment_lowers_through_qat_onto_qadd_nodes() {
+    // End-to-end threading: assignment → QAT residual activation widths →
+    // converted `QAdd` output precisions → executor peak equals the
+    // spec-level prediction on the real deployment graph. The trainable
+    // twin of `squeeze_skip_spec`, under the budget that cuts its skip.
+    use mixq::nn::qat::{BlockSpec, MicroCnnSpec};
+    use mixq::nn::ConvKind;
+    let block = |out, kernel| BlockSpec {
+        out_channels: out,
+        stride: 1,
+        kind: ConvKind::Standard,
+        kernel,
+    };
+    let spec = MicroCnnSpec::new(8, 8, 2, 3, &[8])
+        .with_blocks(vec![block(8, 3), block(4, 1), block(8, 1)])
+        .with_residual(0, 2);
+    let mut net = QatNetwork::build(&spec, 11);
+    let net_spec = network_spec_of(&net, "lowering");
+    let twin = squeeze_skip_spec();
+    assert_eq!(net_spec.skips(), twin.skips());
+    assert_eq!(net_spec.num_layers(), twin.num_layers());
+    let cfg = MixedPrecisionConfig::new(
+        MemoryBudget::new(usize::MAX, 768),
+        QuantScheme::PerChannelIcn,
+    );
+    let a = assign_bits(&net_spec, &cfg).expect("feasible");
+    assert!(a.has_cuts(), "budget must force cuts");
+    assert!(
+        a.res_bits[0] < BitWidth::W8,
+        "the residual width must be cut: {a}"
+    );
+
+    net.calibrate_input(&Tensor::full(net.input_shape(), 1.0));
+    net.enable_fake_quant(scheme_granularity(QuantScheme::PerChannelIcn));
+    for i in 0..net.num_blocks() {
+        net.set_weight_bits(i, a.weight_bits[i]);
+        net.set_act_bits(i, a.act_bits[i + 1]);
+    }
+    for (r, &b) in a.res_bits.iter().enumerate() {
+        net.set_residual_act_bits(r, b);
+    }
+    net.set_linear_weight_bits(a.weight_bits[net.num_blocks()]);
+    let int_net = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+
+    // Every QAdd node carries its assigned residual width.
+    let add_bits: Vec<BitWidth> = int_net
+        .graph()
+        .nodes()
+        .iter()
+        .filter_map(|n| match n.op() {
+            AnyOp::Add(add) => Some(add.out_bits()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(add_bits, a.res_bits);
+    assert_eq!(
+        int_net.peak_ram_bytes(),
+        a.peak_rw_bytes(&net_spec),
+        "deployed graph and assignment must price the same live sets"
+    );
+}
+
+#[test]
+fn chain_specs_degenerate_to_the_pair_model() {
+    // On a skip-free spec the liveness peak is the classic binding pair
+    // wherever a conv pair binds (the explicit pool step can only matter
+    // on nets whose channel count exceeds the final feature map).
+    let spec = residual_mobilenet_spec();
+    let chain = NetworkSpec::new("chain-twin", spec.input(), spec.layers().to_vec());
+    let uniform = BitAssignment::uniform8(&chain);
+    assert_eq!(
+        uniform.peak_rw_bytes(&chain),
+        pairwise_peak_bytes(&chain, &uniform)
+    );
+    assert_eq!(
+        uniform.peak_rw_bytes(&chain),
+        lowered_peak_ram(&chain, &uniform)
+    );
+    // Skips can only add live bytes, never remove them (here the binding
+    // step is the stem pair, outside every skip region, so they tie; the
+    // squeeze spec above shows the strict case).
+    let residual8 = BitAssignment::uniform8(&spec);
+    assert!(residual8.peak_rw_bytes(&spec) >= uniform.peak_rw_bytes(&chain));
+}
+
+#[test]
+fn weight_cuts_price_the_residual_add_parameters() {
+    // Regression: with M_RO inside the add-parameter band (layer
+    // footprints fit, layers + add blocks do not), Algorithm 2 must keep
+    // cutting — an approved assignment always satisfies its own check.
+    let spec = squeeze_skip_spec();
+    let uniform = BitAssignment::uniform8(&spec);
+    let flash8 = uniform.flash_bytes(&spec, QuantScheme::PerChannelIcn);
+    let layers_only = flash8 - spec.num_skips() * RESIDUAL_ADD_PARAM_BYTES;
+    let cfg = MixedPrecisionConfig::new(
+        MemoryBudget::new(layers_only, usize::MAX),
+        QuantScheme::PerChannelIcn,
+    );
+    let a = assign_bits(&spec, &cfg).expect("feasible");
+    assert!(
+        a.weight_bits.iter().any(|&b| b < BitWidth::W8),
+        "the add blocks must force a weight cut: {a}"
+    );
+    assert!(a.satisfies(&spec, &cfg));
+}
+
+#[test]
+fn residual_flash_model_matches_converted_network() {
+    // Eq. 6 side of the dedupe: the spec-level flash model (which now
+    // prices one parameter block per residual add) equals the converted
+    // network's actual bytes, so `satisfies` and `fits_budget` cannot
+    // disagree on either constraint.
+    let spec = mobilenet_like_residual(16, 2, 8, 3);
+    let mut net = QatNetwork::build(&spec, 13);
+    net.calibrate_input(&Tensor::full(net.input_shape(), 1.0));
+    net.enable_fake_quant(scheme_granularity(QuantScheme::PerChannelIcn));
+    let int_net = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+    let net_spec = network_spec_of(&net, "flash-twin");
+    let uniform = BitAssignment::uniform8(&net_spec);
+    assert_eq!(
+        int_net.flash_bytes(),
+        uniform.flash_bytes(&net_spec, QuantScheme::PerChannelIcn)
+    );
+    assert_eq!(
+        int_net.peak_ram_bytes(),
+        peak_live_bytes(&net_spec, &uniform.act_bits, &uniform.res_bits)
+    );
+}

@@ -234,7 +234,7 @@ fn activation_cuts_move_upstream_with_resolution() {
     for r in Resolution::ALL {
         let spec = MobileNetConfig::new(r, WidthMultiplier::X1_0).build();
         let cfg = MixedPrecisionConfig::new(budget, QuantScheme::PerChannelIcn);
-        let act = cut_activation_bits(&spec, &cfg).expect("feasible");
+        let (act, _) = cut_activation_bits(&spec, &cfg).expect("feasible");
         cuts.push(act.iter().filter(|&&b| b != BitWidth::W8).count());
     }
     for pair in cuts.windows(2) {

@@ -1,7 +1,10 @@
 //! Property-based tests (proptest) on the core quantization data
 //! structures and algorithms: round-trips, fixed-point accuracy, threshold
-//! equivalence, kernel/float agreement, and constraint satisfaction of the
-//! memory-driven assignment on randomized network shapes.
+//! equivalence, kernel/float agreement, constraint satisfaction of the
+//! memory-driven assignment on randomized network shapes, and spec-vs-
+//! executor agreement of the liveness peak on randomized residual DAGs.
+
+mod common;
 
 use proptest::prelude::*;
 
@@ -352,7 +355,9 @@ proptest! {
                 // so it may stop above the true minimum. The guarantee is
                 // internal consistency: the reported violation is real.
                 prop_assert!(pair_bytes > budget);
-                prop_assert!(layer < spec.num_layers());
+                // `layer` is a schedule-step index: one step per conv
+                // layer, plus the explicit pool and classifier steps.
+                prop_assert!(layer <= spec.num_layers());
                 prop_assert_eq!(budget, cfg.budget.rw_bytes);
             }
             Err(mixq::core::MixQError::InfeasibleWeights { total_bytes, budget }) => {
@@ -368,6 +373,7 @@ proptest! {
                         a
                     },
                     weight_bits: vec![cfg.qw_min; l],
+                    res_bits: Vec::new(),
                 };
                 prop_assert!(
                     min_assign.flash_bytes(&spec, cfg.scheme) > cfg.budget.ro_bytes,
@@ -376,6 +382,61 @@ proptest! {
             }
             Err(e) => prop_assert!(false, "unexpected error {e:?}"),
         }
+    }
+
+    #[test]
+    fn residual_dag_peak_matches_executor_planner(
+        res in prop_oneof![Just(6usize), Just(8), Just(10)],
+        input_c in 1usize..3,
+        stem_c in prop_oneof![Just(4usize), Just(6), Just(8)],
+        // Per candidate block, two bits: does the stride-1 pair carry an
+        // identity skip (bit 0), and does it squeeze its hidden channels
+        // (bit 1)?
+        pattern in proptest::collection::vec(0usize..4, 1..4),
+        cut_pattern in proptest::collection::vec(0usize..3, 0..24),
+    ) {
+        // Build a random residual DAG: a stem conv, then for each pattern
+        // entry a (squeeze?) bottleneck pair, optionally skipped.
+        let mut layers = vec![LayerSpec::conv("stem", 3, 1, input_c, stem_c, res, res)];
+        let mut spec_skips = Vec::new();
+        for (i, &bits) in pattern.iter().enumerate() {
+            let (skip, squeeze) = (bits & 1 == 1, bits & 2 == 2);
+            let hidden = if squeeze { stem_c.div_ceil(2) } else { stem_c };
+            let from = layers.len() - 1;
+            layers.push(LayerSpec::conv(&format!("b{i}a"), 1, 1, stem_c, hidden, res, res));
+            layers.push(LayerSpec::conv(&format!("b{i}b"), 3, 1, hidden, stem_c, res, res));
+            if skip {
+                spec_skips.push((from, layers.len() - 1));
+            }
+        }
+        layers.push(LayerSpec::linear("fc", stem_c, 3));
+        let mut spec = NetworkSpec::new("rand-dag", Shape::feature_map(res, res, input_c), layers);
+        for (from, to) in spec_skips {
+            spec = spec.with_skip(from, to);
+        }
+
+        // Under uniform 8 bits the spec-level liveness peak equals the
+        // executor planner's `peak_ram_bytes` of the lowered graph...
+        let mut assignment = mixq::core::mixed::BitAssignment::uniform8(&spec);
+        let peak8 = assignment.peak_rw_bytes(&spec);
+        prop_assert_eq!(peak8, common::lowered_peak_ram(&spec, &assignment));
+
+        // ...and under an arbitrary cut assignment the two still agree,
+        // while the uniform-8 peak stays an upper bound.
+        let widths = [BitWidth::W8, BitWidth::W4, BitWidth::W2];
+        for (j, &w) in cut_pattern.iter().enumerate() {
+            let acts = assignment.act_bits.len();
+            if j % 2 == 0 && acts > 2 {
+                // Interior activations only: input and logits stay 8-bit.
+                assignment.act_bits[1 + j % (acts - 2)] = widths[w];
+            } else if !assignment.res_bits.is_empty() {
+                let s = j % assignment.res_bits.len();
+                assignment.res_bits[s] = widths[w];
+            }
+        }
+        let peak_cut = assignment.peak_rw_bytes(&spec);
+        prop_assert_eq!(peak_cut, common::lowered_peak_ram(&spec, &assignment));
+        prop_assert!(peak_cut <= peak8, "cuts can only shrink the live set");
     }
 
     #[test]
