@@ -15,9 +15,10 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use mixq_bench::harness::backend_arg;
 use mixq_kernels::{
-    OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QGraph, Requantizer, ThresholdChannel,
-    WeightOffset,
+    Backend, OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QGraph, Requantizer,
+    ThresholdChannel, WeightOffset,
 };
 use mixq_quant::{BitWidth, FixedPointMultiplier};
 use mixq_tensor::{ConvGeometry, Padding, Shape};
@@ -180,8 +181,35 @@ fn bench_depthwise_vs_pointwise() {
     report("dw_vs_pw", "avgpool", us);
 }
 
+/// The three dense-convolution dataflows head to head: the direct
+/// output-stationary loop, the naive im2col + GEMM, and the
+/// register-blocked GEMM.
+fn bench_conv_dataflows() {
+    let co = 32;
+    let pw = pointwise(co);
+    let shape = Shape::feature_map(16, 16, co);
+    let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 256) as u8).collect();
+    let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        pw.execute(black_box(&x), &mut ops)
+    });
+    report("conv_dataflow", "direct", us);
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        pw.execute_gemm(black_box(&x), &mut ops)
+    });
+    report("conv_dataflow", "im2col_gemm", us);
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        pw.execute_blocked(black_box(&x), &mut ops)
+    });
+    report("conv_dataflow", "blocked_gemm", us);
+}
+
 /// The graph executor's arena (reused output buffers) against the naive
-/// per-layer loop that allocates a fresh activation every layer.
+/// per-layer loop that allocates a fresh activation every layer, under the
+/// `--backend` flag's kernel selection.
 fn bench_graph_vs_loop() {
     let co = 32;
     let layers = vec![depthwise(co), pointwise(co), depthwise(co), pointwise(co)];
@@ -189,15 +217,17 @@ fn bench_graph_vs_loop() {
     let codes: Vec<u8> = (0..shape.volume()).map(|i| (i % 256) as u8).collect();
     let x = QActivation::from_codes(shape, &codes, BitWidth::W8, 0);
 
-    let mut graph = QGraph::new();
+    let backend = backend_arg();
+    let mut graph = QGraph::with_input(shape, BitWidth::W8);
     for (i, l) in layers.iter().enumerate() {
         graph.push(format!("blk{i}"), l.clone());
     }
+    graph.select_kernels(&backend);
     let us = time_us(SAMPLES, || {
         let run = graph.run(black_box(x.clone()));
         run.total_ops()
     });
-    report("graph_executor", "qgraph_run", us);
+    report("graph_executor", &format!("qgraph_{}", backend.name()), us);
 
     let us = time_us(SAMPLES, || {
         let mut ops = OpCounts::default();
@@ -216,5 +246,6 @@ fn main() {
     bench_pc_vs_pl();
     bench_requant_modes();
     bench_depthwise_vs_pointwise();
+    bench_conv_dataflows();
     bench_graph_vs_loop();
 }

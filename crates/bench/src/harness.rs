@@ -3,9 +3,10 @@
 //! integer-only accuracy (the synthetic stand-in for the paper's ImageNet
 //! numbers; see `DESIGN.md`).
 
-use mixq_core::convert::{convert, scheme_granularity};
+use mixq_core::convert::{convert_with_backend, scheme_granularity};
 use mixq_core::memory::QuantScheme;
 use mixq_data::{Dataset, DatasetSpec, SyntheticKind};
+use mixq_kernels::BackendKind;
 use mixq_models::micro::folding_stress_cnn;
 use mixq_nn::qat::QatNetwork;
 use mixq_nn::train::{evaluate, train, TrainConfig};
@@ -63,7 +64,8 @@ pub fn run_stress_scheme(
     };
     let _ = train(&mut net, train_set, &qat_cfg);
     let fake_quant_acc = evaluate(&net, train_set);
-    let int_net = convert(&net, scheme).expect("trained network converts");
+    let int_net =
+        convert_with_backend(&net, scheme, &backend_arg()).expect("trained network converts");
     let (int_acc, _) = int_net.evaluate(test_set);
     AccuracyRun {
         float_acc,
@@ -97,7 +99,8 @@ pub fn run_stress_ptq(
         net.set_fold_bn(true);
     }
     let fake_quant_acc = evaluate(&net, train_set);
-    let int_net = convert(&net, scheme).expect("trained network converts");
+    let int_net =
+        convert_with_backend(&net, scheme, &backend_arg()).expect("trained network converts");
     let (int_acc, _) = int_net.evaluate(test_set);
     AccuracyRun {
         float_acc,
@@ -130,6 +133,33 @@ pub fn json_out_path() -> Option<std::path::PathBuf> {
         }
     }
     None
+}
+
+/// The kernel backend selected by the bench binary's `--backend
+/// reference|tiled` flag ([`BackendKind::Reference`] when absent).
+///
+/// Every bench accepts the flag; the ones that execute integer graphs
+/// route their conversions through it, so the CI bench-smoke matrix keeps
+/// both dispatch paths exercised in release mode. Logits are bit-identical
+/// across backends, so accuracy-shaped bench output never changes with the
+/// flag — only kernel dataflow, modeled cycles and host timing do.
+///
+/// # Panics
+///
+/// Panics on an unknown backend name.
+pub fn backend_arg() -> BackendKind {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            let v = args.next().expect("--backend needs a value");
+            return match v.as_str() {
+                "reference" => BackendKind::Reference,
+                "tiled" => BackendKind::tiled(),
+                other => panic!("unknown backend `{other}` (expected reference|tiled)"),
+            };
+        }
+    }
+    BackendKind::default()
 }
 
 /// A minimal deterministic JSON writer for the golden outputs: an object

@@ -17,8 +17,9 @@
 
 use mixq_data::Dataset;
 use mixq_kernels::{
-    ActivationArena, AnyOp, GraphRun, OpCounts, QActivation, QAdd, QAvgPool, QConv2d, QConvWeights,
-    QGraph, QLinear, Requantizer, ThresholdChannel, WeightOffset,
+    ActivationArena, AnyOp, Backend, GraphRun, KernelChoice, OpCounts, QActivation, QAdd, QAvgPool,
+    QConv2d, QConvWeights, QGraph, QLinear, ReferenceBackend, Requantizer, ThresholdChannel,
+    WeightOffset,
 };
 use mixq_nn::qat::{ConvBlock, QatMode, QatNetwork};
 use mixq_nn::ConvKind;
@@ -76,6 +77,23 @@ impl IntNetwork {
     /// The 8-bit input quantizer.
     pub fn input_quant(&self) -> &QuantParams {
         &self.input_quant
+    }
+
+    /// The kernel implementation each graph node resolved to, in schedule
+    /// order — all `DirectConv` for a [`ReferenceBackend`] conversion.
+    pub fn kernel_choices(&self) -> Vec<KernelChoice> {
+        self.graph.kernel_choices()
+    }
+
+    /// Re-resolves every node's kernel against a different backend without
+    /// re-running the conversion — logits are bit-identical across
+    /// backends, so retargeting is free of accuracy effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend selects a kernel some node does not support.
+    pub fn select_backend(&mut self, backend: &dyn Backend) {
+        self.graph.select_kernels(backend);
     }
 
     /// Quantizes a float image into the input activation.
@@ -279,7 +297,22 @@ pub fn scheme_granularity(scheme: QuantScheme) -> Granularity {
     }
 }
 
-/// Converts a trained fake-quantized network into an integer-only model.
+/// Converts a trained fake-quantized network into an integer-only model
+/// with the reference kernel backend (direct kernels on every node) —
+/// [`convert_with_backend`] with [`ReferenceBackend`].
+///
+/// # Errors
+///
+/// See [`convert_with_backend`].
+pub fn convert(net: &QatNetwork, scheme: QuantScheme) -> Result<IntNetwork, MixQError> {
+    convert_with_backend(net, scheme, &ReferenceBackend)
+}
+
+/// Converts a trained fake-quantized network into an integer-only model,
+/// resolving every graph node's kernel implementation through `backend` at
+/// build time. All backends produce bit-identical logits; they differ in
+/// the selected dataflow per node ([`KernelChoice`]) and therefore in the
+/// modeled cycles and transient scratch RAM.
 ///
 /// The network must be in fake-quant mode with a calibrated input
 /// quantizer; its batch-norm statistics are read as frozen inference
@@ -289,13 +322,17 @@ pub fn scheme_granularity(scheme: QuantScheme) -> Granularity {
 ///
 /// [`MixQError::NotCalibrated`] / [`MixQError::NotFakeQuantized`] when the
 /// network is not ready for deployment conversion.
-pub fn convert(net: &QatNetwork, scheme: QuantScheme) -> Result<IntNetwork, MixQError> {
+pub fn convert_with_backend(
+    net: &QatNetwork,
+    scheme: QuantScheme,
+    backend: &dyn Backend,
+) -> Result<IntNetwork, MixQError> {
     let input_quant = *net.input_quant().ok_or(MixQError::NotCalibrated)?;
     if net.mode() != QatMode::FakeQuant {
         return Err(MixQError::NotFakeQuantized);
     }
     let granularity = scheme_granularity(scheme);
-    let mut graph = QGraph::new();
+    let mut graph = QGraph::with_input(net.input_shape(), BitWidth::W8);
     // Scale and zero-point of the tensor flowing *into* each block.
     let mut s_in = input_quant.scale();
     let mut z_in = input_quant.zero_point();
@@ -340,6 +377,7 @@ pub fn convert(net: &QatNetwork, scheme: QuantScheme) -> Result<IntNetwork, MixQ
     graph.push("avgpool", QAvgPool);
     // The classifier consumes the pooled features (same scale/zero-point).
     graph.push("fc", convert_linear(net, granularity, s_in, z_in));
+    graph.select_kernels(backend);
     Ok(IntNetwork {
         input_quant,
         input_shape: net.input_shape(),
@@ -573,6 +611,32 @@ mod tests {
             off_by_more, 0,
             "codes differing by >1 LSB: {off_by_more}/{total}"
         );
+    }
+
+    #[test]
+    fn tiled_backend_conversion_is_bit_identical_in_logits() {
+        use mixq_kernels::{BackendKind, TiledBackend};
+        let (net, ds) = trained_net(Granularity::PerChannel, BitWidth::W4);
+        let reference = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+        let tiled =
+            convert_with_backend(&net, QuantScheme::PerChannelIcn, &TiledBackend::default())
+                .expect("convertible");
+        // Standard convolutions lowered onto the blocked GEMM; depthwise,
+        // pool, head and the reference conversion stay direct.
+        assert!(tiled.kernel_choices().contains(&KernelChoice::BlockedGemm));
+        assert!(reference
+            .kernel_choices()
+            .iter()
+            .all(|&c| c == KernelChoice::DirectConv));
+        for i in 0..8 {
+            let img = &ds.sample(i).images;
+            assert_eq!(reference.infer(img).0, tiled.infer(img).0, "sample {i}");
+        }
+        // Retargeting an existing network reproduces the build-time choices.
+        let mut retargeted = reference.clone();
+        retargeted.select_backend(&BackendKind::tiled());
+        assert_eq!(retargeted.kernel_choices(), tiled.kernel_choices());
+        assert_eq!(retargeted, tiled);
     }
 
     #[test]

@@ -7,12 +7,12 @@
 use std::fmt;
 
 use mixq_data::Dataset;
-use mixq_kernels::OpCounts;
+use mixq_kernels::{BackendKind, OpCounts};
 use mixq_models::micro::network_spec_of;
 use mixq_nn::qat::{MicroCnnSpec, QatNetwork};
 use mixq_nn::train::{evaluate, train, TrainConfig};
 
-use crate::convert::{convert, scheme_granularity, IntNetwork};
+use crate::convert::{convert_with_backend, scheme_granularity, IntNetwork};
 use crate::memory::{mib, MemoryBudget, QuantScheme};
 use crate::mixed::{assign_bits, BitAssignment, MixedPrecisionConfig};
 use crate::MixQError;
@@ -47,6 +47,12 @@ pub struct PipelineConfig {
     pub qat_train: TrainConfig,
     /// Seed for network initialization.
     pub seed: u64,
+    /// Kernel backend the deployment graph is selected with — the default
+    /// [`BackendKind::Reference`] keeps every node on the direct kernels
+    /// (bit-identical to the pre-backend pipeline); a tiled backend lowers
+    /// standard convolutions onto the blocked GEMM. Logits, accuracy and
+    /// agreement are identical across backends.
+    pub backend: BackendKind,
 }
 
 impl PipelineConfig {
@@ -64,12 +70,19 @@ impl PipelineConfig {
             float_train: TrainConfig::fast(12),
             qat_train: qat,
             seed: 42,
+            backend: BackendKind::default(),
         }
     }
 
     /// Sets the device budget (enables the §5 bit assignment).
     pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the kernel backend the deployment graph is selected with.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -178,8 +191,9 @@ pub fn deploy(
     }
     let _ = train(&mut net, dataset, &cfg.qat_train);
     let fake_quant_accuracy = evaluate(&net, dataset);
-    // Phase 3: integer-only conversion (deployment graph g'(x)).
-    let int_net = convert(&net, cfg.scheme)?;
+    // Phase 3: integer-only conversion (deployment graph g'(x)), each node
+    // bound to the backend-selected kernel.
+    let int_net = convert_with_backend(&net, cfg.scheme, &cfg.backend)?;
     let (int_accuracy, _) = int_net.evaluate(dataset);
     // Phase 4: verification — loss(g'(x)) ≈ loss(g(x)) at prediction level.
     let prediction_agreement = prediction_agreement(&net, &int_net, dataset);
@@ -286,6 +300,37 @@ mod tests {
         let a = report.assignment.as_ref().expect("assignment present");
         assert!(a.has_cuts(), "budget forces cuts");
         assert_eq!(report.fits_budget, Some(true));
+    }
+
+    #[test]
+    fn tiled_backend_pipeline_matches_reference_accuracy() {
+        use mixq_kernels::KernelChoice;
+        let ds = dataset();
+        let spec = MicroCnnSpec::new(8, 8, 1, 2, &[6]);
+        let reference = PipelineConfig::new(QuantScheme::PerChannelIcn);
+        let tiled = reference.clone().with_backend(BackendKind::tiled());
+        let (net_ref, rep_ref) = deploy(&spec, &ds, &reference).expect("pipeline runs");
+        let (net_tiled, rep_tiled) = deploy(&spec, &ds, &tiled).expect("pipeline runs");
+        // Same training seed, bit-identical kernels: every accuracy-shaped
+        // number agrees; only the selected dataflows (and therefore the op
+        // ledgers) differ.
+        assert_eq!(rep_ref.float_accuracy, rep_tiled.float_accuracy);
+        assert_eq!(rep_ref.fake_quant_accuracy, rep_tiled.fake_quant_accuracy);
+        assert_eq!(rep_ref.int_accuracy, rep_tiled.int_accuracy);
+        assert_eq!(rep_ref.prediction_agreement, rep_tiled.prediction_agreement);
+        assert_eq!(rep_ref.flash_bytes, rep_tiled.flash_bytes);
+        assert!(net_ref
+            .kernel_choices()
+            .iter()
+            .all(|&c| c == KernelChoice::DirectConv));
+        assert!(net_tiled
+            .kernel_choices()
+            .contains(&KernelChoice::BlockedGemm));
+        let scratch = net_tiled.graph().peak_scratch_bytes(
+            mixq_tensor::Shape::feature_map(8, 8, 1),
+            mixq_quant::BitWidth::W8,
+        );
+        assert!(scratch > 0, "GEMM-lowered nodes price im2col scratch");
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! The kernel backend layer: build-time selection of the concrete kernel
+//! implementation each graph node executes with.
+//!
+//! The paper's deployment story (§6) binds every layer to the
+//! best-fitting CMSIS-NN kernel for its shape and bit-width; mixed-precision
+//! follow-ups on PULP dispatch per-layer the same way. This module makes
+//! that binding an explicit, pluggable API:
+//!
+//! * [`KernelChoice`] — the closed set of kernel implementations a node can
+//!   resolve to (direct convolution, im2col + GEMM, register-blocked GEMM);
+//! * [`Backend`] — the selection policy: given a node's op, input shapes
+//!   and bit-widths, pick a choice at **graph build time**;
+//! * [`ReferenceBackend`] — direct kernels everywhere (bit-identical to the
+//!   pre-backend executor);
+//! * [`TiledBackend`] — a cost-driven policy that lowers standard
+//!   convolutions onto the register-blocked, cache-tiled GEMM whenever its
+//!   modeled cycle cost beats the direct loop (and the im2col scratch fits
+//!   an optional ceiling).
+//!
+//! Every choice is **bit-identical in output codes**: backends trade
+//! dataflow (and therefore cycles and scratch RAM), never arithmetic.
+//! Selection is deterministic shape math, so per-node decisions golden
+//! cleanly in the regression CI.
+//!
+//! # Plugging a custom backend
+//!
+//! Implement [`Backend`] and hand it to
+//! [`QGraph::select_kernels`](crate::QGraph::select_kernels),
+//! [`QGraph::push_node_with`](crate::QGraph::push_node_with) or
+//! `mixq_core::convert::convert_with_backend`. Only return choices the op
+//! supports ([`QOp::supported_kernels`](crate::QOp::supported_kernels));
+//! the graph validates the selection.
+//!
+//! ```
+//! use mixq_kernels::{AnyOp, Backend, KernelChoice};
+//! use mixq_quant::BitWidth;
+//! use mixq_tensor::Shape;
+//!
+//! /// Forces the plain im2col + GEMM path on every standard convolution.
+//! struct NaiveGemmEverywhere;
+//!
+//! impl Backend for NaiveGemmEverywhere {
+//!     fn name(&self) -> &'static str {
+//!         "naive-gemm"
+//!     }
+//!     fn select(&self, op: &AnyOp, _inputs: &[Shape], _in_bits: &[BitWidth]) -> KernelChoice {
+//!         match op {
+//!             AnyOp::Conv(c) if !c.weights().is_depthwise() => KernelChoice::Im2colGemm,
+//!             _ => KernelChoice::DirectConv,
+//!         }
+//!     }
+//! }
+//! ```
+
+use std::fmt;
+
+use mixq_quant::BitWidth;
+use mixq_tensor::Shape;
+
+use crate::gemm::im2col_scratch_bytes;
+use crate::graph::AnyOp;
+
+/// The concrete kernel implementation a graph node resolved to at build
+/// time. All choices produce bit-identical output codes; they differ in
+/// dataflow — cycles and transient scratch RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// The direct output-stationary loop ([`QConv2d::execute_codes`]); the
+    /// only implementation for depthwise convolutions, pooling, the
+    /// classifier head and residual adds.
+    ///
+    /// [`QConv2d::execute_codes`]: crate::QConv2d::execute_codes
+    DirectConv,
+    /// Image-to-column expansion followed by a row-major GEMM
+    /// ([`QConv2d::execute_gemm`](crate::QConv2d::execute_gemm)); needs an
+    /// im2col scratch buffer.
+    Im2colGemm,
+    /// im2col followed by the register-blocked, cache-tiled GEMM inner
+    /// kernel ([`QConv2d::execute_blocked`](crate::QConv2d::execute_blocked));
+    /// same scratch as [`KernelChoice::Im2colGemm`], fastest dense path.
+    BlockedGemm,
+}
+
+impl KernelChoice {
+    /// Short machine-friendly label (used in breakdown tables and the
+    /// golden JSON).
+    pub const fn label(self) -> &'static str {
+        match self {
+            KernelChoice::DirectConv => "direct",
+            KernelChoice::Im2colGemm => "im2col_gemm",
+            KernelChoice::BlockedGemm => "blocked_gemm",
+        }
+    }
+
+    /// Whether the choice lowers the convolution through an im2col + GEMM
+    /// dataflow (and therefore needs the im2col scratch buffer).
+    pub const fn is_gemm(self) -> bool {
+        matches!(self, KernelChoice::Im2colGemm | KernelChoice::BlockedGemm)
+    }
+}
+
+impl fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A kernel-selection policy: given a node's operator, the shapes and
+/// precisions of its input tensors, pick the [`KernelChoice`] the node will
+/// execute with.
+///
+/// Selection runs at graph build time
+/// ([`QGraph::push_node_with`](crate::QGraph::push_node_with) /
+/// [`QGraph::select_kernels`](crate::QGraph::select_kernels)); the resolved
+/// choice is stored on the node, drives execution dispatch, the scratch-RAM
+/// model ([`QGraph::peak_scratch_bytes`](crate::QGraph::peak_scratch_bytes))
+/// and the per-choice cycle pricing in `mixq-mcu`. Implementations must be
+/// deterministic functions of their arguments — decisions are golden-tested.
+pub trait Backend {
+    /// Backend name (reports and bench tables).
+    fn name(&self) -> &'static str;
+
+    /// Selects the kernel for one node. Must return a choice listed in the
+    /// op's [`QOp::supported_kernels`](crate::QOp::supported_kernels); the
+    /// graph asserts this.
+    fn select(&self, op: &AnyOp, inputs: &[Shape], in_bits: &[BitWidth]) -> KernelChoice;
+}
+
+/// The reference backend: the direct kernel everywhere. A graph selected
+/// with it is bit-identical — codes, ledgers, scratch and cycles — to the
+/// pre-backend executor, and is the default wherever a backend parameter
+/// grew onto an existing API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReferenceBackend;
+
+impl Backend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn select(&self, _op: &AnyOp, _inputs: &[Shape], _in_bits: &[BitWidth]) -> KernelChoice {
+        KernelChoice::DirectConv
+    }
+}
+
+/// The cost-driven tiled backend: lowers standard convolutions onto the
+/// register-blocked GEMM ([`KernelChoice::BlockedGemm`]) whenever the
+/// modeled cycle cost — per-MAC rate plus the im2col expansion traffic —
+/// beats the direct loop, and the im2col scratch fits
+/// [`TiledBackend::scratch_limit_bytes`]. Depthwise convolutions, pooling,
+/// the head and residual adds stay direct (their only implementation).
+///
+/// The default per-MAC rates mirror `CortexM7CycleModel`'s per-choice
+/// pricing (asserted against the model's defaults in
+/// `tests/backend_kernels.rs`, so tuning one side fails loudly instead of
+/// silently diverging). On top of those rates, selection also prices the
+/// im2col expansion traffic — which the abstract op ledger does not — so
+/// very small output-channel counts stay direct; the pointwise identity
+/// fast path ([`QConv2d::blocked_borrows_input`](crate::QConv2d::blocked_borrows_input))
+/// skips the gather entirely and is priced (and scratch-checked) as free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledBackend {
+    /// Modeled cycles per MAC of the direct dense loop.
+    pub direct_mac_cycles: f64,
+    /// Modeled cycles per MAC of the blocked GEMM inner kernel.
+    pub blocked_mac_cycles: f64,
+    /// Modeled cycles per element copied into the im2col buffer.
+    pub im2col_cycles_per_elem: f64,
+    /// Optional ceiling on the im2col scratch buffer: a GEMM kernel is
+    /// never selected for a node whose expansion would exceed it (deploying
+    /// within a RAM budget must bound transient buffers too).
+    pub scratch_limit_bytes: Option<usize>,
+}
+
+impl Default for TiledBackend {
+    fn default() -> Self {
+        TiledBackend {
+            direct_mac_cycles: 2.1,
+            blocked_mac_cycles: 1.4,
+            im2col_cycles_per_elem: 1.0,
+            scratch_limit_bytes: None,
+        }
+    }
+}
+
+impl TiledBackend {
+    /// A tiled backend that refuses GEMM lowerings whose im2col buffer
+    /// exceeds `bytes` of scratch RAM.
+    pub fn with_scratch_limit(mut self, bytes: usize) -> Self {
+        self.scratch_limit_bytes = Some(bytes);
+        self
+    }
+}
+
+impl Backend for TiledBackend {
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn select(&self, op: &AnyOp, inputs: &[Shape], in_bits: &[BitWidth]) -> KernelChoice {
+        let AnyOp::Conv(conv) = op else {
+            return KernelChoice::DirectConv;
+        };
+        if conv.weights().is_depthwise() {
+            return KernelChoice::DirectConv;
+        }
+        let input = inputs[0];
+        // The pointwise identity fast path borrows the input zero-copy: no
+        // expansion traffic, no scratch to check against the ceiling.
+        let borrows = conv.blocked_borrows_input(in_bits[0]);
+        if !borrows {
+            if let Some(limit) = self.scratch_limit_bytes {
+                if im2col_scratch_bytes(conv, input) > limit {
+                    return KernelChoice::DirectConv;
+                }
+            }
+        }
+        // Both dataflows perform the same padded MAC count (rows · k per
+        // output channel); the GEMM path adds one im2col copy per matrix
+        // element unless it borrows. Deterministic shape math — no
+        // measurement involved.
+        let out = conv.output_shape(input);
+        let k = conv.geometry().kernel_area() * input.c;
+        let rows = out.pixels() * out.n;
+        let macs = (rows * k * out.c) as f64;
+        let direct = macs * self.direct_mac_cycles;
+        let expansion = if borrows {
+            0.0
+        } else {
+            (rows * k) as f64 * self.im2col_cycles_per_elem
+        };
+        let gemm = macs * self.blocked_mac_cycles + expansion;
+        if gemm < direct {
+            KernelChoice::BlockedGemm
+        } else {
+            KernelChoice::DirectConv
+        }
+    }
+}
+
+/// A cloneable, comparable handle over the shipped backends — what
+/// configuration types (`PipelineConfig`, bench flags) store. Custom
+/// [`Backend`] implementations are passed as `&dyn Backend` instead.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum BackendKind {
+    /// [`ReferenceBackend`]: direct kernels everywhere.
+    #[default]
+    Reference,
+    /// [`TiledBackend`] with the given parameters.
+    Tiled(TiledBackend),
+}
+
+impl BackendKind {
+    /// The default-parameter tiled backend.
+    pub fn tiled() -> Self {
+        BackendKind::Tiled(TiledBackend::default())
+    }
+}
+
+impl Backend for BackendKind {
+    fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Reference => ReferenceBackend.name(),
+            BackendKind::Tiled(t) => t.name(),
+        }
+    }
+
+    fn select(&self, op: &AnyOp, inputs: &[Shape], in_bits: &[BitWidth]) -> KernelChoice {
+        match self {
+            BackendKind::Reference => ReferenceBackend.select(op, inputs, in_bits),
+            BackendKind::Tiled(t) => t.select(op, inputs, in_bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QAdd, QAvgPool, QConv2d, QConvWeights, Requantizer, WeightOffset};
+    use mixq_quant::FixedPointMultiplier;
+    use mixq_tensor::{ConvGeometry, Padding};
+
+    fn pointwise(ci: usize, co: usize) -> AnyOp {
+        let shape = Shape::new(co, 1, 1, ci);
+        AnyOp::Conv(QConv2d::new(
+            QConvWeights::new(
+                shape,
+                false,
+                &vec![0; shape.volume()],
+                BitWidth::W4,
+                WeightOffset::PerLayer(0),
+            ),
+            ConvGeometry::pointwise(),
+            Requantizer::icn(
+                vec![0; co],
+                vec![FixedPointMultiplier::from_real(1.0); co],
+                0,
+                BitWidth::W8,
+            ),
+        ))
+    }
+
+    fn dense3x3(ci: usize, co: usize) -> AnyOp {
+        let shape = Shape::new(co, 3, 3, ci);
+        AnyOp::Conv(QConv2d::new(
+            QConvWeights::new(
+                shape,
+                false,
+                &vec![0; shape.volume()],
+                BitWidth::W4,
+                WeightOffset::PerLayer(0),
+            ),
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            Requantizer::icn(
+                vec![0; co],
+                vec![FixedPointMultiplier::from_real(1.0); co],
+                0,
+                BitWidth::W8,
+            ),
+        ))
+    }
+
+    fn depthwise(c: usize) -> AnyOp {
+        let shape = Shape::new(c, 3, 3, 1);
+        AnyOp::Conv(QConv2d::new(
+            QConvWeights::new(
+                shape,
+                true,
+                &vec![0; shape.volume()],
+                BitWidth::W4,
+                WeightOffset::PerChannel(vec![0; c]),
+            ),
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            Requantizer::icn(
+                vec![0; c],
+                vec![FixedPointMultiplier::from_real(1.0); c],
+                0,
+                BitWidth::W8,
+            ),
+        ))
+    }
+
+    #[test]
+    fn reference_selects_direct_everywhere() {
+        let b = ReferenceBackend;
+        let input = Shape::feature_map(8, 8, 4);
+        for op in [
+            pointwise(4, 8),
+            depthwise(4),
+            AnyOp::Pool(QAvgPool),
+            AnyOp::Add(QAdd::from_scales(1.0, 1.0, 1.0, 0, 0, 0, BitWidth::W8)),
+        ] {
+            assert_eq!(
+                b.select(&op, &[input, input], &[BitWidth::W8, BitWidth::W8]),
+                KernelChoice::DirectConv
+            );
+        }
+        assert_eq!(b.name(), "reference");
+    }
+
+    #[test]
+    fn tiled_lowers_dense_convs_only() {
+        let b = TiledBackend::default();
+        let input = Shape::feature_map(8, 8, 4);
+        assert_eq!(
+            b.select(&pointwise(4, 8), &[input], &[BitWidth::W8]),
+            KernelChoice::BlockedGemm
+        );
+        assert_eq!(
+            b.select(&depthwise(4), &[input], &[BitWidth::W8]),
+            KernelChoice::DirectConv
+        );
+        assert_eq!(
+            b.select(&AnyOp::Pool(QAvgPool), &[input], &[BitWidth::W8]),
+            KernelChoice::DirectConv
+        );
+        assert_eq!(b.name(), "tiled");
+    }
+
+    #[test]
+    fn tiled_selection_is_cost_driven() {
+        // A 3×3 conv with a single output channel: the im2col copy costs
+        // more than the per-MAC saving, so the direct loop stays cheaper.
+        let b = TiledBackend::default();
+        let input = Shape::feature_map(8, 8, 4);
+        assert_eq!(
+            b.select(&dense3x3(4, 1), &[input], &[BitWidth::W8]),
+            KernelChoice::DirectConv
+        );
+        // Two channels amortize the expansion: GEMM wins.
+        assert_eq!(
+            b.select(&dense3x3(4, 2), &[input], &[BitWidth::W8]),
+            KernelChoice::BlockedGemm
+        );
+        // A pointwise conv over an 8-bit input borrows the input zero-copy
+        // (no expansion traffic), so GEMM wins even at one output channel.
+        assert_eq!(
+            b.select(&pointwise(4, 1), &[input], &[BitWidth::W8]),
+            KernelChoice::BlockedGemm
+        );
+        // A sub-byte input must be linearly unpacked first — the traffic
+        // term applies again and one channel stays direct.
+        assert_eq!(
+            b.select(&pointwise(4, 1), &[input], &[BitWidth::W4]),
+            KernelChoice::DirectConv
+        );
+    }
+
+    #[test]
+    fn tiled_scratch_ceiling_vetoes_gemm() {
+        let input = Shape::feature_map(8, 8, 4);
+        let b = TiledBackend::default().with_scratch_limit(8);
+        assert_eq!(
+            b.select(&dense3x3(4, 8), &[input], &[BitWidth::W8]),
+            KernelChoice::DirectConv
+        );
+        let roomy = TiledBackend::default().with_scratch_limit(1 << 20);
+        assert_eq!(
+            roomy.select(&dense3x3(4, 8), &[input], &[BitWidth::W8]),
+            KernelChoice::BlockedGemm
+        );
+        // The pointwise identity path materializes nothing, so the ceiling
+        // does not apply to it (its scratch need is genuinely zero)...
+        assert_eq!(
+            b.select(&pointwise(4, 8), &[input], &[BitWidth::W8]),
+            KernelChoice::BlockedGemm
+        );
+        // ...but a sub-byte pointwise input unpacks into a real buffer and
+        // is vetoed like any other expansion.
+        assert_eq!(
+            b.select(&pointwise(4, 8), &[input], &[BitWidth::W4]),
+            KernelChoice::DirectConv
+        );
+    }
+
+    #[test]
+    fn backend_kind_delegates() {
+        let input = Shape::feature_map(8, 8, 4);
+        assert_eq!(BackendKind::default().name(), "reference");
+        assert_eq!(BackendKind::tiled().name(), "tiled");
+        assert_eq!(
+            BackendKind::tiled().select(&pointwise(4, 8), &[input], &[BitWidth::W8]),
+            KernelChoice::BlockedGemm
+        );
+        assert_eq!(
+            BackendKind::Reference.select(&pointwise(4, 8), &[input], &[BitWidth::W8]),
+            KernelChoice::DirectConv
+        );
+    }
+
+    #[test]
+    fn choice_labels() {
+        assert_eq!(KernelChoice::DirectConv.label(), "direct");
+        assert_eq!(KernelChoice::Im2colGemm.to_string(), "im2col_gemm");
+        assert_eq!(KernelChoice::BlockedGemm.label(), "blocked_gemm");
+        assert!(KernelChoice::Im2colGemm.is_gemm());
+        assert!(KernelChoice::BlockedGemm.is_gemm());
+        assert!(!KernelChoice::DirectConv.is_gemm());
+    }
+}

@@ -1,0 +1,397 @@
+//! The register-blocked, cache-tiled GEMM convolution path — the fast
+//! dense kernel behind
+//! [`KernelChoice::BlockedGemm`](crate::KernelChoice::BlockedGemm).
+//!
+//! Same im2col dataflow as [`QConv2d::execute_gemm`], restructured the way
+//! a production GEMM inner kernel is:
+//!
+//! * **double zero-point hoisting** — `Σ (X − Zx)(W − Zw)` expands to
+//!   `Σ X·W − Zw·Σ X − Zx·Σ W + k·Zx·Zw`, with `Σ X` computed once per
+//!   matrix row and `Σ W` once per output channel, so the inner loop is a
+//!   bare **u8 × u8** multiply–accumulate with no per-element offset
+//!   arithmetic (exact in integers: the expansion is algebraic identity,
+//!   making the path **bit-identical** to the direct kernel);
+//! * **register blocking** — a 2 × 4 microtile (two im2col rows × four
+//!   output channels, eight live accumulators) amortizes every operand
+//!   load across four MACs instead of one, with the four channels' weight
+//!   codes packed into one interleaved panel so the inner loop streams
+//!   contiguous bytes (for 8-bit weights the panel is built straight from
+//!   the packed flash bytes — their layout is already the GEMM panel
+//!   order);
+//! * **chunked narrow accumulation** — u8×u8 products are ≤ `255²`, so
+//!   8192-element runs accumulate in `i32` and flush into the `i64`
+//!   totals between runs, keeping the hot loop in vectorizable 32-bit
+//!   arithmetic;
+//! * **pointwise identity fast path** — for 1×1 stride-1 convolutions the
+//!   im2col matrix *is* the input in NHWC order, so the expansion is a
+//!   borrow of the packed bytes (8-bit input) or one linear unpack
+//!   (sub-byte) instead of a per-element gather.
+//!
+//! The abstract [`OpCounts`] ledger charged is identical to the
+//! [`QConv2d::execute_gemm`] path — the blocked kernel reorganizes the
+//! dataflow, not the mathematical work; the per-choice rates of the
+//! Cortex-M7 cycle model express the dataflow difference.
+
+use mixq_tensor::Shape;
+
+use crate::{OpCounts, QActivation, QConv2d};
+
+/// Output channels per register tile.
+const NR: usize = 4;
+
+/// Elements accumulated in `i32` before flushing to `i64`: u8×u8 products
+/// are ≤ `255² < 2^16`, so 8192 of them stay below `2^29` — safely inside
+/// `i32`.
+const CHUNK: usize = 8192;
+
+impl QConv2d {
+    /// Whether the blocked kernel would borrow the input's packed storage
+    /// **zero-copy** instead of materializing an im2col (or linear-unpack)
+    /// scratch buffer: a standard 1×1 stride-1 convolution over an 8-bit
+    /// input, whose NHWC bytes already *are* the GEMM matrix. The scratch
+    /// model ([`QOp::scratch_bytes`](crate::QOp::scratch_bytes)) and the
+    /// [`TiledBackend`](crate::TiledBackend)'s selection cost share this
+    /// predicate so they price exactly what the kernel does.
+    pub fn blocked_borrows_input(&self, in_bits: mixq_quant::BitWidth) -> bool {
+        !self.weights().is_depthwise()
+            && self.geometry().kernel_area() == 1
+            && self.geometry().stride == 1
+            && in_bits == mixq_quant::BitWidth::W8
+    }
+
+    /// Runs the layer through the register-blocked GEMM path.
+    /// Bit-identical to [`QConv2d::execute`] and [`QConv2d::execute_gemm`];
+    /// see the [module docs](self) for the dataflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on depthwise layers.
+    pub fn execute_blocked(&self, x: &QActivation, ops: &mut OpCounts) -> QActivation {
+        let mut out_codes = Vec::new();
+        let out_shape = self.execute_blocked_codes(x, &mut out_codes, ops);
+        QActivation::from_codes(
+            out_shape,
+            &out_codes,
+            self.requant().out_bits(),
+            self.requant().zero_point().clamp(0, 255) as u8,
+        )
+    }
+
+    /// The codes-only core of [`QConv2d::execute_blocked`]: writes the
+    /// unpacked output codes into `out_codes` (cleared and resized in
+    /// place) and returns the output shape — the graph executor's dispatch
+    /// target for [`KernelChoice::BlockedGemm`](crate::KernelChoice::BlockedGemm)
+    /// nodes. Like the naive GEMM path, the im2col matrix and weight panel
+    /// are transient per-call buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on depthwise layers.
+    pub fn execute_blocked_codes(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> Shape {
+        assert!(
+            !self.weights().is_depthwise(),
+            "im2col path applies to standard convolutions"
+        );
+        let in_shape = x.shape();
+        assert_eq!(in_shape.c, self.weights().in_channels(), "input channels");
+        let out_shape = self.output_shape(in_shape);
+        let weights = self.weights();
+        let g = self.geometry();
+        let k = g.kernel_area() * in_shape.c;
+        let rows = out_shape.pixels() * out_shape.n;
+        let zx = x.zero_point() as i64;
+        let per_channel = weights.offset().is_per_channel();
+        let w_unpack = weights.needs_unpack() as u64;
+        let co_n = weights.out_channels();
+
+        // The row-major `rows × k` input matrix. For 1×1 stride-1 layers
+        // the im2col expansion is the identity: the NHWC codes are already
+        // the matrix, so an 8-bit input is borrowed straight from its
+        // packed storage and a sub-byte one linearly unpacked — no
+        // per-element gather (same ledger charges as the gather).
+        let owned_data: Vec<u8>;
+        let data: &[u8] = if g.kernel_area() == 1 && g.stride == 1 {
+            let loads = in_shape.volume() as u64;
+            ops.act_loads += loads;
+            if x.needs_unpack() {
+                ops.unpacks += loads;
+                owned_data = x.codes();
+                &owned_data
+            } else {
+                x.as_bytes()
+            }
+        } else {
+            owned_data = self.im2col(x, ops).into_data();
+            &owned_data
+        };
+        debug_assert_eq!(data.len(), rows * k);
+
+        // Weight code panel: full NR-channel blocks are interleaved
+        // (`panel[col · NR + j]` = channel `cb·NR + j`) so the microkernel
+        // streams one contiguous byte panel; remainder channels stay
+        // row-major. The flattened `(c_o, k_h, k_w, c_i)` weight layout is
+        // exactly the im2col column order, so 8-bit weights come straight
+        // from the packed flash bytes. `sumw` feeds the hoisted
+        // `Zx·Σ W − k·Zx·Zw` correction.
+        let owned_w: Vec<u8>;
+        let wcodes: &[u8] = if weights.needs_unpack() {
+            owned_w = weights.codes();
+            &owned_w
+        } else {
+            weights.as_bytes()
+        };
+        let full = co_n / NR * NR;
+        let mut panels = vec![0u8; full * k];
+        let mut tail = vec![0u8; (co_n - full) * k];
+        let mut sumw = vec![0i64; co_n];
+        for co in 0..co_n {
+            let wrow = &wcodes[co * k..co * k + k];
+            let mut sum = 0i64;
+            if co < full {
+                let base = (co / NR) * k * NR + co % NR;
+                for (col, &c) in wrow.iter().enumerate() {
+                    panels[base + col * NR] = c;
+                    sum += c as i64;
+                }
+            } else {
+                tail[(co - full) * k..(co - full) * k + k].copy_from_slice(wrow);
+                sum = wrow.iter().map(|&c| c as i64).sum();
+            }
+            sumw[co] = sum;
+        }
+        // Per-channel hoisted terms: acc = Σ X·W − Zw·Σ X − (Zx·Σ W −
+        // k·Zx·Zw), the exact expansion of Σ (X − Zx)(W − Zw).
+        let zw: Vec<i64> = (0..co_n).map(|co| weights.offset().at(co) as i64).collect();
+        let wcorr: Vec<i64> = (0..co_n)
+            .map(|co| zx * sumw[co] - k as i64 * zx * zw[co])
+            .collect();
+
+        out_codes.clear();
+        out_codes.resize(out_shape.volume(), 0);
+        let requant = self.requant();
+        let mut store = |r: usize, co: usize, acc: i64, ops: &mut OpCounts| {
+            out_codes[r * co_n + co] =
+                requant.apply(co, acc, &mut ops.requants, &mut ops.threshold_cmps);
+        };
+
+        // 2×NR register microtile over (rows × output channels): pure
+        // u8×u8 dot products in i32, flushed to i64 every CHUNK elements.
+        let mut r = 0usize;
+        while r < rows {
+            let pair = r + 1 < rows;
+            let x0 = &data[r * k..r * k + k];
+            let x1 = if pair {
+                &data[(r + 1) * k..(r + 1) * k + k]
+            } else {
+                x0
+            };
+            let sx0: i64 = x0.iter().map(|&v| v as i64).sum();
+            let sx1: i64 = if pair {
+                x1.iter().map(|&v| v as i64).sum()
+            } else {
+                0
+            };
+            for cb in 0..full / NR {
+                let panel = &panels[cb * k * NR..(cb + 1) * k * NR];
+                let mut acc = [[0i64; NR]; 2];
+                for ((xc0, xc1), wp) in x0
+                    .chunks(CHUNK)
+                    .zip(x1.chunks(CHUNK))
+                    .zip(panel.chunks(CHUNK * NR))
+                {
+                    let mut s = [[0i32; NR]; 2];
+                    for ((&xa, &xb), w) in xc0.iter().zip(xc1).zip(wp.chunks_exact(NR)) {
+                        let xa = xa as i32;
+                        let xb = xb as i32;
+                        for j in 0..NR {
+                            s[0][j] += xa * w[j] as i32;
+                            s[1][j] += xb * w[j] as i32;
+                        }
+                    }
+                    for j in 0..NR {
+                        acc[0][j] += s[0][j] as i64;
+                        acc[1][j] += s[1][j] as i64;
+                    }
+                }
+                let [acc0, acc1] = acc;
+                for (j, (&a0, &a1)) in acc0.iter().zip(&acc1).enumerate() {
+                    let co = cb * NR + j;
+                    store(r, co, a0 - zw[co] * sx0 - wcorr[co], ops);
+                    if pair {
+                        store(r + 1, co, a1 - zw[co] * sx1 - wcorr[co], ops);
+                    }
+                }
+            }
+            // Channel remainder: dual-row dot products, same chunking.
+            for co in full..co_n {
+                let wrow = &tail[(co - full) * k..(co - full) * k + k];
+                let mut acc = [0i64; 2];
+                for ((xc0, xc1), wc) in x0
+                    .chunks(CHUNK)
+                    .zip(x1.chunks(CHUNK))
+                    .zip(wrow.chunks(CHUNK))
+                {
+                    let mut s = [0i32; 2];
+                    for ((&xa, &xb), &w) in xc0.iter().zip(xc1).zip(wc) {
+                        s[0] += xa as i32 * w as i32;
+                        s[1] += xb as i32 * w as i32;
+                    }
+                    acc[0] += s[0] as i64;
+                    acc[1] += s[1] as i64;
+                }
+                store(r, co, acc[0] - zw[co] * sx0 - wcorr[co], ops);
+                if pair {
+                    store(r + 1, co, acc[1] - zw[co] * sx1 - wcorr[co], ops);
+                }
+            }
+            r += if pair { 2 } else { 1 };
+        }
+
+        // Same abstract ledger as the naive GEMM path (identical
+        // mathematical work; only the dataflow differs).
+        let macs = (rows * k * co_n) as u64;
+        ops.macs += macs;
+        ops.unpacks += w_unpack * macs;
+        ops.act_stores += out_shape.volume() as u64;
+        ops.bias_adds += out_shape.volume() as u64;
+        if per_channel {
+            ops.offset_subs += macs;
+        }
+        out_shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QConvWeights, Requantizer, WeightOffset};
+    use mixq_quant::{BitWidth, FixedPointMultiplier};
+    use mixq_tensor::{ConvGeometry, Padding};
+
+    fn make_conv(
+        co: usize,
+        ci: usize,
+        k: usize,
+        stride: usize,
+        wbits: BitWidth,
+        per_channel: bool,
+    ) -> QConv2d {
+        let wshape = Shape::new(co, k, k, ci);
+        let codes: Vec<u8> = (0..wshape.volume())
+            .map(|i| ((i * 7 + 3) % wbits.levels() as usize) as u8)
+            .collect();
+        let offset = if per_channel {
+            WeightOffset::PerChannel((0..co).map(|c| c as i16 % 3).collect())
+        } else {
+            WeightOffset::PerLayer(1)
+        };
+        let weights = QConvWeights::new(wshape, false, &codes, wbits, offset);
+        let requant = Requantizer::icn(
+            (0..co).map(|c| c as i32 * 3 - 2).collect(),
+            (0..co)
+                .map(|c| FixedPointMultiplier::from_real(0.01 + c as f64 * 0.003))
+                .collect(),
+            0,
+            BitWidth::W4,
+        );
+        QConv2d::new(
+            weights,
+            ConvGeometry::new(k, k, stride, Padding::Same),
+            requant,
+        )
+    }
+
+    fn make_input(h: usize, w: usize, c: usize, bits: BitWidth, zx: u8) -> QActivation {
+        let shape = Shape::feature_map(h, w, c);
+        let codes: Vec<u8> = (0..shape.volume())
+            .map(|i| ((i * 5 + 1) % bits.levels() as usize) as u8)
+            .collect();
+        QActivation::from_codes(shape, &codes, bits, zx)
+    }
+
+    #[test]
+    fn blocked_matches_naive_gemm_and_direct() {
+        // Shapes chosen to exercise every tile remainder: co ∈ {1..6}
+        // covers full 4-tiles, remainders of 1–3, and sub-tile layers;
+        // odd row counts exercise the single-row tail.
+        for (co, ci, k, stride) in [
+            (4, 3, 3, 1),
+            (2, 2, 3, 2),
+            (5, 4, 1, 1),
+            (6, 1, 3, 1),
+            (1, 3, 1, 1),
+        ] {
+            for per_channel in [false, true] {
+                let conv = make_conv(co, ci, k, stride, BitWidth::W4, per_channel);
+                let x = make_input(5, 5, ci, BitWidth::W8, 3);
+                let mut od = OpCounts::default();
+                let mut og = OpCounts::default();
+                let mut ob = OpCounts::default();
+                let direct = conv.execute(&x, &mut od);
+                let gemm = conv.execute_gemm(&x, &mut og);
+                let blocked = conv.execute_blocked(&x, &mut ob);
+                assert_eq!(
+                    direct, blocked,
+                    "co={co} ci={ci} k={k} s={stride} pc={per_channel}"
+                );
+                assert_eq!(gemm, blocked);
+                // The ledgers of the two GEMM dataflows are identical.
+                assert_eq!(og, ob);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_on_sub_byte_operands() {
+        let conv = make_conv(3, 2, 3, 1, BitWidth::W2, true);
+        let x = make_input(6, 5, 2, BitWidth::W4, 0);
+        let mut og = OpCounts::default();
+        let mut ob = OpCounts::default();
+        assert_eq!(
+            conv.execute_gemm(&x, &mut og),
+            conv.execute_blocked(&x, &mut ob)
+        );
+        assert_eq!(og, ob);
+    }
+
+    #[test]
+    fn blocked_handles_nonzero_input_zero_point() {
+        // The hoisted Zx·ΣW' correction must reproduce the padded taps'
+        // zero contribution exactly.
+        let conv = make_conv(4, 2, 3, 1, BitWidth::W8, true);
+        let x = make_input(4, 4, 2, BitWidth::W8, 7);
+        let mut od = OpCounts::default();
+        let mut ob = OpCounts::default();
+        assert_eq!(conv.execute(&x, &mut od), conv.execute_blocked(&x, &mut ob));
+    }
+
+    #[test]
+    #[should_panic(expected = "standard convolutions")]
+    fn depthwise_rejected() {
+        let w = QConvWeights::new(
+            Shape::new(2, 3, 3, 1),
+            true,
+            &[0; 18],
+            BitWidth::W8,
+            WeightOffset::PerLayer(0),
+        );
+        let conv = QConv2d::new(
+            w,
+            ConvGeometry::new(3, 3, 1, Padding::Same),
+            Requantizer::icn(
+                vec![0, 0],
+                vec![FixedPointMultiplier::ZERO; 2],
+                0,
+                BitWidth::W8,
+            ),
+        );
+        let x = make_input(4, 4, 2, BitWidth::W8, 0);
+        let mut ops = OpCounts::default();
+        let _ = conv.execute_blocked(&x, &mut ops);
+    }
+}

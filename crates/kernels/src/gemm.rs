@@ -49,6 +49,12 @@ impl Im2Col {
     pub fn byte_len(&self) -> usize {
         self.data.len()
     }
+
+    /// Consumes the matrix, returning its backing row-major code buffer
+    /// (`rows × k`) — the blocked kernel streams it directly.
+    pub(crate) fn into_data(self) -> Vec<u8> {
+        self.data
+    }
 }
 
 impl QConv2d {
@@ -116,6 +122,36 @@ impl QConv2d {
     ///
     /// Panics on depthwise layers.
     pub fn execute_gemm(&self, x: &QActivation, ops: &mut OpCounts) -> QActivation {
+        let mut out_codes = Vec::new();
+        let out_shape = self.execute_gemm_codes(x, &mut out_codes, ops);
+        QActivation::from_codes(
+            out_shape,
+            &out_codes,
+            self.requant().out_bits(),
+            self.requant().zero_point().clamp(0, 255) as u8,
+        )
+    }
+
+    /// The codes-only core of [`QConv2d::execute_gemm`]: writes the
+    /// unpacked output codes into `out_codes` (cleared and resized in
+    /// place) and returns the output shape — the hook the graph executor
+    /// dispatches to when a node selected
+    /// [`KernelChoice::Im2colGemm`](crate::KernelChoice::Im2colGemm).
+    ///
+    /// The im2col matrix and the flattened weight panel are transient
+    /// buffers allocated per call (the scratch the memory model prices via
+    /// [`im2col_scratch_bytes`]); GEMM-lowered nodes are therefore not part
+    /// of the zero-allocation steady-state guarantee the direct path has.
+    ///
+    /// # Panics
+    ///
+    /// Panics on depthwise layers.
+    pub fn execute_gemm_codes(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> Shape {
         let matrix = self.im2col(x, ops);
         let in_shape = x.shape();
         let out_shape = self.output_shape(in_shape);
@@ -141,7 +177,8 @@ impl QConv2d {
                 }
             }
         }
-        let mut out_codes = vec![0u8; out_shape.volume()];
+        out_codes.clear();
+        out_codes.resize(out_shape.volume(), 0);
         let mut macs = 0u64;
         for r in 0..matrix.rows() {
             let row = matrix.row(r);
@@ -166,12 +203,7 @@ impl QConv2d {
         if per_channel {
             ops.offset_subs += macs;
         }
-        QActivation::from_codes(
-            out_shape,
-            &out_codes,
-            self.requant().out_bits(),
-            self.requant().zero_point().clamp(0, 255) as u8,
-        )
+        out_shape
     }
 }
 

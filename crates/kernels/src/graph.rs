@@ -65,6 +65,7 @@ use std::mem;
 use mixq_quant::BitWidth;
 use mixq_tensor::Shape;
 
+use crate::backend::{Backend, KernelChoice};
 use crate::gemm::im2col_scratch_bytes;
 use crate::{OpCounts, QActivation, QAdd, QAvgPool, QConv2d, QLinear};
 
@@ -129,21 +130,42 @@ pub trait QOp {
         1
     }
 
-    /// Runs the op with a throwaway arena, charging `ops`.
+    /// The kernel implementations this op can execute with; the first entry
+    /// is the reference (direct) kernel every op supports. A [`Backend`]'s
+    /// selection must come from this list.
+    fn supported_kernels(&self) -> &'static [KernelChoice] {
+        &[KernelChoice::DirectConv]
+    }
+
+    /// Runs the op with a throwaway arena and the reference kernel,
+    /// charging `ops`.
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != self.arity()` (implementations index the
     /// slice directly).
     fn execute(&self, inputs: &[&QActivation], ops: &mut OpCounts) -> OpOutput {
-        self.execute_into(inputs, &mut ActivationArena::new(), ops)
+        self.execute_kernel(
+            KernelChoice::DirectConv,
+            inputs,
+            &mut ActivationArena::new(),
+            ops,
+        )
     }
 
-    /// Runs the op drawing scratch and packed output storage from `arena`
-    /// — the buffer-pool hook that makes steady-state inference
-    /// allocation-free.
-    fn execute_into(
+    /// Runs the op with the given kernel implementation, drawing scratch
+    /// and packed output storage from `arena` — the buffer-pool hook that
+    /// makes steady-state inference allocation-free on the direct path.
+    /// This is the executor's dispatch point: each graph node passes its
+    /// build-time-resolved [`KernelChoice`] here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the choice is not in [`QOp::supported_kernels`] or the
+    /// input count disagrees with the arity.
+    fn execute_kernel(
         &self,
+        choice: KernelChoice,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
@@ -166,10 +188,12 @@ pub trait QOp {
     /// Flash bytes of the op: packed weights plus §4.1 static parameters.
     fn flash_bytes(&self) -> usize;
 
-    /// Transient scratch bytes a lowered implementation needs over the
-    /// inputs (zero for ops that run in place over the live activations).
-    fn scratch_bytes(&self, inputs: &[Shape]) -> usize {
-        let _ = inputs;
+    /// Transient scratch bytes the given kernel implementation needs over
+    /// the inputs at their precisions (e.g. the im2col expansion of a GEMM
+    /// lowering; zero for kernels that run in place over the live
+    /// activations).
+    fn scratch_bytes(&self, choice: KernelChoice, inputs: &[Shape], in_bits: &[BitWidth]) -> usize {
+        let _ = (choice, inputs, in_bits);
         0
     }
 }
@@ -183,14 +207,32 @@ impl QOp for QConv2d {
         }
     }
 
-    fn execute_into(
+    fn supported_kernels(&self) -> &'static [KernelChoice] {
+        if self.weights().is_depthwise() {
+            // CMSIS-NN lowers depthwise directly; there is no im2col form.
+            &[KernelChoice::DirectConv]
+        } else {
+            &[
+                KernelChoice::DirectConv,
+                KernelChoice::Im2colGemm,
+                KernelChoice::BlockedGemm,
+            ]
+        }
+    }
+
+    fn execute_kernel(
         &self,
+        choice: KernelChoice,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
         let mut codes = arena.take_scratch();
-        let shape = self.execute_codes(inputs[0], &mut codes, ops);
+        let shape = match choice {
+            KernelChoice::DirectConv => self.execute_codes(inputs[0], &mut codes, ops),
+            KernelChoice::Im2colGemm => self.execute_gemm_codes(inputs[0], &mut codes, ops),
+            KernelChoice::BlockedGemm => self.execute_blocked_codes(inputs[0], &mut codes, ops),
+        };
         let act = QActivation::from_codes_in(
             shape,
             &codes,
@@ -218,12 +260,20 @@ impl QOp for QConv2d {
             + self.requant().flash_bytes()
     }
 
-    fn scratch_bytes(&self, inputs: &[Shape]) -> usize {
-        if self.weights().is_depthwise() {
-            // CMSIS-NN lowers depthwise directly, no im2col buffer.
-            0
-        } else {
-            im2col_scratch_bytes(self, inputs[0])
+    fn scratch_bytes(&self, choice: KernelChoice, inputs: &[Shape], in_bits: &[BitWidth]) -> usize {
+        match choice {
+            // The direct loop reads the packed input in place.
+            KernelChoice::DirectConv => 0,
+            KernelChoice::Im2colGemm => im2col_scratch_bytes(self, inputs[0]),
+            // The blocked kernel's pointwise identity fast path borrows an
+            // 8-bit input's packed storage zero-copy — no expansion at all.
+            KernelChoice::BlockedGemm => {
+                if self.blocked_borrows_input(in_bits[0]) {
+                    0
+                } else {
+                    im2col_scratch_bytes(self, inputs[0])
+                }
+            }
         }
     }
 }
@@ -233,8 +283,9 @@ impl QOp for QAvgPool {
         OpKind::Pool
     }
 
-    fn execute_into(
+    fn execute_kernel(
         &self,
+        _choice: KernelChoice,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
@@ -272,8 +323,9 @@ impl QOp for QLinear {
         OpKind::Linear
     }
 
-    fn execute_into(
+    fn execute_kernel(
         &self,
+        _choice: KernelChoice,
         inputs: &[&QActivation],
         _arena: &mut ActivationArena,
         ops: &mut OpCounts,
@@ -314,8 +366,9 @@ impl QOp for QAdd {
         2
     }
 
-    fn execute_into(
+    fn execute_kernel(
         &self,
+        _choice: KernelChoice,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
@@ -408,13 +461,18 @@ impl QOp for AnyOp {
         dispatch!(self, op => QOp::arity(op))
     }
 
-    fn execute_into(
+    fn supported_kernels(&self) -> &'static [KernelChoice] {
+        dispatch!(self, op => QOp::supported_kernels(op))
+    }
+
+    fn execute_kernel(
         &self,
+        choice: KernelChoice,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
-        dispatch!(self, op => QOp::execute_into(op, inputs, arena, ops))
+        dispatch!(self, op => QOp::execute_kernel(op, choice, inputs, arena, ops))
     }
 
     fn output_shape(&self, inputs: &[Shape]) -> Shape {
@@ -433,17 +491,19 @@ impl QOp for AnyOp {
         dispatch!(self, op => QOp::flash_bytes(op))
     }
 
-    fn scratch_bytes(&self, inputs: &[Shape]) -> usize {
-        dispatch!(self, op => op.scratch_bytes(inputs))
+    fn scratch_bytes(&self, choice: KernelChoice, inputs: &[Shape], in_bits: &[BitWidth]) -> usize {
+        dispatch!(self, op => op.scratch_bytes(choice, inputs, in_bits))
     }
 }
 
-/// A named node of a [`QGraph`] with its input tensor ids.
+/// A named node of a [`QGraph`] with its input tensor ids and the kernel
+/// implementation it resolved to at build time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphNode {
     name: String,
     op: AnyOp,
     inputs: Vec<usize>,
+    choice: KernelChoice,
 }
 
 impl GraphNode {
@@ -458,6 +518,7 @@ impl GraphNode {
     }
 
     /// Mutable operator (deployment rewrites, e.g. threshold saturation).
+    /// The node's kernel choice is preserved across rewrites.
     pub fn op_mut(&mut self) -> &mut AnyOp {
         &mut self.op
     }
@@ -465,6 +526,14 @@ impl GraphNode {
     /// Input tensor ids (0 = graph input, `k + 1` = output of node `k`).
     pub fn inputs(&self) -> &[usize] {
         &self.inputs
+    }
+
+    /// The kernel implementation this node executes with — resolved by a
+    /// [`Backend`] at build time ([`QGraph::push_node_with`] /
+    /// [`QGraph::select_kernels`]); [`KernelChoice::DirectConv`] for nodes
+    /// pushed without a backend.
+    pub fn choice(&self) -> KernelChoice {
+        self.choice
     }
 }
 
@@ -477,6 +546,9 @@ pub struct LayerRun {
     pub name: String,
     /// Operator class.
     pub kind: OpKind,
+    /// The kernel implementation the node executed with (cycle models price
+    /// per choice).
+    pub choice: KernelChoice,
     /// Abstract operation counts charged by this layer alone.
     pub ops: OpCounts,
     /// Input activation bytes (packed, summed over all inputs —
@@ -593,28 +665,71 @@ impl ActivationArena {
 /// Nodes are appended in topological order: every input tensor id must
 /// already be defined, so the node order doubles as the execution
 /// schedule. See the [module docs](self) for examples.
+///
+/// Each node carries the [`KernelChoice`] it executes with. Plain
+/// [`QGraph::push`]/[`QGraph::push_node`] resolve every node to the direct
+/// reference kernel (bit-identical to the pre-backend executor); declaring
+/// the input with [`QGraph::with_input`] enables build-time [`Backend`]
+/// selection through [`QGraph::push_with`]/[`QGraph::push_node_with`], and
+/// [`QGraph::select_kernels`] re-resolves a whole graph against a backend.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QGraph {
     nodes: Vec<GraphNode>,
+    input: Option<(Shape, BitWidth)>,
 }
 
 impl QGraph {
-    /// An empty graph.
+    /// An empty graph with no declared input (backend selection needs
+    /// [`QGraph::with_input`]).
     pub fn new() -> Self {
         QGraph::default()
     }
 
+    /// An empty graph with a declared input tensor, enabling build-time
+    /// kernel selection: backends see each node's input shapes and
+    /// precisions, derived from this declaration through the ops already
+    /// pushed.
+    pub fn with_input(input: Shape, in_bits: BitWidth) -> Self {
+        QGraph {
+            nodes: Vec::new(),
+            input: Some((input, in_bits)),
+        }
+    }
+
+    /// The declared input tensor, if any.
+    pub fn input_decl(&self) -> Option<(Shape, BitWidth)> {
+        self.input
+    }
+
     /// Appends a chain node consuming the most recent tensor (the previous
     /// node's output, or the graph input for the first node). Returns the
-    /// new node's output tensor id.
+    /// new node's output tensor id. The node runs the direct reference
+    /// kernel.
     pub fn push(&mut self, name: impl Into<String>, op: impl Into<AnyOp>) -> usize {
         let prev = self.nodes.len();
         self.push_node(name, op, &[prev])
     }
 
+    /// [`QGraph::push`] with build-time kernel selection: `backend` picks
+    /// the node's [`KernelChoice`] from its input shapes and precisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no declared input ([`QGraph::with_input`])
+    /// or the backend returns an unsupported choice.
+    pub fn push_with(
+        &mut self,
+        name: impl Into<String>,
+        op: impl Into<AnyOp>,
+        backend: &dyn Backend,
+    ) -> usize {
+        let prev = self.nodes.len();
+        self.push_node_with(name, op, &[prev], backend)
+    }
+
     /// Appends a node with explicit input tensor ids (0 = graph input,
     /// `k + 1` = output of node `k`). Returns the new node's output tensor
-    /// id.
+    /// id. The node runs the direct reference kernel.
     ///
     /// # Panics
     ///
@@ -626,8 +741,48 @@ impl QGraph {
         op: impl Into<AnyOp>,
         inputs: &[usize],
     ) -> usize {
+        self.push_resolved(name.into(), op.into(), inputs, KernelChoice::DirectConv)
+    }
+
+    /// [`QGraph::push_node`] with build-time kernel selection: `backend`
+    /// picks the node's [`KernelChoice`] from the shapes and precisions of
+    /// its input tensors (derived from the declared graph input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no declared input ([`QGraph::with_input`]),
+    /// the backend returns a choice outside the op's
+    /// [`QOp::supported_kernels`], or the [`QGraph::push_node`] conditions
+    /// are violated.
+    pub fn push_node_with(
+        &mut self,
+        name: impl Into<String>,
+        op: impl Into<AnyOp>,
+        inputs: &[usize],
+        backend: &dyn Backend,
+    ) -> usize {
         let name = name.into();
         let op = op.into();
+        let (input, in_bits) = self.input.unwrap_or_else(|| {
+            panic!(
+                "node `{name}`: backend selection needs a declared graph input \
+                 (build the graph with QGraph::with_input)"
+            )
+        });
+        let (shapes, bits) = self.tensor_plan(input, in_bits);
+        let in_shapes: Vec<Shape> = inputs.iter().map(|&t| shapes[t]).collect();
+        let in_bits_v: Vec<BitWidth> = inputs.iter().map(|&t| bits[t]).collect();
+        let choice = resolve_choice(backend, &name, &op, &in_shapes, &in_bits_v);
+        self.push_resolved(name, op, inputs, choice)
+    }
+
+    fn push_resolved(
+        &mut self,
+        name: String,
+        op: AnyOp,
+        inputs: &[usize],
+        choice: KernelChoice,
+    ) -> usize {
         let out_id = self.nodes.len() + 1;
         assert_eq!(
             inputs.len(),
@@ -646,8 +801,40 @@ impl QGraph {
             name,
             op,
             inputs: inputs.to_vec(),
+            choice,
         });
         out_id
+    }
+
+    /// Re-resolves every node's [`KernelChoice`] against `backend` —
+    /// retargeting an already-built graph (e.g. a converted network) to a
+    /// different backend without rebuilding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no declared input ([`QGraph::with_input`])
+    /// or the backend returns an unsupported choice for some node.
+    pub fn select_kernels(&mut self, backend: &dyn Backend) {
+        let (input, in_bits) = self
+            .input
+            .expect("backend selection needs a declared graph input (QGraph::with_input)");
+        let (shapes, bits) = self.tensor_plan(input, in_bits);
+        let mut in_shapes = Vec::new();
+        let mut in_bits_v = Vec::new();
+        for node in &mut self.nodes {
+            in_shapes.clear();
+            in_bits_v.clear();
+            for &t in &node.inputs {
+                in_shapes.push(shapes[t]);
+                in_bits_v.push(bits[t]);
+            }
+            node.choice = resolve_choice(backend, &node.name, &node.op, &in_shapes, &in_bits_v);
+        }
+    }
+
+    /// The resolved [`KernelChoice`] of every node, in schedule order.
+    pub fn kernel_choices(&self) -> Vec<KernelChoice> {
+        self.nodes.iter().map(|n| n.choice).collect()
     }
 
     /// The nodes, in schedule order.
@@ -766,18 +953,26 @@ impl QGraph {
         peak
     }
 
-    /// Largest transient scratch buffer any node would need when lowered
-    /// (e.g. im2col expansions), on top of the live activations.
+    /// Largest transient scratch buffer any node needs with the kernel it
+    /// actually selected, on top of the live activations: GEMM-lowered
+    /// nodes are priced for their im2col expansion (zero when the blocked
+    /// kernel's pointwise identity path borrows the input zero-copy),
+    /// direct nodes for nothing. A reference-selected graph therefore
+    /// reports zero, and a tiled graph exactly the largest expansion its
+    /// GEMM nodes materialize.
     pub fn peak_scratch_bytes(&self, input: Shape, in_bits: BitWidth) -> usize {
-        let (shapes, _) = self.tensor_plan(input, in_bits);
+        let (shapes, bits) = self.tensor_plan(input, in_bits);
         let mut peak = 0usize;
         let mut in_shapes = Vec::new();
+        let mut in_bits_v = Vec::new();
         for node in &self.nodes {
             in_shapes.clear();
+            in_bits_v.clear();
             for &t in &node.inputs {
                 in_shapes.push(shapes[t]);
+                in_bits_v.push(bits[t]);
             }
-            peak = peak.max(node.op.scratch_bytes(&in_shapes));
+            peak = peak.max(node.op.scratch_bytes(node.choice, &in_shapes, &in_bits_v));
         }
         peak
     }
@@ -873,6 +1068,7 @@ impl QGraph {
             layers.push(LayerRun {
                 name: node.name.clone(),
                 kind: node.op.kind(),
+                choice: node.choice,
                 ops,
                 in_bytes,
                 out_bytes,
@@ -957,7 +1153,7 @@ fn execute_node(
         [a] => {
             let xa = expect_act(slots, a, node.name());
             (
-                node.op.execute_into(&[xa], arena, ops),
+                node.op.execute_kernel(node.choice, &[xa], arena, ops),
                 xa.byte_len(),
                 xa.shape(),
             )
@@ -966,13 +1162,30 @@ fn execute_node(
             let xa = expect_act(slots, a, node.name());
             let xb = expect_act(slots, b, node.name());
             (
-                node.op.execute_into(&[xa, xb], arena, ops),
+                node.op.execute_kernel(node.choice, &[xa, xb], arena, ops),
                 xa.byte_len() + xb.byte_len(),
                 xa.shape(),
             )
         }
         _ => unreachable!("arity is validated by push_node"),
     }
+}
+
+/// Validates a backend's selection against the op's supported kernels.
+fn resolve_choice(
+    backend: &dyn Backend,
+    name: &str,
+    op: &AnyOp,
+    in_shapes: &[Shape],
+    in_bits: &[BitWidth],
+) -> KernelChoice {
+    let choice = backend.select(op, in_shapes, in_bits);
+    assert!(
+        op.supported_kernels().contains(&choice),
+        "node `{name}`: backend `{}` selected {choice}, which the op does not support",
+        backend.name()
+    );
+    choice
 }
 
 /// Recycles every tensor whose last consumer was node `i` (including the
@@ -1239,7 +1452,7 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reports_im2col_for_dense_only() {
+    fn scratch_follows_the_selected_kernel() {
         let dense = QConv2d::new(
             QConvWeights::new(
                 Shape::new(2, 3, 3, 3),
@@ -1252,12 +1465,137 @@ mod tests {
             identity_requant(2, BitWidth::W8),
         );
         let input = Shape::feature_map(8, 8, 3);
-        assert_eq!(QOp::scratch_bytes(&dense, &[input]), 8 * 8 * 9 * 3);
-        assert_eq!(QOp::scratch_bytes(&depthwise(3, 1), &[input]), 0);
-        let mut graph = QGraph::new();
+        let w8 = [BitWidth::W8];
+        // The direct loop runs in place; only the GEMM lowerings expand.
+        assert_eq!(
+            QOp::scratch_bytes(&dense, KernelChoice::DirectConv, &[input], &w8),
+            0
+        );
+        assert_eq!(
+            QOp::scratch_bytes(&dense, KernelChoice::Im2colGemm, &[input], &w8),
+            8 * 8 * 9 * 3
+        );
+        assert_eq!(
+            QOp::scratch_bytes(&dense, KernelChoice::BlockedGemm, &[input], &w8),
+            8 * 8 * 9 * 3
+        );
+        // The blocked kernel's pointwise identity path borrows an 8-bit
+        // input zero-copy (no scratch); the naive GEMM still expands, and
+        // a sub-byte input needs the linear unpack buffer.
+        let pw = pointwise(3, 4, 1);
+        assert_eq!(
+            QOp::scratch_bytes(&pw, KernelChoice::BlockedGemm, &[input], &w8),
+            0
+        );
+        assert_eq!(
+            QOp::scratch_bytes(&pw, KernelChoice::Im2colGemm, &[input], &w8),
+            8 * 8 * 3
+        );
+        assert_eq!(
+            QOp::scratch_bytes(&pw, KernelChoice::BlockedGemm, &[input], &[BitWidth::W4]),
+            8 * 8 * 3
+        );
+        // A reference graph prices no scratch; a tiled graph prices exactly
+        // the GEMM nodes' expansions.
+        let mut graph = QGraph::with_input(input, BitWidth::W8);
         graph.push("dw", depthwise(3, 1));
-        graph.push("c", dense);
+        graph.push("c", dense.clone());
+        assert_eq!(graph.peak_scratch_bytes(input, BitWidth::W8), 0);
+        graph.select_kernels(&crate::TiledBackend::default());
+        assert_eq!(
+            graph.kernel_choices(),
+            vec![KernelChoice::DirectConv, KernelChoice::BlockedGemm]
+        );
         assert_eq!(graph.peak_scratch_bytes(input, BitWidth::W8), 8 * 8 * 9 * 3);
+    }
+
+    #[test]
+    fn backend_selection_is_bit_identical_across_kernels() {
+        // The same graph, selected three ways, produces identical runs
+        // apart from the recorded choices.
+        let input = Shape::feature_map(6, 6, 3);
+        let build = || {
+            let mut g = QGraph::with_input(input, BitWidth::W8);
+            g.push("dw", depthwise(3, 1));
+            g.push("pw", pointwise(3, 8, 2));
+            g.push("pool", QAvgPool);
+            g
+        };
+        let reference = build();
+        let mut tiled = build();
+        tiled.select_kernels(&crate::TiledBackend::default());
+        assert_eq!(
+            tiled.kernel_choices(),
+            vec![
+                KernelChoice::DirectConv,
+                KernelChoice::BlockedGemm,
+                KernelChoice::DirectConv
+            ]
+        );
+        let codes: Vec<u8> = (0..input.volume()).map(|i| (i % 17) as u8).collect();
+        let x = QActivation::from_codes(input, &codes, BitWidth::W8, 2);
+        let a = reference.run(x.clone());
+        let b = tiled.run(x);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.peak_live_bytes, b.peak_live_bytes);
+        assert_eq!(b.layers[1].choice, KernelChoice::BlockedGemm);
+        assert_eq!(a.layers[1].choice, KernelChoice::DirectConv);
+        // Pointwise convs have no padded taps, so the MAC and requant
+        // counts agree between the direct and GEMM dataflows (the load
+        // ledger legitimately differs: im2col touches each input element
+        // once, the direct loop once per MAC).
+        assert_eq!(a.layers[1].ops.macs, b.layers[1].ops.macs);
+        assert_eq!(a.layers[1].ops.requants, b.layers[1].ops.requants);
+    }
+
+    #[test]
+    fn push_with_selects_at_build_time() {
+        let input = Shape::feature_map(5, 5, 2);
+        let mut g = QGraph::with_input(input, BitWidth::W8);
+        let backend = crate::TiledBackend::default();
+        g.push_with("dw", depthwise(2, 1), &backend);
+        let pw = g.push_with("pw", pointwise(2, 4, 1), &backend);
+        g.push_node_with("res", identity_add(), &[pw, pw], &backend);
+        assert_eq!(
+            g.kernel_choices(),
+            vec![
+                KernelChoice::DirectConv,
+                KernelChoice::BlockedGemm,
+                KernelChoice::DirectConv
+            ]
+        );
+        assert_eq!(g.input_decl(), Some((input, BitWidth::W8)));
+        assert_eq!(g.nodes()[1].choice(), KernelChoice::BlockedGemm);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared graph input")]
+    fn push_with_requires_declared_input() {
+        let mut g = QGraph::new();
+        g.push_with("pw", pointwise(2, 4, 1), &crate::TiledBackend::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn unsupported_backend_choice_is_rejected() {
+        struct GemmEverywhere;
+        impl crate::Backend for GemmEverywhere {
+            fn name(&self) -> &'static str {
+                "gemm-everywhere"
+            }
+            fn select(
+                &self,
+                _op: &AnyOp,
+                _inputs: &[Shape],
+                _in_bits: &[BitWidth],
+            ) -> KernelChoice {
+                KernelChoice::Im2colGemm
+            }
+        }
+        let input = Shape::feature_map(5, 5, 2);
+        let mut g = QGraph::with_input(input, BitWidth::W8);
+        // Depthwise has no GEMM lowering: the selection must be rejected.
+        g.push_with("dw", depthwise(2, 1), &GemmEverywhere);
     }
 
     #[test]

@@ -45,6 +45,8 @@
 #![warn(missing_docs)]
 
 mod add;
+pub mod backend;
+pub mod blocked;
 mod conv;
 mod counter;
 pub mod gemm;
@@ -55,6 +57,7 @@ mod requant;
 mod tensorq;
 
 pub use add::QAdd;
+pub use backend::{Backend, BackendKind, KernelChoice, ReferenceBackend, TiledBackend};
 pub use conv::QConv2d;
 pub use counter::OpCounts;
 pub use gemm::{im2col_scratch_bytes, Im2Col};

@@ -142,6 +142,13 @@ impl QActivation {
     pub fn needs_unpack(&self) -> bool {
         self.bits() != BitWidth::W8
     }
+
+    /// The raw packed storage bytes. For an 8-bit tensor these *are* the
+    /// codes in NHWC order — the zero-copy fast path of the blocked GEMM
+    /// kernel; sub-byte tensors must go through [`QActivation::codes`].
+    pub fn as_bytes(&self) -> &[u8] {
+        self.packed.as_bytes()
+    }
 }
 
 /// Bit-packed quantized convolution weights `(c_o, k_h, k_w, c_i)`
@@ -229,9 +236,17 @@ impl QConvWeights {
         self.bits() != BitWidth::W8
     }
 
-    /// The raw packed weight bytes, as they would be placed in flash.
+    /// The raw packed weight bytes, as they would be placed in flash. For
+    /// 8-bit weights these are the codes themselves, in `(c_o, k_h, k_w,
+    /// c_i)` order — exactly the flattened GEMM panel layout.
     pub fn as_bytes(&self) -> &[u8] {
         self.packed.as_bytes()
+    }
+
+    /// All weight codes, unpacked to one per byte in `(c_o, k_h, k_w,
+    /// c_i)` order.
+    pub fn codes(&self) -> Vec<u8> {
+        self.packed.unpack()
     }
 }
 

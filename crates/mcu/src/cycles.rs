@@ -2,7 +2,7 @@ use std::fmt;
 
 use mixq_core::memory::QuantScheme;
 use mixq_core::mixed::BitAssignment;
-use mixq_kernels::{LayerRun, OpCounts, OpKind};
+use mixq_kernels::{KernelChoice, LayerRun, OpCounts, OpKind};
 use mixq_models::{LayerKind, LayerSpec, NetworkSpec};
 use mixq_quant::BitWidth;
 
@@ -24,8 +24,17 @@ use mixq_quant::BitWidth;
 ///   requantization, or `Q` binary-search comparisons for thresholds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CortexM7CycleModel {
-    /// Cycles per MAC, standard/pointwise convolution (8-bit operands).
+    /// Cycles per MAC, standard/pointwise convolution (8-bit operands,
+    /// direct output-stationary loop).
     pub conv_cycles_per_mac: f64,
+    /// Cycles per MAC for a dense convolution lowered onto the plain
+    /// im2col + GEMM dataflow ([`KernelChoice::Im2colGemm`]): contiguous
+    /// operands let `SMLAD` dual-issue more often than the direct loop.
+    pub gemm_cycles_per_mac: f64,
+    /// Cycles per MAC for the register-blocked, cache-tiled GEMM
+    /// ([`KernelChoice::BlockedGemm`]): operand reuse across the microtile
+    /// removes most per-MAC load traffic.
+    pub blocked_gemm_cycles_per_mac: f64,
     /// Cycles per MAC, depthwise convolution.
     pub dw_cycles_per_mac: f64,
     /// Cycles per MAC, fully connected.
@@ -50,6 +59,8 @@ impl Default for CortexM7CycleModel {
     fn default() -> Self {
         CortexM7CycleModel {
             conv_cycles_per_mac: 2.1,
+            gemm_cycles_per_mac: 1.9,
+            blocked_gemm_cycles_per_mac: 1.4,
             dw_cycles_per_mac: 7.0,
             fc_cycles_per_mac: 2.0,
             unpack_cycles: 0.8,
@@ -172,18 +183,32 @@ impl CortexM7CycleModel {
             .collect()
     }
 
-    /// Cycles of one executed layer from its measured [`OpCounts`] ledger.
+    /// Cycles of one executed layer from its measured [`OpCounts`] ledger,
+    /// priced for the direct reference kernel —
+    /// [`CortexM7CycleModel::kernel_cycles`] with
+    /// [`KernelChoice::DirectConv`].
+    pub fn op_cycles(&self, kind: OpKind, ops: &OpCounts) -> u64 {
+        self.kernel_cycles(kind, KernelChoice::DirectConv, ops)
+    }
+
+    /// Cycles of one executed layer from its measured [`OpCounts`] ledger
+    /// and the kernel implementation the node actually selected.
     ///
     /// Unlike [`CortexM7CycleModel::cycles_from_counts`], the operator
-    /// class is known, so the right per-MAC rate applies — this is the
-    /// path the `QGraph` executor's per-layer records feed.
-    pub fn op_cycles(&self, kind: OpKind, ops: &OpCounts) -> u64 {
-        let per_mac = match kind {
+    /// class is known, so the right per-MAC rate applies — and the
+    /// [`KernelChoice`] picks between the direct, GEMM and blocked-GEMM
+    /// rates for dense convolutions, so a backend's selection and the
+    /// latency model always agree. This is the path the `QGraph` executor's
+    /// per-layer records feed.
+    pub fn kernel_cycles(&self, kind: OpKind, choice: KernelChoice, ops: &OpCounts) -> u64 {
+        let per_mac = match (kind, choice) {
+            (OpKind::Conv, KernelChoice::Im2colGemm) => self.gemm_cycles_per_mac,
+            (OpKind::Conv, KernelChoice::BlockedGemm) => self.blocked_gemm_cycles_per_mac,
             // Residual adds are MAC-free; their cost is the per-element
             // requantization and load/store traffic priced below.
-            OpKind::Conv | OpKind::Pool | OpKind::Add => self.conv_cycles_per_mac,
-            OpKind::DepthwiseConv => self.dw_cycles_per_mac,
-            OpKind::Linear => self.fc_cycles_per_mac,
+            (OpKind::Conv | OpKind::Pool | OpKind::Add, _) => self.conv_cycles_per_mac,
+            (OpKind::DepthwiseConv, _) => self.dw_cycles_per_mac,
+            (OpKind::Linear, _) => self.fc_cycles_per_mac,
         };
         (ops.macs as f64 * per_mac
             + ops.unpacks as f64 * self.unpack_cycles
@@ -196,20 +221,24 @@ impl CortexM7CycleModel {
 
     /// Per-layer latency breakdown from a `QGraph` execution ledger — the
     /// measured twin of [`CortexM7CycleModel::layer_breakdown`], which
-    /// works from shape-level specs instead.
+    /// works from shape-level specs instead. Each layer is priced for the
+    /// kernel its node actually selected ([`LayerRun::choice`]).
     pub fn breakdown_from_runs(&self, runs: &[LayerRun]) -> Vec<LayerLatency> {
         runs.iter()
             .map(|r| LayerLatency {
                 name: r.name.clone(),
-                cycles: self.op_cycles(r.kind, &r.ops),
+                cycles: self.kernel_cycles(r.kind, r.choice, &r.ops),
                 macs: r.ops.macs as usize,
             })
             .collect()
     }
 
-    /// Total cycles of a `QGraph` execution ledger.
+    /// Total cycles of a `QGraph` execution ledger, priced per selected
+    /// kernel.
     pub fn cycles_from_runs(&self, runs: &[LayerRun]) -> u64 {
-        runs.iter().map(|r| self.op_cycles(r.kind, &r.ops)).sum()
+        runs.iter()
+            .map(|r| self.kernel_cycles(r.kind, r.choice, &r.ops))
+            .sum()
     }
 
     /// Coarse cycle estimate from measured kernel op counts (the
@@ -365,6 +394,38 @@ mod tests {
         assert!(pw_cycles * 2 > total, "pointwise majority");
         // Display is informative.
         assert!(breakdown[0].to_string().contains("cycles"));
+    }
+
+    #[test]
+    fn kernel_choice_prices_dense_convs_only() {
+        let m = model();
+        let ops = OpCounts {
+            macs: 100_000,
+            requants: 1000,
+            act_stores: 1000,
+            ..OpCounts::default()
+        };
+        let direct = m.kernel_cycles(OpKind::Conv, KernelChoice::DirectConv, &ops);
+        let gemm = m.kernel_cycles(OpKind::Conv, KernelChoice::Im2colGemm, &ops);
+        let blocked = m.kernel_cycles(OpKind::Conv, KernelChoice::BlockedGemm, &ops);
+        assert!(
+            blocked < gemm && gemm < direct,
+            "per-MAC rates must order blocked < gemm < direct: {blocked} {gemm} {direct}"
+        );
+        // op_cycles is the DirectConv special case — the pre-backend rate.
+        assert_eq!(direct, m.op_cycles(OpKind::Conv, &ops));
+        // Non-conv kinds are choice-insensitive (they have one kernel).
+        for kind in [
+            OpKind::DepthwiseConv,
+            OpKind::Pool,
+            OpKind::Linear,
+            OpKind::Add,
+        ] {
+            assert_eq!(
+                m.kernel_cycles(kind, KernelChoice::DirectConv, &ops),
+                m.kernel_cycles(kind, KernelChoice::BlockedGemm, &ops),
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use mixq::core::memory::QuantScheme;
 use mixq::core::pipeline::{deploy, PipelineConfig};
 use mixq::data::{DatasetSpec, SyntheticKind};
+use mixq::kernels::BackendKind;
 use mixq::mcu::{CortexM7CycleModel, Device};
 use mixq::nn::qat::MicroCnnSpec;
 
@@ -20,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_noise(0.05)
         .generate(7);
     let spec = MicroCnnSpec::separable(12, 12, 2, 3, &[6, 8]);
-    let cfg = PipelineConfig::new(QuantScheme::PerChannelIcn);
+    // The tiled backend lowers standard convolutions onto the blocked GEMM
+    // at graph build time; logits are bit-identical to the reference
+    // backend, only the per-node kernel choice (and its cycle price)
+    // changes.
+    let cfg = PipelineConfig::new(QuantScheme::PerChannelIcn).with_backend(BackendKind::tiled());
     let (int_net, report) = deploy(&spec, &ds, &cfg)?;
     println!("== deployment ==\n{report}\n");
 
@@ -32,14 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== per-layer breakdown (measured ledger × Cortex-M7 model) ==");
     println!(
-        "{:<10} {:<8} {:>10} {:>10} {:>8} {:>8} {:>7}",
-        "layer", "kind", "macs", "cycles", "in B", "out B", "share"
+        "{:<10} {:<8} {:<13} {:>10} {:>10} {:>8} {:>8} {:>7}",
+        "layer", "kind", "kernel", "macs", "cycles", "in B", "out B", "share"
     );
     for (latency, layer) in breakdown.iter().zip(&run.layers) {
         println!(
-            "{:<10} {:<8} {:>10} {:>10} {:>8} {:>8} {:>6.1}%",
+            "{:<10} {:<8} {:<13} {:>10} {:>10} {:>8} {:>8} {:>6.1}%",
             latency.name,
             layer.kind.label(),
+            layer.choice.label(),
             latency.macs,
             latency.cycles,
             layer.in_bytes,
@@ -57,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device
     );
     println!(
-        "graph: flash {} B, peak activation RAM {} B, arena scratch {} B",
+        "graph: flash {} B, peak activation RAM {} B, im2col scratch of selected kernels {} B",
         int_net.flash_bytes(),
         int_net.peak_ram_bytes(),
         int_net

@@ -12,7 +12,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 root="$PWD"
 for bench in table1_layer_memory table2_int4_mobilenet \
-             table4_mixed_accuracy figure3_bit_assignment; do
+             table4_mixed_accuracy figure3_bit_assignment \
+             table_backend_kernels; do
   echo "== $bench =="
   cargo bench --bench "$bench" -- --json "$root/tests/goldens/$bench.json" >/dev/null
 done

@@ -90,19 +90,26 @@ fn steady_state_inference_is_allocation_free() {
     }
     let warm_logits = logits.clone();
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..8 {
-        let x = int_net.quantize_input_pooled(&image, &mut arena);
-        int_net
-            .graph()
-            .infer_pooled(x, &mut arena, &mut logits, &mut ops);
+    // The counter is process-global, and the libtest harness's own thread
+    // occasionally allocates concurrently with the measured window. A real
+    // steady-state allocation would fire on *every* attempt, so retrying a
+    // few times filters the harness noise without weakening the assertion.
+    let mut leaked = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..8 {
+            let x = int_net.quantize_input_pooled(&image, &mut arena);
+            int_net
+                .graph()
+                .infer_pooled(x, &mut arena, &mut logits, &mut ops);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        leaked = leaked.min(after - before);
+        if leaked == 0 {
+            break;
+        }
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state inference must not touch the heap"
-    );
+    assert_eq!(leaked, 0, "steady-state inference must not touch the heap");
     // And it still computes the same thing.
     assert_eq!(logits, warm_logits);
 }

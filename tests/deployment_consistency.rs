@@ -70,9 +70,9 @@ fn converted_peak_ram_matches_memory_model() {
 }
 
 #[test]
-fn gemm_path_matches_direct_on_converted_network() {
+fn gemm_paths_match_direct_on_converted_network() {
     // Run the first (standard) conv layer of a real converted network
-    // through both dataflows.
+    // through all three dataflows.
     let (_, int_net, ds) = trained(QuantScheme::PerChannelIcn, BitWidth::W4);
     for i in 0..4 {
         let x = int_net.quantize_input(&ds.sample(i).images);
@@ -80,9 +80,13 @@ fn gemm_path_matches_direct_on_converted_network() {
         assert!(!layer.weights().is_depthwise());
         let mut oa = OpCounts::default();
         let mut ob = OpCounts::default();
+        let mut oc = OpCounts::default();
         let direct = layer.execute(&x, &mut oa);
         let gemm = layer.execute_gemm(&x, &mut ob);
+        let blocked = layer.execute_blocked(&x, &mut oc);
         assert_eq!(direct, gemm, "sample {i}");
+        assert_eq!(direct, blocked, "sample {i}");
+        assert_eq!(ob, oc, "GEMM dataflow ledgers agree, sample {i}");
     }
 }
 

@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use mixq::core::memory::{MemoryBudget, QuantScheme};
 use mixq::core::mixed::{assign_bits, MixedPrecisionConfig};
 use mixq::kernels::{
-    OpCounts, QActivation, QConv2d, QConvWeights, QGraph, Requantizer, ThresholdChannel,
-    WeightOffset,
+    AnyOp, Backend, KernelChoice, OpCounts, QActivation, QConv2d, QConvWeights, QGraph, QLinear,
+    ReferenceBackend, Requantizer, ThresholdChannel, TiledBackend, WeightOffset,
 };
 use mixq::models::{LayerSpec, NetworkSpec};
 use mixq::quant::{BitWidth, FixedPointMultiplier, PackedTensor, QuantParams};
@@ -239,10 +239,112 @@ proptest! {
         let x = QActivation::from_codes(in_shape, &codes, BitWidth::W8, zx);
         let mut oa = OpCounts::default();
         let mut ob = OpCounts::default();
+        let mut oc = OpCounts::default();
         let direct = conv.execute(&x, &mut oa);
         let gemm = conv.execute_gemm(&x, &mut ob);
-        prop_assert_eq!(direct, gemm);
+        let blocked = conv.execute_blocked(&x, &mut oc);
+        prop_assert_eq!(&direct, &gemm);
+        prop_assert_eq!(&direct, &blocked);
         prop_assert_eq!(oa.requants, ob.requants);
+        // The two GEMM dataflows charge identical abstract ledgers.
+        prop_assert_eq!(ob, oc);
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_logits(
+        depth in 1usize..4,
+        ch in 1usize..6,
+        h in 4usize..9,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+        wbits in bitwidth_strategy(),
+        abits in bitwidth_strategy(),
+        zx in 0u8..4,
+        seed in 0u64..1000,
+    ) {
+        // A head-terminated conv stack under random shapes and mixed
+        // bit-widths, selected three ways: direct everywhere (reference),
+        // im2col GEMM everywhere (custom backend), and the cost-driven
+        // tiled backend. Logits must be bit-identical — backends trade
+        // dataflow, never arithmetic.
+        struct NaiveGemmEverywhere;
+        impl Backend for NaiveGemmEverywhere {
+            fn name(&self) -> &'static str { "naive-gemm" }
+            fn select(&self, op: &AnyOp, _i: &[Shape], _b: &[BitWidth]) -> KernelChoice {
+                match op {
+                    AnyOp::Conv(c) if !c.weights().is_depthwise() => KernelChoice::Im2colGemm,
+                    _ => KernelChoice::DirectConv,
+                }
+            }
+        }
+        let input = Shape::feature_map(h, h, ch);
+        let layer = |l: usize, out_bits: BitWidth| {
+            let wshape = Shape::new(ch, k, k, ch);
+            let wcodes: Vec<u8> = (0..wshape.volume())
+                .map(|i| ((i as u64 * 31 + seed * 7 + l as u64) % wbits.levels() as u64) as u8)
+                .collect();
+            QConv2d::new(
+                QConvWeights::new(wshape, false, &wcodes, wbits,
+                                  WeightOffset::PerChannel((0..ch).map(|c| (c as i16 % 5) - 2).collect())),
+                ConvGeometry::new(k, k, 1, Padding::Same),
+                Requantizer::icn(
+                    (0..ch).map(|c| c as i32 - 1).collect(),
+                    (0..ch)
+                        .map(|c| FixedPointMultiplier::from_real(0.02 + c as f64 * 0.004))
+                        .collect(),
+                    0,
+                    out_bits,
+                ),
+            )
+        };
+        let head = QLinear::new(
+            QConvWeights::new(
+                Shape::new(3, 1, 1, ch),
+                false,
+                &(0..3 * ch).map(|i| ((i as u64 * 11 + seed) % 16) as u8).collect::<Vec<_>>(),
+                BitWidth::W4,
+                WeightOffset::PerLayer(2),
+            ),
+            vec![1, -2, 3],
+            None,
+        );
+        let build = || {
+            let mut g = QGraph::with_input(input, BitWidth::W8);
+            for l in 0..depth {
+                // Interior activations at the random precision, ending W8.
+                g.push(format!("c{l}"), layer(l, if l + 1 == depth { BitWidth::W8 } else { abits }));
+            }
+            g.push("pool", mixq::kernels::QAvgPool);
+            g.push("fc", head.clone());
+            g
+        };
+        let reference = build();
+        let mut gemm = build();
+        gemm.select_kernels(&NaiveGemmEverywhere);
+        let mut tiled = build();
+        tiled.select_kernels(&TiledBackend::default());
+        prop_assert!(reference.kernel_choices().iter().all(|&c| c == KernelChoice::DirectConv));
+        prop_assert!(gemm.kernel_choices()[..depth].iter().all(|&c| c == KernelChoice::Im2colGemm));
+
+        let codes: Vec<u8> = (0..input.volume())
+            .map(|i| ((i as u64 * 13 + seed) % 200) as u8)
+            .collect();
+        let x = QActivation::from_codes(input, &codes, BitWidth::W8, zx);
+        let a = reference.run(x.clone());
+        let b = gemm.run(x.clone());
+        let c = tiled.run(x);
+        prop_assert_eq!(a.logits.as_ref(), b.logits.as_ref());
+        prop_assert_eq!(a.logits.as_ref(), c.logits.as_ref());
+        // The reference backend prices no scratch; a GEMM selection prices
+        // exactly its largest im2col expansion.
+        prop_assert_eq!(reference.peak_scratch_bytes(input, BitWidth::W8), 0);
+        prop_assert_eq!(
+            gemm.peak_scratch_bytes(input, BitWidth::W8),
+            h * h * k * k * ch
+        );
+        // Re-selecting with the reference backend round-trips exactly.
+        let mut back = tiled.clone();
+        back.select_kernels(&ReferenceBackend);
+        prop_assert_eq!(back, reference);
     }
 
     #[test]
