@@ -15,7 +15,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use mixq_bench::harness::backend_arg;
+use mixq_bench::harness::{backend_arg, batch_arg};
 use mixq_kernels::{
     Backend, OpCounts, QActivation, QAvgPool, QConv2d, QConvWeights, QGraph, Requantizer,
     ThresholdChannel, WeightOffset,
@@ -228,6 +228,24 @@ fn bench_graph_vs_loop() {
         run.total_ops()
     });
     report("graph_executor", &format!("qgraph_{}", backend.name()), us);
+
+    // Batch-N walk under the --batch flag: one graph traversal for the
+    // whole batch, per-sample time reported.
+    let batch = batch_arg();
+    let batched_shape = shape.with_batch(batch);
+    let batched_codes: Vec<u8> = (0..batched_shape.volume())
+        .map(|i| (i % 256) as u8)
+        .collect();
+    let xb = QActivation::from_codes(batched_shape, &batched_codes, BitWidth::W8, 0);
+    let us = time_us(SAMPLES, || {
+        let run = graph.run(black_box(xb.clone()));
+        run.total_ops()
+    }) / batch as f64;
+    report(
+        "graph_executor",
+        &format!("qgraph_{}_batch{batch}_per_sample", backend.name()),
+        us,
+    );
 
     let us = time_us(SAMPLES, || {
         let mut ops = OpCounts::default();

@@ -12,7 +12,11 @@
 //!   `execute_gemm` vs the register-blocked `execute_blocked` inner kernel
 //!   on each dense convolution's real input, plus whole-graph runs per
 //!   backend (host-dependent; printed only, never goldened). The blocked
-//!   kernel must beat the naive GEMM ≥ 1.3× on the pointwise layers.
+//!   kernel must beat the naive GEMM ≥ 1.1× on the pointwise layers —
+//!   the margin shrank when the naive GEMM stopped rebuilding its weight
+//!   matrix through per-element packed extraction (it now borrows 8-bit
+//!   weight bytes directly), so both dataflows are faster in absolute
+//!   terms than the PR-4 versions.
 //!
 //! Run with: `cargo bench --bench table_backend_kernels`
 //! (`--json <path>` writes the deterministic selection table;
@@ -21,7 +25,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use mixq_bench::harness::{backend_arg, json_array, json_out_path, rule, write_json, JsonObject};
+use mixq_bench::harness::{
+    backend_arg, batch_arg, json_array, json_out_path, rule, write_json, JsonObject,
+};
 use mixq_core::convert::{convert_with_backend, IntNetwork};
 use mixq_core::memory::QuantScheme;
 use mixq_data::{DatasetSpec, SyntheticKind};
@@ -201,18 +207,31 @@ fn main() {
     rule(68);
     println!(
         "pointwise layers: naive gemm {pw_gemm_us:.1} µs -> blocked {pw_blocked_us:.1} µs \
-         ({:.2}x; target >= 1.3x)",
+         ({:.2}x; target >= 1.1x)",
         pw_gemm_us / pw_blocked_us
     );
 
-    // Whole-graph host run under the --backend flag (both paths exercised
-    // by the CI bench-smoke matrix).
+    // Whole-graph host run under the --backend/--batch flags (every leg of
+    // the CI bench-smoke matrix exercises a different dispatch path).
     let flagged = backend_arg();
+    let batch = batch_arg().min(ds.len());
     let mut target = reference.clone();
     target.select_backend(&flagged);
-    let us = time_us(|| target.infer_detailed(black_box(image)));
+    let us = if batch > 1 {
+        let mut arena = mixq_kernels::ActivationArena::new();
+        let mut logits = Vec::new();
+        let mut ops = OpCounts::default();
+        time_us(|| {
+            let xb = target.quantize_input_items_pooled(ds.images(), 0, batch, &mut arena);
+            target
+                .graph()
+                .infer_batch(xb, &mut arena, &mut logits, &mut ops);
+        }) / batch as f64
+    } else {
+        time_us(|| target.infer_detailed(black_box(image)))
+    };
     println!(
-        "\nwhole-graph run ({} backend): {us:.1} µs/inference (host)",
+        "\nwhole-graph run ({} backend, batch {batch}): {us:.1} µs/inference (host)",
         flagged.name()
     );
 

@@ -124,12 +124,25 @@ pub fn rule(width: usize) {
 /// `tests/goldens/`. Unknown arguments (e.g. the `--bench` flag cargo
 /// passes to harness-free targets) are ignored.
 pub fn json_out_path() -> Option<std::path::PathBuf> {
+    arg_value("--json").map(std::path::PathBuf::from)
+}
+
+/// The value following `flag` in the bench binary's arguments, if present
+/// — the one argv scan behind every flag parser here. Unknown arguments
+/// (e.g. the `--bench` flag cargo passes to harness-free targets) are
+/// ignored.
+///
+/// # Panics
+///
+/// Panics if the flag is present without a value.
+fn arg_value(flag: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--json" {
-            return Some(std::path::PathBuf::from(
-                args.next().expect("--json needs a path"),
-            ));
+        if a == flag {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value")),
+            );
         }
     }
     None
@@ -148,18 +161,40 @@ pub fn json_out_path() -> Option<std::path::PathBuf> {
 ///
 /// Panics on an unknown backend name.
 pub fn backend_arg() -> BackendKind {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--backend" {
-            let v = args.next().expect("--backend needs a value");
-            return match v.as_str() {
-                "reference" => BackendKind::Reference,
-                "tiled" => BackendKind::tiled(),
-                other => panic!("unknown backend `{other}` (expected reference|tiled)"),
-            };
-        }
+    match arg_value("--backend").as_deref() {
+        None => BackendKind::default(),
+        Some("reference") => BackendKind::Reference,
+        Some("tiled") => BackendKind::tiled(),
+        Some(other) => panic!("unknown backend `{other}` (expected reference|tiled)"),
     }
-    BackendKind::default()
+}
+
+/// The batch size selected by the bench binary's `--batch N` flag (1 when
+/// absent). Benches that execute integer graphs walk them once per `N`
+/// samples through the batched inference path, so the CI bench-smoke
+/// matrix keeps batch-1 and batch-N execution both exercised in release
+/// mode. Logits are bit-identical across batch sizes; only wall-clock
+/// changes.
+///
+/// # Panics
+///
+/// Panics on a malformed or zero batch value.
+pub fn batch_arg() -> usize {
+    let Some(v) = arg_value("--batch") else {
+        return 1;
+    };
+    let n: usize = v.parse().unwrap_or_else(|_| panic!("bad batch `{v}`"));
+    assert!(n > 0, "batch must be positive");
+    n
+}
+
+/// The `--bench-json <path>` target from the bench binary's arguments, if
+/// given. Unlike [`json_out_path`] (deterministic shape-math goldens),
+/// this file receives **measured** host numbers — throughput tables the
+/// perf-trajectory tooling (`scripts/bench-report.sh`) collects across
+/// PRs; it is never golden-diffed.
+pub fn bench_json_out_path() -> Option<std::path::PathBuf> {
+    arg_value("--bench-json").map(std::path::PathBuf::from)
 }
 
 /// A minimal deterministic JSON writer for the golden outputs: an object

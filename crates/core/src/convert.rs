@@ -169,13 +169,91 @@ impl IntNetwork {
         act
     }
 
-    /// Classification accuracy over a dataset plus total op counts.
+    /// Quantizes `count` consecutive items of a stacked `(N, h, w, c)`
+    /// image tensor, starting at `start`, into **one** batched activation
+    /// `(count, h, w, c)`, drawing all buffers from `arena` — the batch
+    /// twin of [`IntNetwork::quantize_input_pooled`], feeding
+    /// [`QGraph::infer_batch`](mixq_kernels::QGraph::infer_batch) without
+    /// heap allocation in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor's item shape disagrees with the network input,
+    /// the range is out of bounds, or `count` is zero.
+    pub fn quantize_input_items_pooled(
+        &self,
+        images: &Tensor<f32>,
+        start: usize,
+        count: usize,
+        arena: &mut ActivationArena,
+    ) -> QActivation {
+        assert!(count > 0, "batch must hold at least one item");
+        assert_eq!(
+            images.shape().with_batch(1),
+            self.input_shape,
+            "input item shape"
+        );
+        assert!(start + count <= images.shape().n, "batch range");
+        let item = self.input_shape.volume();
+        let mut codes = arena.take_scratch();
+        codes.clear();
+        codes.extend(
+            images.data()[start * item..(start + count) * item]
+                .iter()
+                .map(|&v| self.input_quant.quantize(v) as u8),
+        );
+        let act = QActivation::from_codes_in(
+            self.input_shape.with_batch(count),
+            &codes,
+            BitWidth::W8,
+            self.input_quant.zero_point() as u8,
+            arena.take_packed(),
+        );
+        arena.put_scratch(codes);
+        act
+    }
+
+    /// Runs integer-only inference on a stacked `(N, h, w, c)` image
+    /// tensor in **one graph walk**, returning the per-sample logits (one
+    /// `Vec` per item, in order) and the total op counts. Bit-identical to
+    /// N [`IntNetwork::infer`] calls; the batch amortizes per-layer
+    /// dispatch and streams each node's prepacked weights across all
+    /// samples.
+    pub fn infer_batch(&self, images: &Tensor<f32>) -> (Vec<Vec<i32>>, OpCounts) {
+        let batch = images.shape().n;
+        let mut arena = ActivationArena::new();
+        let mut logits = Vec::new();
+        let mut ops = OpCounts::default();
+        let x = self.quantize_input_items_pooled(images, 0, batch, &mut arena);
+        self.graph.infer_batch(x, &mut arena, &mut logits, &mut ops);
+        let classes = self.linear().out_features();
+        let per_sample = logits.chunks(classes).map(<[i32]>::to_vec).collect();
+        (per_sample, ops)
+    }
+
+    /// Classification accuracy over a dataset plus total op counts —
+    /// [`IntNetwork::evaluate_batch`] one sample at a time.
     ///
     /// The whole evaluation shares one activation arena: code scratch and
     /// packed activation storage are recycled across samples, so the loop
     /// allocates nothing after its first iteration (asserted by the
     /// `allocation_free` integration test).
     pub fn evaluate(&self, dataset: &Dataset) -> (f32, OpCounts) {
+        self.evaluate_batch(dataset, 1)
+    }
+
+    /// Classification accuracy over a dataset, walking the graph once per
+    /// `batch` samples: each walk quantizes the next `batch` images into
+    /// one stacked activation and sweeps every layer across all of them,
+    /// so per-layer dispatch and prepacked-weight streaming are amortized.
+    /// Accuracy and `OpCounts` are bit-identical to the sample-at-a-time
+    /// path (asserted by the batch proptests); only wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn evaluate_batch(&self, dataset: &Dataset, batch: usize) -> (f32, OpCounts) {
+        assert!(batch > 0, "batch size must be positive");
         let mut ops = OpCounts::default();
         if dataset.is_empty() {
             return (0.0, ops);
@@ -183,51 +261,85 @@ impl IntNetwork {
         let mut arena = ActivationArena::new();
         let mut logits = Vec::new();
         let mut correct = 0usize;
-        for i in 0..dataset.len() {
-            let sample = dataset.sample(i);
-            let x = self.quantize_input_pooled(&sample.images, &mut arena);
-            self.graph
-                .infer_pooled(x, &mut arena, &mut logits, &mut ops);
-            if argmax(&logits) == sample.labels[0] {
-                correct += 1;
+        let n = dataset.len();
+        let classes = self.linear().out_features();
+        let mut start = 0usize;
+        while start < n {
+            let count = batch.min(n - start);
+            let x = self.quantize_input_items_pooled(dataset.images(), start, count, &mut arena);
+            self.graph.infer_batch(x, &mut arena, &mut logits, &mut ops);
+            for (j, row) in logits.chunks(classes).enumerate() {
+                if argmax(row) == dataset.labels()[start + j] {
+                    correct += 1;
+                }
             }
+            start += count;
         }
-        (correct as f32 / dataset.len() as f32, ops)
+        (correct as f32 / n as f32, ops)
     }
 
-    /// [`IntNetwork::evaluate`] sharded across `workers` threads
-    /// (`std::thread::scope`), one arena per worker. Accuracy and
-    /// `OpCounts` are identical to the sequential path — samples are
-    /// disjoint and the ledger sums are order-independent.
+    /// [`IntNetwork::evaluate`] sharded across `workers` threads —
+    /// [`IntNetwork::evaluate_parallel_batch`] with single-sample batches.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn evaluate_parallel(&self, dataset: &Dataset, workers: usize) -> (f32, OpCounts) {
+        self.evaluate_parallel_batch(dataset, workers, 1)
+    }
+
+    /// [`IntNetwork::evaluate_batch`] sharded across `workers` threads
+    /// (`std::thread::scope`), one arena per worker. The shards are
+    /// **whole batches**, not samples: the dataset is split into
+    /// `⌈n / batch⌉` batches first and each worker walks a contiguous run
+    /// of them, so every graph walk keeps its full batch width (only the
+    /// final batch of the dataset may be partial). Accuracy and `OpCounts`
+    /// are identical to the sequential path — batches are disjoint and the
+    /// ledger sums are order-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `batch` is zero.
+    pub fn evaluate_parallel_batch(
+        &self,
+        dataset: &Dataset,
+        workers: usize,
+        batch: usize,
+    ) -> (f32, OpCounts) {
         assert!(workers > 0, "need at least one worker");
+        assert!(batch > 0, "batch size must be positive");
         if dataset.is_empty() {
             return (0.0, OpCounts::default());
         }
         let n = dataset.len();
-        let workers = workers.min(n);
-        let chunk = n.div_ceil(workers);
+        let num_batches = n.div_ceil(batch);
+        let workers = workers.min(num_batches);
+        let chunk = num_batches.div_ceil(workers);
+        let classes = self.linear().out_features();
         let mut results = vec![(0usize, OpCounts::default()); workers];
         std::thread::scope(|s| {
             for (w, slot) in results.iter_mut().enumerate() {
                 let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
+                let hi = ((w + 1) * chunk).min(num_batches);
                 s.spawn(move || {
                     let mut arena = ActivationArena::new();
                     let mut logits = Vec::new();
                     let mut ops = OpCounts::default();
                     let mut correct = 0usize;
-                    for i in lo..hi {
-                        let sample = dataset.sample(i);
-                        let x = self.quantize_input_pooled(&sample.images, &mut arena);
-                        self.graph
-                            .infer_pooled(x, &mut arena, &mut logits, &mut ops);
-                        if argmax(&logits) == sample.labels[0] {
-                            correct += 1;
+                    for b in lo..hi {
+                        let start = b * batch;
+                        let count = batch.min(n - start);
+                        let x = self.quantize_input_items_pooled(
+                            dataset.images(),
+                            start,
+                            count,
+                            &mut arena,
+                        );
+                        self.graph.infer_batch(x, &mut arena, &mut logits, &mut ops);
+                        for (j, row) in logits.chunks(classes).enumerate() {
+                            if argmax(row) == dataset.labels()[start + j] {
+                                correct += 1;
+                            }
                         }
                     }
                     *slot = (correct, ops);
@@ -268,7 +380,51 @@ impl IntNetwork {
     /// the pending skip tensor is priced too, and the value matches the
     /// executor's measured `GraphRun::peak_live_bytes` exactly.
     pub fn peak_ram_bytes(&self) -> usize {
-        self.graph.peak_ram_bytes(self.input_shape, BitWidth::W8)
+        self.peak_ram_bytes_batch(1)
+    }
+
+    /// [`IntNetwork::peak_ram_bytes`] for batch-N inference: every tensor
+    /// of the live set carries the batch dimension, so the Eq. 7 peak
+    /// scales with the batch — the price of amortizing weight streaming
+    /// across samples, which a deployment must trade against its `M_RW`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn peak_ram_bytes_batch(&self, batch: usize) -> usize {
+        assert!(batch > 0, "batch size must be positive");
+        self.graph
+            .peak_ram_bytes(self.input_shape.with_batch(batch), BitWidth::W8)
+    }
+
+    /// Largest transient scratch buffer any node needs with its selected
+    /// kernel at batch N (the im2col expansion widens to `K × N·cols`);
+    /// zero for a reference-selected graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn peak_scratch_bytes_batch(&self, batch: usize) -> usize {
+        assert!(batch > 0, "batch size must be positive");
+        self.graph
+            .peak_scratch_bytes(self.input_shape.with_batch(batch), BitWidth::W8)
+    }
+
+    /// Read-only bytes of all prepacked weight operands the deployment
+    /// graph caches ([`QGraph::prepacked_bytes`](mixq_kernels::QGraph::prepacked_bytes))
+    /// — flash-side accounting, separate from the Table-1 model of
+    /// [`IntNetwork::flash_bytes`].
+    pub fn prepacked_bytes(&self) -> usize {
+        self.graph.prepacked_bytes()
+    }
+
+    /// Drops every node's prepack cache
+    /// ([`QGraph::clear_prepack`](mixq_kernels::QGraph::clear_prepack)),
+    /// reverting to per-call packing — for deployments that cannot afford
+    /// the panel copies, and for benchmarking the amortization itself.
+    /// Bit-identical, only slower.
+    pub fn clear_prepack(&mut self) {
+        self.graph.clear_prepack();
     }
 
     /// Actual flash bytes of this network: packed weights plus every static

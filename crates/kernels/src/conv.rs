@@ -2,6 +2,11 @@ use mixq_tensor::{ConvGeometry, Shape};
 
 use crate::{OpCounts, QActivation, QConvWeights, Requantizer};
 
+/// Largest kernel area the depthwise fast path keeps its per-pixel tap
+/// list on the stack for (5×5 and every smaller kernel; larger ones take
+/// the generic loop).
+const MAX_DW_TAPS: usize = 32;
+
 /// An integer-only quantized convolution layer: packed weights, geometry and
 /// a requantization stage (Eq. 5 evaluates the whole
 /// `conv → batch-norm → quant-act` sub-graph in integer arithmetic).
@@ -111,6 +116,148 @@ impl QConv2d {
         out_codes: &mut Vec<u8>,
         ops: &mut OpCounts,
     ) -> Shape {
+        self.execute_codes_with(None, x, out_codes, ops)
+    }
+
+    /// [`QConv2d::execute_codes`] with an optional prepacked weight cache:
+    /// `wcodes`, when given, holds the weight codes decoded to one per byte
+    /// in `(c_o, k_h, k_w, c_i)` order, so the inner loop reads plain bytes
+    /// instead of mask-and-shift extracting each sub-byte operand. 8-bit
+    /// weights take the equivalent borrow of their packed bytes even
+    /// without a cache. Bit-identical to the uncached path, including the
+    /// abstract [`OpCounts`] ledger (which keeps pricing the deployed
+    /// packed-flash reads, not the host cache).
+    ///
+    /// # Panics
+    ///
+    /// See [`QConv2d::execute_codes`]; additionally panics if `wcodes` has
+    /// the wrong length.
+    pub fn execute_codes_with(
+        &self,
+        wcodes: Option<&[u8]>,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> Shape {
+        if let Some(w) = wcodes {
+            assert_eq!(
+                w.len(),
+                self.weights.shape().volume(),
+                "decoded weight cache length"
+            );
+        }
+        // A decoded weight view exists whenever a cache was handed in or
+        // the weights are 8-bit (their packed bytes are the codes).
+        let wslice: Option<&[u8]> =
+            wcodes.or_else(|| (!self.weights.needs_unpack()).then(|| self.weights.as_bytes()));
+        if let Some(w) = wslice {
+            if self.weights.is_depthwise()
+                && !x.needs_unpack()
+                && self.geometry.kernel_area() <= MAX_DW_TAPS
+            {
+                return self.depthwise_fast(w, x, out_codes, ops);
+            }
+            return self.direct_loop(x, out_codes, ops, |i| w[i]);
+        }
+        self.direct_loop(x, out_codes, ops, |i| self.weights.code_at(i))
+    }
+
+    /// The depthwise fast path over a decoded weight view and an 8-bit
+    /// input: the valid-tap list (kernel offset + input byte offset) is
+    /// computed **once per output pixel** and shared across all channels,
+    /// each channel's taps are read from its contiguous decoded weight
+    /// row, and the input bytes are indexed directly — no per-MAC bounds
+    /// checks, shape math or bit extraction. Bit-identical to the generic
+    /// loop (same taps accumulated in the same order, exact `i64`
+    /// arithmetic) and charges the identical abstract ledger.
+    fn depthwise_fast(
+        &self,
+        wflat: &[u8],
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> Shape {
+        let in_shape = x.shape();
+        assert_eq!(
+            in_shape.c,
+            self.weights.out_channels(),
+            "depthwise input channels"
+        );
+        let out_shape = self.output_shape(in_shape);
+        let (pt, pl) = self.geometry.pad_top_left(in_shape.h, in_shape.w);
+        let s = self.geometry.stride;
+        let (kh, kw) = (self.geometry.kh, self.geometry.kw);
+        let taps = kh * kw;
+        let zx = x.zero_point() as i64;
+        let per_channel = self.weights.offset().is_per_channel();
+        let w_unpack = self.weights.needs_unpack() as u64;
+        let xb = x.as_bytes();
+        let c = in_shape.c;
+
+        out_codes.clear();
+        out_codes.resize(out_shape.volume(), 0);
+        let mut macs = 0u64;
+        let mut tap_off = [0usize; MAX_DW_TAPS];
+        let mut tap_base = [0usize; MAX_DW_TAPS];
+        for n in 0..out_shape.n {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    let mut nt = 0usize;
+                    for ky in 0..kh {
+                        let iy = (oy * s + ky) as isize - pt as isize;
+                        if iy < 0 || iy >= in_shape.h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * s + kx) as isize - pl as isize;
+                            if ix < 0 || ix >= in_shape.w as isize {
+                                continue;
+                            }
+                            tap_off[nt] = ky * kw + kx;
+                            tap_base[nt] =
+                                ((n * in_shape.h + iy as usize) * in_shape.w + ix as usize) * c;
+                            nt += 1;
+                        }
+                    }
+                    let obase = out_shape.index(n, oy, ox, 0);
+                    for co in 0..c {
+                        let zw = self.weights.offset().at(co) as i64;
+                        let wrow = &wflat[co * taps..(co + 1) * taps];
+                        let mut acc = 0i64;
+                        for t in 0..nt {
+                            let xv = xb[tap_base[t] + co] as i64;
+                            let wv = wrow[tap_off[t]] as i64;
+                            acc += (xv - zx) * (wv - zw);
+                        }
+                        let code =
+                            self.requant
+                                .apply(co, acc, &mut ops.requants, &mut ops.threshold_cmps);
+                        out_codes[obase + co] = code;
+                    }
+                    macs += (nt * c) as u64;
+                }
+            }
+        }
+        ops.macs += macs;
+        ops.act_loads += macs;
+        ops.unpacks += w_unpack * macs; // 8-bit input: no activation unpacks
+        ops.act_stores += out_shape.volume() as u64;
+        ops.bias_adds += out_shape.volume() as u64;
+        if per_channel {
+            ops.offset_subs += macs;
+        }
+        out_shape
+    }
+
+    /// The direct output-stationary loop, generic over the weight reader
+    /// (decoded cache slice vs packed extraction).
+    fn direct_loop(
+        &self,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+        wget: impl Fn(usize) -> u8,
+    ) -> Shape {
         let in_shape = x.shape();
         let depthwise = self.weights.is_depthwise();
         if depthwise {
@@ -130,6 +277,7 @@ impl QConv2d {
         let per_channel = self.weights.offset().is_per_channel();
         let w_unpack = self.weights.needs_unpack() as u64;
         let x_unpack = x.needs_unpack() as u64;
+        let wshape = self.weights.shape();
 
         out_codes.clear();
         out_codes.resize(out_shape.volume(), 0);
@@ -155,7 +303,7 @@ impl QConv2d {
                                 let (iy, ix) = (iy as usize, ix as usize);
                                 if depthwise {
                                     let xv = x.get(n, iy, ix, co) as i64;
-                                    let wv = self.weights.get(co, ky, kx, 0) as i64;
+                                    let wv = wget(wshape.index(co, ky, kx, 0)) as i64;
                                     acc += (xv - zx) * (wv - zw);
                                     macs += 1;
                                     act_loads += 1;
@@ -163,7 +311,7 @@ impl QConv2d {
                                 } else {
                                     for ci in 0..in_shape.c {
                                         let xv = x.get(n, iy, ix, ci) as i64;
-                                        let wv = self.weights.get(co, ky, kx, ci) as i64;
+                                        let wv = wget(wshape.index(co, ky, kx, ci)) as i64;
                                         acc += (xv - zx) * (wv - zw);
                                         macs += 1;
                                         act_loads += 1;

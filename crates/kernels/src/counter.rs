@@ -55,6 +55,35 @@ impl OpCounts {
             + self.act_loads
             + self.act_stores
     }
+
+    /// The per-sample ledger of a batch-N execution. Every kernel's counts
+    /// are linear in the batch (each sample performs identical work under
+    /// SAME padding), so a batched layer's ledger is exactly N× the
+    /// single-sample one and the division is exact — asserted (also in
+    /// release, where the reporting paths actually run), so a kernel that
+    /// ever broke batch linearity fails loudly instead of silently
+    /// misreporting per-sample metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or some count is not divisible by it.
+    pub fn per_sample(&self, batch: u64) -> OpCounts {
+        assert!(batch > 0, "batch size must be positive");
+        let div = |v: u64| {
+            assert_eq!(v % batch, 0, "ledger not divisible by the batch");
+            v / batch
+        };
+        OpCounts {
+            macs: div(self.macs),
+            unpacks: div(self.unpacks),
+            offset_subs: div(self.offset_subs),
+            requants: div(self.requants),
+            threshold_cmps: div(self.threshold_cmps),
+            bias_adds: div(self.bias_adds),
+            act_loads: div(self.act_loads),
+            act_stores: div(self.act_stores),
+        }
+    }
 }
 
 impl AddAssign for OpCounts {

@@ -51,8 +51,8 @@ impl Im2Col {
     }
 
     /// Consumes the matrix, returning its backing row-major code buffer
-    /// (`rows × k`) — the blocked kernel streams it directly.
-    pub(crate) fn into_data(self) -> Vec<u8> {
+    /// (`rows × k`).
+    pub fn into_data(self) -> Vec<u8> {
         self.data
     }
 }
@@ -66,6 +66,25 @@ impl QConv2d {
     /// Panics on depthwise layers (CMSIS-NN lowers those directly) or on a
     /// channel mismatch.
     pub fn im2col(&self, x: &QActivation, ops: &mut OpCounts) -> Im2Col {
+        let mut data = Vec::new();
+        let (rows, k) = self.im2col_into(x, &mut data, ops);
+        Im2Col { data, rows, k }
+    }
+
+    /// [`QConv2d::im2col`] writing the expansion into a caller-owned buffer
+    /// (cleared and resized in place) and returning `(rows, k)` — the
+    /// pooled form the graph executor feeds from its arena so GEMM-lowered
+    /// nodes allocate nothing in steady state.
+    ///
+    /// # Panics
+    ///
+    /// See [`QConv2d::im2col`].
+    pub fn im2col_into(
+        &self,
+        x: &QActivation,
+        data: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> (usize, usize) {
         assert!(
             !self.weights().is_depthwise(),
             "im2col path applies to standard convolutions"
@@ -78,7 +97,8 @@ impl QConv2d {
         let k = g.kernel_area() * in_shape.c;
         let rows = out_shape.pixels() * out_shape.n;
         let zx = x.zero_point();
-        let mut data = vec![0u8; rows * k];
+        data.clear();
+        data.resize(rows * k, 0);
         let mut loads = 0u64;
         for n in 0..out_shape.n {
             for oy in 0..out_shape.h {
@@ -112,7 +132,7 @@ impl QConv2d {
         if x.needs_unpack() {
             ops.unpacks += loads;
         }
-        Im2Col { data, rows, k }
+        (rows, k)
     }
 
     /// Runs the layer through the im2col + GEMM path. Bit-identical to
@@ -152,36 +172,60 @@ impl QConv2d {
         out_codes: &mut Vec<u8>,
         ops: &mut OpCounts,
     ) -> Shape {
-        let matrix = self.im2col(x, ops);
+        self.execute_gemm_codes_pooled(None, x, &mut Vec::new(), out_codes, ops)
+    }
+
+    /// [`QConv2d::execute_gemm_codes`] with prepacked operands and pooled
+    /// scratch: `wcodes`, when given, is the weight matrix already decoded
+    /// to one code per byte in `(c_o, k_h, k_w, c_i)` order (the
+    /// [`PrepackedWeights::Codes`](crate::PrepackedWeights::Codes) cache a
+    /// graph node builds once), and the im2col expansion is written into
+    /// `im2col_scratch` (cleared and resized in place) instead of a fresh
+    /// buffer — together they make GEMM-lowered graph nodes allocation-free
+    /// in steady state. Bit-identical to the uncached path, including the
+    /// abstract [`OpCounts`] ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics on depthwise layers, or if `wcodes` has the wrong length.
+    pub fn execute_gemm_codes_pooled(
+        &self,
+        wcodes: Option<&[u8]>,
+        x: &QActivation,
+        im2col_scratch: &mut Vec<u8>,
+        out_codes: &mut Vec<u8>,
+        ops: &mut OpCounts,
+    ) -> Shape {
+        let (rows, k) = self.im2col_into(x, im2col_scratch, ops);
         let in_shape = x.shape();
         let out_shape = self.output_shape(in_shape);
         let weights = self.weights();
-        let g = self.geometry();
-        let k = matrix.k();
         let zx = x.zero_point() as i64;
         let per_channel = weights.offset().is_per_channel();
         let w_unpack = weights.needs_unpack() as u64;
         let co_n = weights.out_channels();
-        // Flatten each filter once (the weight matrix of the GEMM); the
-        // weight layout (c_o, k_h, k_w, c_i) matches the im2col column
-        // order exactly.
-        let mut wflat = vec![0u8; co_n * k];
-        for co in 0..co_n {
-            let mut col = 0usize;
-            for ky in 0..g.kh {
-                for kx in 0..g.kw {
-                    for ci in 0..in_shape.c {
-                        wflat[co * k + col] = weights.get(co, ky, kx, ci);
-                        col += 1;
-                    }
-                }
+        // The weight matrix of the GEMM: the flattened (c_o, k_h, k_w, c_i)
+        // layout matches the im2col column order exactly, so 8-bit weights
+        // are borrowed straight from their packed bytes, a prepacked cache
+        // is consumed as-is, and only the uncached sub-byte case decodes
+        // per call.
+        let owned_w: Vec<u8>;
+        let wflat: &[u8] = match wcodes {
+            Some(w) => {
+                assert_eq!(w.len(), co_n * k, "prepacked weight matrix length");
+                w
             }
-        }
+            None if !weights.needs_unpack() => weights.as_bytes(),
+            None => {
+                owned_w = weights.codes();
+                &owned_w
+            }
+        };
         out_codes.clear();
         out_codes.resize(out_shape.volume(), 0);
         let mut macs = 0u64;
-        for r in 0..matrix.rows() {
-            let row = matrix.row(r);
+        for r in 0..rows {
+            let row = &im2col_scratch[r * k..(r + 1) * k];
             for co in 0..co_n {
                 let zw = weights.offset().at(co) as i64;
                 let wrow = &wflat[co * k..(co + 1) * k];

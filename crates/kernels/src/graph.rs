@@ -66,8 +66,65 @@ use mixq_quant::BitWidth;
 use mixq_tensor::Shape;
 
 use crate::backend::{Backend, KernelChoice};
+use crate::blocked::PackedPanels;
 use crate::gemm::im2col_scratch_bytes;
 use crate::{OpCounts, QActivation, QAdd, QAvgPool, QConv2d, QLinear};
+
+/// A node's prepacked weight operand, built **once** when the node's
+/// kernel choice is resolved and consumed by every subsequent execution
+/// (and every sample of a batch) — the steady-state optimization of
+/// production int8 GEMMs, where weights are immutable flash constants and
+/// packing them per call is pure waste.
+///
+/// What gets cached follows the resolved [`KernelChoice`]:
+///
+/// * a [`KernelChoice::BlockedGemm`] convolution caches its interleaved
+///   [`PackedPanels`] (NR-channel weight panels + hoisted `Σ W`/zero-point
+///   tables), so the per-call panel build of the PR-4 kernel disappears;
+/// * a direct or im2col-GEMM convolution — and the classifier head — with
+///   **sub-byte** weights caches the codes decoded to one per byte in
+///   `(c_o, k_h, k_w, c_i)` order, so the inner loop stops mask-and-shift
+///   extracting every operand (8-bit weights already read their packed
+///   bytes directly and cache nothing);
+/// * pooling and residual adds have no weights and cache nothing.
+///
+/// The artifact is read-only and weight-derived: deployment rewrites that
+/// keep the weights (e.g. threshold saturation) keep it valid. Its
+/// footprint is reported by [`PrepackedWeights::bytes`] — flash-side
+/// accounting, never part of the Eq. 7 activation live set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrepackedWeights {
+    /// Interleaved blocked-GEMM panels with hoisted per-channel terms.
+    Panels(PackedPanels),
+    /// Weight codes decoded one-per-byte in `(c_o, k_h, k_w, c_i)` order.
+    Codes(Vec<u8>),
+}
+
+impl PrepackedWeights {
+    /// The decoded-code cache, if that is the cached form.
+    pub fn codes(&self) -> Option<&[u8]> {
+        match self {
+            PrepackedWeights::Codes(c) => Some(c),
+            PrepackedWeights::Panels(_) => None,
+        }
+    }
+
+    /// The blocked-GEMM panel cache, if that is the cached form.
+    pub fn panels(&self) -> Option<&PackedPanels> {
+        match self {
+            PrepackedWeights::Panels(p) => Some(p),
+            PrepackedWeights::Codes(_) => None,
+        }
+    }
+
+    /// Read-only footprint of the cached artifact in bytes.
+    pub fn bytes(&self) -> usize {
+        match self {
+            PrepackedWeights::Panels(p) => p.bytes(),
+            PrepackedWeights::Codes(c) => c.len(),
+        }
+    }
+}
 
 /// Coarse operator class of a graph node — what a cycle model needs to
 /// pick the right per-MAC rate (dense convolutions stream through the
@@ -137,8 +194,18 @@ pub trait QOp {
         &[KernelChoice::DirectConv]
     }
 
-    /// Runs the op with a throwaway arena and the reference kernel,
-    /// charging `ops`.
+    /// Builds the prepacked weight operand for the given kernel choice —
+    /// what a [`GraphNode`] caches at selection time — together with the
+    /// one-time [`OpCounts`] ledger of the packing work itself (decode
+    /// unpacks, panel stores). Ops with nothing to cache return
+    /// `(None, OpCounts::default())`, the default.
+    fn prepack(&self, choice: KernelChoice) -> (Option<PrepackedWeights>, OpCounts) {
+        let _ = choice;
+        (None, OpCounts::default())
+    }
+
+    /// Runs the op with a throwaway arena, no prepack cache and the
+    /// reference kernel, charging `ops`.
     ///
     /// # Panics
     ///
@@ -147,6 +214,7 @@ pub trait QOp {
     fn execute(&self, inputs: &[&QActivation], ops: &mut OpCounts) -> OpOutput {
         self.execute_kernel(
             KernelChoice::DirectConv,
+            None,
             inputs,
             &mut ActivationArena::new(),
             ops,
@@ -155,17 +223,20 @@ pub trait QOp {
 
     /// Runs the op with the given kernel implementation, drawing scratch
     /// and packed output storage from `arena` — the buffer-pool hook that
-    /// makes steady-state inference allocation-free on the direct path.
-    /// This is the executor's dispatch point: each graph node passes its
-    /// build-time-resolved [`KernelChoice`] here.
+    /// makes steady-state inference allocation-free. This is the executor's
+    /// dispatch point: each graph node passes its build-time-resolved
+    /// [`KernelChoice`] and its [`PrepackedWeights`] cache here; a `None`
+    /// cache falls back to per-call packing (bit-identical, just slower).
     ///
     /// # Panics
     ///
-    /// Panics if the choice is not in [`QOp::supported_kernels`] or the
-    /// input count disagrees with the arity.
+    /// Panics if the choice is not in [`QOp::supported_kernels`], the
+    /// input count disagrees with the arity, or the cache was built for a
+    /// different kernel choice or layer.
     fn execute_kernel(
         &self,
         choice: KernelChoice,
+        cache: Option<&PrepackedWeights>,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
@@ -220,18 +291,44 @@ impl QOp for QConv2d {
         }
     }
 
+    fn prepack(&self, choice: KernelChoice) -> (Option<PrepackedWeights>, OpCounts) {
+        prepack_conv_weights(self.weights(), choice, || self.prepack_panels())
+    }
+
     fn execute_kernel(
         &self,
         choice: KernelChoice,
+        cache: Option<&PrepackedWeights>,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
         let mut codes = arena.take_scratch();
+        let wcodes = cache.and_then(PrepackedWeights::codes);
         let shape = match choice {
-            KernelChoice::DirectConv => self.execute_codes(inputs[0], &mut codes, ops),
-            KernelChoice::Im2colGemm => self.execute_gemm_codes(inputs[0], &mut codes, ops),
-            KernelChoice::BlockedGemm => self.execute_blocked_codes(inputs[0], &mut codes, ops),
+            KernelChoice::DirectConv => self.execute_codes_with(wcodes, inputs[0], &mut codes, ops),
+            KernelChoice::Im2colGemm => {
+                let mut aux = arena.take_aux();
+                let shape =
+                    self.execute_gemm_codes_pooled(wcodes, inputs[0], &mut aux, &mut codes, ops);
+                arena.put_aux(aux);
+                shape
+            }
+            KernelChoice::BlockedGemm => {
+                let mut aux = arena.take_aux();
+                let owned;
+                let panels = match cache.and_then(PrepackedWeights::panels) {
+                    Some(p) => p,
+                    None => {
+                        owned = self.prepack_panels();
+                        &owned
+                    }
+                };
+                let shape =
+                    self.execute_blocked_prepacked(panels, inputs[0], &mut aux, &mut codes, ops);
+                arena.put_aux(aux);
+                shape
+            }
         };
         let act = QActivation::from_codes_in(
             shape,
@@ -286,6 +383,7 @@ impl QOp for QAvgPool {
     fn execute_kernel(
         &self,
         _choice: KernelChoice,
+        _cache: Option<&PrepackedWeights>,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
@@ -323,14 +421,27 @@ impl QOp for QLinear {
         OpKind::Linear
     }
 
+    fn prepack(&self, choice: KernelChoice) -> (Option<PrepackedWeights>, OpCounts) {
+        let _ = choice; // the head has a single kernel implementation
+        prepack_decoded_codes(self.weights())
+    }
+
     fn execute_kernel(
         &self,
         _choice: KernelChoice,
+        cache: Option<&PrepackedWeights>,
         inputs: &[&QActivation],
         _arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
-        OpOutput::Logits(self.execute(inputs[0], ops))
+        let mut logits = Vec::with_capacity(inputs[0].shape().n * self.out_features());
+        self.execute_into_with(
+            cache.and_then(PrepackedWeights::codes),
+            inputs[0],
+            &mut logits,
+            ops,
+        );
+        OpOutput::Logits(logits)
     }
 
     fn output_shape(&self, inputs: &[Shape]) -> Shape {
@@ -341,9 +452,9 @@ impl QOp for QLinear {
         in_bits[0]
     }
 
-    fn output_bytes(&self, _inputs: &[Shape], _in_bits: &[BitWidth]) -> usize {
-        // The head's output is i32 logits, one per class.
-        4 * self.out_features()
+    fn output_bytes(&self, inputs: &[Shape], _in_bits: &[BitWidth]) -> usize {
+        // The head's output is i32 logits, one per class per batch item.
+        4 * inputs[0].n * self.out_features()
     }
 
     fn flash_bytes(&self) -> usize {
@@ -369,6 +480,7 @@ impl QOp for QAdd {
     fn execute_kernel(
         &self,
         _choice: KernelChoice,
+        _cache: Option<&PrepackedWeights>,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
@@ -397,6 +509,47 @@ impl QOp for QAdd {
     fn flash_bytes(&self) -> usize {
         QAdd::flash_bytes(self)
     }
+}
+
+/// Prepack rule shared by the convolution kernels: a blocked-GEMM node
+/// caches its interleaved panels; any other choice caches the decoded
+/// codes when (and only when) the weights are sub-byte — 8-bit weights
+/// already read their packed bytes directly.
+fn prepack_conv_weights(
+    weights: &crate::QConvWeights,
+    choice: KernelChoice,
+    build_panels: impl FnOnce() -> PackedPanels,
+) -> (Option<PrepackedWeights>, OpCounts) {
+    let vol = weights.shape().volume() as u64;
+    match choice {
+        KernelChoice::BlockedGemm => {
+            // One-time work: read every code (decoding sub-byte ones),
+            // store it into the interleaved panel.
+            let ops = OpCounts {
+                unpacks: if weights.needs_unpack() { vol } else { 0 },
+                act_loads: vol,
+                act_stores: vol,
+                ..OpCounts::default()
+            };
+            (Some(PrepackedWeights::Panels(build_panels())), ops)
+        }
+        _ => prepack_decoded_codes(weights),
+    }
+}
+
+/// The decoded-code prepack for direct/im2col kernels and the head: only
+/// sub-byte weights gain anything (one unpack + one store per code, once).
+fn prepack_decoded_codes(weights: &crate::QConvWeights) -> (Option<PrepackedWeights>, OpCounts) {
+    if !weights.needs_unpack() {
+        return (None, OpCounts::default());
+    }
+    let vol = weights.shape().volume() as u64;
+    let ops = OpCounts {
+        unpacks: vol,
+        act_stores: vol,
+        ..OpCounts::default()
+    };
+    (Some(PrepackedWeights::Codes(weights.codes())), ops)
 }
 
 /// Closed set of graph node operators.
@@ -465,14 +618,19 @@ impl QOp for AnyOp {
         dispatch!(self, op => QOp::supported_kernels(op))
     }
 
+    fn prepack(&self, choice: KernelChoice) -> (Option<PrepackedWeights>, OpCounts) {
+        dispatch!(self, op => QOp::prepack(op, choice))
+    }
+
     fn execute_kernel(
         &self,
         choice: KernelChoice,
+        cache: Option<&PrepackedWeights>,
         inputs: &[&QActivation],
         arena: &mut ActivationArena,
         ops: &mut OpCounts,
     ) -> OpOutput {
-        dispatch!(self, op => QOp::execute_kernel(op, choice, inputs, arena, ops))
+        dispatch!(self, op => QOp::execute_kernel(op, choice, cache, inputs, arena, ops))
     }
 
     fn output_shape(&self, inputs: &[Shape]) -> Shape {
@@ -504,6 +662,8 @@ pub struct GraphNode {
     op: AnyOp,
     inputs: Vec<usize>,
     choice: KernelChoice,
+    cache: Option<PrepackedWeights>,
+    prepack_ops: OpCounts,
 }
 
 impl GraphNode {
@@ -518,7 +678,9 @@ impl GraphNode {
     }
 
     /// Mutable operator (deployment rewrites, e.g. threshold saturation).
-    /// The node's kernel choice is preserved across rewrites.
+    /// The node's kernel choice and prepack cache are preserved across
+    /// rewrites — the cache is weight-derived, so rewrites that keep the
+    /// weights (requantizer changes) keep it valid.
     pub fn op_mut(&mut self) -> &mut AnyOp {
         &mut self.op
     }
@@ -534,6 +696,32 @@ impl GraphNode {
     /// pushed without a backend.
     pub fn choice(&self) -> KernelChoice {
         self.choice
+    }
+
+    /// The node's prepacked weight operand, built once when the kernel
+    /// choice was resolved; `None` when the op has nothing to cache (or
+    /// after [`QGraph::clear_prepack`]).
+    pub fn prepacked(&self) -> Option<&PrepackedWeights> {
+        self.cache.as_ref()
+    }
+
+    /// The one-time [`OpCounts`] ledger of building this node's prepack
+    /// cache (zero when nothing is cached) — what cycle models report
+    /// separately from the steady-state per-inference work.
+    pub fn prepack_ops(&self) -> OpCounts {
+        self.prepack_ops
+    }
+
+    /// Read-only bytes of the node's prepack cache (zero when none).
+    pub fn prepacked_bytes(&self) -> usize {
+        self.cache.as_ref().map_or(0, PrepackedWeights::bytes)
+    }
+
+    /// (Re)builds the prepack cache from the op and the resolved choice.
+    fn build_prepack(&mut self) {
+        let (cache, ops) = self.op.prepack(self.choice);
+        self.cache = cache;
+        self.prepack_ops = ops;
     }
 }
 
@@ -551,6 +739,10 @@ pub struct LayerRun {
     pub choice: KernelChoice,
     /// Abstract operation counts charged by this layer alone.
     pub ops: OpCounts,
+    /// One-time packing work of the node's prepack cache (zero when the
+    /// node caches nothing). Charged at graph build, **not** per inference
+    /// — cycle models report it separately from the steady-state cost.
+    pub prepack: OpCounts,
     /// Input activation bytes (packed, summed over all inputs —
     /// `mem(x, Q_x)` of Eq. 7).
     pub in_bytes: usize,
@@ -605,6 +797,7 @@ impl GraphRun {
 #[derive(Debug, Default)]
 pub struct ActivationArena {
     scratch: Vec<u8>,
+    aux: Vec<u8>,
     packed: Vec<Vec<u8>>,
     slots: Vec<Option<QActivation>>,
     last_uses: Vec<usize>,
@@ -637,6 +830,19 @@ impl ActivationArena {
         self.scratch = buf;
     }
 
+    /// Takes ownership of the auxiliary expansion buffer (im2col matrices,
+    /// sub-byte linear unpacks) — the second scratch GEMM-lowered kernels
+    /// need alongside the output-code scratch. Pair with
+    /// [`ActivationArena::put_aux`].
+    pub fn take_aux(&mut self) -> Vec<u8> {
+        mem::take(&mut self.aux)
+    }
+
+    /// Returns the buffer taken by [`ActivationArena::take_aux`].
+    pub fn put_aux(&mut self, buf: Vec<u8>) {
+        self.aux = buf;
+    }
+
     /// Hands out a recycled packed-storage buffer (empty if the pool is
     /// dry).
     pub fn take_packed(&mut self) -> Vec<u8> {
@@ -651,7 +857,9 @@ impl ActivationArena {
     /// Current allocated capacity across scratch and pooled buffers, in
     /// bytes.
     pub fn capacity_bytes(&self) -> usize {
-        self.scratch.capacity() + self.packed.iter().map(|b| b.capacity()).sum::<usize>()
+        self.scratch.capacity()
+            + self.aux.capacity()
+            + self.packed.iter().map(|b| b.capacity()).sum::<usize>()
     }
 
     /// Number of packed buffers currently waiting in the pool.
@@ -797,12 +1005,16 @@ impl QGraph {
                 "node `{name}`: input tensor {t} is not defined yet (next id is {out_id})"
             );
         }
-        self.nodes.push(GraphNode {
+        let mut node = GraphNode {
             name,
             op,
             inputs: inputs.to_vec(),
             choice,
-        });
+            cache: None,
+            prepack_ops: OpCounts::default(),
+        };
+        node.build_prepack();
+        self.nodes.push(node);
         out_id
     }
 
@@ -828,8 +1040,35 @@ impl QGraph {
                 in_shapes.push(shapes[t]);
                 in_bits_v.push(bits[t]);
             }
-            node.choice = resolve_choice(backend, &node.name, &node.op, &in_shapes, &in_bits_v);
+            let choice = resolve_choice(backend, &node.name, &node.op, &in_shapes, &in_bits_v);
+            // Rebuild the cache only when the choice changed (a different
+            // artifact form applies) or none is held (first selection, or
+            // after `clear_prepack`) — re-selecting with the same backend
+            // must not redo the sub-byte decode per node.
+            if choice != node.choice || node.cache.is_none() {
+                node.choice = choice;
+                node.build_prepack();
+            }
         }
+    }
+
+    /// Drops every node's prepack cache, reverting execution to per-call
+    /// packing (bit-identical, slower) — for RAM-constrained deployments
+    /// that cannot afford the panel copies, and for benchmarking the
+    /// amortization itself.
+    pub fn clear_prepack(&mut self) {
+        for node in &mut self.nodes {
+            node.cache = None;
+            node.prepack_ops = OpCounts::default();
+        }
+    }
+
+    /// Total read-only bytes of all nodes' prepack caches — the flash-side
+    /// cost of the steady-state packing amortization, reported separately
+    /// from the Table-1 flash model ([`QGraph::flash_bytes`]) and from the
+    /// Eq. 7 activation RAM ([`QGraph::peak_ram_bytes`]).
+    pub fn prepacked_bytes(&self) -> usize {
+        self.nodes.iter().map(GraphNode::prepacked_bytes).sum()
     }
 
     /// The resolved [`KernelChoice`] of every node, in schedule order.
@@ -1070,6 +1309,7 @@ impl QGraph {
                 kind: node.op.kind(),
                 choice: node.choice,
                 ops,
+                prepack: node.prepack_ops,
                 in_bytes,
                 out_bytes,
                 out_shape,
@@ -1117,7 +1357,12 @@ impl QGraph {
             );
             if let AnyOp::Linear(lin) = &node.op {
                 let x = expect_act(&slots, node.inputs[0], node.name());
-                lin.execute_into(x, logits_out, ops);
+                lin.execute_into_with(
+                    node.cache.as_ref().and_then(PrepackedWeights::codes),
+                    x,
+                    logits_out,
+                    ops,
+                );
                 have_logits = true;
             } else {
                 let (out, _, _) = execute_node(node, &slots, arena, ops);
@@ -1132,6 +1377,35 @@ impl QGraph {
             arena.recycle(a); // head-terminated graphs leave no activation
         }
         assert!(have_logits, "graph does not end in a classifier head");
+    }
+
+    /// Batched allocation-free inference: one walk of the graph computes a
+    /// whole batch. `input` carries the batch in its shape's `n` dimension
+    /// (N stacked NHWC items); every kernel sweeps all N samples against
+    /// the node's prepacked weights, so per-layer dispatch, weight-panel
+    /// streaming and sub-byte weight decoding are amortized across the
+    /// batch, and `logits_out` receives `N · classes` values in row-major
+    /// `(n, classes)` order — bit-identical to N single-sample
+    /// [`QGraph::infer_pooled`] calls (asserted by the
+    /// `batch_matches_single_sample_logits` proptest).
+    ///
+    /// Like the single-sample path, steady-state calls perform zero heap
+    /// allocations once the arena buffers reached their (batch-scaled)
+    /// capacities; [`QGraph::peak_ram_bytes`] and
+    /// [`QGraph::peak_scratch_bytes`] price the batch dimension when given
+    /// the batched input shape.
+    ///
+    /// # Panics
+    ///
+    /// See [`QGraph::infer_pooled`].
+    pub fn infer_batch(
+        &self,
+        input: QActivation,
+        arena: &mut ActivationArena,
+        logits_out: &mut Vec<i32>,
+        ops: &mut OpCounts,
+    ) {
+        self.infer_pooled(input, arena, logits_out, ops);
     }
 }
 
@@ -1149,11 +1423,13 @@ fn execute_node(
     arena: &mut ActivationArena,
     ops: &mut OpCounts,
 ) -> (OpOutput, usize, Shape) {
+    let cache = node.cache.as_ref();
     match *node.inputs.as_slice() {
         [a] => {
             let xa = expect_act(slots, a, node.name());
             (
-                node.op.execute_kernel(node.choice, &[xa], arena, ops),
+                node.op
+                    .execute_kernel(node.choice, cache, &[xa], arena, ops),
                 xa.byte_len(),
                 xa.shape(),
             )
@@ -1162,7 +1438,8 @@ fn execute_node(
             let xa = expect_act(slots, a, node.name());
             let xb = expect_act(slots, b, node.name());
             (
-                node.op.execute_kernel(node.choice, &[xa, xb], arena, ops),
+                node.op
+                    .execute_kernel(node.choice, cache, &[xa, xb], arena, ops),
                 xa.byte_len() + xb.byte_len(),
                 xa.shape(),
             )

@@ -58,11 +58,13 @@ mod tensorq;
 
 pub use add::QAdd;
 pub use backend::{Backend, BackendKind, KernelChoice, ReferenceBackend, TiledBackend};
+pub use blocked::PackedPanels;
 pub use conv::QConv2d;
 pub use counter::OpCounts;
 pub use gemm::{im2col_scratch_bytes, Im2Col};
 pub use graph::{
-    ActivationArena, AnyOp, GraphNode, GraphRun, LayerRun, OpKind, OpOutput, QGraph, QOp,
+    ActivationArena, AnyOp, GraphNode, GraphRun, LayerRun, OpKind, OpOutput, PrepackedWeights,
+    QGraph, QOp,
 };
 pub use linear::{linear_rescale_of, QLinear};
 pub use pool::QAvgPool;

@@ -64,60 +64,101 @@ impl QLinear {
         self.rescale.as_deref()
     }
 
-    /// Computes the integer logits.
+    /// Computes the integer logits: `classes` per batch item, row-major
+    /// `(n, classes)` for a batched input.
     ///
     /// # Panics
     ///
     /// Panics if the input feature count disagrees.
     pub fn execute(&self, x: &QActivation, ops: &mut OpCounts) -> Vec<i32> {
-        let mut logits = Vec::with_capacity(self.out_features());
+        let mut logits = Vec::with_capacity(x.shape().n * self.out_features());
         self.execute_into(x, &mut logits, ops);
         logits
     }
 
     /// [`QLinear::execute`] writing the logits into a caller-owned buffer
     /// (cleared in place), so steady-state inference reuses its capacity.
+    /// A batched input `(n, 1, 1, c_i)` yields `n · classes` logits in
+    /// row-major `(n, classes)` order — the head sweeps every sample of
+    /// the batch in one call.
     ///
     /// # Panics
     ///
     /// Panics if the input feature count disagrees.
     pub fn execute_into(&self, x: &QActivation, logits: &mut Vec<i32>, ops: &mut OpCounts) {
+        self.execute_into_with(None, x, logits, ops)
+    }
+
+    /// [`QLinear::execute_into`] with an optional prepacked weight cache:
+    /// `wcodes`, when given, holds the weight codes decoded to one per byte
+    /// in `(c_o, c_i)` order, so sub-byte weights skip the per-element
+    /// mask-and-shift extraction (8-bit weights take the equivalent borrow
+    /// of their packed bytes even without a cache). Bit-identical to the
+    /// uncached path, including the abstract [`OpCounts`] ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input feature count disagrees or `wcodes` has the
+    /// wrong length.
+    pub fn execute_into_with(
+        &self,
+        wcodes: Option<&[u8]>,
+        x: &QActivation,
+        logits: &mut Vec<i32>,
+        ops: &mut OpCounts,
+    ) {
         assert_eq!(
             x.shape().item_volume(),
             self.in_features(),
             "input features"
         );
-        let zx = x.zero_point() as i64;
         let ci = self.in_features();
+        let co = self.out_features();
+        let owned_w: Vec<u8>;
+        let wflat: &[u8] = match wcodes {
+            Some(w) => {
+                assert_eq!(w.len(), co * ci, "decoded weight cache length");
+                w
+            }
+            None if !self.weights.needs_unpack() => self.weights.as_bytes(),
+            None => {
+                owned_w = self.weights.codes();
+                &owned_w
+            }
+        };
+        let zx = x.zero_point() as i64;
+        let batch = x.shape().n;
         let w_unpack = self.weights.needs_unpack() as u64;
         let x_unpack = x.needs_unpack() as u64;
         let per_channel = self.weights.offset().is_per_channel();
         logits.clear();
-        for o in 0..self.out_features() {
-            let zw = self.weights.offset().at(o) as i64;
-            let mut acc: i64 = self.bq[o] as i64;
-            for i in 0..ci {
-                let xv = x.get(0, 0, 0, i) as i64;
-                let wv = self.weights.get(o, 0, 0, i) as i64;
-                acc += (xv - zx) * (wv - zw);
-            }
-            ops.macs += ci as u64;
-            ops.act_loads += ci as u64;
-            ops.unpacks += (w_unpack + x_unpack) * ci as u64;
-            if per_channel {
-                ops.offset_subs += ci as u64;
-            }
-            ops.bias_adds += 1;
-            let logit = match &self.rescale {
-                Some(mults) => {
-                    ops.requants += 1;
-                    mults[o].apply(acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+        for n in 0..batch {
+            for o in 0..co {
+                let zw = self.weights.offset().at(o) as i64;
+                let wrow = &wflat[o * ci..(o + 1) * ci];
+                let mut acc: i64 = self.bq[o] as i64;
+                for (i, &wv) in wrow.iter().enumerate() {
+                    let xv = x.get(n, 0, 0, i) as i64;
+                    acc += (xv - zx) * (wv as i64 - zw);
                 }
-                None => acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
-            };
-            logits.push(logit);
+                ops.macs += ci as u64;
+                ops.act_loads += ci as u64;
+                ops.unpacks += (w_unpack + x_unpack) * ci as u64;
+                if per_channel {
+                    ops.offset_subs += ci as u64;
+                }
+                ops.bias_adds += 1;
+                let logit = match &self.rescale {
+                    Some(mults) => {
+                        ops.requants += 1;
+                        mults[o].apply(acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+                    }
+                    None => acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32,
+                };
+                logits.push(logit);
+            }
         }
-        ops.act_stores += self.out_features() as u64;
+        ops.act_stores += (batch * co) as u64;
     }
 
     /// Predicted class (argmax of the logits).

@@ -138,6 +138,15 @@ impl QActivation {
         self.packed.unpack()
     }
 
+    /// Unpacks all codes into a caller-owned buffer (cleared and resized in
+    /// place) — the pooled twin of [`QActivation::codes`], so steady-state
+    /// kernels can reuse one scratch buffer instead of allocating per call.
+    pub fn codes_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(self.shape.volume(), 0);
+        self.packed.unpack_into(out);
+    }
+
     /// Whether reading an element costs an unpack (sub-byte precision).
     pub fn needs_unpack(&self) -> bool {
         self.bits() != BitWidth::W8
@@ -229,6 +238,13 @@ impl QConvWeights {
     #[inline]
     pub fn get(&self, co: usize, ky: usize, kx: usize, ci: usize) -> u8 {
         self.packed.get(self.shape.index(co, ky, kx, ci))
+    }
+
+    /// Weight code at a linear `(c_o, k_h, k_w, c_i)` row-major index —
+    /// the packed-extraction twin of indexing a decoded-code cache.
+    #[inline]
+    pub(crate) fn code_at(&self, i: usize) -> u8 {
+        self.packed.get(i)
     }
 
     /// Whether reading an element costs an unpack.

@@ -79,8 +79,13 @@ impl Default for CortexM7CycleModel {
 pub struct LayerLatency {
     /// Layer name.
     pub name: String,
-    /// Estimated cycles.
+    /// Estimated steady-state cycles per inference.
     pub cycles: u64,
+    /// One-time prepack cycles (weight decode + panel build at graph
+    /// build, amortized over the deployment's lifetime — **not** part of
+    /// `cycles`). Zero for layers that cache nothing and for breakdowns
+    /// computed from shape-level specs.
+    pub one_time_cycles: u64,
     /// MAC count.
     pub macs: usize,
 }
@@ -178,6 +183,7 @@ impl CortexM7CycleModel {
                     assignment.act_bits[i + 1],
                     scheme,
                 ),
+                one_time_cycles: 0,
                 macs: l.macs(),
             })
             .collect()
@@ -222,22 +228,65 @@ impl CortexM7CycleModel {
     /// Per-layer latency breakdown from a `QGraph` execution ledger — the
     /// measured twin of [`CortexM7CycleModel::layer_breakdown`], which
     /// works from shape-level specs instead. Each layer is priced for the
-    /// kernel its node actually selected ([`LayerRun::choice`]).
+    /// kernel its node actually selected ([`LayerRun::choice`]); the
+    /// one-time packing work of the node's prepack cache
+    /// ([`LayerRun::prepack`]) is reported separately in
+    /// [`LayerLatency::one_time_cycles`], never folded into the
+    /// steady-state per-inference cost — prepacking moved that work from
+    /// every inference to graph build, and the model reflects exactly
+    /// that.
     pub fn breakdown_from_runs(&self, runs: &[LayerRun]) -> Vec<LayerLatency> {
         runs.iter()
             .map(|r| LayerLatency {
                 name: r.name.clone(),
                 cycles: self.kernel_cycles(r.kind, r.choice, &r.ops),
+                one_time_cycles: self.prepack_cycles(&r.prepack),
                 macs: r.ops.macs as usize,
             })
             .collect()
     }
 
-    /// Total cycles of a `QGraph` execution ledger, priced per selected
-    /// kernel.
+    /// Total steady-state cycles of a `QGraph` execution ledger, priced
+    /// per selected kernel (one-time packing excluded — see
+    /// [`CortexM7CycleModel::one_time_packing_cycles`]).
     pub fn cycles_from_runs(&self, runs: &[LayerRun]) -> u64 {
         runs.iter()
             .map(|r| self.kernel_cycles(r.kind, r.choice, &r.ops))
+            .sum()
+    }
+
+    /// Cycles of one-time prepack work from its [`OpCounts`] ledger:
+    /// sub-byte decodes and panel stores, with no per-layer scheduling
+    /// overhead (packing happens once at graph build, outside the
+    /// inference loop).
+    pub fn prepack_cycles(&self, ops: &OpCounts) -> u64 {
+        (ops.unpacks as f64 * self.unpack_cycles + ops.act_stores as f64 * self.act_store_cycles)
+            as u64
+    }
+
+    /// Total one-time packing cycles of a run's prepack caches — the
+    /// build-time cost that PR-4's kernels paid on **every** inference and
+    /// the prepacked graph pays once.
+    pub fn one_time_packing_cycles(&self, runs: &[LayerRun]) -> u64 {
+        runs.iter().map(|r| self.prepack_cycles(&r.prepack)).sum()
+    }
+
+    /// Per-sample steady-state cycles of a **batch-N** execution ledger:
+    /// each layer's counts are divided back to one sample
+    /// ([`OpCounts::per_sample`] — exact, since every kernel is
+    /// batch-linear) before pricing, so the result equals
+    /// [`CortexM7CycleModel::cycles_from_runs`] of a single-sample run of
+    /// the same graph. The difference between `cycles_from_runs(batch_run)`
+    /// and `batch × cycles_from_runs_per_sample(batch_run, batch)` is
+    /// exactly the `(N−1) × layers × layer_overhead` dispatch saving a
+    /// batched walk earns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn cycles_from_runs_per_sample(&self, runs: &[LayerRun], batch: u64) -> u64 {
+        runs.iter()
+            .map(|r| self.kernel_cycles(r.kind, r.choice, &r.ops.per_sample(batch)))
             .sum()
     }
 
@@ -426,6 +475,84 @@ mod tests {
                 m.kernel_cycles(kind, KernelChoice::BlockedGemm, &ops),
             );
         }
+    }
+
+    #[test]
+    fn prepack_cycles_are_reported_separately_from_steady_state() {
+        let m = model();
+        let ops = OpCounts {
+            macs: 50_000,
+            requants: 500,
+            act_stores: 500,
+            ..OpCounts::default()
+        };
+        let prepack = OpCounts {
+            unpacks: 1152,
+            act_stores: 1152,
+            ..OpCounts::default()
+        };
+        let run = LayerRun {
+            name: "pw".into(),
+            kind: OpKind::Conv,
+            choice: KernelChoice::BlockedGemm,
+            ops,
+            prepack,
+            in_bytes: 0,
+            out_bytes: 0,
+            out_shape: mixq_tensor::Shape::feature_map(1, 1, 1),
+        };
+        let br = m.breakdown_from_runs(std::slice::from_ref(&run));
+        // Steady-state cycles ignore the prepack ledger entirely...
+        assert_eq!(
+            br[0].cycles,
+            m.kernel_cycles(OpKind::Conv, KernelChoice::BlockedGemm, &ops)
+        );
+        assert_eq!(m.cycles_from_runs(std::slice::from_ref(&run)), br[0].cycles);
+        // ...and the one-time work is priced on its own, without the
+        // per-layer scheduling overhead.
+        assert_eq!(br[0].one_time_cycles, m.prepack_cycles(&prepack));
+        assert_eq!(
+            m.one_time_packing_cycles(std::slice::from_ref(&run)),
+            br[0].one_time_cycles
+        );
+        assert!(br[0].one_time_cycles > 0);
+        assert!(br[0].one_time_cycles < m.layer_overhead);
+    }
+
+    #[test]
+    fn per_sample_pricing_inverts_batch_linearity() {
+        let m = model();
+        let single = OpCounts {
+            macs: 10_000,
+            requants: 100,
+            act_stores: 100,
+            unpacks: 300,
+            ..OpCounts::default()
+        };
+        let batch = 8u64;
+        let batched = (0..batch).map(|_| single).sum::<OpCounts>();
+        let run = |ops| LayerRun {
+            name: "c".into(),
+            kind: OpKind::Conv,
+            choice: KernelChoice::DirectConv,
+            ops,
+            prepack: OpCounts::default(),
+            in_bytes: 0,
+            out_bytes: 0,
+            out_shape: mixq_tensor::Shape::feature_map(1, 1, 1),
+        };
+        let batched_run = [run(batched)];
+        let single_run = [run(single)];
+        assert_eq!(
+            m.cycles_from_runs_per_sample(&batched_run, batch),
+            m.cycles_from_runs(&single_run)
+        );
+        // The batched walk pays the per-layer overhead once instead of N
+        // times: total batched cycles = N× the per-MAC work + 1× overhead.
+        assert_eq!(
+            m.cycles_from_runs(&batched_run) + (batch - 1) * m.layer_overhead,
+            batch * m.cycles_from_runs(&single_run)
+        );
     }
 
     #[test]

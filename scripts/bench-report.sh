@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Emits the machine-readable performance report BENCH_batch.json at the
+# repo root: measured host throughput (samples/sec) of the residual
+# MobileNet per batch size and backend, the per-call-packing PR-4
+# baseline, and the batch-8 speedup of the prepacked tiled path.
+#
+# Unlike the deterministic goldens under tests/goldens/ (shape math,
+# byte-diffed in CI), this file holds *measured* numbers: commit it after
+# an intentional perf change so future PRs have a throughput trajectory
+# to compare against. Never golden-diffed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+root="$PWD"
+cargo bench --bench table_batch_throughput -- \
+  --bench-json "$root/BENCH_batch.json"
+echo "perf report written:"
+cat "$root/BENCH_batch.json"

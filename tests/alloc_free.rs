@@ -1,7 +1,11 @@
 //! Arena-aware packing acceptance: after a warm-up pass, steady-state
 //! integer inference through the pooled path (`quantize_input_pooled` +
 //! `QGraph::infer_pooled`) performs **zero heap allocations** — every code
-//! scratch, packed activation and logits buffer is recycled.
+//! scratch, packed activation and logits buffer is recycled. The same
+//! guarantee is asserted at **batch > 1** (`quantize_input_items_pooled` +
+//! `QGraph::infer_batch`) and for the **tiled backend**, whose
+//! blocked-GEMM nodes stream their prepacked weight panels and draw the
+//! im2col expansion from the arena's auxiliary scratch.
 //!
 //! This file installs a counting global allocator, so it deliberately
 //! contains a single test (parallel tests in the same binary would pollute
@@ -10,10 +14,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mixq::core::convert::convert;
+use mixq::core::convert::{convert, convert_with_backend, IntNetwork};
 use mixq::core::memory::QuantScheme;
 use mixq::data::{DatasetSpec, SyntheticKind};
-use mixq::kernels::{ActivationArena, OpCounts};
+use mixq::kernels::{ActivationArena, OpCounts, TiledBackend};
 use mixq::nn::qat::{MicroCnnSpec, QatNetwork};
 use mixq::quant::Granularity;
 
@@ -112,4 +116,67 @@ fn steady_state_inference_is_allocation_free() {
     assert_eq!(leaked, 0, "steady-state inference must not touch the heap");
     // And it still computes the same thing.
     assert_eq!(logits, warm_logits);
+
+    // Batch > 1 through the same graph: one walk per 4 samples, all
+    // buffers batch-scaled at warm-up and recycled thereafter. The first
+    // logits row must reproduce the single-sample result exactly.
+    let classes = int_net.linear().out_features();
+    let batched_steady = measure_batched(&int_net, ds.images(), 4);
+    assert_eq!(
+        batched_steady.0, 0,
+        "steady-state batch-4 inference must not touch the heap"
+    );
+    assert_eq!(&batched_steady.1[..classes], &warm_logits[..]);
+
+    // The tiled backend's blocked-GEMM nodes stream their prepacked
+    // panels and draw the im2col expansion from the arena's auxiliary
+    // scratch — allocation-free at batch > 1 too, with identical logits.
+    let tiled_net =
+        convert_with_backend(&net, QuantScheme::PerChannelIcn, &TiledBackend::default())
+            .expect("convertible");
+    assert!(
+        tiled_net.prepacked_bytes() > 0,
+        "tiled conversion prepacks weight panels"
+    );
+    let tiled_steady = measure_batched(&tiled_net, ds.images(), 4);
+    assert_eq!(
+        tiled_steady.0, 0,
+        "steady-state prepacked blocked inference must not touch the heap"
+    );
+    assert_eq!(
+        tiled_steady.1, batched_steady.1,
+        "backends are bit-identical"
+    );
+}
+
+/// Warm-up then measured batched steady state: returns the minimum
+/// allocation count observed over the retry window and the final logits.
+fn measure_batched(
+    net: &IntNetwork,
+    images: &mixq::tensor::Tensor<f32>,
+    batch: usize,
+) -> (u64, Vec<i32>) {
+    let mut arena = ActivationArena::new();
+    let mut logits = Vec::new();
+    let mut ops = OpCounts::default();
+    for _ in 0..2 {
+        let x = net.quantize_input_items_pooled(images, 0, batch, &mut arena);
+        net.graph()
+            .infer_batch(x, &mut arena, &mut logits, &mut ops);
+    }
+    let mut leaked = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..8 {
+            let x = net.quantize_input_items_pooled(images, 0, batch, &mut arena);
+            net.graph()
+                .infer_batch(x, &mut arena, &mut logits, &mut ops);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        leaked = leaked.min(after - before);
+        if leaked == 0 {
+            break;
+        }
+    }
+    (leaked, logits)
 }

@@ -238,6 +238,67 @@ fn scratch_and_ram_models_track_actual_selection() {
 }
 
 #[test]
+fn prepack_caches_follow_the_selected_kernel() {
+    use mixq::kernels::PrepackedWeights;
+    let input = Shape::feature_map(8, 8, 2);
+    let mut g = residual_graph(input);
+    g.select_kernels(&TiledBackend::default());
+    // BlockedGemm convs cache interleaved panels; direct sub-byte ops
+    // (depthwise, head) cache decoded codes; weight-free ops cache nothing.
+    let caches: Vec<Option<&PrepackedWeights>> = g.nodes().iter().map(|n| n.prepacked()).collect();
+    assert!(
+        matches!(caches[0], Some(PrepackedWeights::Panels(_))),
+        "stem"
+    );
+    assert!(
+        matches!(caches[1], Some(PrepackedWeights::Codes(_))),
+        "dw (W4)"
+    );
+    assert!(matches!(caches[2], Some(PrepackedWeights::Panels(_))), "pw");
+    assert!(caches[3].is_none(), "residual add has no weights");
+    assert!(caches[4].is_none(), "pool has no weights");
+    assert!(
+        matches!(caches[5], Some(PrepackedWeights::Codes(_))),
+        "fc (W4)"
+    );
+    // One-time packing ledgers exist exactly where a cache exists, and the
+    // cycle model reports them separately from the steady state.
+    let run = g.run(input_act(input));
+    let model = CortexM7CycleModel::default();
+    let breakdown = model.breakdown_from_runs(&run.layers);
+    for (node, (lr, lat)) in g.nodes().iter().zip(run.layers.iter().zip(&breakdown)) {
+        assert_eq!(lr.prepack, node.prepack_ops(), "{}", node.name());
+        assert_eq!(
+            lat.one_time_cycles,
+            model.prepack_cycles(&lr.prepack),
+            "{}",
+            node.name()
+        );
+        assert_eq!(
+            node.prepacked().is_some(),
+            node.prepack_ops() != Default::default()
+        );
+    }
+    assert!(model.one_time_packing_cycles(&run.layers) > 0);
+    assert!(g.prepacked_bytes() > 0);
+
+    // Clearing the caches reverts to per-call packing — bit-identical.
+    let mut cleared = g.clone();
+    cleared.clear_prepack();
+    assert_eq!(cleared.prepacked_bytes(), 0);
+    let run_cleared = cleared.run(input_act(input));
+    assert_eq!(run.logits, run_cleared.logits);
+    // Ledgers agree too: the abstract op counts describe the deployed
+    // algorithm, not the host-side caching.
+    assert_eq!(run.total_ops(), run_cleared.total_ops());
+    // Cleared nodes report no one-time packing.
+    assert!(run_cleared
+        .layers
+        .iter()
+        .all(|l| l.prepack == Default::default()));
+}
+
+#[test]
 fn tiled_backend_rates_mirror_cycle_model() {
     // TiledBackend's selection constants are hand-mirrored copies of the
     // Cortex-M7 model's per-choice rates (the kernels crate cannot depend

@@ -348,6 +348,192 @@ proptest! {
     }
 
     #[test]
+    fn prepacked_execution_is_bit_identical_to_per_call_packing(
+        co in 1usize..6,
+        ci in 1usize..4,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+        stride in 1usize..3,
+        h in 3usize..8,
+        batch in 1usize..4,
+        wbits in bitwidth_strategy(),
+        xbits in bitwidth_strategy(),
+        zx in 0u8..6,
+        per_channel in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // The prepacked-panel path must reproduce the per-call-packing
+        // blocked kernel bit for bit — output codes AND abstract ledger —
+        // across shapes, strides, bit-widths, zero-points and batch sizes.
+        let wshape = Shape::new(co, k, k, ci);
+        let wcodes: Vec<u8> = (0..wshape.volume())
+            .map(|i| ((i as u64 * 31 + seed * 7) % wbits.levels() as u64) as u8)
+            .collect();
+        let offset = if per_channel {
+            WeightOffset::PerChannel((0..co).map(|c| (c as i16 % 5) - 2).collect())
+        } else {
+            WeightOffset::PerLayer(2)
+        };
+        let weights = QConvWeights::new(wshape, false, &wcodes, wbits, offset);
+        let requant = Requantizer::icn(
+            (0..co).map(|c| c as i32 - 1).collect(),
+            (0..co)
+                .map(|c| FixedPointMultiplier::from_real(0.01 + c as f64 * 0.005))
+                .collect(),
+            0,
+            BitWidth::W8,
+        );
+        let conv = QConv2d::new(
+            weights,
+            ConvGeometry::new(k, k, stride, Padding::Same),
+            requant,
+        );
+        let in_shape = Shape::feature_map(h, h, ci).with_batch(batch);
+        let codes: Vec<u8> = (0..in_shape.volume())
+            .map(|i| ((i as u64 * 13 + seed) % xbits.levels() as u64) as u8)
+            .collect();
+        let x = QActivation::from_codes(in_shape, &codes, xbits, zx.min(xbits.qmax() as u8));
+        let mut o_uncached = OpCounts::default();
+        let mut o_cached = OpCounts::default();
+        let mut o_direct = OpCounts::default();
+        let mut uncached = Vec::new();
+        let mut cached = Vec::new();
+        let shape_a = conv.execute_blocked_codes(&x, &mut uncached, &mut o_uncached);
+        let panels = conv.prepack_panels();
+        let shape_b = conv.execute_blocked_prepacked(
+            &panels, &x, &mut Vec::new(), &mut cached, &mut o_cached);
+        let direct = conv.execute(&x, &mut o_direct);
+        prop_assert_eq!(shape_a, shape_b);
+        prop_assert_eq!(&uncached, &cached);
+        prop_assert_eq!(o_uncached, o_cached);
+        prop_assert_eq!(direct.codes(), cached);
+        // The artifact reports a non-trivial read-only footprint.
+        prop_assert!(panels.bytes() >= wshape.volume());
+        prop_assert_eq!(panels.k(), k * k * ci);
+        prop_assert_eq!(panels.out_channels(), co);
+    }
+
+    #[test]
+    fn batch_matches_single_sample_logits(
+        depth in 1usize..4,
+        ch in 1usize..5,
+        h in 4usize..8,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+        batch in 1usize..6,
+        wbits in bitwidth_strategy(),
+        abits in bitwidth_strategy(),
+        with_skip in any::<bool>(),
+        tiled in any::<bool>(),
+        zx in 0u8..4,
+        seed in 0u64..1000,
+    ) {
+        // A batch-N walk of a random residual DAG must be bit-identical to
+        // N single-sample walks: logits, total ledger, and the planner's
+        // batched Eq. 7 peak against the measured high-water mark.
+        let input = Shape::feature_map(h, h, ch);
+        let layer = |l: usize, out_bits: BitWidth| {
+            let wshape = Shape::new(ch, k, k, ch);
+            let wcodes: Vec<u8> = (0..wshape.volume())
+                .map(|i| ((i as u64 * 31 + seed * 7 + l as u64) % wbits.levels() as u64) as u8)
+                .collect();
+            QConv2d::new(
+                QConvWeights::new(wshape, false, &wcodes, wbits,
+                                  WeightOffset::PerChannel((0..ch).map(|c| (c as i16 % 5) - 2).collect())),
+                ConvGeometry::new(k, k, 1, Padding::Same),
+                Requantizer::icn(
+                    (0..ch).map(|c| c as i32 - 1).collect(),
+                    (0..ch)
+                        .map(|c| FixedPointMultiplier::from_real(0.02 + c as f64 * 0.004))
+                        .collect(),
+                    0,
+                    out_bits,
+                ),
+            )
+        };
+        let head = QLinear::new(
+            QConvWeights::new(
+                Shape::new(3, 1, 1, ch),
+                false,
+                &(0..3 * ch).map(|i| ((i as u64 * 11 + seed) % 16) as u8).collect::<Vec<_>>(),
+                BitWidth::W4,
+                WeightOffset::PerLayer(2),
+            ),
+            vec![1, -2, 3],
+            None,
+        );
+        let mut g = QGraph::with_input(input, BitWidth::W8);
+        let mut id = 0usize;
+        for l in 0..depth {
+            id = g.push_node(
+                format!("c{l}"),
+                layer(l, if l + 1 == depth { BitWidth::W8 } else { abits }),
+                &[id],
+            );
+        }
+        if with_skip {
+            // Identity residual join of the stack output with the input
+            // (same grid at stride 1 / SAME padding).
+            id = g.push_node(
+                "res",
+                mixq::kernels::QAdd::from_scales(1.0, 1.0, 1.0, 0, 0, 0, BitWidth::W8),
+                &[id, 0],
+            );
+        }
+        let _ = id;
+        g.push("pool", mixq::kernels::QAvgPool);
+        g.push("fc", head);
+        if tiled {
+            g.select_kernels(&TiledBackend::default());
+        }
+
+        // Per-sample codes, then the same samples stacked into one batch.
+        let item = input.volume();
+        let sample_codes = |s: usize| -> Vec<u8> {
+            (0..item)
+                .map(|i| (((s * item + i) as u64 * 13 + seed) % 200) as u8)
+                .collect()
+        };
+        let mut stacked = Vec::with_capacity(batch * item);
+        for s in 0..batch {
+            stacked.extend(sample_codes(s));
+        }
+        let batched_shape = input.with_batch(batch);
+        let xb = QActivation::from_codes(batched_shape, &stacked, BitWidth::W8, zx);
+        let run_b = g.run(xb.clone());
+
+        let mut single_logits = Vec::new();
+        let mut single_ops = OpCounts::default();
+        for s in 0..batch {
+            let xs = QActivation::from_codes(input, &sample_codes(s), BitWidth::W8, zx);
+            let r = g.run(xs);
+            single_ops += r.total_ops();
+            single_logits.extend(r.logits.expect("head-terminated"));
+        }
+        prop_assert_eq!(run_b.logits.as_deref(), Some(single_logits.as_slice()));
+        prop_assert_eq!(run_b.total_ops(), single_ops);
+        // The pooled batch path agrees with the ledger run, allocation
+        // pooling aside.
+        let mut arena = mixq::kernels::ActivationArena::new();
+        let mut pooled_logits = Vec::new();
+        let mut pooled_ops = OpCounts::default();
+        g.infer_batch(xb, &mut arena, &mut pooled_logits, &mut pooled_ops);
+        prop_assert_eq!(Some(pooled_logits), run_b.logits);
+        prop_assert_eq!(pooled_ops, single_ops);
+        // Planner and executor agree on the batched Eq. 7 peak.
+        prop_assert_eq!(
+            run_b.peak_live_bytes,
+            g.peak_ram_bytes(batched_shape, BitWidth::W8)
+        );
+        // Per-layer ledgers divide back to one sample exactly.
+        for lr in &run_b.layers {
+            let mut acc = OpCounts::default();
+            for _ in 0..batch {
+                acc += lr.ops.per_sample(batch as u64);
+            }
+            prop_assert_eq!(acc, lr.ops);
+        }
+    }
+
+    #[test]
     fn chain_and_dag_wiring_run_identically(
         depth in 1usize..4,
         ch in 1usize..4,
