@@ -188,6 +188,74 @@ pub fn batch_arg() -> usize {
     n
 }
 
+/// The intra-walk worker-thread count selected by the bench binary's
+/// `--threads N` flag (1 when absent). Benches that execute integer
+/// graphs forward it to
+/// [`IntNetwork::set_threads`](mixq_core::convert::IntNetwork::set_threads),
+/// splitting each single graph walk's row/channel blocks across a worker
+/// pool. Logits are bit-identical across thread counts; only host
+/// wall-clock changes.
+///
+/// # Panics
+///
+/// Panics on a malformed or out-of-range thread count.
+pub fn threads_arg() -> usize {
+    let Some(v) = arg_value("--threads") else {
+        return 1;
+    };
+    let n: usize = v.parse().unwrap_or_else(|_| panic!("bad threads `{v}`"));
+    assert!(
+        (1..=mixq_kernels::MAX_POOL_THREADS).contains(&n),
+        "threads must be in 1..={}",
+        mixq_kernels::MAX_POOL_THREADS
+    );
+    n
+}
+
+/// Host-environment metadata stamped into **measured** bench JSON
+/// (`--bench-json` outputs only — the deterministic goldens never include
+/// it): compiler target, detected/active SIMD level, CPU features the
+/// dispatcher probes, and the thread configuration. Keys are stable so the
+/// perf-trajectory tooling can attribute throughput shifts to host changes.
+pub fn host_meta(threads: usize) -> JsonObject {
+    let mut meta = JsonObject::new();
+    // `scripts/bench-report.sh` exports the exact `rustc -vV` host triple;
+    // fall back to a coarse arch-os stamp when run outside the script.
+    let target = std::env::var("MIXQ_RUSTC_TARGET")
+        .unwrap_or_else(|_| format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS));
+    meta.string("rustc_target", &target);
+    meta.string("simd_level", mixq_kernels::simd::active_level().label());
+    let features: Vec<String> = detected_cpu_features()
+        .into_iter()
+        .map(|f| format!("\"{f}\""))
+        .collect();
+    meta.raw("cpu_features", json_array(features));
+    meta.int("threads", threads);
+    meta.int(
+        "available_parallelism",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+    meta
+}
+
+/// The vector-ISA features the SIMD dispatcher probes that are present on
+/// this CPU, in a fixed order.
+fn detected_cpu_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            features.push("sse2");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    features.push("neon");
+    features
+}
+
 /// The `--bench-json <path>` target from the bench binary's arguments, if
 /// given. Unlike [`json_out_path`] (deterministic shape-math goldens),
 /// this file receives **measured** host numbers — throughput tables the

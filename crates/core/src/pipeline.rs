@@ -59,6 +59,11 @@ pub struct PipelineConfig {
     /// only wall-clock (and the Eq. 7 live set, which scales with the
     /// batch) change.
     pub batch: usize,
+    /// Worker threads *inside* each graph walk of the deployment-side
+    /// evaluation (default 1 = serial). Forwarded to
+    /// [`IntNetwork::set_threads`]; logits, accuracy and modeled MCU
+    /// cycles are bit-identical at every setting.
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -78,6 +83,7 @@ impl PipelineConfig {
             seed: 42,
             backend: BackendKind::default(),
             batch: 1,
+            threads: 1,
         }
     }
 
@@ -101,6 +107,23 @@ impl PipelineConfig {
     pub fn with_batch(mut self, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
         self.batch = batch;
+        self
+    }
+
+    /// Sets the intra-walk worker-thread count (see
+    /// [`IntNetwork::set_threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or exceeds
+    /// [`MAX_POOL_THREADS`](mixq_kernels::MAX_POOL_THREADS).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(
+            (1..=mixq_kernels::MAX_POOL_THREADS).contains(&threads),
+            "threads must be in 1..={}, got {threads}",
+            mixq_kernels::MAX_POOL_THREADS
+        );
+        self.threads = threads;
         self
     }
 
@@ -211,7 +234,8 @@ pub fn deploy(
     let fake_quant_accuracy = evaluate(&net, dataset);
     // Phase 3: integer-only conversion (deployment graph g'(x)), each node
     // bound to the backend-selected kernel.
-    let int_net = convert_with_backend(&net, cfg.scheme, &cfg.backend)?;
+    let mut int_net = convert_with_backend(&net, cfg.scheme, &cfg.backend)?;
+    int_net.set_threads(cfg.threads);
     let (int_accuracy, _) = int_net.evaluate_batch(dataset, cfg.batch);
     // Phase 4: verification — loss(g'(x)) ≈ loss(g(x)) at prediction level.
     let prediction_agreement = prediction_agreement(&net, &int_net, dataset);

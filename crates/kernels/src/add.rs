@@ -155,19 +155,39 @@ impl QAdd {
         let (za, zb, zy) = (self.za as i32, self.zb as i32, self.zy as i64);
         out_codes.clear();
         out_codes.resize(n, 0);
-        let mut i = 0usize;
-        for n_ in 0..shape.n {
-            for y in 0..shape.h {
-                for x in 0..shape.w {
-                    for c in 0..shape.c {
-                        let va = self.ma.apply(a.get(n_, y, x, c) as i32 - za) as i64;
-                        let vb = self.mb.apply(b.get(n_, y, x, c) as i32 - zb) as i64;
-                        out_codes[i] = (zy + va + vb).clamp(0, qmax) as u8;
-                        i += 1;
+        if !a.needs_unpack() && !b.needs_unpack() {
+            // Flat fast path: both branches store one code per byte, and
+            // each branch's fixed-point product is a pure function of its
+            // ≤ 256 possible codes — so two stack lookup tables replace
+            // the per-element multiplies *exactly* (same `apply` results,
+            // bit-identical output), and the element loop is a linear
+            // table-gather over the raw byte storage.
+            let mut lut_a = [0i64; 256];
+            let mut lut_b = [0i64; 256];
+            for q in 0..256 {
+                lut_a[q] = self.ma.apply(q as i32 - za) as i64;
+                lut_b[q] = self.mb.apply(q as i32 - zb) as i64;
+            }
+            for ((o, &qa), &qb) in out_codes.iter_mut().zip(a.as_bytes()).zip(b.as_bytes()) {
+                *o = (zy + lut_a[qa as usize] + lut_b[qb as usize]).clamp(0, qmax) as u8;
+            }
+        } else {
+            let mut i = 0usize;
+            for n_ in 0..shape.n {
+                for y in 0..shape.h {
+                    for x in 0..shape.w {
+                        for c in 0..shape.c {
+                            let va = self.ma.apply(a.get(n_, y, x, c) as i32 - za) as i64;
+                            let vb = self.mb.apply(b.get(n_, y, x, c) as i32 - zb) as i64;
+                            out_codes[i] = (zy + va + vb).clamp(0, qmax) as u8;
+                            i += 1;
+                        }
                     }
                 }
             }
         }
+        // Abstract ledger: the modeled work is per-element regardless of
+        // the host dataflow (the LUT build is host bookkeeping).
         ops.requants += 2 * n as u64; // one fixed-point multiply per branch
         ops.act_loads += 2 * n as u64;
         ops.act_stores += n as u64;

@@ -1,5 +1,8 @@
+use std::sync::Mutex;
+
 use mixq_tensor::{ConvGeometry, Shape};
 
+use crate::threadpool::{partition_bounds, ThreadPool, MAX_POOL_THREADS};
 use crate::{OpCounts, QActivation, QConvWeights, Requantizer};
 
 /// Largest kernel area the depthwise fast path keeps its per-pixel tap
@@ -151,15 +154,136 @@ impl QConv2d {
         let wslice: Option<&[u8]> =
             wcodes.or_else(|| (!self.weights.needs_unpack()).then(|| self.weights.as_bytes()));
         if let Some(w) = wslice {
-            if self.weights.is_depthwise()
-                && !x.needs_unpack()
-                && self.geometry.kernel_area() <= MAX_DW_TAPS
-            {
+            if self.dw_fast_eligible(x) {
                 return self.depthwise_fast(w, x, out_codes, ops);
             }
             return self.direct_loop(x, out_codes, ops, |i| w[i]);
         }
         self.direct_loop(x, out_codes, ops, |i| self.weights.code_at(i))
+    }
+
+    /// Whether the stack-tap depthwise fast path applies.
+    fn dw_fast_eligible(&self, x: &QActivation) -> bool {
+        self.weights.is_depthwise()
+            && !x.needs_unpack()
+            && self.geometry.kernel_area() <= MAX_DW_TAPS
+    }
+
+    /// [`QConv2d::execute_codes_with`] with an optional [`ThreadPool`]:
+    /// the output channels split into contiguous blocks, one per worker —
+    /// the direct-kernel half of the intra-walk parallelism (the GEMM
+    /// kernels split im2col rows instead). Channel-interleaved NHWC
+    /// output makes a worker's writes strided, so each worker writes its
+    /// channel block as contiguous planes into `plane_scratch` (drawn
+    /// from the arena's auxiliary buffer) and a serial pass re-interleaves
+    /// — a host-side staging copy, charged nowhere, exactly like the
+    /// prepack caches. Bit-identical to the serial path — per-output
+    /// arithmetic is unchanged and the data-dependent ledger tallies sum
+    /// over disjoint channel ranges — for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// See [`QConv2d::execute_codes_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_codes_pooled(
+        &self,
+        wcodes: Option<&[u8]>,
+        x: &QActivation,
+        out_codes: &mut Vec<u8>,
+        plane_scratch: &mut Vec<u8>,
+        pool: Option<&ThreadPool>,
+        ops: &mut OpCounts,
+    ) -> Shape {
+        let threads = pool.map_or(1, ThreadPool::threads);
+        let out_shape = self.output_shape(x.shape());
+        let c = out_shape.c;
+        let mut chan_bounds = [0usize; MAX_POOL_THREADS + 1];
+        let parts = if threads > 1 && c >= 2 {
+            partition_bounds(c, threads, &mut chan_bounds)
+        } else {
+            1
+        };
+        if parts <= 1 {
+            return self.execute_codes_with(wcodes, x, out_codes, ops);
+        }
+        if let Some(w) = wcodes {
+            assert_eq!(
+                w.len(),
+                self.weights.shape().volume(),
+                "decoded weight cache length"
+            );
+        }
+        let wslice: Option<&[u8]> =
+            wcodes.or_else(|| (!self.weights.needs_unpack()).then(|| self.weights.as_bytes()));
+        let volume = out_shape.volume();
+        let npix = volume / c;
+        plane_scratch.clear();
+        plane_scratch.resize(volume, 0);
+        let mut byte_bounds = [0usize; MAX_POOL_THREADS + 1];
+        for (b, ch) in byte_bounds.iter_mut().zip(&chan_bounds).take(parts + 1) {
+            *b = ch * npix;
+        }
+        let merged = Mutex::new((0u64, 0u64, 0u64));
+        pool.expect("parts > 1 implies a pool").broadcast_slices(
+            plane_scratch.as_mut_slice(),
+            &byte_bounds[..=parts],
+            |worker, chunk| {
+                let (lo, hi) = (chan_bounds[worker], chan_bounds[worker + 1]);
+                let (mut rq, mut tc) = (0u64, 0u64);
+                let macs = match wslice {
+                    Some(w) if self.dw_fast_eligible(x) => {
+                        self.depthwise_taps(w, x, lo, hi, true, chunk, &mut rq, &mut tc)
+                    }
+                    Some(w) => {
+                        self.direct_channels(x, lo, hi, true, chunk, &mut rq, &mut tc, |i| w[i])
+                    }
+                    None => self.direct_channels(x, lo, hi, true, chunk, &mut rq, &mut tc, |i| {
+                        self.weights.code_at(i)
+                    }),
+                };
+                let mut m = merged.lock().unwrap();
+                m.0 += macs;
+                m.1 += rq;
+                m.2 += tc;
+            },
+        );
+        // Serial re-interleave of the channel planes into NHWC order.
+        out_codes.clear();
+        out_codes.resize(volume, 0);
+        for co in 0..c {
+            let plane = &plane_scratch[co * npix..(co + 1) * npix];
+            for (pix, &v) in plane.iter().enumerate() {
+                out_codes[pix * c + co] = v;
+            }
+        }
+        let (macs, rq, tc) = merged.into_inner().unwrap();
+        ops.requants += rq;
+        ops.threshold_cmps += tc;
+        self.charge_direct_ledger(x, out_shape, macs, ops);
+        out_shape
+    }
+
+    /// The shared tail-ledger of every direct-kernel path: per-MAC loads
+    /// and unpack charges are proportional to the MAC tally, so serial
+    /// and channel-split executions charge identically.
+    fn charge_direct_ledger(
+        &self,
+        x: &QActivation,
+        out_shape: Shape,
+        macs: u64,
+        ops: &mut OpCounts,
+    ) {
+        let w_unpack = self.weights.needs_unpack() as u64;
+        let x_unpack = x.needs_unpack() as u64;
+        ops.macs += macs;
+        ops.act_loads += macs;
+        ops.unpacks += (w_unpack + x_unpack) * macs;
+        ops.act_stores += out_shape.volume() as u64;
+        ops.bias_adds += out_shape.volume() as u64;
+        if self.weights.offset().is_per_channel() {
+            // One extra in-loop subtraction per MAC (§6's ≈ 20% overhead).
+            ops.offset_subs += macs;
+        }
     }
 
     /// The depthwise fast path over a decoded weight view and an 8-bit
@@ -177,6 +301,41 @@ impl QConv2d {
         out_codes: &mut Vec<u8>,
         ops: &mut OpCounts,
     ) -> Shape {
+        let out_shape = self.output_shape(x.shape());
+        out_codes.clear();
+        out_codes.resize(out_shape.volume(), 0);
+        let macs = self.depthwise_taps(
+            wflat,
+            x,
+            0,
+            out_shape.c,
+            false,
+            out_codes.as_mut_slice(),
+            &mut ops.requants,
+            &mut ops.threshold_cmps,
+        );
+        self.charge_direct_ledger(x, out_shape, macs, ops);
+        out_shape
+    }
+
+    /// The depthwise fast-path core over output channels
+    /// `[co_lo, co_hi)`, writing NHWC-interleaved codes (`plane == false`,
+    /// full channel range) or contiguous per-channel planes relative to
+    /// `co_lo` (`plane == true`, the worker layout). Returns the MAC
+    /// tally; shared by the serial and channel-split paths so their
+    /// arithmetic is structurally identical.
+    #[allow(clippy::too_many_arguments)]
+    fn depthwise_taps(
+        &self,
+        wflat: &[u8],
+        x: &QActivation,
+        co_lo: usize,
+        co_hi: usize,
+        plane: bool,
+        out: &mut [u8],
+        requants: &mut u64,
+        threshold_cmps: &mut u64,
+    ) -> u64 {
         let in_shape = x.shape();
         assert_eq!(
             in_shape.c,
@@ -188,65 +347,89 @@ impl QConv2d {
         let s = self.geometry.stride;
         let (kh, kw) = (self.geometry.kh, self.geometry.kw);
         let taps = kh * kw;
-        let zx = x.zero_point() as i64;
-        let per_channel = self.weights.offset().is_per_channel();
-        let w_unpack = self.weights.needs_unpack() as u64;
+        let zx = x.zero_point() as i32;
         let xb = x.as_bytes();
         let c = in_shape.c;
+        let npix = out_shape.pixels() * out_shape.n;
 
-        out_codes.clear();
-        out_codes.resize(out_shape.volume(), 0);
+        // Channel-block dataflow: the channel dimension is the innermost
+        // loop (the input's NHWC bytes are contiguous over it), swept in
+        // blocks of ≤ DW_BLOCK with the block's weights transposed
+        // tap-major into a stack panel once per block — so the per-tap
+        // inner loop is a straight-line span multiply-accumulate the
+        // compiler can vectorize. Per-product values fit i32
+        // (`|x−zx|·|w−zw| ≤ 255²`, ≤ MAX_DW_TAPS of them), and integer
+        // sums over the same taps in the same order make the block loop
+        // bit-identical to the per-channel formulation.
+        const DW_BLOCK: usize = 64;
         let mut macs = 0u64;
         let mut tap_off = [0usize; MAX_DW_TAPS];
         let mut tap_base = [0usize; MAX_DW_TAPS];
-        for n in 0..out_shape.n {
-            for oy in 0..out_shape.h {
-                for ox in 0..out_shape.w {
-                    let mut nt = 0usize;
-                    for ky in 0..kh {
-                        let iy = (oy * s + ky) as isize - pt as isize;
-                        if iy < 0 || iy >= in_shape.h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * s + kx) as isize - pl as isize;
-                            if ix < 0 || ix >= in_shape.w as isize {
-                                continue;
-                            }
-                            tap_off[nt] = ky * kw + kx;
-                            tap_base[nt] =
-                                ((n * in_shape.h + iy as usize) * in_shape.w + ix as usize) * c;
-                            nt += 1;
-                        }
-                    }
-                    let obase = out_shape.index(n, oy, ox, 0);
-                    for co in 0..c {
-                        let zw = self.weights.offset().at(co) as i64;
-                        let wrow = &wflat[co * taps..(co + 1) * taps];
-                        let mut acc = 0i64;
-                        for t in 0..nt {
-                            let xv = xb[tap_base[t] + co] as i64;
-                            let wv = wrow[tap_off[t]] as i64;
-                            acc += (xv - zx) * (wv - zw);
-                        }
-                        let code =
-                            self.requant
-                                .apply(co, acc, &mut ops.requants, &mut ops.threshold_cmps);
-                        out_codes[obase + co] = code;
-                    }
-                    macs += (nt * c) as u64;
+        let mut wtr = [0u8; MAX_DW_TAPS * DW_BLOCK];
+        let mut zw_blk = [0i32; DW_BLOCK];
+        let mut acc = [0i32; DW_BLOCK];
+        let mut blk_lo = co_lo;
+        while blk_lo < co_hi {
+            let blk_n = DW_BLOCK.min(co_hi - blk_lo);
+            for t in 0..taps {
+                for j in 0..blk_n {
+                    wtr[t * DW_BLOCK + j] = wflat[(blk_lo + j) * taps + t];
                 }
             }
+            for (j, z) in zw_blk.iter_mut().enumerate().take(blk_n) {
+                *z = self.weights.offset().at(blk_lo + j);
+            }
+            for n in 0..out_shape.n {
+                for oy in 0..out_shape.h {
+                    for ox in 0..out_shape.w {
+                        let mut nt = 0usize;
+                        for ky in 0..kh {
+                            let iy = (oy * s + ky) as isize - pt as isize;
+                            if iy < 0 || iy >= in_shape.h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * s + kx) as isize - pl as isize;
+                                if ix < 0 || ix >= in_shape.w as isize {
+                                    continue;
+                                }
+                                tap_off[nt] = ky * kw + kx;
+                                tap_base[nt] =
+                                    ((n * in_shape.h + iy as usize) * in_shape.w + ix as usize) * c;
+                                nt += 1;
+                            }
+                        }
+                        let pix = (n * out_shape.h + oy) * out_shape.w + ox;
+                        let obase = pix * c;
+                        acc[..blk_n].fill(0);
+                        for t in 0..nt {
+                            let xrow = &xb[tap_base[t] + blk_lo..tap_base[t] + blk_lo + blk_n];
+                            let wrow = &wtr[tap_off[t] * DW_BLOCK..tap_off[t] * DW_BLOCK + blk_n];
+                            for ((a, zw), (&xv, &wv)) in acc[..blk_n]
+                                .iter_mut()
+                                .zip(&zw_blk[..blk_n])
+                                .zip(xrow.iter().zip(wrow))
+                            {
+                                *a += (xv as i32 - zx) * (wv as i32 - zw);
+                            }
+                        }
+                        for (j, &a) in acc[..blk_n].iter().enumerate() {
+                            let co = blk_lo + j;
+                            let code = self.requant.apply(co, a as i64, requants, threshold_cmps);
+                            let idx = if plane {
+                                (co - co_lo) * npix + pix
+                            } else {
+                                obase + co
+                            };
+                            out[idx] = code;
+                        }
+                        macs += (nt * blk_n) as u64;
+                    }
+                }
+            }
+            blk_lo += blk_n;
         }
-        ops.macs += macs;
-        ops.act_loads += macs;
-        ops.unpacks += w_unpack * macs; // 8-bit input: no activation unpacks
-        ops.act_stores += out_shape.volume() as u64;
-        ops.bias_adds += out_shape.volume() as u64;
-        if per_channel {
-            ops.offset_subs += macs;
-        }
-        out_shape
+        macs
     }
 
     /// The direct output-stationary loop, generic over the weight reader
@@ -258,6 +441,38 @@ impl QConv2d {
         ops: &mut OpCounts,
         wget: impl Fn(usize) -> u8,
     ) -> Shape {
+        let out_shape = self.output_shape(x.shape());
+        out_codes.clear();
+        out_codes.resize(out_shape.volume(), 0);
+        let macs = self.direct_channels(
+            x,
+            0,
+            out_shape.c,
+            false,
+            out_codes.as_mut_slice(),
+            &mut ops.requants,
+            &mut ops.threshold_cmps,
+            wget,
+        );
+        self.charge_direct_ledger(x, out_shape, macs, ops);
+        out_shape
+    }
+
+    /// The generic direct-loop core over output channels `[co_lo, co_hi)`
+    /// with the same interleaved-vs-plane output convention as
+    /// [`QConv2d::depthwise_taps`]. Returns the MAC tally.
+    #[allow(clippy::too_many_arguments)]
+    fn direct_channels(
+        &self,
+        x: &QActivation,
+        co_lo: usize,
+        co_hi: usize,
+        plane: bool,
+        out: &mut [u8],
+        requants: &mut u64,
+        threshold_cmps: &mut u64,
+        wget: impl Fn(usize) -> u8,
+    ) -> u64 {
         let in_shape = x.shape();
         let depthwise = self.weights.is_depthwise();
         if depthwise {
@@ -274,20 +489,15 @@ impl QConv2d {
         let s = self.geometry.stride;
         let (kh, kw) = (self.geometry.kh, self.geometry.kw);
         let zx = x.zero_point() as i64;
-        let per_channel = self.weights.offset().is_per_channel();
-        let w_unpack = self.weights.needs_unpack() as u64;
-        let x_unpack = x.needs_unpack() as u64;
         let wshape = self.weights.shape();
+        let npix = out_shape.pixels() * out_shape.n;
 
-        out_codes.clear();
-        out_codes.resize(out_shape.volume(), 0);
         let mut macs = 0u64;
-        let mut unpacks = 0u64;
-        let mut act_loads = 0u64;
         for n in 0..out_shape.n {
             for oy in 0..out_shape.h {
                 for ox in 0..out_shape.w {
-                    for co in 0..out_shape.c {
+                    let pix = (n * out_shape.h + oy) * out_shape.w + ox;
+                    for co in co_lo..co_hi {
                         let zw = self.weights.offset().at(co) as i64;
                         let mut acc: i64 = 0;
                         for ky in 0..kh {
@@ -306,38 +516,28 @@ impl QConv2d {
                                     let wv = wget(wshape.index(co, ky, kx, 0)) as i64;
                                     acc += (xv - zx) * (wv - zw);
                                     macs += 1;
-                                    act_loads += 1;
-                                    unpacks += w_unpack + x_unpack;
                                 } else {
                                     for ci in 0..in_shape.c {
                                         let xv = x.get(n, iy, ix, ci) as i64;
                                         let wv = wget(wshape.index(co, ky, kx, ci)) as i64;
                                         acc += (xv - zx) * (wv - zw);
                                         macs += 1;
-                                        act_loads += 1;
-                                        unpacks += w_unpack + x_unpack;
                                     }
                                 }
                             }
                         }
-                        let code =
-                            self.requant
-                                .apply(co, acc, &mut ops.requants, &mut ops.threshold_cmps);
-                        out_codes[out_shape.index(n, oy, ox, co)] = code;
+                        let code = self.requant.apply(co, acc, requants, threshold_cmps);
+                        let idx = if plane {
+                            (co - co_lo) * npix + pix
+                        } else {
+                            pix * out_shape.c + co
+                        };
+                        out[idx] = code;
                     }
                 }
             }
         }
-        ops.macs += macs;
-        ops.unpacks += unpacks;
-        ops.act_loads += act_loads;
-        ops.act_stores += out_shape.volume() as u64;
-        ops.bias_adds += out_shape.volume() as u64;
-        if per_channel {
-            // One extra in-loop subtraction per MAC (§6's ≈ 20% overhead).
-            ops.offset_subs += macs;
-        }
-        out_shape
+        macs
     }
 
     /// Output zero-point of the layer as an activation code.

@@ -9,8 +9,11 @@
 //! exactly zero to `Σ (X − Zx)(W − Zw)` — the same trick the real kernels
 //! use so the inner loop stays branch-free.
 
+use std::sync::Mutex;
+
 use mixq_tensor::Shape;
 
+use crate::threadpool::{partition_bounds, ThreadPool, MAX_POOL_THREADS};
 use crate::{OpCounts, QActivation, QConv2d};
 
 /// The im2col expansion of one input: a `rows × k` matrix of input codes
@@ -85,6 +88,26 @@ impl QConv2d {
         data: &mut Vec<u8>,
         ops: &mut OpCounts,
     ) -> (usize, usize) {
+        self.im2col_into_pooled(x, data, None, ops)
+    }
+
+    /// [`QConv2d::im2col_into`] with an optional [`ThreadPool`]: the
+    /// expansion's rows are independent gathers into disjoint `k`-byte
+    /// stripes of the buffer, so they split into contiguous row blocks
+    /// across the workers. Bit-identical for any worker count (each row's
+    /// bytes, and the load tally summed over disjoint row ranges, don't
+    /// depend on the split).
+    ///
+    /// # Panics
+    ///
+    /// See [`QConv2d::im2col`].
+    pub fn im2col_into_pooled(
+        &self,
+        x: &QActivation,
+        data: &mut Vec<u8>,
+        pool: Option<&ThreadPool>,
+        ops: &mut OpCounts,
+    ) -> (usize, usize) {
         assert!(
             !self.weights().is_depthwise(),
             "im2col path applies to standard convolutions"
@@ -92,47 +115,92 @@ impl QConv2d {
         let in_shape = x.shape();
         assert_eq!(in_shape.c, self.weights().in_channels(), "input channels");
         let out_shape = self.output_shape(in_shape);
-        let g = self.geometry();
-        let (pt, pl) = g.pad_top_left(in_shape.h, in_shape.w);
-        let k = g.kernel_area() * in_shape.c;
+        let k = self.geometry().kernel_area() * in_shape.c;
         let rows = out_shape.pixels() * out_shape.n;
-        let zx = x.zero_point();
         data.clear();
         data.resize(rows * k, 0);
+        let threads = pool.map_or(1, ThreadPool::threads);
         let mut loads = 0u64;
-        for n in 0..out_shape.n {
-            for oy in 0..out_shape.h {
-                for ox in 0..out_shape.w {
-                    let row = ((n * out_shape.h + oy) * out_shape.w) + ox;
-                    let base = row * k;
-                    let mut col = 0usize;
-                    for ky in 0..g.kh {
-                        let iy = (oy * g.stride + ky) as isize - pt as isize;
-                        for kx in 0..g.kw {
-                            let ix = (ox * g.stride + kx) as isize - pl as isize;
-                            for ci in 0..in_shape.c {
-                                data[base + col] = if iy < 0
-                                    || iy >= in_shape.h as isize
-                                    || ix < 0
-                                    || ix >= in_shape.w as isize
-                                {
-                                    zx
-                                } else {
-                                    loads += 1;
-                                    x.get(n, iy as usize, ix as usize, ci)
-                                };
-                                col += 1;
-                            }
-                        }
-                    }
+        let mut split = false;
+        if threads > 1 && rows >= 2 {
+            let mut row_bounds = [0usize; MAX_POOL_THREADS + 1];
+            let parts = partition_bounds(rows, threads, &mut row_bounds);
+            if parts > 1 {
+                let mut byte_bounds = [0usize; MAX_POOL_THREADS + 1];
+                for (b, r) in byte_bounds.iter_mut().zip(&row_bounds).take(parts + 1) {
+                    *b = r * k;
                 }
+                let merged = Mutex::new(0u64);
+                pool.expect("threads > 1 implies a pool").broadcast_slices(
+                    data.as_mut_slice(),
+                    &byte_bounds[..=parts],
+                    |w, chunk| {
+                        let local = self.im2col_rows(x, out_shape, row_bounds[w], chunk);
+                        *merged.lock().unwrap() += local;
+                    },
+                );
+                loads = merged.into_inner().unwrap();
+                split = true;
             }
+        }
+        if !split {
+            loads = self.im2col_rows(x, out_shape, 0, data.as_mut_slice());
         }
         ops.act_loads += loads;
         if x.needs_unpack() {
             ops.unpacks += loads;
         }
         (rows, k)
+    }
+
+    /// Gathers the im2col rows starting at `r_lo` into `out` (whose
+    /// length picks the row count) and returns the non-padded load tally
+    /// — the shared core of the serial and row-parallel expansions.
+    fn im2col_rows(&self, x: &QActivation, out_shape: Shape, r_lo: usize, out: &mut [u8]) -> u64 {
+        let in_shape = x.shape();
+        let g = self.geometry();
+        let (pt, pl) = g.pad_top_left(in_shape.h, in_shape.w);
+        let k = g.kernel_area() * in_shape.c;
+        let c = in_shape.c;
+        let zx = x.zero_point();
+        // Each valid (ky, kx) tap contributes one contiguous NHWC channel
+        // span — a straight `memcpy` when the input stores one code per
+        // byte (the per-element gather remains only for sub-byte inputs,
+        // whose codes need extraction). Padded taps fill with Zx. Same
+        // bytes and load tally either way.
+        let flat: Option<&[u8]> = (!x.needs_unpack()).then(|| x.as_bytes());
+        let mut loads = 0u64;
+        for (rr, row_out) in out.chunks_exact_mut(k).enumerate() {
+            let row = r_lo + rr;
+            let ox = row % out_shape.w;
+            let oy = (row / out_shape.w) % out_shape.h;
+            let n = row / (out_shape.w * out_shape.h);
+            let mut col = 0usize;
+            for ky in 0..g.kh {
+                let iy = (oy * g.stride + ky) as isize - pt as isize;
+                let y_ok = iy >= 0 && iy < in_shape.h as isize;
+                for kx in 0..g.kw {
+                    let ix = (ox * g.stride + kx) as isize - pl as isize;
+                    let span = &mut row_out[col..col + c];
+                    if !y_ok || ix < 0 || ix >= in_shape.w as isize {
+                        span.fill(zx);
+                    } else {
+                        loads += c as u64;
+                        if let Some(xb) = flat {
+                            let base =
+                                ((n * in_shape.h + iy as usize) * in_shape.w + ix as usize) * c;
+                            span.copy_from_slice(&xb[base..base + c]);
+                        } else {
+                            for (ci, o) in span.iter_mut().enumerate() {
+                                *o = x.get(n, iy as usize, ix as usize, ci);
+                            }
+                        }
+                    }
+                    col += c;
+                }
+            }
+        }
+        loads
     }
 
     /// Runs the layer through the im2col + GEMM path. Bit-identical to
@@ -196,7 +264,30 @@ impl QConv2d {
         out_codes: &mut Vec<u8>,
         ops: &mut OpCounts,
     ) -> Shape {
-        let (rows, k) = self.im2col_into(x, im2col_scratch, ops);
+        self.execute_gemm_codes_parallel(wcodes, x, im2col_scratch, out_codes, None, ops)
+    }
+
+    /// [`QConv2d::execute_gemm_codes_pooled`] with an optional
+    /// [`ThreadPool`]: the im2col expansion and the `rows × c_o` GEMM
+    /// split into contiguous im2col-row blocks, one per worker, inside
+    /// this single node execution. Bit-identical — codes and ledger — for
+    /// any worker count: rows are computed independently with the serial
+    /// arithmetic, and the data-dependent requant/threshold tallies sum
+    /// over disjoint row ranges.
+    ///
+    /// # Panics
+    ///
+    /// See [`QConv2d::execute_gemm_codes_pooled`].
+    pub fn execute_gemm_codes_parallel(
+        &self,
+        wcodes: Option<&[u8]>,
+        x: &QActivation,
+        im2col_scratch: &mut Vec<u8>,
+        out_codes: &mut Vec<u8>,
+        pool: Option<&ThreadPool>,
+        ops: &mut OpCounts,
+    ) -> Shape {
+        let (rows, k) = self.im2col_into_pooled(x, im2col_scratch, pool, ops);
         let in_shape = x.shape();
         let out_shape = self.output_shape(in_shape);
         let weights = self.weights();
@@ -223,23 +314,48 @@ impl QConv2d {
         };
         out_codes.clear();
         out_codes.resize(out_shape.volume(), 0);
-        let mut macs = 0u64;
-        for r in 0..rows {
-            let row = &im2col_scratch[r * k..(r + 1) * k];
-            for co in 0..co_n {
-                let zw = weights.offset().at(co) as i64;
-                let wrow = &wflat[co * k..(co + 1) * k];
-                let mut acc = 0i64;
-                for (xv, wv) in row.iter().zip(wrow) {
-                    acc += (*xv as i64 - zx) * (*wv as i64 - zw);
+        let data: &[u8] = im2col_scratch;
+        let threads = pool.map_or(1, ThreadPool::threads);
+        let mut split = false;
+        if threads > 1 && rows >= 2 {
+            let mut row_bounds = [0usize; MAX_POOL_THREADS + 1];
+            let parts = partition_bounds(rows, threads, &mut row_bounds);
+            if parts > 1 {
+                let mut byte_bounds = [0usize; MAX_POOL_THREADS + 1];
+                for (b, r) in byte_bounds.iter_mut().zip(&row_bounds).take(parts + 1) {
+                    *b = r * co_n;
                 }
-                macs += k as u64;
-                let code =
-                    self.requant()
-                        .apply(co, acc, &mut ops.requants, &mut ops.threshold_cmps);
-                out_codes[r * co_n + co] = code;
+                let merged = Mutex::new((0u64, 0u64));
+                pool.expect("threads > 1 implies a pool").broadcast_slices(
+                    out_codes.as_mut_slice(),
+                    &byte_bounds[..=parts],
+                    |w, chunk| {
+                        let (mut rq, mut tc) = (0u64, 0u64);
+                        self.gemm_rows(wflat, data, k, zx, row_bounds[w], chunk, &mut rq, &mut tc);
+                        let mut m = merged.lock().unwrap();
+                        m.0 += rq;
+                        m.1 += tc;
+                    },
+                );
+                let (rq, tc) = merged.into_inner().unwrap();
+                ops.requants += rq;
+                ops.threshold_cmps += tc;
+                split = true;
             }
         }
+        if !split {
+            self.gemm_rows(
+                wflat,
+                data,
+                k,
+                zx,
+                0,
+                out_codes.as_mut_slice(),
+                &mut ops.requants,
+                &mut ops.threshold_cmps,
+            );
+        }
+        let macs = (rows * k * co_n) as u64;
         ops.macs += macs;
         ops.unpacks += w_unpack * macs;
         ops.act_stores += out_shape.volume() as u64;
@@ -248,6 +364,39 @@ impl QConv2d {
             ops.offset_subs += macs;
         }
         out_shape
+    }
+
+    /// The naive GEMM over the im2col rows starting at `r_lo` (the output
+    /// slice's length picks the row count) — the shared core of the
+    /// serial and row-parallel paths, with per-element zero-point
+    /// subtraction exactly as the reference kernel does it.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_rows(
+        &self,
+        wflat: &[u8],
+        data: &[u8],
+        k: usize,
+        zx: i64,
+        r_lo: usize,
+        out: &mut [u8],
+        requants: &mut u64,
+        threshold_cmps: &mut u64,
+    ) {
+        let weights = self.weights();
+        let co_n = weights.out_channels();
+        for (rr, out_row) in out.chunks_exact_mut(co_n).enumerate() {
+            let r = r_lo + rr;
+            let row = &data[r * k..(r + 1) * k];
+            for (co, out_code) in out_row.iter_mut().enumerate() {
+                let zw = weights.offset().at(co) as i64;
+                let wrow = &wflat[co * k..(co + 1) * k];
+                let mut acc = 0i64;
+                for (xv, wv) in row.iter().zip(wrow) {
+                    acc += (*xv as i64 - zx) * (*wv as i64 - zw);
+                }
+                *out_code = self.requant().apply(co, acc, requants, threshold_cmps);
+            }
+        }
     }
 }
 

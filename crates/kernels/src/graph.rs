@@ -61,6 +61,7 @@
 //! ```
 
 use std::mem;
+use std::sync::Arc;
 
 use mixq_quant::BitWidth;
 use mixq_tensor::Shape;
@@ -68,6 +69,7 @@ use mixq_tensor::Shape;
 use crate::backend::{Backend, KernelChoice};
 use crate::blocked::PackedPanels;
 use crate::gemm::im2col_scratch_bytes;
+use crate::threadpool::ThreadPool;
 use crate::{OpCounts, QActivation, QAdd, QAvgPool, QConv2d, QLinear};
 
 /// A node's prepacked weight operand, built **once** when the node's
@@ -79,8 +81,9 @@ use crate::{OpCounts, QActivation, QAdd, QAvgPool, QConv2d, QLinear};
 /// What gets cached follows the resolved [`KernelChoice`]:
 ///
 /// * a [`KernelChoice::BlockedGemm`] convolution caches its interleaved
-///   [`PackedPanels`] (NR-channel weight panels + hoisted `Σ W`/zero-point
-///   tables), so the per-call panel build of the PR-4 kernel disappears;
+///   [`PackedPanels`] (pair-interleaved GEMV weight panels + hoisted
+///   `Σ W`/zero-point tables), so the per-call panel build of the PR-4
+///   kernel disappears;
 /// * a direct or im2col-GEMM convolution — and the classifier head — with
 ///   **sub-byte** weights caches the codes decoded to one per byte in
 ///   `(c_o, k_h, k_w, c_i)` order, so the inner loop stops mask-and-shift
@@ -305,17 +308,30 @@ impl QOp for QConv2d {
     ) -> OpOutput {
         let mut codes = arena.take_scratch();
         let wcodes = cache.and_then(PrepackedWeights::codes);
+        // Clone the pool handle out so the `&mut` buffer takes below stay
+        // disjoint borrows; the intra-node split is described on each
+        // `*_pooled`/`*_parallel` kernel.
+        let pool = arena.pool_handle();
+        let pool = pool.as_deref();
         let shape = match choice {
-            KernelChoice::DirectConv => self.execute_codes_with(wcodes, inputs[0], &mut codes, ops),
-            KernelChoice::Im2colGemm => {
+            KernelChoice::DirectConv => {
                 let mut aux = arena.take_aux();
                 let shape =
-                    self.execute_gemm_codes_pooled(wcodes, inputs[0], &mut aux, &mut codes, ops);
+                    self.execute_codes_pooled(wcodes, inputs[0], &mut codes, &mut aux, pool, ops);
+                arena.put_aux(aux);
+                shape
+            }
+            KernelChoice::Im2colGemm => {
+                let mut aux = arena.take_aux();
+                let shape = self.execute_gemm_codes_parallel(
+                    wcodes, inputs[0], &mut aux, &mut codes, pool, ops,
+                );
                 arena.put_aux(aux);
                 shape
             }
             KernelChoice::BlockedGemm => {
                 let mut aux = arena.take_aux();
+                let mut acc = arena.take_acc();
                 let owned;
                 let panels = match cache.and_then(PrepackedWeights::panels) {
                     Some(p) => p,
@@ -324,8 +340,10 @@ impl QOp for QConv2d {
                         &owned
                     }
                 };
-                let shape =
-                    self.execute_blocked_prepacked(panels, inputs[0], &mut aux, &mut codes, ops);
+                let shape = self.execute_blocked_prepacked_pooled(
+                    panels, inputs[0], &mut aux, &mut acc, &mut codes, pool, ops,
+                );
+                arena.put_acc(acc);
                 arena.put_aux(aux);
                 shape
             }
@@ -798,9 +816,11 @@ impl GraphRun {
 pub struct ActivationArena {
     scratch: Vec<u8>,
     aux: Vec<u8>,
+    acc: Vec<i32>,
     packed: Vec<Vec<u8>>,
     slots: Vec<Option<QActivation>>,
     last_uses: Vec<usize>,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl ActivationArena {
@@ -843,6 +863,18 @@ impl ActivationArena {
         self.aux = buf;
     }
 
+    /// Takes ownership of the 32-bit accumulator scratch the blocked
+    /// GEMV writes per-channel partial sums into (one `2·c_o` slice per
+    /// pool worker). Pair with [`ActivationArena::put_acc`].
+    pub fn take_acc(&mut self) -> Vec<i32> {
+        mem::take(&mut self.acc)
+    }
+
+    /// Returns the buffer taken by [`ActivationArena::take_acc`].
+    pub fn put_acc(&mut self, buf: Vec<i32>) {
+        self.acc = buf;
+    }
+
     /// Hands out a recycled packed-storage buffer (empty if the pool is
     /// dry).
     pub fn take_packed(&mut self) -> Vec<u8> {
@@ -859,12 +891,34 @@ impl ActivationArena {
     pub fn capacity_bytes(&self) -> usize {
         self.scratch.capacity()
             + self.aux.capacity()
+            + self.acc.capacity() * 4
             + self.packed.iter().map(|b| b.capacity()).sum::<usize>()
     }
 
     /// Number of packed buffers currently waiting in the pool.
     pub fn pooled_buffers(&self) -> usize {
         self.packed.len()
+    }
+
+    /// Attaches a [`ThreadPool`] so every node executed through this
+    /// arena splits its work across the pool's workers — the intra-walk
+    /// parallelism of [`QGraph::infer_batch`]. The pool is created once
+    /// by the caller and reused across walks (steady state stays
+    /// allocation-free); results are bit-identical with or without one.
+    pub fn set_pool(&mut self, pool: Arc<ThreadPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Detaches the worker pool (subsequent walks run serially).
+    pub fn clear_pool(&mut self) {
+        self.pool = None;
+    }
+
+    /// A handle to the attached worker pool, if any — cloned out so
+    /// kernels can hold it alongside `&mut` borrows of the arena's
+    /// buffers.
+    pub fn pool_handle(&self) -> Option<Arc<ThreadPool>> {
+        self.pool.clone()
     }
 }
 

@@ -41,7 +41,11 @@
 //! assert_eq!(ops.macs, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly two leaf
+// modules: `simd` (std::arch intrinsics behind runtime feature
+// detection) and `threadpool` (the lifetime-erased broadcast job). All
+// kernel dataflow code stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod add;
@@ -54,7 +58,9 @@ pub mod graph;
 mod linear;
 mod pool;
 mod requant;
+pub mod simd;
 mod tensorq;
+pub mod threadpool;
 
 pub use add::QAdd;
 pub use backend::{Backend, BackendKind, KernelChoice, ReferenceBackend, TiledBackend};
@@ -69,4 +75,6 @@ pub use graph::{
 pub use linear::{linear_rescale_of, QLinear};
 pub use pool::QAvgPool;
 pub use requant::{Requantizer, ThresholdChannel};
+pub use simd::SimdLevel;
 pub use tensorq::{QActivation, QConvWeights, WeightOffset};
+pub use threadpool::{partition_bounds, ThreadPool, MAX_POOL_THREADS};

@@ -1,0 +1,379 @@
+//! A reusable broadcast worker pool for intra-walk parallelism.
+//!
+//! One [`QGraph`](crate::QGraph) walk executes nodes **serially** (the
+//! DAG's dependency order and the arena's in-place recycling demand it),
+//! but the work *inside* a node — the im2col row blocks of a GEMM, the
+//! output-channel blocks of a direct/depthwise convolution — splits into
+//! disjoint output ranges with no cross-range dataflow. This pool
+//! broadcasts one such split to a fixed team of workers and joins them
+//! before the node returns, so the walk stays sequentially consistent
+//! while each node uses every core.
+//!
+//! Design constraints, in order:
+//!
+//! * **bit-identity** — workers produce disjoint output ranges computed
+//!   with the exact serial arithmetic; the merge is a concatenation, so
+//!   any worker count (including 1) yields byte-identical codes;
+//! * **allocation-free steady state** — the pool is created once (per
+//!   [`IntNetwork::set_threads`](../mixq_core) evaluation call) and
+//!   reused for every node of every walk; a broadcast takes a lock and
+//!   two condvar signals but never touches the heap, preserving the
+//!   `tests/alloc_free.rs` guarantee with `threads ≥ 2`;
+//! * **no new dependencies** — plain `std` `Mutex`/`Condvar` epoch
+//!   signalling instead of a crossbeam/rayon import.
+//!
+//! The pool caps at [`MAX_POOL_THREADS`] so kernel callers can keep their
+//! partition tables in fixed stack arrays.
+
+#![allow(unsafe_code)]
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Upper bound on pool width (callers size stack-allocated partition
+/// tables as `[usize; MAX_POOL_THREADS + 1]`).
+pub const MAX_POOL_THREADS: usize = 32;
+
+/// A type-erased pointer to the broadcast closure. The erased lifetime is
+/// sound because [`ThreadPool::broadcast`] blocks until every worker has
+/// finished running the closure before returning (and therefore before
+/// the closure can be dropped).
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared `&` calls from many threads are
+// allowed), and the pointer only crosses threads while `broadcast` keeps
+// the underlying closure alive and borrowed.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Bumped once per broadcast; workers run one job per observed bump.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still running the current job.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new epoch or shutdown.
+    start: Condvar,
+    /// Signals the broadcaster: `remaining` hit zero.
+    done: Condvar,
+}
+
+/// The reusable worker team; see the [module docs](self).
+///
+/// `ThreadPool::new(n)` spawns `n − 1` OS threads — the broadcasting
+/// thread itself always participates as worker 0, so `n = 1` is the
+/// serial case with zero threads and zero synchronization.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` total workers (including the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or exceeds [`MAX_POOL_THREADS`], or if the
+    /// OS refuses to spawn a thread.
+    pub fn new(threads: usize) -> ThreadPool {
+        assert!(
+            (1..=MAX_POOL_THREADS).contains(&threads),
+            "thread count must be in 1..={MAX_POOL_THREADS}"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mixq-pool-{worker}"))
+                    .spawn(move || worker_loop(worker, &shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total worker count, including the broadcasting thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(worker)` once per worker (`0..threads()`), the caller
+    /// executing worker 0, and returns after **all** workers finished.
+    /// Allocation-free. Must not be called reentrantly from inside a
+    /// broadcast closure (the pool has a single job slot).
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.threads == 1 {
+            f(0);
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            assert!(st.remaining == 0 && st.job.is_none(), "nested broadcast");
+            // SAFETY: erasing the borrow's lifetime into a raw pointer is
+            // sound because this function joins all workers (below) before
+            // returning, so the pointee outlives every dereference.
+            st.job = Some(Job(unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+            }));
+            st.epoch += 1;
+            st.remaining = self.threads - 1;
+            self.shared.start.notify_all();
+        }
+        f(0);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+
+    /// Splits `buf` at `bounds` (a monotone ascending split table,
+    /// `bounds[0] == 0`, `bounds.last() == buf.len()`, one range per
+    /// part) and runs `f(part, &mut buf[bounds[part]..bounds[part + 1]])`
+    /// across the pool — the safe facade kernels use to let each worker
+    /// write its own disjoint output range. Parts may number fewer than
+    /// `threads()`; surplus workers idle. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not a monotone cover of `buf` or has more
+    /// parts than workers.
+    pub fn broadcast_slices<T, F>(&self, buf: &mut [T], bounds: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let parts = bounds.len().checked_sub(1).expect("at least one bound");
+        assert!(parts <= self.threads, "more parts than workers");
+        assert!(bounds.windows(2).all(|p| p[0] <= p[1]), "bounds ascend");
+        assert_eq!(bounds[0], 0, "bounds start at 0");
+        assert_eq!(bounds[parts], buf.len(), "bounds cover the buffer");
+        let base = buf.as_mut_ptr() as usize;
+        self.broadcast(&|worker: usize| {
+            if worker < parts {
+                let (lo, hi) = (bounds[worker], bounds[worker + 1]);
+                // SAFETY: the validated bounds give every part a disjoint
+                // in-range sub-slice of `buf`, whose exclusive borrow is
+                // held (unused) by this call for the whole broadcast.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(lo), hi - lo) };
+                f(worker, chunk);
+            }
+        });
+    }
+
+    /// [`ThreadPool::broadcast_slices`] over **two** buffers with their own
+    /// split tables (same part count): each part receives its disjoint
+    /// range of both — the shape the blocked GEMM needs, where a worker
+    /// owns an output-code range *and* a private accumulator-scratch
+    /// slice. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either split table is not a monotone cover of its buffer,
+    /// the tables disagree on the part count, or parts exceed workers.
+    pub fn broadcast_slices2<T, U, F>(
+        &self,
+        buf_a: &mut [T],
+        bounds_a: &[usize],
+        buf_b: &mut [U],
+        bounds_b: &[usize],
+        f: F,
+    ) where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut [T], &mut [U]) + Sync,
+    {
+        let parts = bounds_a.len().checked_sub(1).expect("at least one bound");
+        assert_eq!(bounds_b.len(), parts + 1, "split tables agree on parts");
+        assert!(parts <= self.threads, "more parts than workers");
+        for (bounds, len) in [(bounds_a, buf_a.len()), (bounds_b, buf_b.len())] {
+            assert!(bounds.windows(2).all(|p| p[0] <= p[1]), "bounds ascend");
+            assert_eq!(bounds[0], 0, "bounds start at 0");
+            assert_eq!(bounds[parts], len, "bounds cover the buffer");
+        }
+        let base_a = buf_a.as_mut_ptr() as usize;
+        let base_b = buf_b.as_mut_ptr() as usize;
+        self.broadcast(&|worker: usize| {
+            if worker < parts {
+                let (alo, ahi) = (bounds_a[worker], bounds_a[worker + 1]);
+                let (blo, bhi) = (bounds_b[worker], bounds_b[worker + 1]);
+                // SAFETY: as in `broadcast_slices` — both validated split
+                // tables give every part disjoint in-range sub-slices of
+                // buffers whose exclusive borrows this call holds (unused)
+                // for the whole broadcast.
+                let (chunk_a, chunk_b) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut((base_a as *mut T).add(alo), ahi - alo),
+                        std::slice::from_raw_parts_mut((base_b as *mut U).add(blo), bhi - blo),
+                    )
+                };
+                f(worker, chunk_a, chunk_b);
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(worker: usize, shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            while !st.shutdown && st.epoch == seen_epoch {
+                st = shared.start.wait(st).unwrap();
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_epoch = st.epoch;
+            st.job.expect("job set for new epoch")
+        };
+        // SAFETY: the broadcaster keeps the closure alive and borrowed
+        // until `remaining` reaches zero, which happens strictly after
+        // this call returns.
+        unsafe { (*job.0)(worker) };
+        let mut st = shared.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Fills `bounds[..=parts]` with an even contiguous partition of `n`
+/// items over at most `max_parts` parts (each part gets at least one item
+/// unless `n == 0`) and returns the part count actually used — the shared
+/// split rule of every parallel kernel path, also exported so benches can
+/// golden the exact per-thread ranges.
+///
+/// # Panics
+///
+/// Panics if `max_parts` is 0 or `bounds` is shorter than `parts + 1`.
+pub fn partition_bounds(n: usize, max_parts: usize, bounds: &mut [usize]) -> usize {
+    assert!(max_parts > 0, "at least one part");
+    let parts = max_parts.min(n).max(1);
+    let chunk = n.div_ceil(parts);
+    for (i, b) in bounds.iter_mut().enumerate().take(parts + 1) {
+        *b = (i * chunk).min(n);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_every_worker_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for _ in 0..100 {
+            let hits = [const { AtomicUsize::new(0) }; 4];
+            pool.broadcast(&|w| {
+                hits[w].fetch_add(1, Ordering::SeqCst);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::SeqCst), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_is_inline() {
+        let pool = ThreadPool::new(1);
+        let mut buf = vec![0u32; 10];
+        pool.broadcast_slices(&mut buf, &[0, 10], |w, chunk| {
+            assert_eq!(w, 0);
+            for v in chunk {
+                *v = 7;
+            }
+        });
+        assert_eq!(buf, vec![7; 10]);
+    }
+
+    #[test]
+    fn broadcast_slices_parts_are_disjoint_and_cover() {
+        let pool = ThreadPool::new(3);
+        let mut buf = vec![0usize; 31];
+        let mut bounds = [0usize; MAX_POOL_THREADS + 1];
+        let parts = partition_bounds(buf.len(), pool.threads(), &mut bounds);
+        pool.broadcast_slices(&mut buf, &bounds[..=parts], |w, chunk| {
+            for v in chunk {
+                *v = w + 1;
+            }
+        });
+        // Every element written exactly once, in ascending part order.
+        let mut expect = Vec::new();
+        for w in 0..parts {
+            expect.extend(std::iter::repeat(w + 1).take(bounds[w + 1] - bounds[w]));
+        }
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn partition_bounds_covers_edge_cases() {
+        let mut b = [0usize; MAX_POOL_THREADS + 1];
+        assert_eq!(partition_bounds(0, 4, &mut b), 1);
+        assert_eq!(&b[..2], &[0, 0]);
+        assert_eq!(partition_bounds(3, 8, &mut b), 3);
+        assert_eq!(&b[..4], &[0, 1, 2, 3]);
+        assert_eq!(partition_bounds(10, 3, &mut b), 3);
+        assert_eq!(&b[..4], &[0, 4, 8, 10]);
+        assert_eq!(partition_bounds(10, 1, &mut b), 1);
+        assert_eq!(&b[..2], &[0, 10]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_distinct_jobs() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.broadcast(&|_| {
+            counter.fetch_add(10, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 22);
+    }
+}

@@ -1,17 +1,27 @@
 #!/usr/bin/env bash
-# Emits the machine-readable performance report BENCH_batch.json at the
-# repo root: measured host throughput (samples/sec) of the residual
-# MobileNet per batch size and backend, the per-call-packing PR-4
-# baseline, and the batch-8 speedup of the prepacked tiled path.
+# Emits the machine-readable performance reports at the repo root:
+#
+#   BENCH_batch.json — measured host throughput (samples/sec) of the
+#     residual MobileNet per batch size and backend, the per-call-packing
+#     PR-4 baseline, and the batch-8 speedup of the prepacked tiled path.
+#   BENCH_walk.json  — the SIMD × threads scaling table of one batch-8
+#     walk: forced-scalar vs auto-detected SIMD at 1 thread, and the
+#     intra-walk worker-pool sweep, with kernel-level gemv2 ratios.
 #
 # Unlike the deterministic goldens under tests/goldens/ (shape math,
-# byte-diffed in CI), this file holds *measured* numbers: commit it after
-# an intentional perf change so future PRs have a throughput trajectory
-# to compare against. Never golden-diffed.
+# byte-diffed in CI), these files hold *measured* numbers: commit them
+# after an intentional perf change so future PRs have a throughput
+# trajectory to compare against. Never golden-diffed. Each report stamps
+# the rustc host target, detected CPU features and thread count so a
+# number is never read without its machine context.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 root="$PWD"
+MIXQ_RUSTC_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+export MIXQ_RUSTC_TARGET
 cargo bench --bench table_batch_throughput -- \
   --bench-json "$root/BENCH_batch.json"
-echo "perf report written:"
-cat "$root/BENCH_batch.json"
+cargo bench --bench table_walk_scaling -- \
+  --bench-json "$root/BENCH_walk.json"
+echo "perf reports written:"
+cat "$root/BENCH_batch.json" "$root/BENCH_walk.json"

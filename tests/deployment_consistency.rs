@@ -225,3 +225,75 @@ fn infer_and_evaluate_agree() {
         / ds.len() as f32;
     assert!((acc - manual).abs() < 1e-6);
 }
+
+#[test]
+fn modeled_cycles_invariant_under_host_execution_settings() {
+    // The Cortex-M7 cycle model prices the *abstract* ledger (MACs,
+    // unpacks, requants...), never the host dataflow — so the modeled
+    // deployment latency of one walk must come out identical whether the
+    // host ran forced-scalar, auto-detected SIMD, or an intra-walk worker
+    // pool. `simd_lanes` stays at its default 1.0 (single-issue scalar
+    // MCU), an exact identity on the MAC term.
+    use mixq::core::convert::convert_with_backend;
+    use mixq::kernels::{simd, ActivationArena, SimdLevel, ThreadPool, TiledBackend};
+    use mixq::mcu::CortexM7CycleModel;
+    use std::sync::Arc;
+
+    let ds = dataset();
+    let spec = MicroCnnSpec::new(8, 8, 2, 3, &[6, 8]);
+    let mut net = QatNetwork::build(&spec, 23);
+    net.calibrate_input(ds.images());
+    net.enable_fake_quant(scheme_granularity(QuantScheme::PerChannelIcn));
+    let int_net = convert_with_backend(&net, QuantScheme::PerChannelIcn, &TiledBackend::default())
+        .expect("convertible");
+
+    let walk = |forced: Option<SimdLevel>, threads: usize| -> (Vec<i32>, OpCounts) {
+        simd::set_forced(forced);
+        let mut arena = ActivationArena::new();
+        if threads > 1 {
+            arena.set_pool(Arc::new(ThreadPool::new(threads)));
+        }
+        let mut logits = Vec::new();
+        let mut ops = OpCounts::default();
+        let x = int_net.quantize_input_items_pooled(ds.images(), 0, 4, &mut arena);
+        int_net
+            .graph()
+            .infer_batch(x, &mut arena, &mut logits, &mut ops);
+        simd::set_forced(None);
+        (logits, ops)
+    };
+
+    let model = CortexM7CycleModel::default();
+    assert_eq!(model.simd_lanes, 1.0, "MCU model defaults to scalar issue");
+    let (base_logits, base_ops) = walk(Some(SimdLevel::Scalar), 1);
+    let base_cycles = model.cycles_from_counts(&base_ops);
+    assert!(base_cycles > 0);
+    for (forced, threads) in [(None, 1), (Some(SimdLevel::Scalar), 2), (None, 4)] {
+        let (logits, ops) = walk(forced, threads);
+        assert_eq!(logits, base_logits, "{forced:?}/{threads}T logits");
+        assert_eq!(ops, base_ops, "{forced:?}/{threads}T ledger");
+        assert_eq!(
+            model.cycles_from_counts(&ops),
+            base_cycles,
+            "{forced:?}/{threads}T modeled cycles"
+        );
+    }
+    // A hypothetical vector MCU (`simd_lanes` > 1) scales only the MAC
+    // term; everything else in the estimate is untouched.
+    let vector_mcu = CortexM7CycleModel {
+        simd_lanes: 2.0,
+        ..CortexM7CycleModel::default()
+    };
+    let zero_mac = OpCounts {
+        macs: 0,
+        ..base_ops
+    };
+    let non_mac = model.cycles_from_counts(&zero_mac);
+    assert_eq!(vector_mcu.cycles_from_counts(&zero_mac), non_mac);
+    let halved = vector_mcu.cycles_from_counts(&base_ops) - non_mac;
+    let full = base_cycles - non_mac;
+    assert!(
+        (halved as i64 - (full / 2) as i64).abs() <= 1,
+        "two lanes halve the MAC term: {halved} vs {full}/2"
+    );
+}

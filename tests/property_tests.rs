@@ -12,7 +12,7 @@ use mixq::core::memory::{MemoryBudget, QuantScheme};
 use mixq::core::mixed::{assign_bits, MixedPrecisionConfig};
 use mixq::kernels::{
     AnyOp, Backend, KernelChoice, OpCounts, QActivation, QConv2d, QConvWeights, QGraph, QLinear,
-    ReferenceBackend, Requantizer, ThresholdChannel, TiledBackend, WeightOffset,
+    ReferenceBackend, Requantizer, SimdLevel, ThresholdChannel, TiledBackend, WeightOffset,
 };
 use mixq::models::{LayerSpec, NetworkSpec};
 use mixq::quant::{BitWidth, FixedPointMultiplier, PackedTensor, QuantParams};
@@ -20,6 +20,93 @@ use mixq::tensor::{ConvGeometry, Padding, Shape};
 
 fn bitwidth_strategy() -> impl Strategy<Value = BitWidth> {
     prop_oneof![Just(BitWidth::W2), Just(BitWidth::W4), Just(BitWidth::W8),]
+}
+
+/// Deterministic random residual DAG shared by the equivalence proptests:
+/// a `depth`-layer conv stack (optionally capped by an identity skip), an
+/// average pool and a linear head, plus a matching batched input — the
+/// same generator family as `batch_matches_single_sample_logits`.
+#[allow(clippy::too_many_arguments)]
+fn random_residual_dag(
+    depth: usize,
+    ch: usize,
+    h: usize,
+    k: usize,
+    batch: usize,
+    wbits: BitWidth,
+    abits: BitWidth,
+    with_skip: bool,
+    tiled: bool,
+    zx: u8,
+    seed: u64,
+) -> (QGraph, QActivation) {
+    let input = Shape::feature_map(h, h, ch);
+    let layer = |l: usize, out_bits: BitWidth| {
+        let wshape = Shape::new(ch, k, k, ch);
+        let wcodes: Vec<u8> = (0..wshape.volume())
+            .map(|i| ((i as u64 * 31 + seed * 7 + l as u64) % wbits.levels() as u64) as u8)
+            .collect();
+        QConv2d::new(
+            QConvWeights::new(
+                wshape,
+                false,
+                &wcodes,
+                wbits,
+                WeightOffset::PerChannel((0..ch).map(|c| (c as i16 % 5) - 2).collect()),
+            ),
+            ConvGeometry::new(k, k, 1, Padding::Same),
+            Requantizer::icn(
+                (0..ch).map(|c| c as i32 - 1).collect(),
+                (0..ch)
+                    .map(|c| FixedPointMultiplier::from_real(0.02 + c as f64 * 0.004))
+                    .collect(),
+                0,
+                out_bits,
+            ),
+        )
+    };
+    let head = QLinear::new(
+        QConvWeights::new(
+            Shape::new(3, 1, 1, ch),
+            false,
+            &(0..3 * ch)
+                .map(|i| ((i as u64 * 11 + seed) % 16) as u8)
+                .collect::<Vec<_>>(),
+            BitWidth::W4,
+            WeightOffset::PerLayer(2),
+        ),
+        vec![1, -2, 3],
+        None,
+    );
+    let mut g = QGraph::with_input(input, BitWidth::W8);
+    let mut id = 0usize;
+    for l in 0..depth {
+        id = g.push_node(
+            format!("c{l}"),
+            layer(l, if l + 1 == depth { BitWidth::W8 } else { abits }),
+            &[id],
+        );
+    }
+    if with_skip {
+        id = g.push_node(
+            "res",
+            mixq::kernels::QAdd::from_scales(1.0, 1.0, 1.0, 0, 0, 0, BitWidth::W8),
+            &[id, 0],
+        );
+    }
+    let _ = id;
+    g.push("pool", mixq::kernels::QAvgPool);
+    g.push("fc", head);
+    if tiled {
+        g.select_kernels(&TiledBackend::default());
+    }
+    let item = input.volume();
+    let mut stacked = Vec::with_capacity(batch * item);
+    for s in 0..batch {
+        stacked.extend((0..item).map(|i| (((s * item + i) as u64 * 13 + seed) % 200) as u8));
+    }
+    let xb = QActivation::from_codes(input.with_batch(batch), &stacked, BitWidth::W8, zx);
+    (g, xb)
 }
 
 proptest! {
@@ -725,6 +812,86 @@ proptest! {
         let peak_cut = assignment.peak_rw_bytes(&spec);
         prop_assert_eq!(peak_cut, common::lowered_peak_ram(&spec, &assignment));
         prop_assert!(peak_cut <= peak8, "cuts can only shrink the live set");
+    }
+
+    #[test]
+    fn simd_matches_scalar_bit_identical(
+        depth in 1usize..4,
+        ch in 1usize..6,
+        h in 4usize..8,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+        batch in 1usize..5,
+        wbits in bitwidth_strategy(),
+        abits in bitwidth_strategy(),
+        with_skip in any::<bool>(),
+        zx in 0u8..4,
+        seed in 0u64..1000,
+    ) {
+        // Every vector backend the host can run must reproduce the forced-
+        // scalar walk bit-exactly: logits AND the abstract ledger (the
+        // dataflow may change, the modeled work may not). The graph is
+        // lowered through the tiled backend so the blocked-GEMM/`gemv2`
+        // path — the only level-dependent kernel — is actually on the
+        // execution path.
+        use mixq::kernels::simd;
+        let (g, xb) = random_residual_dag(depth, ch, h, k, batch, wbits, abits,
+                                          with_skip, true, zx, seed);
+        simd::set_forced(Some(SimdLevel::Scalar));
+        let scalar = g.run(xb.clone());
+        for level in [SimdLevel::Sse2, SimdLevel::Avx2, SimdLevel::Neon] {
+            if !level.available() {
+                continue;
+            }
+            simd::set_forced(Some(level));
+            let vec_run = g.run(xb.clone());
+            simd::set_forced(None);
+            prop_assert_eq!(&vec_run.logits, &scalar.logits,
+                            "{:?} logits diverge from scalar", level);
+            prop_assert_eq!(vec_run.total_ops(), scalar.total_ops(),
+                            "{:?} ledger diverges from scalar", level);
+        }
+        // Auto-detection picks one of the levels just proven identical.
+        simd::set_forced(None);
+        let auto = g.run(xb);
+        prop_assert_eq!(auto.logits, scalar.logits);
+        prop_assert_eq!(auto.total_ops(), scalar.total_ops());
+    }
+
+    #[test]
+    fn threaded_walk_matches_serial_bit_identical(
+        depth in 1usize..4,
+        ch in 1usize..6,
+        h in 4usize..8,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+        batch in 1usize..5,
+        wbits in bitwidth_strategy(),
+        abits in bitwidth_strategy(),
+        with_skip in any::<bool>(),
+        tiled in any::<bool>(),
+        threads in 2usize..5,
+        zx in 0u8..4,
+        seed in 0u64..1000,
+    ) {
+        // An intra-walk worker pool splits row blocks of each blocked GEMM
+        // across threads; the merged result — logits and ledger — must be
+        // bit-identical to the serial pooled walk of the same graph.
+        use std::sync::Arc;
+        use mixq::kernels::{ActivationArena, ThreadPool};
+        let (g, xb) = random_residual_dag(depth, ch, h, k, batch, wbits, abits,
+                                          with_skip, tiled, zx, seed);
+        let mut serial_arena = ActivationArena::new();
+        let mut serial_logits = Vec::new();
+        let mut serial_ops = OpCounts::default();
+        g.infer_batch(xb.clone(), &mut serial_arena, &mut serial_logits, &mut serial_ops);
+
+        let mut pooled_arena = ActivationArena::new();
+        pooled_arena.set_pool(Arc::new(ThreadPool::new(threads)));
+        let mut pooled_logits = Vec::new();
+        let mut pooled_ops = OpCounts::default();
+        g.infer_batch(xb, &mut pooled_arena, &mut pooled_logits, &mut pooled_ops);
+
+        prop_assert_eq!(pooled_logits, serial_logits);
+        prop_assert_eq!(pooled_ops, serial_ops);
     }
 
     #[test]
