@@ -577,20 +577,22 @@ mod neon {
                 // vld2 de-interleaves 16 bytes into the 8 channels' first
                 // and second column weights.
                 let w = vld2_u8(wp.add((p * co_n + ct) * 2));
-                let pa = vmlal_u8(
-                    vmull_u8(w.0, vdup_n_u8(x0[2 * p])),
-                    w.1,
-                    vdup_n_u8(x0[2 * p + 1]),
-                );
-                let pb = vmlal_u8(
-                    vmull_u8(w.0, vdup_n_u8(x1[2 * p])),
-                    w.1,
-                    vdup_n_u8(x1[2 * p + 1]),
-                );
-                a0_lo = vaddw_u16(a0_lo, vget_low_u16(pa));
-                a0_hi = vaddw_high_u16(a0_hi, pa);
-                a1_lo = vaddw_u16(a1_lo, vget_low_u16(pb));
-                a1_hi = vaddw_high_u16(a1_hi, pb);
+                // One u8×u8 product per u16 lane: chaining the pair's two
+                // products via `vmlal_u8` would overflow u16
+                // (2 · 255² = 130050 > 65535), so each product widens into
+                // the u32 accumulators on its own.
+                let pa0 = vmull_u8(w.0, vdup_n_u8(x0[2 * p]));
+                let pa1 = vmull_u8(w.1, vdup_n_u8(x0[2 * p + 1]));
+                let pb0 = vmull_u8(w.0, vdup_n_u8(x1[2 * p]));
+                let pb1 = vmull_u8(w.1, vdup_n_u8(x1[2 * p + 1]));
+                a0_lo = vaddw_u16(a0_lo, vget_low_u16(pa0));
+                a0_hi = vaddw_high_u16(a0_hi, pa0);
+                a0_lo = vaddw_u16(a0_lo, vget_low_u16(pa1));
+                a0_hi = vaddw_high_u16(a0_hi, pa1);
+                a1_lo = vaddw_u16(a1_lo, vget_low_u16(pb0));
+                a1_hi = vaddw_high_u16(a1_hi, pb0);
+                a1_lo = vaddw_u16(a1_lo, vget_low_u16(pb1));
+                a1_hi = vaddw_high_u16(a1_hi, pb1);
             }
             if k & 1 == 1 {
                 let wt = vld1_u8(tail.as_ptr().add(ct));
@@ -611,13 +613,6 @@ mod neon {
             gemv2_channel_tail(x0, x1, pairs, tail, co8, acc0, acc1);
         }
     }
-
-    // Safety note on `vmlal_u8` above: products are ≤ 255² and the
-    // multiply-add chains at most TWO of them per u16 lane per call
-    // (2·65025 < 2¹⁷)… which would overflow u16. They do NOT: vmlal_u8
-    // widens u8×u8 into u16x8 **after** multiply, and 255² + 255² =
-    // 130050 exceeds u16::MAX (65535). See `gemv2_neon`: it must not
-    // chain two products per lane.
 }
 
 #[cfg(test)]

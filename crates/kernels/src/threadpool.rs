@@ -52,6 +52,10 @@ struct State {
     job: Option<Job>,
     /// Workers still running the current job.
     remaining: usize,
+    /// First panic payload caught from a worker's job this epoch; the
+    /// broadcaster re-raises it after the join (allocated by the panic
+    /// machinery itself, so the non-panicking path stays heap-free).
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -99,6 +103,7 @@ impl ThreadPool {
                 epoch: 0,
                 job: None,
                 remaining: 0,
+                panic_payload: None,
                 shutdown: false,
             }),
             start: Condvar::new(),
@@ -129,6 +134,13 @@ impl ThreadPool {
     /// executing worker 0, and returns after **all** workers finished.
     /// Allocation-free. Must not be called reentrantly from inside a
     /// broadcast closure (the pool has a single job slot).
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics on any worker, the pool still joins every worker
+    /// (so the closure borrow never dangles and the pool stays usable),
+    /// then re-raises the panic on the broadcasting thread — worker 0's
+    /// own payload first, else the first one a pool thread caught.
     pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
         if self.threads == 1 {
             f(0);
@@ -139,7 +151,8 @@ impl ThreadPool {
             assert!(st.remaining == 0 && st.job.is_none(), "nested broadcast");
             // SAFETY: erasing the borrow's lifetime into a raw pointer is
             // sound because this function joins all workers (below) before
-            // returning, so the pointee outlives every dereference.
+            // returning — even when `f` panics here or on a worker — so
+            // the pointee outlives every dereference.
             st.job = Some(Job(unsafe {
                 std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
             }));
@@ -147,12 +160,21 @@ impl ThreadPool {
             st.remaining = self.threads - 1;
             self.shared.start.notify_all();
         }
-        f(0);
-        let mut st = self.shared.state.lock().unwrap();
-        while st.remaining > 0 {
-            st = self.shared.done.wait(st).unwrap();
+        let local = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        let worker_payload = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.remaining > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+            st.panic_payload.take()
+        };
+        if let Err(payload) = local {
+            std::panic::resume_unwind(payload);
         }
-        st.job = None;
+        if let Some(payload) = worker_payload {
+            std::panic::resume_unwind(payload);
+        }
     }
 
     /// Splits `buf` at `bounds` (a monotone ascending split table,
@@ -271,9 +293,15 @@ fn worker_loop(worker: usize, shared: &Shared) {
         };
         // SAFETY: the broadcaster keeps the closure alive and borrowed
         // until `remaining` reaches zero, which happens strictly after
-        // this call returns.
-        unsafe { (*job.0)(worker) };
+        // this call returns. A panicking job is caught so `remaining`
+        // always reaches zero — otherwise the broadcaster would block on
+        // `done` forever; the payload is re-raised on its thread instead.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job.0)(worker) }));
         let mut st = shared.state.lock().unwrap();
+        if let Err(payload) = result {
+            st.panic_payload.get_or_insert(payload);
+        }
         st.remaining -= 1;
         if st.remaining == 0 {
             shared.done.notify_one();
@@ -293,9 +321,12 @@ fn worker_loop(worker: usize, shared: &Shared) {
 pub fn partition_bounds(n: usize, max_parts: usize, bounds: &mut [usize]) -> usize {
     assert!(max_parts > 0, "at least one part");
     let parts = max_parts.min(n).max(1);
-    let chunk = n.div_ceil(parts);
-    for (i, b) in bounds.iter_mut().enumerate().take(parts + 1) {
-        *b = (i * chunk).min(n);
+    // The first `n % parts` parts take one extra item, so sizes differ by
+    // at most one and no part is empty (for `n > 0`).
+    let (chunk, rem) = (n / parts, n % parts);
+    bounds[0] = 0;
+    for i in 0..parts {
+        bounds[i + 1] = bounds[i] + chunk + usize::from(i < rem);
     }
     parts
 }
@@ -359,9 +390,52 @@ mod tests {
         assert_eq!(partition_bounds(3, 8, &mut b), 3);
         assert_eq!(&b[..4], &[0, 1, 2, 3]);
         assert_eq!(partition_bounds(10, 3, &mut b), 3);
-        assert_eq!(&b[..4], &[0, 4, 8, 10]);
+        assert_eq!(&b[..4], &[0, 4, 7, 10]);
         assert_eq!(partition_bounds(10, 1, &mut b), 1);
         assert_eq!(&b[..2], &[0, 10]);
+        // ceil-chunking would exhaust n early here ([0, 2, 4, 5, 5]);
+        // remainder distribution keeps every part non-empty.
+        assert_eq!(partition_bounds(5, 4, &mut b), 4);
+        assert_eq!(&b[..5], &[0, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn every_part_nonempty_unless_n_is_zero() {
+        let mut b = [0usize; MAX_POOL_THREADS + 1];
+        for n in 1..200 {
+            for max_parts in 1..=MAX_POOL_THREADS {
+                let parts = partition_bounds(n, max_parts, &mut b);
+                assert_eq!(b[0], 0);
+                assert_eq!(b[parts], n);
+                assert!(
+                    b[..=parts].windows(2).all(|p| p[0] < p[1]),
+                    "empty part: n={n} max_parts={max_parts} bounds={:?}",
+                    &b[..=parts]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        // A job that panics on a pool thread (worker 2) must neither hang
+        // the broadcast nor poison the pool for later jobs.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 2 {
+                    panic!("boom on worker {w}");
+                }
+            });
+        }));
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom on worker 2"), "payload: {msg}");
+        let counter = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
     }
 
     #[test]
