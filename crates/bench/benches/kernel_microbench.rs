@@ -207,6 +207,91 @@ fn bench_conv_dataflows() {
     report("conv_dataflow", "blocked_gemm", us);
 }
 
+/// Per-phase breakdown of the blocked-GEMM dataflow: where does a layer's
+/// time actually go between the im2col gather, the dot-product core, the
+/// requantization epilogue and the sub-byte pack/unpack? The phases are
+/// timed in isolation with the same operands the fused kernel sees, so
+/// the section shows directly what the vectorized epilogue and the SIMD
+/// pack/unpack kernels removed from the post-GEMM tail (force
+/// `MIXQ_FORCE_SCALAR=1` to compare against the scalar reference).
+fn bench_phase_breakdown() {
+    use mixq_kernels::simd::{self, requant as vreq};
+    use mixq_quant::PackedTensor;
+
+    let conv = conv_layer(BitWidth::W4, true, false);
+    let x4 = input(BitWidth::W4);
+    let x8 = input(BitWidth::W8);
+    let out_shape = conv.output_shape(x8.shape());
+    let pixels = out_shape.pixels();
+    let co = out_shape.c;
+    let level = simd::active_level();
+
+    // Phase 1: the im2col gather (sub-byte input → exercises the staged
+    // one-shot SIMD decode; 8-bit input → the pure memcpy gather).
+    let mut scratch = Vec::new();
+    for (name, x) in [("im2col_w4_in", &x4), ("im2col_w8_in", &x8)] {
+        let us = time_us(SAMPLES, || {
+            let mut ops = OpCounts::default();
+            conv.im2col_into(black_box(x), &mut scratch, &mut ops);
+            ops
+        });
+        report("phase_breakdown", name, us);
+    }
+
+    // Phase 2: the full blocked GEMM (dot-product core + fused epilogue).
+    let us = time_us(SAMPLES, || {
+        let mut ops = OpCounts::default();
+        conv.execute_blocked(black_box(&x8), &mut ops)
+    });
+    report("phase_breakdown", "gemm_blocked", us);
+
+    // Phase 3: the requantization epilogue alone, over exactly the
+    // accumulator volume the layer produces.
+    let accs: Vec<i32> = (0..pixels * co).map(|i| (i as i32 % 4093) - 2046).collect();
+    let plan = conv.plan();
+    let req = conv.requant();
+    let mut codes = vec![0u8; pixels * co];
+    let us = time_us(SAMPLES, || {
+        let (mut rq, mut tc) = (0u64, 0u64);
+        for p in 0..pixels {
+            vreq::apply_i32_block(
+                plan,
+                req,
+                level,
+                0,
+                black_box(&accs[p * co..(p + 1) * co]),
+                &mut codes[p * co..(p + 1) * co],
+                &mut rq,
+                &mut tc,
+            );
+        }
+        rq
+    });
+    report("phase_breakdown", "requant_epilogue", us);
+    let us = time_us(SAMPLES, || {
+        let (mut rq, mut tc) = (0u64, 0u64);
+        for (i, &a) in accs.iter().enumerate() {
+            codes[i] = req.apply(i % co, black_box(a) as i64, &mut rq, &mut tc);
+        }
+        rq
+    });
+    report("phase_breakdown", "requant_scalar", us);
+
+    // Phase 4: sub-byte pack/unpack of the produced code volume.
+    let mut packed = Vec::new();
+    let us = time_us(SAMPLES, || {
+        packed =
+            PackedTensor::pack_into(black_box(&codes), BitWidth::W4, std::mem::take(&mut packed))
+                .into_bytes();
+        packed.len()
+    });
+    report("phase_breakdown", "pack_w4", us);
+    let tensor = PackedTensor::pack(&codes, BitWidth::W4);
+    let mut unpacked = vec![0u8; codes.len()];
+    let us = time_us(SAMPLES, || tensor.unpack_into(black_box(&mut unpacked)));
+    report("phase_breakdown", "unpack_w4", us);
+}
+
 /// The graph executor's arena (reused output buffers) against the naive
 /// per-layer loop that allocates a fresh activation every layer, under the
 /// `--backend` flag's kernel selection.
@@ -265,5 +350,6 @@ fn main() {
     bench_requant_modes();
     bench_depthwise_vs_pointwise();
     bench_conv_dataflows();
+    bench_phase_breakdown();
     bench_graph_vs_loop();
 }

@@ -13,9 +13,12 @@
 //!   uses on the stem conv's im2col matrix;
 //! * **measured throughput** (stdout and `--bench-json`, never goldened)
 //!   — steady-state samples/sec per thread × SIMD configuration through
-//!   the pooled batched path. Targets: auto-SIMD at 1 thread ≥ 1.5× the
-//!   scalar 1-thread baseline, and the 4-thread intra-walk configuration
-//!   ≥ 2.5× scalar 1-thread;
+//!   the pooled batched path. Targets: auto-SIMD at 1 thread ≥ 1.25×
+//!   (floor) / ≥ 1.5× (stretch) the scalar 1-thread baseline, and the
+//!   4-thread intra-walk configuration ≥ 2.5× scalar 1-thread — the
+//!   latter reported `null`/skipped (not `false`) when the host's
+//!   `available_parallelism` (recorded in the JSON) cannot express 4
+//!   genuine workers;
 //! * **bit-identity** — every configuration must produce identical
 //!   logits *and* identical `OpCounts` (asserted on every run), so
 //!   modeled MCU cycles never move with host execution strategy.
@@ -171,11 +174,23 @@ fn main() {
     let simd_4t = rows.iter().find(|r| r.0 == 4).expect("4-thread row").2;
     let speedup_simd = simd_1t / scalar_1t;
     let speedup_4t = simd_4t / scalar_1t;
+    // The multi-thread target is only expressible when the host can
+    // actually run 4 workers in parallel; on a smaller machine the pool
+    // still runs (bit-identity above) but the speedup is meaningless, so
+    // the flag is skipped (null in the JSON) rather than reported false.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     rule(48);
     println!(
-        "SIMD @1T vs scalar @1T: {speedup_simd:.2}x (target >= 1.5x)\n\
-         SIMD @4T vs scalar @1T: {speedup_4t:.2}x (target >= 2.5x)"
+        "SIMD @1T vs scalar @1T: {speedup_simd:.2}x (targets >= 1.25x floor, >= 1.5x stretch)"
     );
+    if cores >= 4 {
+        println!("SIMD @4T vs scalar @1T: {speedup_4t:.2}x (target >= 2.5x)");
+    } else {
+        println!(
+            "SIMD @4T vs scalar @1T: {speedup_4t:.2}x — target skipped (host has {cores} core{})",
+            if cores == 1 { "" } else { "s" }
+        );
+    }
 
     // A `--threads N` flag run for the CI bench-smoke matrix: exercises
     // the deploy-style plumbing (`IntNetwork::set_threads`) end to end.
@@ -233,10 +248,16 @@ fn main() {
             obj.render()
         });
         root.raw("throughput", json_array(cfg_rows))
+            .int("available_parallelism", cores)
             .raw("speedup_simd_1t_vs_scalar_1t", format!("{speedup_simd:.2}"))
             .raw("speedup_simd_4t_vs_scalar_1t", format!("{speedup_4t:.2}"))
-            .bool("meets_1_5x_simd_target", speedup_simd >= 1.5)
-            .bool("meets_2_5x_4t_target", speedup_4t >= 2.5);
+            .bool("meets_1_25x_simd_target", speedup_simd >= 1.25)
+            .bool("meets_1_5x_simd_target", speedup_simd >= 1.5);
+        if cores >= 4 {
+            root.bool("meets_2_5x_4t_target", speedup_4t >= 2.5);
+        } else {
+            root.raw("meets_2_5x_4t_target", "null".to_string());
+        }
         write_json(&path, &root.render());
     }
 }

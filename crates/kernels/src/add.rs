@@ -1,7 +1,7 @@
 use mixq_quant::{BitWidth, FixedPointMultiplier};
 use mixq_tensor::Shape;
 
-use crate::{OpCounts, QActivation};
+use crate::{simd, OpCounts, QActivation};
 
 /// The requantizing residual add that joins two graph branches — the
 /// integer lowering of a MobileNetV2-style skip connection
@@ -168,9 +168,16 @@ impl QAdd {
                 lut_a[q] = self.ma.apply(q as i32 - za) as i64;
                 lut_b[q] = self.mb.apply(q as i32 - zb) as i64;
             }
-            for ((o, &qa), &qb) in out_codes.iter_mut().zip(a.as_bytes()).zip(b.as_bytes()) {
-                *o = (zy + lut_a[qa as usize] + lut_b[qb as usize]).clamp(0, qmax) as u8;
-            }
+            simd::requant::qadd_lut(
+                simd::active_level(),
+                &lut_a,
+                &lut_b,
+                a.as_bytes(),
+                b.as_bytes(),
+                zy,
+                qmax,
+                out_codes,
+            );
         } else {
             let mut i = 0usize;
             for n_ in 0..shape.n {

@@ -44,6 +44,7 @@ use std::sync::Mutex;
 
 use mixq_tensor::Shape;
 
+use crate::simd::requant::RequantPlan;
 use crate::simd::{self, SimdLevel, MAX_DOT_LEN};
 use crate::threadpool::{partition_bounds, ThreadPool, MAX_POOL_THREADS};
 use crate::{OpCounts, QActivation, QConv2d, Requantizer};
@@ -109,6 +110,26 @@ impl PackedPanels {
     /// Per-channel `Σ W` (feeds the hoisted `Zx·Σ W − k·Zx·Zw` term).
     pub fn sumw(&self) -> &[i64] {
         &self.sumw
+    }
+
+    /// The pair-interleaved panel bytes (benches time the GEMV directly).
+    pub fn pairs(&self) -> &[u8] {
+        &self.pairs
+    }
+
+    /// The odd-`k` tail panel bytes.
+    pub fn tail(&self) -> &[u8] {
+        &self.tail
+    }
+
+    /// Per-channel weight zero-points `Zw` (widened).
+    pub fn zw(&self) -> &[i64] {
+        &self.zw
+    }
+
+    /// Per-channel hoisted base terms `Σ W − k·Zw`.
+    pub fn base(&self) -> &[i64] {
+        &self.base
     }
 
     /// Read-only footprint of the artifact in bytes: the `c_o · k`
@@ -334,6 +355,7 @@ impl QConv2d {
         out_codes.clear();
         out_codes.resize(out_shape.volume(), 0);
         let requant = self.requant();
+        let plan = self.plan();
         let level = simd::active_level();
 
         // Contiguous row blocks, one per worker; each worker owns the
@@ -371,6 +393,7 @@ impl QConv2d {
                         let (mut rq, mut tc) = (0u64, 0u64);
                         blocked_rows(
                             requant,
+                            plan,
                             panels,
                             data,
                             zx,
@@ -398,6 +421,7 @@ impl QConv2d {
             acc_scratch.resize(2 * co_n, 0);
             blocked_rows(
                 requant,
+                plan,
                 panels,
                 data,
                 zx,
@@ -434,6 +458,7 @@ impl QConv2d {
 #[allow(clippy::too_many_arguments)]
 fn blocked_rows(
     requant: &Requantizer,
+    plan: &RequantPlan,
     panels: &PackedPanels,
     data: &[u8],
     zx: i64,
@@ -458,6 +483,7 @@ fn blocked_rows(
     if k > MAX_DOT_LEN {
         return blocked_rows_long(
             requant,
+            plan,
             panels,
             data,
             zx,
@@ -488,14 +514,37 @@ fn blocked_rows(
         acc0.fill(0);
         acc1.fill(0);
         simd::gemv2(level, x0, x1, &panels.pairs, &panels.tail, acc0, acc1);
+        // Fused vectorized epilogue: widen, fold the hoisted corrections
+        // and requantize in-vector (bit-identical to the per-element
+        // `Requantizer::apply` loop, same ledger totals).
         let o0 = (r - r_lo) * co_n;
-        for co in 0..co_n {
-            let a = acc0[co] as i64 - zw[co] * sx0 - zx * wbase[co];
-            out[o0 + co] = requant.apply(co, a, requants, threshold_cmps);
-            if pair {
-                let a = acc1[co] as i64 - zw[co] * sx1 - zx * wbase[co];
-                out[o0 + co_n + co] = requant.apply(co, a, requants, threshold_cmps);
-            }
+        simd::requant::apply_gemm_row(
+            plan,
+            requant,
+            level,
+            acc0,
+            sx0,
+            zx,
+            zw,
+            wbase,
+            &mut out[o0..o0 + co_n],
+            requants,
+            threshold_cmps,
+        );
+        if pair {
+            simd::requant::apply_gemm_row(
+                plan,
+                requant,
+                level,
+                acc1,
+                sx1,
+                zx,
+                zw,
+                wbase,
+                &mut out[o0 + co_n..o0 + 2 * co_n],
+                requants,
+                threshold_cmps,
+            );
         }
         r += if pair { 2 } else { 1 };
     }
@@ -510,6 +559,7 @@ fn blocked_rows(
 #[allow(clippy::too_many_arguments)]
 fn blocked_rows_long(
     requant: &Requantizer,
+    plan: &RequantPlan,
     panels: &PackedPanels,
     data: &[u8],
     zx: i64,
@@ -558,20 +608,39 @@ fn blocked_rows_long(
                 acc0,
                 acc1,
             );
-            for co in 0..co_n {
-                wide[co] += acc0[co] as i64;
-                wide[co_n + co] += acc1[co] as i64;
-            }
+            let (w0, w1) = wide.split_at_mut(co_n);
+            simd::requant::widen_accumulate(w0, acc0);
+            simd::requant::widen_accumulate(w1, acc1);
             c0 = c1;
         }
+        // Same overflow-proof fold + vectorized epilogue the hot path
+        // fuses inside `apply_gemm_row`, just staged through the wide
+        // totals the chunked accumulation requires.
         let o0 = (r - r_lo) * co_n;
-        for co in 0..co_n {
-            let a = wide[co] - zw[co] * sx0 - zx * wbase[co];
-            out[o0 + co] = requant.apply(co, a, requants, threshold_cmps);
-            if pair {
-                let a = wide[co_n + co] - zw[co] * sx1 - zx * wbase[co];
-                out[o0 + co_n + co] = requant.apply(co, a, requants, threshold_cmps);
-            }
+        let (w0, w1) = wide.split_at_mut(co_n);
+        simd::requant::fold_corrections(w0, sx0, zx, zw, wbase);
+        simd::requant::apply_phi_block(
+            plan,
+            requant,
+            level,
+            0,
+            w0,
+            &mut out[o0..o0 + co_n],
+            requants,
+            threshold_cmps,
+        );
+        if pair {
+            simd::requant::fold_corrections(w1, sx1, zx, zw, wbase);
+            simd::requant::apply_phi_block(
+                plan,
+                requant,
+                level,
+                0,
+                w1,
+                &mut out[o0 + co_n..o0 + 2 * co_n],
+                requants,
+                threshold_cmps,
+            );
         }
         r += if pair { 2 } else { 1 };
     }
@@ -704,6 +773,7 @@ mod tests {
         conv.im2col_into_pooled(&x, &mut data, None, &mut scratch_ops);
         blocked_rows_long(
             conv.requant(),
+            conv.plan(),
             &panels,
             &data,
             x.zero_point() as i64,

@@ -2,6 +2,7 @@ use std::sync::Mutex;
 
 use mixq_tensor::{ConvGeometry, Shape};
 
+use crate::simd::{self, requant::RequantPlan};
 use crate::threadpool::{partition_bounds, ThreadPool, MAX_POOL_THREADS};
 use crate::{OpCounts, QActivation, QConvWeights, Requantizer};
 
@@ -24,6 +25,10 @@ pub struct QConv2d {
     weights: QConvWeights,
     geometry: ConvGeometry,
     requant: Requantizer,
+    /// SIMD transposition of `requant`, rebuilt with it in `new` (so
+    /// requantizer rewrites like `with_saturated_thresholds` can never
+    /// leave a stale plan behind).
+    plan: RequantPlan,
 }
 
 impl QConv2d {
@@ -49,10 +54,12 @@ impl QConv2d {
             geometry.kw,
             "weight kernel width vs geometry"
         );
+        let plan = RequantPlan::new(&requant);
         QConv2d {
             weights,
             geometry,
             requant,
+            plan,
         }
     }
 
@@ -69,6 +76,12 @@ impl QConv2d {
     /// The requantization stage.
     pub fn requant(&self) -> &Requantizer {
         &self.requant
+    }
+
+    /// The vectorized-epilogue plan for [`QConv2d::requant`] (see
+    /// [`crate::simd::requant`]).
+    pub fn plan(&self) -> &RequantPlan {
+        &self.plan
     }
 
     /// Output shape for a given input shape.
@@ -362,7 +375,9 @@ impl QConv2d {
         // sums over the same taps in the same order make the block loop
         // bit-identical to the per-channel formulation.
         const DW_BLOCK: usize = 64;
+        let level = simd::active_level();
         let mut macs = 0u64;
+        let mut codes = [0u8; DW_BLOCK];
         let mut tap_off = [0usize; MAX_DW_TAPS];
         let mut tap_base = [0usize; MAX_DW_TAPS];
         let mut wtr = [0u8; MAX_DW_TAPS * DW_BLOCK];
@@ -413,15 +428,26 @@ impl QConv2d {
                                 *a += (xv as i32 - zx) * (wv as i32 - zw);
                             }
                         }
-                        for (j, &a) in acc[..blk_n].iter().enumerate() {
-                            let co = blk_lo + j;
-                            let code = self.requant.apply(co, a as i64, requants, threshold_cmps);
-                            let idx = if plane {
-                                (co - co_lo) * npix + pix
-                            } else {
-                                obase + co
-                            };
-                            out[idx] = code;
+                        // Fused vectorized epilogue over the channel
+                        // block (bit-identical to per-element
+                        // `Requantizer::apply`, same ledger totals).
+                        simd::requant::apply_i32_block(
+                            &self.plan,
+                            &self.requant,
+                            level,
+                            blk_lo,
+                            &acc[..blk_n],
+                            &mut codes[..blk_n],
+                            requants,
+                            threshold_cmps,
+                        );
+                        if plane {
+                            for (j, &code) in codes[..blk_n].iter().enumerate() {
+                                out[(blk_lo + j - co_lo) * npix + pix] = code;
+                            }
+                        } else {
+                            out[obase + blk_lo..obase + blk_lo + blk_n]
+                                .copy_from_slice(&codes[..blk_n]);
                         }
                         macs += (nt * blk_n) as u64;
                     }

@@ -120,6 +120,9 @@ impl QConv2d {
         data.clear();
         data.resize(rows * k, 0);
         let threads = pool.map_or(1, ThreadPool::threads);
+        // One code per byte already? Then every valid tap is a straight
+        // `memcpy` from the input bytes on every path.
+        let direct: Option<&[u8]> = (!x.needs_unpack()).then(|| x.as_bytes());
         let mut loads = 0u64;
         let mut split = false;
         if threads > 1 && rows >= 2 {
@@ -135,7 +138,7 @@ impl QConv2d {
                     data.as_mut_slice(),
                     &byte_bounds[..=parts],
                     |w, chunk| {
-                        let local = self.im2col_rows(x, out_shape, row_bounds[w], chunk);
+                        let local = self.im2col_rows(x, out_shape, row_bounds[w], chunk, direct);
                         *merged.lock().unwrap() += local;
                     },
                 );
@@ -144,7 +147,22 @@ impl QConv2d {
             }
         }
         if !split {
-            loads = self.im2col_rows(x, out_shape, 0, data.as_mut_slice());
+            if direct.is_none() {
+                // Serial sub-byte staging: decode the whole input once
+                // (SIMD unpack) into the slack of the scratch buffer, then
+                // gather rows from the flat decode instead of extracting
+                // bits per element. Same bytes and the same abstract
+                // ledger — `unpacks` still charges the per-element model
+                // the microcontroller would pay.
+                let vol = in_shape.volume();
+                data.resize(rows * k + vol, 0);
+                let (head, tail) = data.split_at_mut(rows * k);
+                x.unpack_into(&mut tail[..vol]);
+                loads = self.im2col_rows(x, out_shape, 0, head, Some(&tail[..vol]));
+                data.truncate(rows * k);
+            } else {
+                loads = self.im2col_rows(x, out_shape, 0, data.as_mut_slice(), direct);
+            }
         }
         ops.act_loads += loads;
         if x.needs_unpack() {
@@ -156,19 +174,26 @@ impl QConv2d {
     /// Gathers the im2col rows starting at `r_lo` into `out` (whose
     /// length picks the row count) and returns the non-padded load tally
     /// — the shared core of the serial and row-parallel expansions.
-    fn im2col_rows(&self, x: &QActivation, out_shape: Shape, r_lo: usize, out: &mut [u8]) -> u64 {
+    ///
+    /// `flat`, when given, holds the input codes decoded to one per byte
+    /// in NHWC order (either the 8-bit tensor's own bytes or a staged
+    /// sub-byte decode): each valid tap then copies one contiguous channel
+    /// span instead of extracting elements one by one. Padded taps fill
+    /// with `Zx`. Same bytes and load tally either way.
+    fn im2col_rows(
+        &self,
+        x: &QActivation,
+        out_shape: Shape,
+        r_lo: usize,
+        out: &mut [u8],
+        flat: Option<&[u8]>,
+    ) -> u64 {
         let in_shape = x.shape();
         let g = self.geometry();
         let (pt, pl) = g.pad_top_left(in_shape.h, in_shape.w);
         let k = g.kernel_area() * in_shape.c;
         let c = in_shape.c;
         let zx = x.zero_point();
-        // Each valid (ky, kx) tap contributes one contiguous NHWC channel
-        // span — a straight `memcpy` when the input stores one code per
-        // byte (the per-element gather remains only for sub-byte inputs,
-        // whose codes need extraction). Padded taps fill with Zx. Same
-        // bytes and load tally either way.
-        let flat: Option<&[u8]> = (!x.needs_unpack()).then(|| x.as_bytes());
         let mut loads = 0u64;
         for (rr, row_out) in out.chunks_exact_mut(k).enumerate() {
             let row = r_lo + rr;

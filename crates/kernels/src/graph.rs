@@ -23,6 +23,13 @@
 //! [`OpCounts`] ledger, activation bytes and operator class. Cycle models
 //! (`mixq-mcu`) consume the ledger for per-layer latency breakdowns.
 //!
+//! Host-side execution speed is independent of that model: the blocked
+//! GEMM, depthwise and [`QAdd`] nodes requantize their accumulators
+//! through the vectorized epilogue in [`crate::simd::requant`] (and
+//! sub-byte activations pack/unpack through the SIMD kernels in
+//! `mixq_quant::packing`), while codes **and** ledger stay bit-identical
+//! to the scalar reference at every [`crate::simd::SimdLevel`].
+//!
 //! # Examples
 //!
 //! ```

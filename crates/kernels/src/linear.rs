@@ -127,6 +127,12 @@ impl QLinear {
             }
         };
         let zx = x.zero_point() as i64;
+        // 8-bit inputs expose their row bytes directly, so the dot product
+        // runs over two flat slices (same order, same arithmetic — hence
+        // bit-identical to the indexed gather). Sub-byte inputs keep the
+        // per-element `get`: the head is a single tiny layer, so a decode
+        // buffer is not worth an allocation here.
+        let xflat: Option<&[u8]> = (!x.needs_unpack()).then(|| x.as_bytes());
         let batch = x.shape().n;
         let w_unpack = self.weights.needs_unpack() as u64;
         let x_unpack = x.needs_unpack() as u64;
@@ -137,9 +143,16 @@ impl QLinear {
                 let zw = self.weights.offset().at(o) as i64;
                 let wrow = &wflat[o * ci..(o + 1) * ci];
                 let mut acc: i64 = self.bq[o] as i64;
-                for (i, &wv) in wrow.iter().enumerate() {
-                    let xv = x.get(n, 0, 0, i) as i64;
-                    acc += (xv - zx) * (wv as i64 - zw);
+                if let Some(xb) = xflat {
+                    let xrow = &xb[n * ci..(n + 1) * ci];
+                    for (&xv, &wv) in xrow.iter().zip(wrow) {
+                        acc += (xv as i64 - zx) * (wv as i64 - zw);
+                    }
+                } else {
+                    for (i, &wv) in wrow.iter().enumerate() {
+                        let xv = x.get(n, 0, 0, i) as i64;
+                        acc += (xv - zx) * (wv as i64 - zw);
+                    }
                 }
                 ops.macs += ci as u64;
                 ops.act_loads += ci as u64;

@@ -121,6 +121,19 @@ impl ThresholdChannel {
         self.thresholds.is_empty()
     }
 
+    /// Whether the table counts thresholds `≤ Φ` (positive multiplier) as
+    /// opposed to `≥ Φ` (negative multiplier). Exposed so the vectorized
+    /// epilogue ([`crate::simd::requant`]) can build per-channel compare
+    /// masks that reproduce [`ThresholdChannel::eval`] bit-for-bit.
+    pub fn is_ascending(&self) -> bool {
+        self.ascending
+    }
+
+    /// The constant output code of an empty table (irrelevant otherwise).
+    pub fn constant_code(&self) -> u8 {
+        self.constant
+    }
+
     /// Evaluates the output code for accumulator `phi`, counting the number
     /// of comparisons into `cmps` (binary search, as a branch-efficient MCU
     /// implementation would).

@@ -50,6 +50,8 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
+pub mod requant;
+
 /// Largest patch length [`gemv2`] accepts per call: every channel's
 /// accumulator holds `Σ u8·u8` in `i32`, and `32768 · 255² < 2³¹`.
 pub const MAX_DOT_LEN: usize = 32768;
@@ -165,6 +167,10 @@ pub fn set_forced(level: Option<SimdLevel>) {
         );
     }
     FORCED.store(level.map_or(0, SimdLevel::to_code), Ordering::Release);
+    // The sub-byte pack/unpack kernels live in `mixq-quant` (which cannot
+    // depend on this crate); keep its independent force switch in step so
+    // "forced scalar" means the whole pipeline, packing included.
+    mixq_quant::packing::set_force_scalar(level == Some(SimdLevel::Scalar));
 }
 
 /// The level kernels should dispatch to *now*: the [`set_forced`]

@@ -147,6 +147,15 @@ impl QActivation {
         self.packed.unpack_into(out);
     }
 
+    /// Unpacks all codes into the head of a caller-provided slice (which
+    /// must hold at least `shape().volume()` bytes), returning the number
+    /// of codes written. Unlike [`QActivation::codes_into`] this never
+    /// reallocates, so the im2col staging path can decode into the slack
+    /// of an already-sized scratch buffer.
+    pub fn unpack_into(&self, out: &mut [u8]) -> usize {
+        self.packed.unpack_into(out)
+    }
+
     /// Whether reading an element costs an unpack (sub-byte precision).
     pub fn needs_unpack(&self) -> bool {
         self.bits() != BitWidth::W8

@@ -60,7 +60,12 @@ pub struct CortexM7CycleModel {
     /// approximation. Raise it only to model a hypothetical SIMD MCU
     /// (e.g. Helium/M55); host-side SIMD levels and worker threads never
     /// feed into this model, so modeled cycles are invariant under every
-    /// `--threads` / `MIXQ_FORCE_SCALAR` setting.
+    /// `--threads` / `MIXQ_FORCE_SCALAR` setting. That invariance extends
+    /// to the vectorized requantization epilogue and SIMD sub-byte
+    /// pack/unpack (`mixq_kernels::simd::requant`, `mixq_quant::packing`):
+    /// those kernels charge the abstract per-element ledger — `requants`,
+    /// `threshold_cmps`, `unpacks` — exactly as the scalar reference does,
+    /// so the modeled MCU cost never sees how the host computed the codes.
     pub simd_lanes: f64,
 }
 

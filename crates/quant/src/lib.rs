@@ -27,7 +27,11 @@
 //! assert!(back.abs() < q.scale()); // within one step of zero
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD sub-byte pack/unpack kernels in
+// `packing::simd` need one scoped `allow(unsafe_code)` for their
+// feature-detected intrinsics (same discipline as `mixq-kernels::simd` —
+// every unsafe call sits behind a positive runtime CPU-feature check).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod affine;

@@ -268,7 +268,19 @@ fn modeled_cycles_invariant_under_host_execution_settings() {
     let (base_logits, base_ops) = walk(Some(SimdLevel::Scalar), 1);
     let base_cycles = model.cycles_from_counts(&base_ops);
     assert!(base_cycles > 0);
-    for (forced, threads) in [(None, 1), (Some(SimdLevel::Scalar), 2), (None, 4)] {
+    // Sweep every SIMD level the host can express (each one routes the
+    // blocked GEMM through the vectorized requantization epilogue and the
+    // SIMD sub-byte pack/unpack) plus threaded variants: codes, ledger and
+    // modeled cycles must never move.
+    let mut settings: Vec<(Option<SimdLevel>, usize)> =
+        vec![(None, 1), (Some(SimdLevel::Scalar), 2), (None, 4)];
+    for level in [SimdLevel::Sse2, SimdLevel::Avx2, SimdLevel::Neon] {
+        if level.available() {
+            settings.push((Some(level), 1));
+            settings.push((Some(level), 2));
+        }
+    }
+    for (forced, threads) in settings {
         let (logits, ops) = walk(forced, threads);
         assert_eq!(logits, base_logits, "{forced:?}/{threads}T logits");
         assert_eq!(ops, base_ops, "{forced:?}/{threads}T ledger");

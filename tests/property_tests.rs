@@ -895,6 +895,90 @@ proptest! {
     }
 
     #[test]
+    fn vectorized_requant_is_bit_identical(
+        co in 1usize..40,
+        kind in 0usize..3, // 0 = ICN, 1 = folded per-layer, 2 = thresholds
+        out_bits in bitwidth_strategy(),
+        zy in -8i32..8,
+        saturate in any::<bool>(),
+        mults in proptest::collection::vec(-4.0f64..4.0, 40),
+        bqs in proptest::collection::vec(-5000i64..5000, 40),
+        phis in proptest::collection::vec(-1_000_000i64..1_000_000, 1..80),
+        c0 in 0usize..8,
+    ) {
+        // The vectorized requantization epilogue must reproduce the scalar
+        // `Requantizer::apply` loop bit-exactly — codes AND the abstract
+        // `requants`/`threshold_cmps` ledger — at every SIMD level the
+        // host can run, across random multipliers (including negative and
+        // near-zero), zero-points, output bit-widths, threshold channels
+        // of both orientations, and the saturated-i16 ablation rewrite.
+        use mixq::kernels::simd::requant::{self as vreq, RequantPlan};
+        let req = match kind {
+            0 => Requantizer::icn(
+                bqs[..co].iter().map(|&b| b as i32).collect(),
+                mults[..co].iter().map(|&m| FixedPointMultiplier::from_real(m)).collect(),
+                zy, out_bits),
+            1 => Requantizer::folded(
+                bqs[..co].iter().map(|&b| b as i32).collect(),
+                FixedPointMultiplier::from_real(mults[0]),
+                zy, out_bits),
+            _ => {
+                // `from_affine` needs m > 0; fold the sign into a transfer
+                // instead so negative slopes exercise descending tables.
+                let channels = (0..co).map(|c| {
+                    let m = mults[c];
+                    if m.abs() < 1e-3 {
+                        ThresholdChannel::from_affine(0.5, bqs[c], zy, out_bits)
+                    } else if m > 0.0 {
+                        ThresholdChannel::from_affine(m, bqs[c], zy, out_bits)
+                    } else {
+                        ThresholdChannel::from_transfer(m, bqs[c] as f64, zy, out_bits)
+                    }
+                }).collect();
+                let t = Requantizer::thresholds(channels, zy, out_bits);
+                if saturate { t.saturated_i16() } else { t }
+            }
+        };
+        let plan = RequantPlan::new(&req);
+        let c0 = c0.min(co - 1);
+        let n = (co - c0).min(phis.len());
+
+        // Reference: the plain scalar loop over `Requantizer::apply`.
+        let mut out_ref = vec![0u8; n];
+        let (mut rq_ref, mut tc_ref) = (0u64, 0u64);
+        for (j, &phi) in phis[..n].iter().enumerate() {
+            out_ref[j] = req.apply(c0 + j, phi, &mut rq_ref, &mut tc_ref);
+        }
+
+        for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2,
+                      SimdLevel::Neon] {
+            if !level.available() {
+                continue;
+            }
+            let mut out = vec![0u8; n];
+            let (mut rq, mut tc) = (0u64, 0u64);
+            vreq::apply_phi_block(&plan, &req, level, c0, &phis[..n],
+                                  &mut out, &mut rq, &mut tc);
+            prop_assert_eq!(&out, &out_ref, "{:?} codes diverge", level);
+            prop_assert_eq!((rq, tc), (rq_ref, tc_ref),
+                            "{:?} ledger diverges", level);
+
+            // The i32-accumulator entry (fused GEMM/depthwise epilogue)
+            // must agree wherever the accumulators fit in i32.
+            if phis[..n].iter().all(|&p| i32::try_from(p).is_ok()) {
+                let accs: Vec<i32> = phis[..n].iter().map(|&p| p as i32).collect();
+                let mut out32 = vec![0u8; n];
+                let (mut rq32, mut tc32) = (0u64, 0u64);
+                vreq::apply_i32_block(&plan, &req, level, c0, &accs,
+                                      &mut out32, &mut rq32, &mut tc32);
+                prop_assert_eq!(&out32, &out_ref, "{:?} i32 codes diverge", level);
+                prop_assert_eq!((rq32, tc32), (rq_ref, tc_ref),
+                                "{:?} i32 ledger diverges", level);
+            }
+        }
+    }
+
+    #[test]
     fn flash_footprint_monotone_in_precision(
         co in 1usize..64,
         ci in 1usize..64,
