@@ -33,6 +33,18 @@ pub enum MixQError {
     /// The requested conversion needs fake-quantized activations, but the
     /// network is still in float mode.
     NotFakeQuantized,
+    /// The static verifier (`mixq-verify`) could not prove the deployed
+    /// graph safe — an overflow interval, schedule alias, requant gate or
+    /// join inconsistency survives. Deployment is refused rather than
+    /// shipping a graph whose kernels may be silently wrong on-device.
+    VerificationFailed {
+        /// Report label (model / backend).
+        graph: String,
+        /// Number of unproven facts.
+        violations: usize,
+        /// The first violation's diagnostic, verbatim.
+        first: String,
+    },
 }
 
 impl fmt::Display for MixQError {
@@ -59,6 +71,14 @@ impl fmt::Display for MixQError {
             MixQError::NotFakeQuantized => {
                 write!(f, "network is in float mode; enable fake quantization first")
             }
+            MixQError::VerificationFailed {
+                graph,
+                violations,
+                first,
+            } => write!(
+                f,
+                "static verification of `{graph}` failed with {violations} violation(s); first: {first}"
+            ),
         }
     }
 }

@@ -64,6 +64,13 @@ pub struct PipelineConfig {
     /// [`IntNetwork::set_threads`]; logits, accuracy and modeled MCU
     /// cycles are bit-identical at every setting.
     pub threads: usize,
+    /// Run the static verifier (`mixq-verify`) over the deployed graph and
+    /// fail [`deploy`] with [`MixQError::VerificationFailed`] on any
+    /// unproven fact (default `true`). The pass is input-independent — it
+    /// proves overflow freedom, requant-gate consistency, schedule
+    /// non-aliasing and join agreement for *all* inputs, not the evaluated
+    /// samples — and costs one walk over the node metadata.
+    pub verify: bool,
 }
 
 impl PipelineConfig {
@@ -84,7 +91,14 @@ impl PipelineConfig {
             backend: BackendKind::default(),
             batch: 1,
             threads: 1,
+            verify: true,
         }
+    }
+
+    /// Enables or disables the post-conversion static verification pass.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
     }
 
     /// Sets the device budget (enables the §5 bit assignment).
@@ -235,6 +249,23 @@ pub fn deploy(
     // Phase 3: integer-only conversion (deployment graph g'(x)), each node
     // bound to the backend-selected kernel.
     let mut int_net = convert_with_backend(&net, cfg.scheme, &cfg.backend)?;
+    if cfg.verify {
+        // Static verification of the deployment graph: refuse to ship a
+        // schedule the verifier cannot prove overflow-free, alias-free and
+        // requant-consistent for all inputs.
+        let g = int_net.graph();
+        let (shape, bits) = g
+            .input_decl()
+            .expect("converted graphs declare their input");
+        let report = mixq_verify::verify_graph("pipeline", g, shape, bits);
+        if !report.ok() {
+            return Err(MixQError::VerificationFailed {
+                graph: report.graph,
+                violations: report.violations.len(),
+                first: report.violations[0].to_string(),
+            });
+        }
+    }
     int_net.set_threads(cfg.threads);
     let (int_accuracy, _) = int_net.evaluate_batch(dataset, cfg.batch);
     // Phase 4: verification — loss(g'(x)) ≈ loss(g(x)) at prediction level.

@@ -44,6 +44,12 @@ pub struct QAdd {
     zb: u8,
     zy: i32,
     out_bits: BitWidth,
+    /// The real scales `(S_a, S_b, S_y)` this add was derived from, when
+    /// built via [`QAdd::from_scales`] — kept so a static pass can check
+    /// the fixed-point multipliers actually realize `S_a/S_y`, `S_b/S_y`
+    /// (a mismatched join scale is otherwise invisible at the integer
+    /// level). `None` for adds assembled from raw multipliers.
+    declared_scales: Option<(f64, f64, f64)>,
 }
 
 impl QAdd {
@@ -74,6 +80,7 @@ impl QAdd {
             zb,
             zy,
             out_bits,
+            declared_scales: None,
         }
     }
 
@@ -93,14 +100,34 @@ impl QAdd {
         out_bits: BitWidth,
     ) -> Self {
         assert!(s_out > 0.0, "output scale must be positive");
-        QAdd::new(
+        let mut add = QAdd::new(
             FixedPointMultiplier::from_real(s_a / s_out),
             FixedPointMultiplier::from_real(s_b / s_out),
             za,
             zb,
             zy,
             out_bits,
-        )
+        );
+        add.declared_scales = Some((s_a, s_b, s_out));
+        add
+    }
+
+    /// Overrides the recorded real scales (testing hook: lets a verifier
+    /// test forge a join whose declared scales disagree with the baked
+    /// multipliers, the failure mode `from_scales` can never produce).
+    pub fn with_declared_scales(mut self, s_a: f64, s_b: f64, s_out: f64) -> Self {
+        self.declared_scales = Some((s_a, s_b, s_out));
+        self
+    }
+
+    /// The real scales `(S_a, S_b, S_y)` recorded at construction, if any.
+    pub fn declared_scales(&self) -> Option<(f64, f64, f64)> {
+        self.declared_scales
+    }
+
+    /// The branch zero-points `(Z_a, Z_b)`.
+    pub fn input_zero_points(&self) -> (u8, u8) {
+        (self.za, self.zb)
     }
 
     /// Output precision `Q`.

@@ -167,7 +167,14 @@ impl QConv2d {
         } else {
             weights.as_bytes().to_vec()
         };
-        debug_assert_eq!(rows.len(), co_n * k);
+        // Cold setup path — a hard assert here means the hot row loops
+        // below (and `blocked_rows`' pair indexing) never run on
+        // mis-sized panels; release builds don't trust the geometry.
+        assert_eq!(
+            rows.len(),
+            co_n * k,
+            "decoded weight rows must be out_channels × k"
+        );
         let mut pairs = vec![0u8; (k / 2) * co_n * 2];
         for p in 0..k / 2 {
             for co in 0..co_n {
@@ -350,7 +357,10 @@ impl QConv2d {
             self.im2col_into_pooled(x, data_scratch, pool, ops);
             data_scratch
         };
-        debug_assert_eq!(data.len(), rows * k);
+        // Per-walk setup (not per-row): this is the last gate before the
+        // row loops index `data[r·k..]` unchecked-by-construction, so it
+        // stays a hard assert in release builds.
+        assert_eq!(data.len(), rows * k, "staged input matrix must be rows × k");
 
         out_codes.clear();
         out_codes.resize(out_shape.volume(), 0);
@@ -474,6 +484,12 @@ fn blocked_rows(
     let co_n = panels.sumw.len();
     let zw = &panels.zw;
     let wbase = &panels.base;
+    // Hot per-block path: these stay `debug_assert` because both lengths
+    // are established on the cold setup path above (the hard
+    // `data.len() == rows * k` / `rows.len() == co_n * k` asserts in
+    // `execute_blocked_prepacked_pooled` and `prepack_panels`) and by the
+    // caller-side slice partitioning; `mixq-verify` re-checks the same
+    // geometry statically per graph (`check_dot_geometry`).
     debug_assert_eq!(out.len(), (r_hi - r_lo) * co_n);
     debug_assert_eq!(acc.len(), 2 * co_n);
     let (acc0, acc1) = acc.split_at_mut(co_n);

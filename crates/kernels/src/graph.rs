@@ -1182,8 +1182,12 @@ impl QGraph {
         self.nodes.iter().map(|n| QOp::flash_bytes(&n.op)).sum()
     }
 
-    /// Shape and precision of every tensor (index = tensor id).
-    fn tensor_plan(&self, input: Shape, in_bits: BitWidth) -> (Vec<Shape>, Vec<BitWidth>) {
+    /// Shape and precision of every tensor (index = tensor id): entry 0 is
+    /// the graph input, entry `k + 1` the output of node `k`. This is the
+    /// same plan the executor's arena planner uses, exposed so static
+    /// analyses (`mixq-verify`) can reason about the exact deployed
+    /// schedule rather than a reconstruction of it.
+    pub fn tensor_plan(&self, input: Shape, in_bits: BitWidth) -> (Vec<Shape>, Vec<BitWidth>) {
         let mut shapes = Vec::with_capacity(self.nodes.len() + 1);
         let mut bits = Vec::with_capacity(self.nodes.len() + 1);
         shapes.push(input);
@@ -1207,7 +1211,7 @@ impl QGraph {
     /// of its final consuming node, its defining node when unused, and a
     /// past-the-end sentinel for the terminal tensor (which must survive
     /// the run).
-    fn last_uses_into(&self, out: &mut Vec<usize>) {
+    pub(crate) fn last_uses_into(&self, out: &mut Vec<usize>) {
         let n = self.nodes.len();
         out.clear();
         out.push(0); // graph input: droppable after node 0 if unused
@@ -1222,6 +1226,16 @@ impl QGraph {
         if n > 0 {
             out[n] = n; // terminal tensor: never dropped mid-run
         }
+    }
+
+    /// Last schedule step at which each tensor is still needed (index =
+    /// tensor id, as in [`QGraph::tensor_plan`]) — the liveness schedule
+    /// the activation arena is planned from, exposed for static
+    /// verification of the schedule itself.
+    pub fn last_uses(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.last_uses_into(&mut out);
+        out
     }
 
     /// Peak activation RAM (Eq. 7) of the liveness-planned schedule: for

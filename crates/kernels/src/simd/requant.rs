@@ -347,6 +347,8 @@ pub fn qadd_lut(
         #[cfg(target_arch = "x86_64")]
         // 4×64-bit gathers only pay on AVX2; at 128 bits (SSE2/NEON) the
         // scalar LUT loop is already load-bound and branch-free.
+        // SAFETY: AVX2 positively detected (`level` comes from runtime
+        // feature detection); LUT indices are u8 into [i64; 256].
         SimdLevel::Avx2 => unsafe { x86::qadd_avx2(lut_a, lut_b, a, b, zy, qmax, out) },
         _ => 0,
     };
@@ -367,12 +369,20 @@ fn vector_phi(
     if !plan.vectorizable() {
         return 0;
     }
+    // SAFETY (all arms): the ISA is positively detected — `level` comes
+    // from runtime feature detection. `plan.vectorizable()` (checked
+    // above, and cross-checked per graph by `mixq-verify::requant_gate`)
+    // guarantees the regime the kernels assume: fixed-point shifts in
+    // [0, 63] and threshold tables of ≤ 15 entries.
     match level {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: see above.
         SimdLevel::Avx2 => unsafe { x86::phi_avx2(plan, c0, phis, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: see above.
         SimdLevel::Sse2 => unsafe { x86::phi_sse2(plan, c0, phis, out) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: see above; NEON is baseline on aarch64.
         SimdLevel::Neon => unsafe { neon::phi_neon(plan, c0, phis, out) },
         _ => 0,
     }
@@ -393,12 +403,20 @@ fn vector_gemm(
     if !plan.vectorizable() || !corrections_fit_i32(sx, zx, zw, wbase) {
         return 0;
     }
+    // SAFETY (all arms): the ISA is positively detected — `level` comes
+    // from runtime feature detection. `plan.vectorizable()` and
+    // `corrections_fit_i32` (both checked above; the latter recomputed per
+    // graph by `mixq-verify`) guarantee expressible shifts/tables and that
+    // every 32×32→64 correction operand fits `i32`.
     match level {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: see above.
         SimdLevel::Avx2 => unsafe { x86::gemm_avx2(plan, accs, sx, zx, zw, wbase, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: see above.
         SimdLevel::Sse2 => unsafe { x86::gemm_sse2(plan, accs, sx, zx, zw, wbase, out) },
         #[cfg(target_arch = "aarch64")]
+        // SAFETY: see above; NEON is baseline on aarch64.
         SimdLevel::Neon => unsafe { neon::gemm_neon(plan, accs, sx, zx, zw, wbase, out) },
         _ => 0,
     }

@@ -1,0 +1,165 @@
+//! Concurrency stress for [`ThreadPool::broadcast_slices2`]: many epochs
+//! of disjoint two-buffer handoff under contention, interleaved worker
+//! panics with recovery, and degenerate split tables — the loom-style
+//! schedule exploration this air-gapped build can't vendor, approximated
+//! by volume and by panic-injection instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mixq_kernels::{partition_bounds, ThreadPool, MAX_POOL_THREADS};
+
+/// Every epoch writes a worker-stamped pattern into disjoint ranges of two
+/// differently-typed buffers; the join then checks every element was
+/// written exactly once by the owning worker — any aliasing or lost
+/// handoff corrupts the stamp.
+#[test]
+fn disjoint_two_buffer_handoff_under_contention() {
+    let threads = MAX_POOL_THREADS.min(4);
+    let pool = ThreadPool::new(threads);
+    let mut out = vec![0u8; 4097]; // odd length: uneven final part
+    let mut acc = vec![0u64; 257];
+    let mut bounds_a = vec![0usize; threads + 1];
+    let mut bounds_b = vec![0usize; threads + 1];
+    for epoch in 0..500usize {
+        let parts = partition_bounds(out.len(), threads, &mut bounds_a);
+        let parts_b = partition_bounds(acc.len(), parts, &mut bounds_b);
+        assert_eq!(parts, parts_b, "both tables must agree on parts");
+        let touched = AtomicUsize::new(0);
+        pool.broadcast_slices2(
+            &mut out,
+            &bounds_a[..=parts],
+            &mut acc,
+            &bounds_b[..=parts],
+            |worker, chunk, accs| {
+                for v in chunk.iter_mut() {
+                    *v = (worker + 1) as u8;
+                }
+                for v in accs.iter_mut() {
+                    *v = (epoch * 31 + worker) as u64;
+                }
+                touched.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(touched.load(Ordering::Relaxed), parts);
+        for (w, pair) in bounds_a[..=parts].windows(2).enumerate() {
+            assert!(
+                out[pair[0]..pair[1]].iter().all(|&v| v == (w + 1) as u8),
+                "epoch {epoch}: range of worker {w} corrupted"
+            );
+        }
+        for (w, pair) in bounds_b[..=parts].windows(2).enumerate() {
+            assert!(
+                acc[pair[0]..pair[1]]
+                    .iter()
+                    .all(|&v| v == (epoch * 31 + w) as u64),
+                "epoch {epoch}: acc range of worker {w} corrupted"
+            );
+        }
+    }
+}
+
+/// A worker panicking mid-broadcast must propagate to the caller after the
+/// join, and the pool must keep serving subsequent epochs correctly —
+/// repeatedly, so a worker left wedged by recovery shows up as a hang or
+/// a corrupt follow-up epoch.
+#[test]
+fn panic_recovery_across_epochs() {
+    let threads = MAX_POOL_THREADS.min(4);
+    let pool = ThreadPool::new(threads);
+    let mut out = vec![0u32; 1024];
+    let mut acc = vec![0u32; 128];
+    let mut bounds_a = vec![0usize; threads + 1];
+    let mut bounds_b = vec![0usize; threads + 1];
+    let parts = partition_bounds(out.len(), threads, &mut bounds_a);
+    assert_eq!(parts, partition_bounds(acc.len(), parts, &mut bounds_b));
+    for round in 0..50usize {
+        let victim = round % parts;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast_slices2(
+                &mut out,
+                &bounds_a[..=parts],
+                &mut acc,
+                &bounds_b[..=parts],
+                |worker, _, _| {
+                    if worker == victim {
+                        panic!("boom {round}");
+                    }
+                },
+            );
+        }));
+        let payload = caught.expect_err("victim panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, format!("boom {round}"));
+
+        // The pool must be fully functional right after recovery.
+        pool.broadcast_slices2(
+            &mut out,
+            &bounds_a[..=parts],
+            &mut acc,
+            &bounds_b[..=parts],
+            |worker, chunk, accs| {
+                chunk.fill(worker as u32 + 1);
+                accs.fill(worker as u32 + 1);
+            },
+        );
+        for (w, pair) in bounds_a[..=parts].windows(2).enumerate() {
+            assert!(out[pair[0]..pair[1]].iter().all(|&v| v == w as u32 + 1));
+        }
+    }
+}
+
+/// Degenerate split tables: single part, empty middle parts, zero-length
+/// buffer ranges — the shapes `partition_bounds` can emit at small `n`.
+#[test]
+fn degenerate_split_tables() {
+    let pool = ThreadPool::new(MAX_POOL_THREADS.min(4));
+    // One part: everything on the broadcasting thread's worker 0.
+    let mut a = vec![7u8; 5];
+    let mut b = vec![9u16; 3];
+    pool.broadcast_slices2(&mut a, &[0, 5], &mut b, &[0, 3], |w, ca, cb| {
+        assert_eq!(w, 0);
+        ca.fill(1);
+        cb.fill(2);
+    });
+    assert!(a.iter().all(|&v| v == 1) && b.iter().all(|&v| v == 2));
+
+    // Zero-length ranges are valid parts and must not alias neighbours.
+    let mut a = vec![0u8; 2];
+    let mut b = vec![0u8; 2];
+    pool.broadcast_slices2(&mut a, &[0, 1, 1, 2], &mut b, &[0, 0, 2, 2], |w, ca, cb| {
+        for v in ca.iter_mut() {
+            *v = w as u8 + 1;
+        }
+        for v in cb.iter_mut() {
+            *v = w as u8 + 1;
+        }
+    });
+    assert_eq!(a, [1, 3]);
+    assert_eq!(b, [2, 2]);
+}
+
+/// Mismatched or non-covering split tables must be rejected before any
+/// worker runs (the validation the verifier's schedule checks mirror at
+/// graph level).
+#[test]
+fn malformed_split_tables_rejected() {
+    let pool = ThreadPool::new(2);
+    let mut a = vec![0u8; 4];
+    let mut b = vec![0u8; 4];
+    for (bounds_a, bounds_b) in [
+        (vec![0usize, 2, 3], vec![0usize, 4]), // part counts disagree
+        (vec![0, 2, 5], vec![0, 2, 4]),        // does not cover buffer a
+        (vec![1, 2, 4], vec![0, 2, 4]),        // does not start at 0
+        (vec![0, 3, 2], vec![0, 2, 4]),        // not monotone
+    ] {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast_slices2(&mut a, &bounds_a, &mut b, &bounds_b, |_, _, _| {
+                unreachable!("no worker may run on malformed tables")
+            });
+        }));
+        assert!(caught.is_err(), "tables {bounds_a:?}/{bounds_b:?} accepted");
+    }
+}

@@ -83,6 +83,15 @@ impl FixedPointMultiplier {
         self.n0
     }
 
+    /// The effective right-shift `31 − N0` that [`apply`](Self::apply)
+    /// performs on the widened `M0·v` product. Negative means `apply`
+    /// left-shifts (saturating) — the regime the SIMD requant epilogue
+    /// cannot express and must gate to scalar; a static checker can read
+    /// the gate condition `shift() < 0` directly from here.
+    pub fn shift(&self) -> i32 {
+        MANTISSA_BITS as i32 - self.n0 as i32
+    }
+
     /// Reconstructs the real multiplier `m0 · 2^{n0}`.
     pub fn to_real(&self) -> f64 {
         (self.m0 as f64 / ONE_Q31 as f64) * f64::powi(2.0, self.n0 as i32)

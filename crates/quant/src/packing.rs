@@ -254,16 +254,18 @@ mod simd {
     /// Packs as many whole blocks as possible; returns codes consumed.
     pub(super) fn pack(codes: &[u8], bits: BitWidth, bytes: &mut [u8]) -> usize {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: SSE2 positively detected in `enabled()`.
         return match bits {
+            // SAFETY: SSE2 positively detected in `enabled()`.
             BitWidth::W4 => unsafe { x86::pack_w4(codes, bytes) },
+            // SAFETY: SSE2 positively detected in `enabled()`.
             BitWidth::W2 => unsafe { x86::pack_w2(codes, bytes) },
             BitWidth::W8 => 0,
         };
         #[cfg(target_arch = "aarch64")]
-        // SAFETY: NEON is baseline on aarch64.
         return match bits {
+            // SAFETY: NEON is baseline on aarch64.
             BitWidth::W4 => unsafe { neon::pack_w4(codes, bytes) },
+            // SAFETY: NEON is baseline on aarch64.
             BitWidth::W2 => unsafe { neon::pack_w2(codes, bytes) },
             BitWidth::W8 => 0,
         };
@@ -277,16 +279,18 @@ mod simd {
     /// Unpacks as many whole blocks as possible; returns codes produced.
     pub(super) fn unpack(bytes: &[u8], bits: BitWidth, out: &mut [u8]) -> usize {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: SSE2 positively detected in `enabled()`.
         return match bits {
+            // SAFETY: SSE2 positively detected in `enabled()`.
             BitWidth::W4 => unsafe { x86::unpack_w4(bytes, out) },
+            // SAFETY: SSE2 positively detected in `enabled()`.
             BitWidth::W2 => unsafe { x86::unpack_w2(bytes, out) },
             BitWidth::W8 => 0,
         };
         #[cfg(target_arch = "aarch64")]
-        // SAFETY: NEON is baseline on aarch64.
         return match bits {
+            // SAFETY: NEON is baseline on aarch64.
             BitWidth::W4 => unsafe { neon::unpack_w4(bytes, out) },
+            // SAFETY: NEON is baseline on aarch64.
             BitWidth::W2 => unsafe { neon::unpack_w2(bytes, out) },
             BitWidth::W8 => 0,
         };

@@ -16,6 +16,8 @@
 //!   Algorithms 1 & 2 (paper §4–§5, the primary contribution).
 //! * [`mcu`] — STM32H7 device model and Cortex-M7 cycle model.
 //! * [`data`] — synthetic datasets standing in for ImageNet.
+//! * [`verify`] — static graph/kernel verifier: overflow interval
+//!   analysis, arena-aliasing and requant-expressibility proofs.
 //!
 //! # Quickstart
 //!
@@ -38,3 +40,4 @@ pub use mixq_models as models;
 pub use mixq_nn as nn;
 pub use mixq_quant as quant;
 pub use mixq_tensor as tensor;
+pub use mixq_verify as verify;
