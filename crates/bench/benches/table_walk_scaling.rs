@@ -32,8 +32,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mixq_bench::harness::{
-    bench_json_out_path, host_meta, json_array, json_out_path, rule, threads_arg, write_json,
-    JsonObject,
+    available_cores, bench_json_out_path, gated_target, host_meta, json_array, json_out_path, rule,
+    threads_arg, write_json, JsonObject,
 };
 use mixq_core::convert::{convert_with_backend, IntNetwork};
 use mixq_core::memory::QuantScheme;
@@ -178,7 +178,8 @@ fn main() {
     // actually run 4 workers in parallel; on a smaller machine the pool
     // still runs (bit-identity above) but the speedup is meaningless, so
     // the flag is skipped (null in the JSON) rather than reported false.
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // `gated_target` below applies the same rule to the measured JSON.
+    let cores = available_cores();
     rule(48);
     println!(
         "SIMD @1T vs scalar @1T: {speedup_simd:.2}x (targets >= 1.25x floor, >= 1.5x stretch)"
@@ -253,11 +254,7 @@ fn main() {
             .raw("speedup_simd_4t_vs_scalar_1t", format!("{speedup_4t:.2}"))
             .bool("meets_1_25x_simd_target", speedup_simd >= 1.25)
             .bool("meets_1_5x_simd_target", speedup_simd >= 1.5);
-        if cores >= 4 {
-            root.bool("meets_2_5x_4t_target", speedup_4t >= 2.5);
-        } else {
-            root.raw("meets_2_5x_4t_target", "null".to_string());
-        }
+        gated_target(&mut root, "meets_2_5x_4t_target", speedup_4t >= 2.5, 4);
         write_json(&path, &root.render());
     }
 }

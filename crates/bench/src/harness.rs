@@ -212,6 +212,31 @@ pub fn threads_arg() -> usize {
     n
 }
 
+/// Host parallelism as a plain count (1 when the OS cannot say).
+///
+/// This is the single gate every multicore speedup target goes through:
+/// benches compare it against the worker count a target needs and report
+/// the target as JSON `null` (skipped) rather than `false` when the host
+/// cannot express that many genuine workers — a 1-core container must
+/// never look like a perf regression.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Appends a multicore target flag to a measured-JSON object: a real
+/// boolean when the host has at least `required_cores`, JSON `null`
+/// otherwise. Returns whether the target was actually evaluated so the
+/// caller can mirror the skip decision on stdout.
+pub fn gated_target(obj: &mut JsonObject, key: &str, met: bool, required_cores: usize) -> bool {
+    if available_cores() >= required_cores {
+        obj.bool(key, met);
+        true
+    } else {
+        obj.raw(key, "null".to_string());
+        false
+    }
+}
+
 /// Host-environment metadata stamped into **measured** bench JSON
 /// (`--bench-json` outputs only — the deterministic goldens never include
 /// it): compiler target, detected/active SIMD level, CPU features the
@@ -231,10 +256,7 @@ pub fn host_meta(threads: usize) -> JsonObject {
         .collect();
     meta.raw("cpu_features", json_array(features));
     meta.int("threads", threads);
-    meta.int(
-        "available_parallelism",
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-    );
+    meta.int("available_parallelism", available_cores());
     meta
 }
 

@@ -66,6 +66,14 @@ impl IntNetwork {
         &self.graph
     }
 
+    /// Mutable access to the deployment graph — deployment-time rewrites
+    /// and fault-injection tests forge nodes through this. A mutated
+    /// graph carries no proof: re-run `mixq-verify` before trusting it
+    /// (the serving registry does so on registration).
+    pub fn graph_mut(&mut self) -> &mut QGraph {
+        &mut self.graph
+    }
+
     /// The convolution layers, in execution order.
     pub fn layers(&self) -> Vec<&QConv2d> {
         self.graph.convs()
@@ -83,6 +91,50 @@ impl IntNetwork {
     /// The 8-bit input quantizer.
     pub fn input_quant(&self) -> &QuantParams {
         &self.input_quant
+    }
+
+    /// The single-item input shape the network was converted with
+    /// (`(1, h, w, c)`).
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// Number of classifier outputs (logits per sample).
+    pub fn num_classes(&self) -> usize {
+        self.linear().out_features()
+    }
+
+    /// Checks an untrusted request tensor against the network's input
+    /// declaration, returning its batch size — the non-panicking serving
+    /// boundary the `try_*` inference APIs and `mixq-serve` admission run
+    /// before any kernel touches the data.
+    ///
+    /// # Errors
+    ///
+    /// [`MixQError::EmptyBatch`] for a zero-item batch,
+    /// [`MixQError::InputLengthMismatch`] when the backing buffer length
+    /// disagrees with the declared shape, and
+    /// [`MixQError::InputShapeMismatch`] when the per-item shape is not
+    /// the network's input shape (oversized batches of wrong-shaped items
+    /// included).
+    pub fn validate_request(&self, images: &Tensor<f32>) -> Result<usize, MixQError> {
+        let shape = images.shape();
+        if shape.n == 0 {
+            return Err(MixQError::EmptyBatch);
+        }
+        if images.data().len() != shape.volume() {
+            return Err(MixQError::InputLengthMismatch {
+                expected: shape.volume(),
+                got: images.data().len(),
+            });
+        }
+        if shape.with_batch(1) != self.input_shape {
+            return Err(MixQError::InputShapeMismatch {
+                expected: self.input_shape,
+                got: shape,
+            });
+        }
+        Ok(shape.n)
     }
 
     /// Worker threads used *inside* each graph walk (see
@@ -174,6 +226,41 @@ impl IntNetwork {
     /// record cycle models turn into per-layer latency breakdowns.
     pub fn infer_detailed(&self, image: &Tensor<f32>) -> GraphRun {
         self.graph.run(self.quantize_input(image))
+    }
+
+    /// [`IntNetwork::infer`] behind the request validation of
+    /// [`IntNetwork::validate_request`]: a wrong-shape, wrong-length or
+    /// batched tensor comes back as a typed [`MixQError`] instead of a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// See [`IntNetwork::validate_request`]; a multi-item batch is an
+    /// [`MixQError::InputShapeMismatch`] here (use
+    /// [`IntNetwork::try_infer_batch`]).
+    pub fn try_infer(&self, image: &Tensor<f32>) -> Result<(Vec<i32>, OpCounts), MixQError> {
+        let batch = self.validate_request(image)?;
+        if batch != 1 {
+            return Err(MixQError::InputShapeMismatch {
+                expected: self.input_shape,
+                got: image.shape(),
+            });
+        }
+        Ok(self.infer(image))
+    }
+
+    /// [`IntNetwork::infer_batch`] behind the request validation of
+    /// [`IntNetwork::validate_request`] — the serving layer's workhorse.
+    ///
+    /// # Errors
+    ///
+    /// See [`IntNetwork::validate_request`].
+    pub fn try_infer_batch(
+        &self,
+        images: &Tensor<f32>,
+    ) -> Result<(Vec<Vec<i32>>, OpCounts), MixQError> {
+        self.validate_request(images)?;
+        Ok(self.infer_batch(images))
     }
 
     /// Predicted class of one image.
@@ -911,6 +998,57 @@ mod tests {
         let pl = convert(&net_pl, QuantScheme::PerLayerIcn).expect("convertible");
         let (_, ops_pl) = pl.infer(&ds.sample(0).images);
         assert_eq!(ops_pl.offset_subs, 0, "PL: no in-loop subs");
+    }
+
+    #[test]
+    fn untrusted_requests_are_rejected_with_typed_errors() {
+        let (net, ds) = trained_net(Granularity::PerChannel, BitWidth::W8);
+        let int_net = convert(&net, QuantScheme::PerChannelIcn).expect("convertible");
+        assert_eq!(int_net.input_shape(), Shape::feature_map(8, 8, 2));
+        assert_eq!(int_net.num_classes(), 3);
+        // Wrong per-item shape.
+        let bad = Tensor::full(Shape::feature_map(4, 4, 2), 0.5);
+        assert!(matches!(
+            int_net.try_infer(&bad),
+            Err(MixQError::InputShapeMismatch { .. })
+        ));
+        // Oversized request: right item volume, absurd spatial dims.
+        let huge = Tensor::full(Shape::new(1, 64, 64, 2), 0.5);
+        assert!(matches!(
+            int_net.try_infer_batch(&huge),
+            Err(MixQError::InputShapeMismatch { .. })
+        ));
+        // Zero-item batch.
+        let empty = Tensor::zeros(Shape::new(0, 8, 8, 2));
+        assert!(matches!(
+            int_net.try_infer_batch(&empty),
+            Err(MixQError::EmptyBatch)
+        ));
+        // A batch through try_infer (single-sample API) is typed too.
+        let two = Tensor::full(Shape::new(2, 8, 8, 2), 0.5);
+        assert!(matches!(
+            int_net.try_infer(&two),
+            Err(MixQError::InputShapeMismatch { .. })
+        ));
+        // Well-formed requests pass through bit-identically.
+        let img = &ds.sample(0).images;
+        assert_eq!(
+            int_net.try_infer(img).expect("valid").0,
+            int_net.infer(img).0
+        );
+        let (rows, _) = int_net
+            .try_infer_batch(&two_stack(&ds))
+            .expect("valid batch");
+        assert_eq!(rows[0], int_net.infer(&ds.sample(0).images).0);
+        assert_eq!(rows[1], int_net.infer(&ds.sample(1).images).0);
+    }
+
+    fn two_stack(ds: &Dataset) -> Tensor<f32> {
+        let a = &ds.sample(0).images;
+        let b = &ds.sample(1).images;
+        let mut data = a.data().to_vec();
+        data.extend_from_slice(b.data());
+        Tensor::from_vec(a.shape().with_batch(2), data).expect("stacked")
     }
 
     #[test]

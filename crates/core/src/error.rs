@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use mixq_tensor::Shape;
+
 /// Errors produced by the mixed-precision assignment and the integer-only
 /// conversion.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +35,30 @@ pub enum MixQError {
     /// The requested conversion needs fake-quantized activations, but the
     /// network is still in float mode.
     NotFakeQuantized,
+    /// A request tensor's per-item shape disagrees with the network's
+    /// input declaration. Raised by the `try_*` inference APIs (and the
+    /// serving layer built on them) instead of the panic the trusted
+    /// internal paths keep — a serving boundary must not trust callers.
+    InputShapeMismatch {
+        /// The single-item input shape the network was converted with.
+        expected: Shape,
+        /// The per-item shape of the offending request (its batch
+        /// dimension preserved, so oversized batches are visible too).
+        got: Shape,
+    },
+    /// A request tensor's backing buffer length disagrees with its own
+    /// declared shape — a malformed request that never describes a valid
+    /// image. (Unreachable through the safe [`mixq_tensor::Tensor`]
+    /// constructors; checked anyway so the serving boundary holds even if
+    /// a caller assembles tensors through future unchecked paths.)
+    InputLengthMismatch {
+        /// `shape.volume()` of the request.
+        expected: usize,
+        /// Actual element count of the backing buffer.
+        got: usize,
+    },
+    /// A batched request carried zero items.
+    EmptyBatch,
     /// The static verifier (`mixq-verify`) could not prove the deployed
     /// graph safe — an overflow interval, schedule alias, requant gate or
     /// join inconsistency survives. Deployment is refused rather than
@@ -71,6 +97,15 @@ impl fmt::Display for MixQError {
             MixQError::NotFakeQuantized => {
                 write!(f, "network is in float mode; enable fake quantization first")
             }
+            MixQError::InputShapeMismatch { expected, got } => write!(
+                f,
+                "request item shape {got:?} does not match the network input {expected:?}"
+            ),
+            MixQError::InputLengthMismatch { expected, got } => write!(
+                f,
+                "request buffer holds {got} elements but its shape declares {expected}"
+            ),
+            MixQError::EmptyBatch => write!(f, "request batch holds zero items"),
             MixQError::VerificationFailed {
                 graph,
                 violations,
@@ -107,5 +142,16 @@ mod tests {
             budget: 4,
         };
         assert!(w.to_string().contains("read-only"));
+        let s = MixQError::InputShapeMismatch {
+            expected: Shape::feature_map(8, 8, 1),
+            got: Shape::new(2, 4, 4, 1),
+        };
+        assert!(s.to_string().contains("does not match"));
+        let l = MixQError::InputLengthMismatch {
+            expected: 64,
+            got: 63,
+        };
+        assert!(l.to_string().contains("63") && l.to_string().contains("64"));
+        assert!(MixQError::EmptyBatch.to_string().contains("zero items"));
     }
 }

@@ -27,6 +27,7 @@
 
 #![allow(unsafe_code)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -65,6 +66,10 @@ struct Shared {
     start: Condvar,
     /// Signals the broadcaster: `remaining` hit zero.
     done: Condvar,
+    /// Total broadcast-job panics ever caught (any worker, any epoch) —
+    /// the observability hook serving-layer supervisors poll to tell a
+    /// healthy pool from one that keeps eating poisoned jobs.
+    panics: AtomicU64,
 }
 
 /// The reusable worker team; see the [module docs](self).
@@ -108,6 +113,7 @@ impl ThreadPool {
             }),
             start: Condvar::new(),
             done: Condvar::new(),
+            panics: AtomicU64::new(0),
         });
         let handles = (1..threads)
             .map(|worker| {
@@ -128,6 +134,14 @@ impl ThreadPool {
     /// Total worker count, including the broadcasting thread.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Total broadcast-job panics this pool has caught and re-raised so
+    /// far, across all workers (the broadcasting thread included). The
+    /// pool survives every one of them — this counter lets a serving
+    /// supervisor report how often its walks hit poisoned work.
+    pub fn panics_observed(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
     }
 
     /// Runs `f(worker)` once per worker (`0..threads()`), the caller
@@ -170,6 +184,7 @@ impl ThreadPool {
             st.panic_payload.take()
         };
         if let Err(payload) = local {
+            self.shared.panics.fetch_add(1, Ordering::Relaxed);
             std::panic::resume_unwind(payload);
         }
         if let Some(payload) = worker_payload {
@@ -300,6 +315,7 @@ fn worker_loop(worker: usize, shared: &Shared) {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job.0)(worker) }));
         let mut st = shared.state.lock().unwrap();
         if let Err(payload) = result {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
             st.panic_payload.get_or_insert(payload);
         }
         st.remaining -= 1;
@@ -431,6 +447,7 @@ mod tests {
         let payload = caught.expect_err("worker panic must propagate");
         let msg = payload.downcast_ref::<String>().expect("string payload");
         assert!(msg.contains("boom on worker 2"), "payload: {msg}");
+        assert_eq!(pool.panics_observed(), 1, "caught panic is counted");
         let counter = AtomicUsize::new(0);
         pool.broadcast(&|_| {
             counter.fetch_add(1, Ordering::SeqCst);

@@ -1,0 +1,202 @@
+//! Deadline-aware batch-forming rules as a pure function.
+//!
+//! [`flush_decision`] is the entire scheduling policy: given the queue
+//! state and the clock it says whether to flush now, how long to wait,
+//! or that there is nothing to do. Both the threaded
+//! [`ServeRuntime`](crate::ServeRuntime) and the single-threaded
+//! [`Simulator`](crate::sim::Simulator) call this same function, which
+//! is what makes the simulator's flush schedule a faithful golden for
+//! the runtime's scheduling math.
+
+/// Batch-forming rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Flush as soon as this many requests are queued for one model.
+    pub batch_max: usize,
+    /// Linger budget: flush a partial batch once its oldest request has
+    /// waited this many µs.
+    pub deadline_us: u64,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            batch_max: 8,
+            deadline_us: 2_000,
+        }
+    }
+}
+
+/// Why a batch was flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// `batch_max` requests were queued.
+    Full,
+    /// The oldest queued request exhausted the linger budget.
+    Deadline,
+    /// Shutdown drain: flush whatever is queued immediately.
+    Drain,
+}
+
+impl FlushReason {
+    /// Stable lowercase label for goldens and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushReason::Full => "full",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Drain => "drain",
+        }
+    }
+}
+
+/// The batcher's verdict for one model queue at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushDecision {
+    /// Flush the first `count` queued requests now.
+    Flush {
+        /// How many requests to take (≤ `batch_max`).
+        count: usize,
+        /// What triggered the flush.
+        reason: FlushReason,
+    },
+    /// Nothing to flush yet; re-evaluate at this absolute instant (µs).
+    WaitUntil(u64),
+    /// Queue is empty; park until new work arrives.
+    Idle,
+}
+
+/// Decide whether a model queue should flush.
+///
+/// * `queued` — requests currently queued for the model;
+/// * `oldest_arrival_us` — admission instant of the front request
+///   (ignored when `queued == 0`);
+/// * `now_us` — the current clock;
+/// * `drain` — shutdown drain mode: flush everything immediately so a
+///   manually-clocked runtime can never hang waiting for virtual time.
+///
+/// The rules, in priority order: empty → [`FlushDecision::Idle`]; full →
+/// flush `batch_max` (`Full`); draining → flush all (`Drain`); linger
+/// expired → flush all (`Deadline`); otherwise wait until the linger
+/// deadline of the front request.
+pub fn flush_decision(
+    queued: usize,
+    oldest_arrival_us: u64,
+    now_us: u64,
+    drain: bool,
+    cfg: &BatcherConfig,
+) -> FlushDecision {
+    if queued == 0 {
+        return FlushDecision::Idle;
+    }
+    if queued >= cfg.batch_max {
+        return FlushDecision::Flush {
+            count: cfg.batch_max,
+            reason: FlushReason::Full,
+        };
+    }
+    if drain {
+        return FlushDecision::Flush {
+            count: queued,
+            reason: FlushReason::Drain,
+        };
+    }
+    let flush_at = oldest_arrival_us.saturating_add(cfg.deadline_us);
+    if now_us >= flush_at {
+        FlushDecision::Flush {
+            count: queued,
+            reason: FlushReason::Deadline,
+        }
+    } else {
+        FlushDecision::WaitUntil(flush_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: BatcherConfig = BatcherConfig {
+        batch_max: 4,
+        deadline_us: 100,
+    };
+
+    #[test]
+    fn empty_queue_is_idle() {
+        assert_eq!(flush_decision(0, 0, 999, false, &CFG), FlushDecision::Idle);
+        assert_eq!(flush_decision(0, 0, 999, true, &CFG), FlushDecision::Idle);
+    }
+
+    #[test]
+    fn full_queue_flushes_batch_max_immediately() {
+        assert_eq!(
+            flush_decision(4, 50, 50, false, &CFG),
+            FlushDecision::Flush {
+                count: 4,
+                reason: FlushReason::Full
+            }
+        );
+        // Over-full still takes only batch_max per flush.
+        assert_eq!(
+            flush_decision(9, 50, 50, false, &CFG),
+            FlushDecision::Flush {
+                count: 4,
+                reason: FlushReason::Full
+            }
+        );
+    }
+
+    #[test]
+    fn partial_batch_waits_for_the_linger_deadline() {
+        assert_eq!(
+            flush_decision(2, 40, 60, false, &CFG),
+            FlushDecision::WaitUntil(140)
+        );
+        // Exactly at the deadline flushes.
+        assert_eq!(
+            flush_decision(2, 40, 140, false, &CFG),
+            FlushDecision::Flush {
+                count: 2,
+                reason: FlushReason::Deadline
+            }
+        );
+        // Past the deadline flushes too.
+        assert_eq!(
+            flush_decision(3, 40, 500, false, &CFG),
+            FlushDecision::Flush {
+                count: 3,
+                reason: FlushReason::Deadline
+            }
+        );
+    }
+
+    #[test]
+    fn drain_flushes_partials_without_waiting() {
+        assert_eq!(
+            flush_decision(1, 40, 41, true, &CFG),
+            FlushDecision::Flush {
+                count: 1,
+                reason: FlushReason::Drain
+            }
+        );
+        // Full beats drain so the size cap still holds while draining.
+        assert_eq!(
+            flush_decision(6, 40, 41, true, &CFG),
+            FlushDecision::Flush {
+                count: 4,
+                reason: FlushReason::Full
+            }
+        );
+    }
+
+    #[test]
+    fn linger_deadline_saturates_instead_of_overflowing() {
+        let cfg = BatcherConfig {
+            batch_max: 8,
+            deadline_us: u64::MAX,
+        };
+        assert_eq!(
+            flush_decision(1, u64::MAX - 5, 10, false, &cfg),
+            FlushDecision::WaitUntil(u64::MAX)
+        );
+    }
+}

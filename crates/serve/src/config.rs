@@ -1,0 +1,133 @@
+//! Runtime configuration: every bound the serving layer enforces.
+
+use crate::batcher::BatcherConfig;
+
+/// Configuration for a [`ServeRuntime`](crate::ServeRuntime) or
+/// [`Simulator`](crate::sim::Simulator).
+///
+/// All limits are hard: the queue never exceeds `queue_capacity`, low
+/// priority traffic is shed at `shed_watermark`, and flushes issued
+/// while depth is at or above `degrade_watermark` reroute to the last
+/// (lowest-bit) registry variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Hard cap on queued requests across all models (admission refuses
+    /// with `QueueFull` beyond it).
+    pub queue_capacity: usize,
+    /// Depth at which `Priority::Low` requests are shed.
+    pub shed_watermark: usize,
+    /// Depth at or above which flushed batches degrade to the last
+    /// registry variant.
+    pub degrade_watermark: usize,
+    /// Batch-forming rules (size cap and linger deadline).
+    pub batcher: BatcherConfig,
+    /// Number of worker threads (`ServeRuntime` only; the simulator
+    /// models a single virtual worker).
+    pub workers: usize,
+    /// Deadline applied to requests submitted without their own, as a
+    /// relative budget in clock-domain µs. `None` means no deadline.
+    pub default_deadline_us: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            shed_watermark: 56,
+            degrade_watermark: 32,
+            batcher: BatcherConfig::default(),
+            workers: 2,
+            default_deadline_us: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the hard queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Set the low-priority shed watermark.
+    pub fn with_shed_watermark(mut self, depth: usize) -> Self {
+        self.shed_watermark = depth;
+        self
+    }
+
+    /// Set the degradation watermark.
+    pub fn with_degrade_watermark(mut self, depth: usize) -> Self {
+        self.degrade_watermark = depth;
+        self
+    }
+
+    /// Set the batch-forming rules.
+    pub fn with_batcher(mut self, batcher: BatcherConfig) -> Self {
+        self.batcher = batcher;
+        self
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the default relative deadline for requests that do not carry
+    /// their own.
+    pub fn with_default_deadline_us(mut self, us: u64) -> Self {
+        self.default_deadline_us = Some(us);
+        self
+    }
+
+    /// Check internal consistency. Called by the runtime and simulator
+    /// constructors; a misconfigured runtime refuses to start rather
+    /// than silently violating its own bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be >= 1".into());
+        }
+        if self.shed_watermark > self.queue_capacity {
+            return Err(format!(
+                "shed_watermark {} exceeds queue_capacity {}",
+                self.shed_watermark, self.queue_capacity
+            ));
+        }
+        if self.batcher.batch_max == 0 {
+            return Err("batcher.batch_max must be >= 1".into());
+        }
+        if self.workers == 0 {
+            return Err("workers must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_refused() {
+        assert!(ServeConfig::default()
+            .with_queue_capacity(0)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default()
+            .with_queue_capacity(8)
+            .with_shed_watermark(9)
+            .validate()
+            .is_err());
+        assert!(ServeConfig::default().with_workers(0).validate().is_err());
+        let cfg = ServeConfig::default().with_batcher(BatcherConfig {
+            batch_max: 0,
+            deadline_us: 100,
+        });
+        assert!(cfg.validate().is_err());
+    }
+}

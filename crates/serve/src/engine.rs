@@ -1,0 +1,533 @@
+//! The deterministic scheduling engine.
+//!
+//! The engine owns every scheduling decision — admission, shedding,
+//! deadline expiry, batch forming, degradation — as pure state-machine
+//! transitions over `(queue state, clock reading)`. It holds **no
+//! threads, no clock and no networks**: the threaded
+//! [`ServeRuntime`](crate::ServeRuntime) and the single-threaded
+//! [`Simulator`](crate::sim::Simulator) both drive this same type, so a
+//! golden captured from the simulator pins the runtime's scheduling
+//! math.
+
+use std::collections::VecDeque;
+
+use mixq_tensor::Tensor;
+
+use crate::batcher::{flush_decision, FlushDecision, FlushReason};
+use crate::config::ServeConfig;
+use crate::error::{Priority, ServeError};
+use crate::registry::ModelInfo;
+use crate::response::{channel, Responder, ResponseHandle};
+use crate::stats::ServeStats;
+
+/// One admitted request waiting in (or flushed out of) a model queue.
+#[derive(Debug)]
+pub struct Pending {
+    /// Admission sequence number (0-based, global FIFO order) — the
+    /// identifier [`FaultPlan`](crate::FaultPlan) scripts against.
+    pub seq: u64,
+    /// Model id in the registry.
+    pub model: usize,
+    /// The request tensor. `None` in simulation, where no real network
+    /// runs; the threaded runtime always supplies `Some`.
+    pub input: Option<Tensor<f32>>,
+    /// Admission instant (clock-domain µs).
+    pub arrival_us: u64,
+    /// Absolute deadline, if any.
+    pub deadline_us: Option<u64>,
+    /// Admission priority.
+    pub priority: Priority,
+    /// The exactly-once response channel.
+    pub responder: Responder,
+}
+
+impl Pending {
+    /// Whether the request's deadline has lapsed at `now_us`.
+    pub fn expired(&self, now_us: u64) -> bool {
+        self.deadline_us.is_some_and(|d| now_us >= d)
+    }
+}
+
+/// A flushed batch, ready for a worker.
+#[derive(Debug)]
+pub struct Batch {
+    /// Global flush sequence number (0-based) — the identifier
+    /// [`FaultPlan`](crate::FaultPlan) scripts batch faults against.
+    pub seq: u64,
+    /// Model id.
+    pub model: usize,
+    /// Index of the variant that should serve the batch.
+    pub variant: usize,
+    /// Whether `variant` is an overload degradation (≠ 0).
+    pub degraded: bool,
+    /// What triggered the flush.
+    pub reason: FlushReason,
+    /// The requests, in admission order.
+    pub reqs: Vec<Pending>,
+}
+
+/// What the engine wants a worker to do next.
+#[derive(Debug)]
+pub enum EngineAction {
+    /// Execute this batch.
+    Run(Batch),
+    /// Nothing flushable yet; re-poll at this absolute instant (µs).
+    WaitUntil(u64),
+    /// All queues empty and still accepting; park until new work.
+    Park,
+    /// Draining and empty: the worker should exit.
+    Stop,
+}
+
+/// Deterministic scheduling state: per-model FIFOs plus the counters
+/// that name requests and batches.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: ServeConfig,
+    models: Vec<ModelInfo>,
+    queues: Vec<VecDeque<Pending>>,
+    /// Round-robin cursor so one busy model cannot starve the others.
+    cursor: usize,
+    depth: usize,
+    next_seq: u64,
+    next_batch_seq: u64,
+    accepting: bool,
+}
+
+impl Engine {
+    /// An engine scheduling for `models` under `cfg`. The config must
+    /// already be validated.
+    pub fn new(cfg: ServeConfig, models: Vec<ModelInfo>) -> Self {
+        let queues = models.iter().map(|_| VecDeque::new()).collect();
+        Engine {
+            cfg,
+            models,
+            queues,
+            cursor: 0,
+            depth: 0,
+            next_seq: 0,
+            next_batch_seq: 0,
+            accepting: true,
+        }
+    }
+
+    /// The engine's config.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The models the engine schedules for.
+    pub fn models(&self) -> &[ModelInfo] {
+        &self.models
+    }
+
+    /// Total queued requests across all models.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Whether the engine still admits new requests.
+    pub fn accepting(&self) -> bool {
+        self.accepting
+    }
+
+    /// Enter drain mode: refuse new admissions, flush queued partials
+    /// immediately (the batcher's drain rule), and report
+    /// [`EngineAction::Stop`] once empty.
+    pub fn start_drain(&mut self) {
+        self.accepting = false;
+    }
+
+    /// Admit one request or reject it with a typed error. On success
+    /// the caller gets the [`ResponseHandle`] and the admitted request's
+    /// sequence number; the engine keeps the responder inside the queue.
+    ///
+    /// `stats` is updated for every outcome so admission accounting has
+    /// a single site.
+    pub fn admit(
+        &mut self,
+        now_us: u64,
+        model: usize,
+        input: Option<Tensor<f32>>,
+        priority: Priority,
+        deadline_us: Option<u64>,
+        stats: &ServeStats,
+    ) -> Result<(ResponseHandle, u64), ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        stats.submitted.fetch_add(1, Relaxed);
+        if !self.accepting {
+            return Err(ServeError::ShuttingDown);
+        }
+        debug_assert!(model < self.models.len(), "runtime resolves model ids");
+        if self.depth >= self.cfg.queue_capacity {
+            stats.rejected_queue_full.fetch_add(1, Relaxed);
+            return Err(ServeError::QueueFull {
+                depth: self.depth,
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        if priority == Priority::Low && self.depth >= self.cfg.shed_watermark {
+            stats.rejected_shed.fetch_add(1, Relaxed);
+            return Err(ServeError::ShedLowPriority {
+                depth: self.depth,
+                watermark: self.cfg.shed_watermark,
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let (responder, handle) = channel();
+        self.queues[model].push_back(Pending {
+            seq,
+            model,
+            input,
+            arrival_us: now_us,
+            deadline_us,
+            priority,
+            responder,
+        });
+        self.depth += 1;
+        stats.accepted.fetch_add(1, Relaxed);
+        stats.observe_depth(self.depth);
+        Ok((handle, seq))
+    }
+
+    /// Resolve every queued request whose deadline has lapsed at
+    /// `now_us` (they never reach a worker). Returns how many expired.
+    fn expire_queued(&mut self, now_us: u64, stats: &ServeStats) -> usize {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut expired = 0;
+        for queue in &mut self.queues {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            while let Some(pending) = queue.pop_front() {
+                if pending.expired(now_us) {
+                    let deadline = pending.deadline_us.unwrap_or(now_us);
+                    pending.responder.resolve(Err(ServeError::DeadlineExceeded {
+                        deadline_us: deadline,
+                        now_us,
+                    }));
+                    stats.deadline_expired.fetch_add(1, Relaxed);
+                    expired += 1;
+                } else {
+                    kept.push_back(pending);
+                }
+            }
+            *queue = kept;
+        }
+        self.depth -= expired;
+        expired
+    }
+
+    /// The next thing a worker should do at `now_us`.
+    ///
+    /// Queued requests past their deadline are expired first. Models are
+    /// scanned round-robin from an internal cursor so a hot model cannot
+    /// starve the rest. When nothing is flushable the engine reports the
+    /// earliest instant anything changes: the soonest linger deadline or
+    /// the soonest request deadline.
+    pub fn next_action(&mut self, now_us: u64, stats: &ServeStats) -> EngineAction {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.expire_queued(now_us, stats);
+        let n = self.queues.len();
+        let drain = !self.accepting;
+        let mut wake_at: Option<u64> = None;
+        for step in 0..n {
+            let m = (self.cursor + step) % n;
+            let queue = &self.queues[m];
+            let oldest = queue.front().map(|p| p.arrival_us).unwrap_or(0);
+            match flush_decision(queue.len(), oldest, now_us, drain, &self.cfg.batcher) {
+                FlushDecision::Flush { count, reason } => {
+                    self.cursor = (m + 1) % n;
+                    let degraded = self.depth >= self.cfg.degrade_watermark
+                        && self.models[m].variant_labels.len() > 1;
+                    let variant = if degraded {
+                        self.models[m].variant_labels.len() - 1
+                    } else {
+                        0
+                    };
+                    let reqs: Vec<Pending> = self.queues[m].drain(..count).collect();
+                    self.depth -= reqs.len();
+                    let seq = self.next_batch_seq;
+                    self.next_batch_seq += 1;
+                    stats.batches.fetch_add(1, Relaxed);
+                    match reason {
+                        FlushReason::Full => stats.flush_full.fetch_add(1, Relaxed),
+                        FlushReason::Deadline => stats.flush_deadline.fetch_add(1, Relaxed),
+                        FlushReason::Drain => stats.flush_drain.fetch_add(1, Relaxed),
+                    };
+                    return EngineAction::Run(Batch {
+                        seq,
+                        model: m,
+                        variant,
+                        degraded,
+                        reason,
+                        reqs,
+                    });
+                }
+                FlushDecision::WaitUntil(t) => {
+                    wake_at = Some(wake_at.map_or(t, |w| w.min(t)));
+                }
+                FlushDecision::Idle => {}
+            }
+            // A queued request's own deadline can land before the linger
+            // deadline; wake then so expiry is prompt.
+            if let Some(d) = self.queues[m].iter().filter_map(|p| p.deadline_us).min() {
+                wake_at = Some(wake_at.map_or(d, |w| w.min(d)));
+            }
+        }
+        match wake_at {
+            Some(t) => EngineAction::WaitUntil(t),
+            None if drain => EngineAction::Stop,
+            None => EngineAction::Park,
+        }
+    }
+
+    /// Fail every queued request with [`ServeError::Shutdown`]. Used on
+    /// abortive (non-drain) teardown; drain shutdown flushes instead.
+    pub fn abort_queued(&mut self, stats: &ServeStats) -> usize {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut aborted = 0;
+        for queue in &mut self.queues {
+            while let Some(pending) = queue.pop_front() {
+                pending.responder.resolve(Err(ServeError::Shutdown));
+                stats.failed.fetch_add(1, Relaxed);
+                aborted += 1;
+            }
+        }
+        self.depth -= aborted;
+        aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatcherConfig;
+    use crate::error::OutcomeClass;
+
+    fn two_model_engine(cfg: ServeConfig) -> Engine {
+        let models = vec![
+            ModelInfo {
+                name: "a".into(),
+                variant_labels: vec!["w8".into(), "w4".into()],
+            },
+            ModelInfo {
+                name: "b".into(),
+                variant_labels: vec!["w8".into()],
+            },
+        ];
+        Engine::new(cfg, models)
+    }
+
+    fn cfg_small() -> ServeConfig {
+        ServeConfig::default()
+            .with_queue_capacity(8)
+            .with_shed_watermark(6)
+            .with_degrade_watermark(4)
+            .with_batcher(BatcherConfig {
+                batch_max: 3,
+                deadline_us: 100,
+            })
+    }
+
+    #[test]
+    fn admission_is_bounded_and_sheds_low_priority() {
+        let stats = ServeStats::default();
+        let mut engine = two_model_engine(cfg_small());
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            handles.push(
+                engine
+                    .admit(0, 0, None, Priority::Normal, None, &stats)
+                    .unwrap(),
+            );
+        }
+        // Depth 6 == shed watermark: Low is shed, Normal still admits.
+        let shed = engine.admit(0, 0, None, Priority::Low, None, &stats);
+        assert!(matches!(shed, Err(ServeError::ShedLowPriority { .. })));
+        handles.push(
+            engine
+                .admit(0, 1, None, Priority::Normal, None, &stats)
+                .unwrap(),
+        );
+        handles.push(
+            engine
+                .admit(0, 1, None, Priority::High, None, &stats)
+                .unwrap(),
+        );
+        // Depth 8 == capacity: everyone is refused.
+        let full = engine.admit(0, 0, None, Priority::High, None, &stats);
+        assert!(matches!(full, Err(ServeError::QueueFull { .. })));
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.accepted, 8);
+        assert_eq!(snap.rejected_shed, 1);
+        assert_eq!(snap.rejected_queue_full, 1);
+        assert_eq!(snap.max_depth, 8);
+    }
+
+    #[test]
+    fn flush_schedule_is_deterministic() {
+        let stats = ServeStats::default();
+        // Watermark out of the way: this test is about flush timing only.
+        let mut engine = two_model_engine(cfg_small().with_degrade_watermark(100));
+        // Three model-0 requests at t=10 fill a batch; one model-1
+        // request at t=20 lingers.
+        for _ in 0..3 {
+            engine
+                .admit(10, 0, None, Priority::Normal, None, &stats)
+                .unwrap();
+        }
+        engine
+            .admit(20, 1, None, Priority::Normal, None, &stats)
+            .unwrap();
+        match engine.next_action(20, &stats) {
+            EngineAction::Run(batch) => {
+                assert_eq!(batch.seq, 0);
+                assert_eq!(batch.model, 0);
+                assert_eq!(batch.reason, FlushReason::Full);
+                assert_eq!(batch.reqs.len(), 3);
+                assert!(!batch.degraded);
+            }
+            other => panic!("expected full flush, got {other:?}"),
+        }
+        // Model 1 has one request from t=20: wait until 120.
+        match engine.next_action(20, &stats) {
+            EngineAction::WaitUntil(t) => assert_eq!(t, 120),
+            other => panic!("expected wait, got {other:?}"),
+        }
+        match engine.next_action(120, &stats) {
+            EngineAction::Run(batch) => {
+                assert_eq!(batch.seq, 1);
+                assert_eq!(batch.model, 1);
+                assert_eq!(batch.reason, FlushReason::Deadline);
+                assert_eq!(batch.reqs.len(), 1);
+            }
+            other => panic!("expected deadline flush, got {other:?}"),
+        }
+        assert!(matches!(
+            engine.next_action(120, &stats),
+            EngineAction::Park
+        ));
+    }
+
+    #[test]
+    fn overload_degrades_to_last_variant() {
+        let stats = ServeStats::default();
+        let mut engine = two_model_engine(cfg_small());
+        // Depth 5 >= degrade watermark 4 when the first batch flushes.
+        for _ in 0..5 {
+            engine
+                .admit(0, 0, None, Priority::Normal, None, &stats)
+                .unwrap();
+        }
+        match engine.next_action(0, &stats) {
+            EngineAction::Run(batch) => {
+                assert!(batch.degraded);
+                assert_eq!(batch.variant, 1, "degrades to the last variant");
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+        // Depth is now 2 < 4: the next (deadline) flush is not degraded.
+        match engine.next_action(500, &stats) {
+            EngineAction::Run(batch) => {
+                assert!(!batch.degraded);
+                assert_eq!(batch.variant, 0);
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+        // Model 1 (single variant) never degrades even under pressure.
+        for _ in 0..5 {
+            engine
+                .admit(1000, 1, None, Priority::Normal, None, &stats)
+                .unwrap();
+        }
+        match engine.next_action(1000, &stats) {
+            EngineAction::Run(batch) => {
+                assert_eq!(batch.model, 1);
+                assert!(!batch.degraded);
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queued_requests_expire_at_their_deadline() {
+        let stats = ServeStats::default();
+        let mut engine = two_model_engine(cfg_small());
+        let (h, _) = engine
+            .admit(0, 0, None, Priority::Normal, Some(50), &stats)
+            .unwrap();
+        // Before the deadline the engine waits for whichever comes
+        // first: the request deadline (50) or the linger deadline (100).
+        match engine.next_action(10, &stats) {
+            EngineAction::WaitUntil(t) => assert_eq!(t, 50),
+            other => panic!("expected wait, got {other:?}"),
+        }
+        assert!(matches!(engine.next_action(50, &stats), EngineAction::Park));
+        let result = h.wait();
+        assert!(matches!(result, Err(ServeError::DeadlineExceeded { .. })));
+        assert_eq!(result.unwrap_err().class(), OutcomeClass::Deadline);
+        assert_eq!(stats.snapshot().deadline_expired, 1);
+        assert_eq!(engine.depth(), 0);
+    }
+
+    #[test]
+    fn drain_flushes_partials_then_stops() {
+        let stats = ServeStats::default();
+        let mut engine = two_model_engine(cfg_small());
+        engine
+            .admit(0, 0, None, Priority::Normal, None, &stats)
+            .unwrap();
+        engine.start_drain();
+        let refused = engine.admit(1, 0, None, Priority::Normal, None, &stats);
+        assert!(matches!(refused, Err(ServeError::ShuttingDown)));
+        match engine.next_action(1, &stats) {
+            EngineAction::Run(batch) => {
+                assert_eq!(batch.reason, FlushReason::Drain);
+                assert_eq!(batch.reqs.len(), 1);
+            }
+            other => panic!("expected drain flush, got {other:?}"),
+        }
+        assert!(matches!(engine.next_action(1, &stats), EngineAction::Stop));
+    }
+
+    #[test]
+    fn round_robin_prevents_starvation() {
+        let stats = ServeStats::default();
+        let cfg = cfg_small().with_degrade_watermark(100);
+        let mut engine = two_model_engine(cfg);
+        // Both models stay over batch_max; flushes must alternate.
+        for _ in 0..6 {
+            engine
+                .admit(0, 0, None, Priority::Normal, None, &stats)
+                .unwrap();
+        }
+        // Capacity is 8, so only 2 fit for model 1 — still enough to
+        // observe the cursor moving on.
+        for _ in 0..2 {
+            engine
+                .admit(0, 1, None, Priority::Normal, None, &stats)
+                .unwrap();
+        }
+        let mut order = Vec::new();
+        for _ in 0..3 {
+            match engine.next_action(1_000, &stats) {
+                EngineAction::Run(batch) => order.push(batch.model),
+                other => panic!("expected flush, got {other:?}"),
+            }
+        }
+        assert_eq!(order, vec![0, 1, 0], "cursor must rotate across models");
+    }
+
+    #[test]
+    fn abort_fails_queued_requests() {
+        let stats = ServeStats::default();
+        let mut engine = two_model_engine(cfg_small());
+        let (h, _) = engine
+            .admit(0, 0, None, Priority::Normal, None, &stats)
+            .unwrap();
+        assert_eq!(engine.abort_queued(&stats), 1);
+        assert_eq!(h.wait(), Err(ServeError::Shutdown));
+        assert_eq!(engine.depth(), 0);
+    }
+}

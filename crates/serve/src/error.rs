@@ -1,0 +1,210 @@
+//! The serving error taxonomy: every submitted request resolves to
+//! exactly one of `Ok` / `Shed` / `Deadline` / `Failed`.
+
+use std::error::Error;
+use std::fmt;
+
+use mixq_core::MixQError;
+
+/// Admission priority of a request. Priorities do not reorder the FIFO;
+/// they only decide who is shed first under pressure: once queue depth
+/// reaches the shed watermark, `Low` requests are rejected with
+/// [`ServeError::ShedLowPriority`] while `Normal`/`High` still admit up
+/// to full capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Shed first under pressure (best-effort traffic).
+    Low,
+    /// The default.
+    Normal,
+    /// Never shed before capacity (interactive traffic).
+    High,
+}
+
+/// The coarse outcome class of a request — the four-way taxonomy the
+/// fault-injection suite audits for exactly-once resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeClass {
+    /// Logits delivered ([`ServeOutput`]).
+    Ok,
+    /// Rejected at admission (typed, synchronous).
+    Shed,
+    /// Admitted but its deadline lapsed before completion.
+    Deadline,
+    /// Admitted but execution failed (panic, lost worker, shutdown).
+    Failed,
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutput {
+    /// Per-class integer logits.
+    pub logits: Vec<i32>,
+    /// Label of the registry variant that served the request (e.g. `w8`;
+    /// the degraded lower-bit label under overload).
+    pub variant: String,
+    /// Whether overload degraded the request to a lower-bit variant.
+    pub degraded: bool,
+    /// Number of requests in the flushed batch this one rode in.
+    pub batch_size: usize,
+    /// Submit-to-resolve latency in the runtime's clock domain (µs;
+    /// virtual µs under a [`ManualClock`](crate::ManualClock)).
+    pub latency_us: u64,
+}
+
+/// Everything that is not a successful response, spanning the `Shed`,
+/// `Deadline` and `Failed` classes — see [`ServeError::class`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission refused: the bounded queue is at capacity. The caller
+    /// should back off — the runtime never queues unboundedly.
+    QueueFull {
+        /// Queue depth at rejection (== capacity).
+        depth: usize,
+        /// The configured hard capacity.
+        capacity: usize,
+    },
+    /// Admission refused: depth reached the shed watermark and the
+    /// request is [`Priority::Low`].
+    ShedLowPriority {
+        /// Queue depth at rejection.
+        depth: usize,
+        /// The configured shed watermark.
+        watermark: usize,
+    },
+    /// Admission refused: no registry entry under this name.
+    UnknownModel {
+        /// The requested model name.
+        model: String,
+    },
+    /// Admission refused: the request tensor failed
+    /// [`IntNetwork::validate_request`](mixq_core::convert::IntNetwork::validate_request)
+    /// (wrong shape, wrong length, empty or oversized batch).
+    BadInput {
+        /// The typed validation error.
+        source: MixQError,
+    },
+    /// Admission refused: the runtime is draining for shutdown.
+    ShuttingDown,
+    /// The request's deadline lapsed — either while queued (the batcher
+    /// expires it without running) or because its batch completed late.
+    DeadlineExceeded {
+        /// The absolute deadline (clock-domain µs).
+        deadline_us: u64,
+        /// The clock when the miss was detected.
+        now_us: u64,
+    },
+    /// The request's own execution panicked (after innocents sharing its
+    /// batch were retried); the worker survived or was respawned.
+    WorkerPanicked {
+        /// Stringified panic payload.
+        detail: String,
+    },
+    /// The worker holding this in-flight request died before resolving
+    /// it; the drop guard resolved the request so the caller never
+    /// hangs, and the supervisor respawned the worker.
+    WorkerLost,
+    /// The runtime shut down before the request could run.
+    Shutdown,
+}
+
+impl ServeError {
+    /// The outcome class this error resolves its request into.
+    pub fn class(&self) -> OutcomeClass {
+        match self {
+            ServeError::QueueFull { .. }
+            | ServeError::ShedLowPriority { .. }
+            | ServeError::UnknownModel { .. }
+            | ServeError::BadInput { .. }
+            | ServeError::ShuttingDown => OutcomeClass::Shed,
+            ServeError::DeadlineExceeded { .. } => OutcomeClass::Deadline,
+            ServeError::WorkerPanicked { .. } | ServeError::WorkerLost | ServeError::Shutdown => {
+                OutcomeClass::Failed
+            }
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, capacity } => {
+                write!(f, "queue full: {depth}/{capacity} requests pending")
+            }
+            ServeError::ShedLowPriority { depth, watermark } => write!(
+                f,
+                "low-priority request shed: depth {depth} >= watermark {watermark}"
+            ),
+            ServeError::UnknownModel { model } => write!(f, "unknown model `{model}`"),
+            ServeError::BadInput { source } => write!(f, "bad input: {source}"),
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::DeadlineExceeded {
+                deadline_us,
+                now_us,
+            } => write!(
+                f,
+                "deadline {deadline_us}us exceeded (resolved at {now_us}us)"
+            ),
+            ServeError::WorkerPanicked { detail } => write!(f, "worker panicked: {detail}"),
+            ServeError::WorkerLost => write!(f, "worker died holding the request"),
+            ServeError::Shutdown => write!(f, "runtime shut down before execution"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::BadInput { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What a request ultimately resolves to.
+pub type ServeResult = Result<ServeOutput, ServeError>;
+
+/// The class of a full result.
+pub fn class_of(result: &ServeResult) -> OutcomeClass {
+    match result {
+        Ok(_) => OutcomeClass::Ok,
+        Err(e) => e.class(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_the_taxonomy() {
+        assert_eq!(
+            ServeError::QueueFull {
+                depth: 4,
+                capacity: 4
+            }
+            .class(),
+            OutcomeClass::Shed
+        );
+        assert_eq!(
+            ServeError::DeadlineExceeded {
+                deadline_us: 10,
+                now_us: 20
+            }
+            .class(),
+            OutcomeClass::Deadline
+        );
+        assert_eq!(
+            ServeError::WorkerPanicked { detail: "x".into() }.class(),
+            OutcomeClass::Failed
+        );
+        assert_eq!(ServeError::WorkerLost.class(), OutcomeClass::Failed);
+        let display = ServeError::ShedLowPriority {
+            depth: 9,
+            watermark: 8,
+        }
+        .to_string();
+        assert!(display.contains("watermark 8"), "{display}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] scripts failures against stable identifiers — the
+//! request admission sequence number and the global batch sequence
+//! number — so a fixed submission trace hits exactly the same faults on
+//! every run. There is no randomness and no wall-clock dependence; the
+//! plan is pure data consulted by the worker loop (and mirrored by the
+//! [`Simulator`](crate::sim::Simulator)).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A scripted set of failures for one runtime run.
+///
+/// Identifiers: requests are numbered by admission order starting at 0
+/// (`seq`), batches by flush order starting at 0 (`batch_seq`). Both are
+/// assigned deterministically by the engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    panic_requests: BTreeSet<u64>,
+    batch_delays: BTreeMap<u64, u64>,
+    kill_batches: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no injected faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Script a panic while executing the request admitted as `seq`.
+    /// The panic poisons the whole batch attempt; the runtime retries
+    /// innocents individually and resolves this request
+    /// `WorkerPanicked`.
+    pub fn panic_on_request(mut self, seq: u64) -> Self {
+        self.panic_requests.insert(seq);
+        self
+    }
+
+    /// Script a scheduler delay of `delay_us` before executing batch
+    /// `batch_seq` (virtual time under a manual clock, a real sleep
+    /// under a monotonic one). Used to force deadline misses.
+    pub fn delay_batch(mut self, batch_seq: u64, delay_us: u64) -> Self {
+        self.batch_delays.insert(batch_seq, delay_us);
+        self
+    }
+
+    /// Script the death of the worker thread that picks up batch
+    /// `batch_seq`: the worker aborts without resolving the batch (the
+    /// responder drop guards resolve every request `WorkerLost`) and the
+    /// supervisor respawns a replacement.
+    pub fn kill_worker_on_batch(mut self, batch_seq: u64) -> Self {
+        self.kill_batches.insert(batch_seq);
+        self
+    }
+
+    /// Whether executing request `seq` should panic.
+    pub fn should_panic(&self, seq: u64) -> bool {
+        self.panic_requests.contains(&seq)
+    }
+
+    /// The scripted delay before batch `batch_seq`, if any.
+    pub fn delay_for_batch(&self, batch_seq: u64) -> Option<u64> {
+        self.batch_delays.get(&batch_seq).copied()
+    }
+
+    /// Whether the worker picking up batch `batch_seq` should die.
+    pub fn should_kill_worker(&self, batch_seq: u64) -> bool {
+        self.kill_batches.contains(&batch_seq)
+    }
+
+    /// Whether the plan scripts no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_requests.is_empty()
+            && self.batch_delays.is_empty()
+            && self.kill_batches.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_pure_data() {
+        let plan = FaultPlan::new()
+            .panic_on_request(3)
+            .delay_batch(1, 500)
+            .kill_worker_on_batch(2);
+        assert!(!plan.is_empty());
+        assert!(plan.should_panic(3));
+        assert!(!plan.should_panic(4));
+        assert_eq!(plan.delay_for_batch(1), Some(500));
+        assert_eq!(plan.delay_for_batch(0), None);
+        assert!(plan.should_kill_worker(2));
+        assert!(!plan.should_kill_worker(1));
+        assert_eq!(plan.clone(), plan);
+        assert!(FaultPlan::new().is_empty());
+    }
+}

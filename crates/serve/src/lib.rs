@@ -1,0 +1,70 @@
+//! # mixq-serve — fault-tolerant serving on top of batched integer walks
+//!
+//! The paper deploys under hard *device* ceilings; this crate applies the
+//! same discipline at the *request* level. A [`ServeRuntime`] accepts
+//! inference requests against a [`ModelRegistry`] of converted
+//! [`IntNetwork`](mixq_core::convert::IntNetwork)s and never lets load or
+//! poisoned work take the system down:
+//!
+//! * **bounded admission** — a capacity-capped queue with typed
+//!   [`ServeError::QueueFull`] / [`ServeError::ShedLowPriority`]
+//!   rejections instead of unbounded growth;
+//! * **deadline-aware batching** — requests coalesce until `batch_max` or
+//!   the batcher's `deadline_us` linger expires, whichever first; the
+//!   scheduling math ([`batcher::flush_decision`]) is a pure function of
+//!   `(queue, clock)` and is golden-tested through the [`sim::Simulator`];
+//! * **per-request timeouts** — a request whose deadline lapses in the
+//!   queue, or whose batch finishes late, resolves
+//!   [`ServeError::DeadlineExceeded`] instead of occupying a worker or
+//!   hanging its caller;
+//! * **panic isolation + respawn** — a poisoned request panics only its
+//!   own batch attempt: innocents are retried individually, the culprit
+//!   resolves [`ServeError::WorkerPanicked`], a dying worker thread is
+//!   respawned by the supervisor, and an unwinding worker's in-flight
+//!   requests are auto-resolved by a drop guard so **no request is ever
+//!   lost or hung**;
+//! * **graceful degradation** — under overload the batcher reroutes work
+//!   to the *last* (lowest-bit) registry variant of a model and records
+//!   the substitution in the response, trading accuracy for latency the
+//!   way the paper trades bits for memory;
+//! * **deterministic fault injection** — a scripted [`FaultPlan`]
+//!   (request panics, batch delays, worker kills) plus a [`ManualClock`]
+//!   drive every failure path in tests with zero wall-clock or RNG
+//!   nondeterminism.
+//!
+//! Every request submitted to the runtime resolves to **exactly one** of
+//! the four outcome classes ([`OutcomeClass`]): `Ok`, `Shed` (typed
+//! admission rejection), `Deadline`, or `Failed`.
+//!
+//! ```text
+//!  submit ──► admission ──► per-model FIFO ──► batcher ──► workers ──► respond
+//!             (shed/full)    (bounded)         (flush @    (panic-      (Ok /
+//!                                              batch_max |  isolated,    Deadline /
+//!                                              deadline;   respawned)    Failed)
+//!                                              degrade on overload)
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod clock;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod fault;
+pub mod registry;
+pub mod response;
+pub mod runtime;
+pub mod sim;
+pub mod stats;
+
+pub use batcher::{flush_decision, BatcherConfig, FlushDecision, FlushReason};
+pub use clock::{ClockSource, ManualClock};
+pub use config::ServeConfig;
+pub use error::{OutcomeClass, Priority, ServeError, ServeOutput, ServeResult};
+pub use fault::FaultPlan;
+pub use registry::{ModelInfo, ModelRegistry, RegistryError};
+pub use response::ResponseHandle;
+pub use runtime::{ServeRuntime, SubmitOptions};
+pub use sim::{percentile_us, FlushRecord, ServiceModel, SimReport, SimSubmit, Simulator};
+pub use stats::{ServeStats, StatsSnapshot};

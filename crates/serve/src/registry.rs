@@ -1,0 +1,255 @@
+//! The model registry: named models, each with an ordered list of
+//! bit-width variants, all gated through `mixq-verify` at registration.
+//!
+//! Variant order is the degradation ladder: the first variant is the
+//! preferred (highest-accuracy) one and serves normal traffic; the
+//! *last* variant is the overload fallback the batcher degrades to.
+//! A variant whose graph fails static verification never enters the
+//! registry — a malformed deployment artifact is an admission-time
+//! error, not a runtime surprise.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use mixq_core::convert::IntNetwork;
+use mixq_quant::BitWidth;
+use mixq_tensor::Shape;
+use mixq_verify::verify_graph;
+
+/// One registered bit-width variant of a model.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Caller-supplied label (e.g. `w8`, `w4`).
+    pub label: String,
+    /// The verified deployment network.
+    pub net: Arc<IntNetwork>,
+}
+
+/// Registration-time failures. Like admission errors these are typed:
+/// a registry never holds an unverified or inconsistent model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A model with this name is already registered.
+    DuplicateModel {
+        /// The conflicting name.
+        model: String,
+    },
+    /// `register` was called with zero variants.
+    NoVariants {
+        /// The model name.
+        model: String,
+    },
+    /// A variant's graph failed `mixq-verify` static verification.
+    VerificationFailed {
+        /// The model name.
+        model: String,
+        /// The failing variant's label.
+        variant: String,
+        /// Number of violations the verifier reported.
+        violations: usize,
+        /// The first violation, rendered.
+        first: String,
+    },
+    /// Variants disagree on the single-item input shape, so they cannot
+    /// substitute for each other under degradation.
+    InputMismatch {
+        /// The model name.
+        model: String,
+        /// The first variant's input shape.
+        expected: Shape,
+        /// The offending variant's label and shape.
+        variant: String,
+        /// The offending shape.
+        got: Shape,
+    },
+    /// Variants disagree on the number of output classes.
+    ClassesMismatch {
+        /// The model name.
+        model: String,
+        /// The first variant's class count.
+        expected: usize,
+        /// The offending variant's label.
+        variant: String,
+        /// The offending class count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateModel { model } => {
+                write!(f, "model `{model}` is already registered")
+            }
+            RegistryError::NoVariants { model } => {
+                write!(f, "model `{model}` registered with no variants")
+            }
+            RegistryError::VerificationFailed {
+                model,
+                variant,
+                violations,
+                first,
+            } => write!(
+                f,
+                "variant `{model}/{variant}` failed verification with {violations} violation(s); first: {first}"
+            ),
+            RegistryError::InputMismatch {
+                model,
+                expected,
+                variant,
+                got,
+            } => write!(
+                f,
+                "variant `{model}/{variant}` input shape {got:?} differs from the model's {expected:?}"
+            ),
+            RegistryError::ClassesMismatch {
+                model,
+                expected,
+                variant,
+                got,
+            } => write!(
+                f,
+                "variant `{model}/{variant}` has {got} classes, the model has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for RegistryError {}
+
+/// A registered model: its variants in degradation order.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// The model's name.
+    pub name: String,
+    /// Variants, preferred first; the last is the overload fallback.
+    pub variants: Vec<Variant>,
+}
+
+/// What the scheduling engine needs to know about a model — names only,
+/// no networks, so the simulator can schedule without real weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The model's name.
+    pub name: String,
+    /// Variant labels in degradation order.
+    pub variant_labels: Vec<String>,
+}
+
+/// Named models with verified bit-width variants.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    // BTreeMap keeps iteration (and hence model-id assignment) in
+    // name-insertion-independent deterministic order.
+    by_name: BTreeMap<String, usize>,
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name` with its variants (preferred first, overload
+    /// fallback last). Every variant's graph is statically verified
+    /// with `mixq-verify` under the label `name/variant`; any violation
+    /// rejects the whole registration. Returns the model's id.
+    pub fn register(
+        &mut self,
+        name: &str,
+        variants: Vec<(String, IntNetwork)>,
+    ) -> Result<usize, RegistryError> {
+        if self.by_name.contains_key(name) {
+            return Err(RegistryError::DuplicateModel {
+                model: name.to_string(),
+            });
+        }
+        if variants.is_empty() {
+            return Err(RegistryError::NoVariants {
+                model: name.to_string(),
+            });
+        }
+        let expected_shape = variants[0].1.input_shape();
+        let expected_classes = variants[0].1.num_classes();
+        for (label, net) in &variants {
+            if net.input_shape() != expected_shape {
+                return Err(RegistryError::InputMismatch {
+                    model: name.to_string(),
+                    expected: expected_shape,
+                    variant: label.clone(),
+                    got: net.input_shape(),
+                });
+            }
+            if net.num_classes() != expected_classes {
+                return Err(RegistryError::ClassesMismatch {
+                    model: name.to_string(),
+                    expected: expected_classes,
+                    variant: label.clone(),
+                    got: net.num_classes(),
+                });
+            }
+            let report = verify_graph(
+                &format!("{name}/{label}"),
+                net.graph(),
+                net.input_shape(),
+                BitWidth::W8,
+            );
+            if !report.ok() {
+                return Err(RegistryError::VerificationFailed {
+                    model: name.to_string(),
+                    variant: label.clone(),
+                    violations: report.violations.len(),
+                    first: format!("{:?}", report.violations[0]),
+                });
+            }
+        }
+        let id = self.entries.len();
+        self.entries.push(ModelEntry {
+            name: name.to_string(),
+            variants: variants
+                .into_iter()
+                .map(|(label, net)| Variant {
+                    label,
+                    net: Arc::new(net),
+                })
+                .collect(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Look up a model id by name.
+    pub fn id_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The entry for model `id`.
+    pub fn entry(&self, id: usize) -> &ModelEntry {
+        &self.entries[id]
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Scheduling-facing view: names and variant labels only, in model-id
+    /// order.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        self.entries
+            .iter()
+            .map(|e| ModelInfo {
+                name: e.name.clone(),
+                variant_labels: e.variants.iter().map(|v| v.label.clone()).collect(),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,146 @@
+//! Exactly-once response plumbing.
+//!
+//! Every admitted request gets one [`Responder`] (held by the runtime)
+//! and one [`ResponseHandle`] (held by the caller). The responder
+//! resolves the shared slot exactly once; if a worker unwinds or a batch
+//! is dropped while holding the responder, its `Drop` impl resolves the
+//! request to [`ServeError::WorkerLost`] so the caller can never hang on
+//! a lost request.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::{ServeError, ServeResult};
+
+#[derive(Debug, Default)]
+struct Slot {
+    state: Mutex<Option<ServeResult>>,
+    cv: Condvar,
+}
+
+/// The caller's half: wait for (or poll) the request's terminal outcome.
+#[derive(Debug, Clone)]
+pub struct ResponseHandle {
+    slot: Arc<Slot>,
+}
+
+impl ResponseHandle {
+    /// Block until the request resolves and return its outcome.
+    pub fn wait(&self) -> ServeResult {
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self.slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking poll: `Some` once resolved.
+    pub fn try_get(&self) -> Option<ServeResult> {
+        self.slot
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// The runtime's half: resolves the request exactly once.
+///
+/// Not `Clone` — ownership is the exactly-once guarantee. Dropping an
+/// unresolved responder (worker death, batch dropped mid-flight)
+/// resolves the request to [`ServeError::WorkerLost`].
+#[derive(Debug)]
+pub struct Responder {
+    slot: Arc<Slot>,
+    resolved: bool,
+}
+
+impl Responder {
+    /// Deliver the terminal outcome and wake the caller.
+    pub fn resolve(mut self, result: ServeResult) {
+        self.fill(result);
+    }
+
+    fn fill(&mut self, result: ServeResult) {
+        if self.resolved {
+            return;
+        }
+        self.resolved = true;
+        let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.is_none() {
+            *state = Some(result);
+        }
+        drop(state);
+        self.slot.cv.notify_all();
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.fill(Err(ServeError::WorkerLost));
+        }
+    }
+}
+
+/// Create a linked responder/handle pair for one request.
+pub fn channel() -> (Responder, ResponseHandle) {
+    let slot = Arc::new(Slot::default());
+    (
+        Responder {
+            slot: Arc::clone(&slot),
+            resolved: false,
+        },
+        ResponseHandle { slot },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{OutcomeClass, ServeOutput};
+
+    fn output() -> ServeOutput {
+        ServeOutput {
+            logits: vec![1, 2],
+            variant: "w8".into(),
+            degraded: false,
+            batch_size: 1,
+            latency_us: 10,
+        }
+    }
+
+    #[test]
+    fn resolve_wakes_waiter() {
+        let (responder, handle) = channel();
+        assert!(handle.try_get().is_none());
+        let waiter = std::thread::spawn({
+            let handle = handle.clone();
+            move || handle.wait()
+        });
+        responder.resolve(Ok(output()));
+        assert_eq!(waiter.join().unwrap(), Ok(output()));
+        assert_eq!(handle.try_get(), Some(Ok(output())));
+    }
+
+    #[test]
+    fn dropping_unresolved_responder_resolves_worker_lost() {
+        let (responder, handle) = channel();
+        drop(responder);
+        let result = handle.wait();
+        assert_eq!(result, Err(ServeError::WorkerLost));
+        assert_eq!(result.unwrap_err().class(), OutcomeClass::Failed);
+    }
+
+    #[test]
+    fn panicking_thread_resolves_its_requests() {
+        let (responder, handle) = channel();
+        let worker = std::thread::spawn(move || {
+            let _held = responder;
+            panic!("scripted");
+        });
+        assert!(worker.join().is_err());
+        assert_eq!(handle.wait(), Err(ServeError::WorkerLost));
+    }
+}

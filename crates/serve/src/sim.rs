@@ -1,0 +1,571 @@
+//! Single-threaded discrete-event simulator over the real [`Engine`].
+//!
+//! The simulator drives the exact same scheduling state machine as the
+//! threaded [`ServeRuntime`](crate::ServeRuntime) — same admission
+//! rules, same [`flush_decision`](crate::batcher::flush_decision), same
+//! degradation and fault semantics — but with one virtual worker, a
+//! virtual µs clock and a fixed [`ServiceModel`] instead of real
+//! inference. Every number it produces is an integer function of the
+//! submission trace, so its [`SimReport`] is goldenable: a byte-diff on
+//! the golden pins the runtime's scheduling math.
+
+use crate::config::ServeConfig;
+use crate::engine::{Batch, Engine, EngineAction};
+use crate::error::{Priority, ServeError, ServeOutput, ServeResult};
+use crate::fault::FaultPlan;
+use crate::registry::ModelInfo;
+use crate::response::ResponseHandle;
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// Deterministic service-time model for the virtual worker: a batch of
+/// `n` requests takes `base_us + n * per_item_us` virtual µs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Fixed per-walk cost (dispatch, weight streaming).
+    pub base_us: u64,
+    /// Marginal cost per batched request.
+    pub per_item_us: u64,
+}
+
+impl ServiceModel {
+    /// Service time for a batch of `n`.
+    pub fn service_us(&self, n: usize) -> u64 {
+        self.base_us + self.per_item_us * n as u64
+    }
+}
+
+/// One scripted submission in a simulation trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSubmit {
+    /// Arrival instant (virtual µs). Traces must be sorted by this.
+    pub at_us: u64,
+    /// Target model name.
+    pub model: String,
+    /// Admission priority.
+    pub priority: Priority,
+    /// Relative deadline budget, if any.
+    pub deadline_rel_us: Option<u64>,
+    /// Scripted malformed input: rejected `BadInput` at admission
+    /// without reaching the engine (mirrors a failed
+    /// `validate_request`).
+    pub malformed: bool,
+}
+
+impl SimSubmit {
+    /// A well-formed normal-priority submission with no deadline.
+    pub fn at(at_us: u64, model: &str) -> Self {
+        SimSubmit {
+            at_us,
+            model: model.to_string(),
+            priority: Priority::Normal,
+            deadline_rel_us: None,
+            malformed: false,
+        }
+    }
+
+    /// Set the priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set a relative deadline budget.
+    pub fn deadline(mut self, rel_us: u64) -> Self {
+        self.deadline_rel_us = Some(rel_us);
+        self
+    }
+
+    /// Mark the input malformed.
+    pub fn malformed(mut self) -> Self {
+        self.malformed = true;
+        self
+    }
+}
+
+/// One flushed batch in the simulated schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushRecord {
+    /// Flush instant (virtual µs).
+    pub at_us: u64,
+    /// Global batch sequence number.
+    pub batch_seq: u64,
+    /// Model name.
+    pub model: String,
+    /// Label of the serving variant.
+    pub variant_label: String,
+    /// Requests in the batch.
+    pub size: usize,
+    /// Flush trigger (`full` / `deadline` / `drain`).
+    pub reason: &'static str,
+    /// Whether overload degraded the batch.
+    pub degraded: bool,
+}
+
+/// The deterministic outcome of one simulated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// The flush schedule, in order.
+    pub flushes: Vec<FlushRecord>,
+    /// One outcome label per submission, in trace order (e.g. `ok:w8`,
+    /// `ok:w4:degraded`, `shed:full`, `deadline`, `failed:panic`).
+    pub outcomes: Vec<String>,
+    /// Latencies of `Ok` requests (virtual µs), sorted ascending.
+    pub latencies_us: Vec<u64>,
+    /// Median `Ok` latency (nearest-rank; 0 when no request completed).
+    pub p50_us: u64,
+    /// 99th-percentile `Ok` latency (nearest-rank).
+    pub p99_us: u64,
+    /// Final counters.
+    pub stats: StatsSnapshot,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 if empty).
+pub fn percentile_us(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (pct * n).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+/// Stable outcome label for goldens.
+fn outcome_label(result: &ServeResult) -> String {
+    match result {
+        Ok(ServeOutput {
+            variant, degraded, ..
+        }) => {
+            if *degraded {
+                format!("ok:{variant}:degraded")
+            } else {
+                format!("ok:{variant}")
+            }
+        }
+        Err(ServeError::QueueFull { .. }) => "shed:full".into(),
+        Err(ServeError::ShedLowPriority { .. }) => "shed:low".into(),
+        Err(ServeError::UnknownModel { .. }) => "shed:unknown_model".into(),
+        Err(ServeError::BadInput { .. }) => "shed:bad_input".into(),
+        Err(ServeError::ShuttingDown) => "shed:shutting_down".into(),
+        Err(ServeError::DeadlineExceeded { .. }) => "deadline".into(),
+        Err(ServeError::WorkerPanicked { .. }) => "failed:panic".into(),
+        Err(ServeError::WorkerLost) => "failed:lost".into(),
+        Err(ServeError::Shutdown) => "failed:shutdown".into(),
+    }
+}
+
+/// The simulator: a config, a model list, a service model and a fault
+/// plan. [`run`](Simulator::run) is a pure function of the trace.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: ServeConfig,
+    models: Vec<ModelInfo>,
+    service: ServiceModel,
+    faults: FaultPlan,
+}
+
+impl Simulator {
+    /// Build a simulator. The config must validate and at least one
+    /// model is required.
+    pub fn new(
+        cfg: ServeConfig,
+        models: Vec<ModelInfo>,
+        service: ServiceModel,
+        faults: FaultPlan,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if models.is_empty() {
+            return Err("simulator needs at least one model".into());
+        }
+        Ok(Simulator {
+            cfg,
+            models,
+            service,
+            faults,
+        })
+    }
+
+    /// Simulate a trace to completion (all arrivals, then a drain) and
+    /// report the schedule. Panics if the trace is not sorted by
+    /// `at_us` — an unsorted trace has no deterministic meaning.
+    pub fn run(&self, trace: &[SimSubmit]) -> SimReport {
+        assert!(
+            trace.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+            "simulation traces must be sorted by at_us"
+        );
+        let stats = ServeStats::default();
+        let mut engine = Engine::new(self.cfg.clone(), self.models.clone());
+        let mut handles: Vec<Option<ResponseHandle>> = Vec::with_capacity(trace.len());
+        let mut immediate: Vec<Option<String>> = vec![None; trace.len()];
+        let mut flushes = Vec::new();
+        let mut latencies = Vec::new();
+        let mut now = 0u64;
+        let mut next_arrival = 0usize;
+
+        // Admission mirrors ServeRuntime::submit: malformed and
+        // unknown-model requests never reach the engine.
+        let admit = |engine: &mut Engine,
+                     sub: &SimSubmit,
+                     idx: usize,
+                     handles: &mut Vec<Option<ResponseHandle>>,
+                     immediate: &mut Vec<Option<String>>| {
+            use std::sync::atomic::Ordering::Relaxed;
+            debug_assert_eq!(handles.len(), idx);
+            let model_id = self.models.iter().position(|m| m.name == sub.model);
+            if sub.malformed || model_id.is_none() {
+                stats.submitted.fetch_add(1, Relaxed);
+                stats.rejected_bad_input.fetch_add(1, Relaxed);
+                immediate[idx] = Some(if sub.malformed {
+                    "shed:bad_input".into()
+                } else {
+                    "shed:unknown_model".into()
+                });
+                handles.push(None);
+                return;
+            }
+            let rel = sub.deadline_rel_us.or(self.cfg.default_deadline_us);
+            let deadline = rel.map(|d| sub.at_us.saturating_add(d));
+            match engine.admit(
+                sub.at_us,
+                model_id.expect("checked above"),
+                None,
+                sub.priority,
+                deadline,
+                &stats,
+            ) {
+                Ok((handle, _seq)) => handles.push(Some(handle)),
+                Err(e) => {
+                    immediate[idx] = Some(outcome_label(&Err(e)));
+                    handles.push(None);
+                }
+            }
+        };
+
+        loop {
+            while next_arrival < trace.len() && trace[next_arrival].at_us <= now {
+                admit(
+                    &mut engine,
+                    &trace[next_arrival],
+                    next_arrival,
+                    &mut handles,
+                    &mut immediate,
+                );
+                next_arrival += 1;
+            }
+            match engine.next_action(now, &stats) {
+                EngineAction::Run(batch) => {
+                    now = self.execute(batch, now, &stats, &mut flushes, &mut latencies);
+                }
+                EngineAction::WaitUntil(t) => {
+                    now = match trace.get(next_arrival) {
+                        Some(sub) if sub.at_us <= t => sub.at_us,
+                        _ => t,
+                    };
+                }
+                EngineAction::Park => {
+                    if let Some(sub) = trace.get(next_arrival) {
+                        now = sub.at_us;
+                    } else {
+                        engine.start_drain();
+                    }
+                }
+                EngineAction::Stop => break,
+            }
+        }
+
+        let outcomes = immediate
+            .into_iter()
+            .zip(handles)
+            .map(|(label, handle)| {
+                label.unwrap_or_else(|| match handle.and_then(|h| h.try_get()) {
+                    Some(result) => outcome_label(&result),
+                    None => "unresolved".into(),
+                })
+            })
+            .collect();
+        latencies.sort_unstable();
+        let p50_us = percentile_us(&latencies, 50);
+        let p99_us = percentile_us(&latencies, 99);
+        SimReport {
+            flushes,
+            outcomes,
+            latencies_us: latencies,
+            p50_us,
+            p99_us,
+            stats: stats.snapshot(),
+        }
+    }
+
+    /// Execute one flushed batch on the virtual worker, mirroring the
+    /// runtime's fault semantics, and return the new clock.
+    fn execute(
+        &self,
+        mut batch: Batch,
+        now: u64,
+        stats: &ServeStats,
+        flushes: &mut Vec<FlushRecord>,
+        latencies: &mut Vec<u64>,
+    ) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let model = &self.models[batch.model];
+        let variant_label = model.variant_labels[batch.variant].clone();
+        let size = batch.reqs.len();
+        flushes.push(FlushRecord {
+            at_us: now,
+            batch_seq: batch.seq,
+            model: model.name.clone(),
+            variant_label: variant_label.clone(),
+            size,
+            reason: batch.reason.label(),
+            degraded: batch.degraded,
+        });
+        if self.faults.should_kill_worker(batch.seq) {
+            // Worker dies holding the batch; the supervisor's respawn is
+            // instantaneous in virtual time.
+            for pending in batch.reqs.drain(..) {
+                pending.responder.resolve(Err(ServeError::WorkerLost));
+                stats.failed.fetch_add(1, Relaxed);
+            }
+            stats.respawns.fetch_add(1, Relaxed);
+            return now;
+        }
+        let mut t = now;
+        if let Some(delay) = self.faults.delay_for_batch(batch.seq) {
+            t += delay;
+        }
+        let scripted_panic = batch.reqs.iter().any(|p| self.faults.should_panic(p.seq));
+        t += self.service.service_us(size);
+        if !scripted_panic {
+            for pending in batch.reqs {
+                self.resolve(
+                    pending,
+                    t,
+                    &variant_label,
+                    batch.degraded,
+                    size,
+                    stats,
+                    latencies,
+                );
+            }
+            return t;
+        }
+        stats.worker_panics.fetch_add(1, Relaxed);
+        if size == 1 {
+            let pending = batch.reqs.pop().expect("batch of one");
+            pending.responder.resolve(Err(ServeError::WorkerPanicked {
+                detail: format!("injected fault: panic on request {}", pending.seq),
+            }));
+            stats.failed.fetch_add(1, Relaxed);
+            return t;
+        }
+        // Batch bisect: each request retried alone, sequentially.
+        for pending in batch.reqs {
+            stats.batch_retries.fetch_add(1, Relaxed);
+            t += self.service.service_us(1);
+            if self.faults.should_panic(pending.seq) {
+                stats.worker_panics.fetch_add(1, Relaxed);
+                pending.responder.resolve(Err(ServeError::WorkerPanicked {
+                    detail: format!("injected fault: panic on request {}", pending.seq),
+                }));
+                stats.failed.fetch_add(1, Relaxed);
+            } else {
+                self.resolve(
+                    pending,
+                    t,
+                    &variant_label,
+                    batch.degraded,
+                    1,
+                    stats,
+                    latencies,
+                );
+            }
+        }
+        t
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve(
+        &self,
+        pending: crate::engine::Pending,
+        finish_us: u64,
+        variant_label: &str,
+        degraded: bool,
+        batch_size: usize,
+        stats: &ServeStats,
+        latencies: &mut Vec<u64>,
+    ) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(deadline) = pending.deadline_us {
+            if finish_us > deadline {
+                pending.responder.resolve(Err(ServeError::DeadlineExceeded {
+                    deadline_us: deadline,
+                    now_us: finish_us,
+                }));
+                stats.deadline_expired.fetch_add(1, Relaxed);
+                return;
+            }
+        }
+        let latency_us = finish_us.saturating_sub(pending.arrival_us);
+        latencies.push(latency_us);
+        pending.responder.resolve(Ok(ServeOutput {
+            logits: Vec::new(),
+            variant: variant_label.to_string(),
+            degraded,
+            batch_size,
+            latency_us,
+        }));
+        stats.completed_ok.fetch_add(1, Relaxed);
+        if degraded {
+            stats.degraded.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatcherConfig;
+
+    fn sim(faults: FaultPlan) -> Simulator {
+        let cfg = ServeConfig::default()
+            .with_queue_capacity(16)
+            .with_shed_watermark(12)
+            .with_degrade_watermark(6)
+            .with_batcher(BatcherConfig {
+                batch_max: 4,
+                deadline_us: 200,
+            })
+            .with_workers(1);
+        let models = vec![ModelInfo {
+            name: "cnn".into(),
+            variant_labels: vec!["w8".into(), "w4".into()],
+        }];
+        Simulator::new(
+            cfg,
+            models,
+            ServiceModel {
+                base_us: 100,
+                per_item_us: 10,
+            },
+            faults,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_traces_produce_identical_reports() {
+        let trace: Vec<SimSubmit> = (0..12).map(|i| SimSubmit::at(i * 40, "cnn")).collect();
+        let s = sim(FaultPlan::new());
+        let a = s.run(&trace);
+        let b = s.run(&trace);
+        assert_eq!(a, b);
+        assert_eq!(a.stats.accepted, 12);
+        assert_eq!(a.stats.resolved(), 12, "every request resolves");
+        assert!(a.outcomes.iter().all(|o| o != "unresolved"));
+    }
+
+    #[test]
+    fn full_batches_flush_before_the_linger_deadline() {
+        // Four back-to-back arrivals fill batch_max=4 at t=0.
+        let trace: Vec<SimSubmit> = (0..4).map(|_| SimSubmit::at(0, "cnn")).collect();
+        let report = sim(FaultPlan::new()).run(&trace);
+        assert_eq!(report.flushes.len(), 1);
+        assert_eq!(report.flushes[0].reason, "full");
+        assert_eq!(report.flushes[0].at_us, 0);
+        assert_eq!(report.flushes[0].size, 4);
+        // Service = 100 + 4*10 = 140µs for everyone.
+        assert_eq!(report.latencies_us, vec![140, 140, 140, 140]);
+        assert_eq!(report.p50_us, 140);
+    }
+
+    #[test]
+    fn lone_request_flushes_at_the_linger_deadline() {
+        let trace = vec![SimSubmit::at(50, "cnn")];
+        let report = sim(FaultPlan::new()).run(&trace);
+        assert_eq!(report.flushes.len(), 1);
+        assert_eq!(report.flushes[0].reason, "deadline");
+        assert_eq!(report.flushes[0].at_us, 250, "arrival 50 + linger 200");
+        // Latency = wait 200 + service 110.
+        assert_eq!(report.latencies_us, vec![310]);
+    }
+
+    #[test]
+    fn injected_panic_fails_only_the_culprit() {
+        let trace: Vec<SimSubmit> = (0..4).map(|_| SimSubmit::at(0, "cnn")).collect();
+        let report = sim(FaultPlan::new().panic_on_request(2)).run(&trace);
+        assert_eq!(
+            report.outcomes,
+            vec!["ok:w8", "ok:w8", "failed:panic", "ok:w8"]
+        );
+        assert_eq!(report.stats.batch_retries, 4);
+        assert_eq!(report.stats.worker_panics, 2, "batch attempt + retry");
+        assert_eq!(report.stats.resolved(), 4);
+    }
+
+    #[test]
+    fn killed_worker_loses_only_its_batch_and_respawns() {
+        let trace: Vec<SimSubmit> = (0..8).map(|i| SimSubmit::at(i / 4, "cnn")).collect();
+        let report = sim(FaultPlan::new().kill_worker_on_batch(0)).run(&trace);
+        assert_eq!(report.stats.respawns, 1);
+        assert_eq!(report.stats.failed, 4, "first batch lost");
+        assert_eq!(report.stats.completed_ok, 4, "second batch unaffected");
+        assert!(report.outcomes[..4].iter().all(|o| o == "failed:lost"));
+        assert!(report.outcomes[4..].iter().all(|o| o.starts_with("ok:")));
+    }
+
+    #[test]
+    fn delayed_batch_misses_deadlines() {
+        let trace: Vec<SimSubmit> = (0..4)
+            .map(|_| SimSubmit::at(0, "cnn").deadline(200))
+            .collect();
+        let ok = sim(FaultPlan::new()).run(&trace);
+        assert!(ok.outcomes.iter().all(|o| o == "ok:w8"));
+        let late = sim(FaultPlan::new().delay_batch(0, 500)).run(&trace);
+        assert!(late.outcomes.iter().all(|o| o == "deadline"));
+        assert_eq!(late.stats.deadline_expired, 4);
+    }
+
+    #[test]
+    fn overload_sheds_and_degrades() {
+        // 12 arrivals reach the shed watermark, the next 4 low-priority
+        // ones are shed, 4 more normals fill the queue to capacity, and
+        // a final one is refused outright. Flushes under pressure
+        // degrade to w4.
+        let mut trace: Vec<SimSubmit> = (0..12).map(|_| SimSubmit::at(0, "cnn")).collect();
+        for _ in 0..4 {
+            trace.push(SimSubmit::at(0, "cnn").priority(Priority::Low));
+        }
+        for _ in 0..4 {
+            trace.push(SimSubmit::at(0, "cnn"));
+        }
+        trace.push(SimSubmit::at(0, "cnn"));
+        let report = sim(FaultPlan::new()).run(&trace);
+        assert_eq!(report.stats.rejected_shed, 4, "low-priority shed");
+        assert_eq!(report.stats.rejected_queue_full, 1, "hard cap");
+        assert!(report.stats.degraded > 0, "overload degrades");
+        assert!(report.outcomes.iter().any(|o| o == "ok:w4:degraded"));
+        assert_eq!(report.stats.resolved(), report.stats.accepted);
+    }
+
+    #[test]
+    fn malformed_and_unknown_are_rejected_without_queueing() {
+        let trace = vec![
+            SimSubmit::at(0, "cnn").malformed(),
+            SimSubmit::at(0, "nope"),
+            SimSubmit::at(0, "cnn"),
+        ];
+        let report = sim(FaultPlan::new()).run(&trace);
+        assert_eq!(report.outcomes[0], "shed:bad_input");
+        assert_eq!(report.outcomes[1], "shed:unknown_model");
+        assert_eq!(report.outcomes[2], "ok:w8");
+        assert_eq!(report.stats.rejected_bad_input, 2);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_us(&[], 50), 0);
+        assert_eq!(percentile_us(&[7], 50), 7);
+        assert_eq!(percentile_us(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(percentile_us(&[1, 2, 3, 4], 99), 4);
+        assert_eq!(percentile_us(&[1, 2, 3, 4], 100), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Lock-free runtime counters. The fault-injection suite audits these
+//! against per-request outcomes to prove exactly-once accounting.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Monotonic counters updated by the admission path, the batcher and the
+/// workers. All increments use relaxed ordering: the counters are
+/// statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests presented to `submit` (accepted or not).
+    pub submitted: AtomicU64,
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Rejected with `QueueFull`.
+    pub rejected_queue_full: AtomicU64,
+    /// Rejected with `ShedLowPriority`.
+    pub rejected_shed: AtomicU64,
+    /// Rejected with `BadInput` / `UnknownModel` (never reached the queue).
+    pub rejected_bad_input: AtomicU64,
+    /// Resolved `Ok`.
+    pub completed_ok: AtomicU64,
+    /// Resolved `DeadlineExceeded` (queued expiry or late completion).
+    pub deadline_expired: AtomicU64,
+    /// Resolved `Failed` (panic, lost worker, shutdown).
+    pub failed: AtomicU64,
+    /// Requests served by a degraded (lower-bit) variant.
+    pub degraded: AtomicU64,
+    /// Batches flushed.
+    pub batches: AtomicU64,
+    /// Flushes triggered by reaching `batch_max`.
+    pub flush_full: AtomicU64,
+    /// Flushes triggered by the linger deadline.
+    pub flush_deadline: AtomicU64,
+    /// Flushes triggered by shutdown drain.
+    pub flush_drain: AtomicU64,
+    /// Individual retries of innocents after a batch panic.
+    pub batch_retries: AtomicU64,
+    /// Panics caught in worker batch execution.
+    pub worker_panics: AtomicU64,
+    /// Worker threads respawned by the supervisor.
+    pub respawns: AtomicU64,
+    /// High-water mark of queue depth.
+    pub max_depth: AtomicUsize,
+}
+
+impl ServeStats {
+    /// Record a new queue-depth observation, keeping the high-water mark.
+    pub fn observe_depth(&self, depth: usize) {
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Copy the counters into a plain snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_shed: self.rejected_shed.load(Ordering::Relaxed),
+            rejected_bad_input: self.rejected_bad_input.load(Ordering::Relaxed),
+            completed_ok: self.completed_ok.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            flush_full: self.flush_full.load(Ordering::Relaxed),
+            flush_deadline: self.flush_deadline.load(Ordering::Relaxed),
+            flush_drain: self.flush_drain.load(Ordering::Relaxed),
+            batch_retries: self.batch_retries.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain copy of [`ServeStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests presented to `submit` (accepted or not).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Rejected with `QueueFull`.
+    pub rejected_queue_full: u64,
+    /// Rejected with `ShedLowPriority`.
+    pub rejected_shed: u64,
+    /// Rejected with `BadInput` / `UnknownModel`.
+    pub rejected_bad_input: u64,
+    /// Resolved `Ok`.
+    pub completed_ok: u64,
+    /// Resolved `DeadlineExceeded`.
+    pub deadline_expired: u64,
+    /// Resolved `Failed`.
+    pub failed: u64,
+    /// Served degraded.
+    pub degraded: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Flushes at `batch_max`.
+    pub flush_full: u64,
+    /// Flushes at the linger deadline.
+    pub flush_deadline: u64,
+    /// Flushes forced by shutdown drain.
+    pub flush_drain: u64,
+    /// Innocent-request retries after batch panics.
+    pub batch_retries: u64,
+    /// Panics caught in workers.
+    pub worker_panics: u64,
+    /// Workers respawned.
+    pub respawns: u64,
+    /// Queue-depth high-water mark.
+    pub max_depth: usize,
+}
+
+impl StatsSnapshot {
+    /// Requests resolved to a terminal outcome (the exactly-once audit:
+    /// for a drained runtime this must equal `accepted`).
+    pub fn resolved(&self) -> u64 {
+        self.completed_ok + self.deadline_expired + self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mirrors_counters() {
+        let stats = ServeStats::default();
+        stats.submitted.fetch_add(5, Ordering::Relaxed);
+        stats.accepted.fetch_add(4, Ordering::Relaxed);
+        stats.completed_ok.fetch_add(3, Ordering::Relaxed);
+        stats.failed.fetch_add(1, Ordering::Relaxed);
+        stats.observe_depth(7);
+        stats.observe_depth(3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.resolved(), 4);
+        assert_eq!(snap.max_depth, 7);
+    }
+}

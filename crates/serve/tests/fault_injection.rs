@@ -1,0 +1,488 @@
+//! Deterministic fault-injection suite for the serving runtime.
+//!
+//! Every scenario runs under a [`ManualClock`] (virtual time only moves
+//! when the test advances it) or a fully-drained monotonic runtime, so
+//! the suite never depends on wall-clock timing, never hangs, and
+//! audits the runtime's core guarantee: **every submitted request
+//! resolves to exactly one of Ok / Shed / Deadline / Failed**, no
+//! matter what panics, worker deaths, delays or malformed inputs are
+//! scripted against it.
+
+use mixq_core::convert::{convert_with_backend, IntNetwork};
+use mixq_core::memory::QuantScheme;
+use mixq_core::MixQError;
+use mixq_data::{Dataset, DatasetSpec, SyntheticKind};
+use mixq_kernels::{AnyOp, TiledBackend};
+use mixq_models::micro::mobilenet_like_residual;
+use mixq_nn::qat::QatNetwork;
+use mixq_quant::{BitWidth, Granularity};
+use mixq_serve::{
+    BatcherConfig, ClockSource, FaultPlan, ManualClock, ModelRegistry, OutcomeClass, Priority,
+    RegistryError, ServeConfig, ServeError, ServeRuntime, SubmitOptions,
+};
+use mixq_tensor::Tensor;
+
+const RES: usize = 8;
+const CLASSES: usize = 4;
+
+fn tiny_dataset(seed: u64) -> Dataset {
+    DatasetSpec::new(SyntheticKind::Bars, RES, RES, 3, CLASSES)
+        .with_samples(8)
+        .with_noise(0.05)
+        .generate(seed)
+}
+
+/// An untrained but calibrated tiny residual CNN converted to the
+/// integer deployment graph — no training, so the whole suite stays
+/// fast while still walking real kernels end to end.
+fn tiny_net(bits: BitWidth, ds: &Dataset) -> IntNetwork {
+    let spec = mobilenet_like_residual(RES, 3, 8, CLASSES);
+    let mut net = QatNetwork::build(&spec, 41);
+    net.calibrate_input(ds.images());
+    net.enable_fake_quant(Granularity::PerChannel);
+    if bits != BitWidth::W8 {
+        for i in 0..net.num_blocks() {
+            net.set_weight_bits(i, bits);
+        }
+        net.set_linear_weight_bits(bits);
+    }
+    convert_with_backend(&net, QuantScheme::PerChannelIcn, &TiledBackend::default())
+        .expect("calibrated network converts")
+}
+
+fn two_variant_registry(ds: &Dataset) -> (ModelRegistry, IntNetwork, IntNetwork) {
+    let w8 = tiny_net(BitWidth::W8, ds);
+    let w4 = tiny_net(BitWidth::W4, ds);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "cnn",
+            vec![("w8".into(), w8.clone()), ("w4".into(), w4.clone())],
+        )
+        .expect("verified variants register");
+    (registry, w8, w4)
+}
+
+fn manual_cfg(batch_max: usize) -> ServeConfig {
+    ServeConfig::default()
+        .with_queue_capacity(32)
+        .with_shed_watermark(28)
+        .with_degrade_watermark(32) // out of the way unless a test lowers it
+        .with_batcher(BatcherConfig {
+            batch_max,
+            deadline_us: 1_000,
+        })
+        .with_workers(1)
+}
+
+fn manual_runtime(
+    registry: ModelRegistry,
+    cfg: ServeConfig,
+    faults: FaultPlan,
+) -> (ServeRuntime, ManualClock) {
+    let clock = ManualClock::new();
+    let runtime =
+        ServeRuntime::start_with(registry, cfg, ClockSource::Manual(clock.clone()), faults)
+            .expect("runtime starts");
+    (runtime, clock)
+}
+
+#[test]
+fn scripted_panic_fails_only_the_culprit_and_serves_identical_logits() {
+    let ds = tiny_dataset(3);
+    let (registry, w8, _) = two_variant_registry(&ds);
+    // Request seq 2 (the third admitted) panics mid-batch; its batch
+    // mates must be retried and still answer bit-identically to direct
+    // inference.
+    let faults = FaultPlan::new().panic_on_request(2);
+    let (mut runtime, _clock) = manual_runtime(registry, manual_cfg(4), faults);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            runtime
+                .submit("cnn", ds.sample(i).images, SubmitOptions::default())
+                .expect("admitted")
+        })
+        .collect();
+    let results: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(output) => {
+                let (expected, _) = w8.infer(&ds.sample(i).images);
+                assert_eq!(
+                    output.logits, expected,
+                    "request {i} must be bit-identical to direct inference"
+                );
+                assert_eq!(output.variant, "w8");
+                assert!(!output.degraded);
+            }
+            Err(ServeError::WorkerPanicked { detail }) => {
+                assert_eq!(i, 2, "only the scripted culprit may fail");
+                assert!(detail.contains("panic on request 2"), "{detail}");
+            }
+            Err(other) => panic!("request {i}: unexpected {other}"),
+        }
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.accepted, 8);
+    assert_eq!(stats.resolved(), 8, "exactly-once resolution");
+    assert_eq!(stats.completed_ok, 7);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.worker_panics, 2, "batch attempt + individual retry");
+    assert_eq!(stats.batch_retries, 4, "all four batch mates retried");
+    assert_eq!(stats.respawns, 0, "a caught panic never kills the worker");
+}
+
+#[test]
+fn killed_worker_is_respawned_and_no_request_hangs() {
+    let ds = tiny_dataset(4);
+    let (registry, _, _) = two_variant_registry(&ds);
+    let faults = FaultPlan::new().kill_worker_on_batch(0);
+    let (mut runtime, _clock) = manual_runtime(registry, manual_cfg(4), faults);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            runtime
+                .submit("cnn", ds.sample(i).images, SubmitOptions::default())
+                .expect("admitted")
+        })
+        .collect();
+    let results: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+    // Batch 0 (the first four requests) dies with its worker; the
+    // respawned worker must still serve batch 1.
+    for (i, result) in results.iter().enumerate() {
+        if i < 4 {
+            assert_eq!(
+                result,
+                &Err(ServeError::WorkerLost),
+                "request {i} rode the killed worker"
+            );
+        } else {
+            assert!(result.is_ok(), "request {i} must survive the respawn");
+        }
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.respawns, 1, "supervisor replaced the dead worker");
+    assert_eq!(stats.failed, 4);
+    assert_eq!(stats.completed_ok, 4);
+    assert_eq!(stats.resolved(), stats.accepted);
+}
+
+#[test]
+fn queued_deadline_expires_and_delayed_batch_finishes_late() {
+    let ds = tiny_dataset(5);
+    let (registry, _, _) = two_variant_registry(&ds);
+    // Batch 0 (the four deadline-1000 requests below) is delayed 5000µs
+    // by the scheduler fault, so it completes past its deadline.
+    let faults = FaultPlan::new().delay_batch(0, 5_000);
+    let (mut runtime, clock) = manual_runtime(registry, manual_cfg(4), faults);
+
+    // A lone request whose own deadline (50µs) lands before the batch
+    // linger (1000µs): it must expire in the queue, untouched by any
+    // worker.
+    let lone = runtime
+        .submit(
+            "cnn",
+            ds.sample(0).images,
+            SubmitOptions::default().with_deadline_us(50),
+        )
+        .expect("admitted");
+    clock.advance(50);
+    runtime.advance_clock(0); // wake workers at t = 50
+    let result = lone.wait();
+    assert!(
+        matches!(
+            result,
+            Err(ServeError::DeadlineExceeded {
+                deadline_us: 50,
+                ..
+            })
+        ),
+        "queued expiry: {result:?}"
+    );
+
+    // Four requests with a 1000µs budget fill a batch immediately; the
+    // scripted 5000µs delay makes the batch finish at t≈5050 > 1050.
+    let handles: Vec<_> = (1..5)
+        .map(|i| {
+            runtime
+                .submit(
+                    "cnn",
+                    ds.sample(i).images,
+                    SubmitOptions::default().with_deadline_us(1_000),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    for (i, handle) in handles.iter().enumerate() {
+        let result = handle.wait();
+        assert!(
+            matches!(result, Err(ServeError::DeadlineExceeded { .. })),
+            "delayed request {i}: {result:?}"
+        );
+        assert_eq!(result.unwrap_err().class(), OutcomeClass::Deadline);
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.deadline_expired, 5);
+    assert_eq!(stats.completed_ok, 0);
+    assert_eq!(stats.resolved(), stats.accepted);
+}
+
+#[test]
+fn malformed_requests_are_typed_rejections_not_panics() {
+    let ds = tiny_dataset(6);
+    let (registry, _, _) = two_variant_registry(&ds);
+    let (mut runtime, _clock) = manual_runtime(registry, manual_cfg(4), FaultPlan::new());
+
+    // Wrong spatial shape.
+    let wrong = Tensor::from_vec(
+        mixq_tensor::Shape::new(1, RES * 2, RES * 2, 3),
+        vec![0.0; RES * 2 * RES * 2 * 3],
+    )
+    .unwrap();
+    match runtime.submit("cnn", wrong, SubmitOptions::default()) {
+        Err(ServeError::BadInput {
+            source: MixQError::InputShapeMismatch { .. },
+        }) => {}
+        other => panic!("wrong shape: {other:?}"),
+    }
+
+    // Oversized multi-item batch: serving requests are single-item.
+    let stacked = Tensor::from_vec(
+        mixq_tensor::Shape::new(2, RES, RES, 3),
+        vec![0.0; 2 * RES * RES * 3],
+    )
+    .unwrap();
+    match runtime.submit("cnn", stacked, SubmitOptions::default()) {
+        Err(ServeError::BadInput { .. }) => {}
+        other => panic!("oversized batch: {other:?}"),
+    }
+
+    // Empty batch.
+    let empty = Tensor::from_vec(mixq_tensor::Shape::new(0, RES, RES, 3), Vec::new()).unwrap();
+    match runtime.submit("cnn", empty, SubmitOptions::default()) {
+        Err(ServeError::BadInput {
+            source: MixQError::EmptyBatch,
+        }) => {}
+        other => panic!("empty batch: {other:?}"),
+    }
+
+    // Unknown model.
+    match runtime.submit("nope", ds.sample(0).images, SubmitOptions::default()) {
+        Err(ServeError::UnknownModel { model }) => assert_eq!(model, "nope"),
+        other => panic!("unknown model: {other:?}"),
+    }
+
+    // A well-formed request still sails through after all that abuse.
+    // (A lone request flushes at the linger deadline, so advance the
+    // virtual clock past it.)
+    let ok = runtime
+        .submit("cnn", ds.sample(0).images, SubmitOptions::default())
+        .expect("admitted");
+    runtime.advance_clock(1_000);
+    assert!(ok.wait().is_ok());
+    let stats = runtime.shutdown();
+    assert_eq!(stats.rejected_bad_input, 4);
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.completed_ok, 1);
+}
+
+#[test]
+fn overload_sheds_low_priority_and_degrades_to_w4() {
+    let ds = tiny_dataset(7);
+    let (registry, _, w4) = two_variant_registry(&ds);
+    let cfg = manual_cfg(4)
+        .with_queue_capacity(8)
+        .with_shed_watermark(6)
+        .with_degrade_watermark(4);
+    let (mut runtime, _clock) = manual_runtime(registry, cfg, FaultPlan::new());
+    // Fill to the shed watermark with normal traffic. The single worker
+    // may start flushing while we submit, so only the *typed* outcomes
+    // are asserted, not the depth at each instant.
+    let mut handles = Vec::new();
+    let mut shed = 0usize;
+    let mut full = 0usize;
+    for i in 0..24 {
+        let opts = if i % 3 == 2 {
+            SubmitOptions::default().with_priority(Priority::Low)
+        } else {
+            SubmitOptions::default()
+        };
+        match runtime.submit("cnn", ds.sample(i % 8).images, opts) {
+            Ok(h) => handles.push((i % 8, h)),
+            Err(ServeError::ShedLowPriority { .. }) => shed += 1,
+            Err(ServeError::QueueFull { .. }) => full += 1,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    let mut degraded_seen = 0usize;
+    for (sample, handle) in &handles {
+        let output = handle.wait().expect("admitted requests complete");
+        if output.degraded {
+            degraded_seen += 1;
+            assert_eq!(output.variant, "w4");
+            let (expected, _) = w4.infer(&ds.sample(*sample).images);
+            assert_eq!(
+                output.logits, expected,
+                "degraded answers are the w4 network's answers"
+            );
+        } else {
+            assert_eq!(output.variant, "w8");
+        }
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(stats.rejected_shed as usize, shed);
+    assert_eq!(stats.rejected_queue_full as usize, full);
+    assert_eq!(stats.degraded as usize, degraded_seen);
+    assert!(
+        degraded_seen > 0,
+        "sustained overload must trigger degradation"
+    );
+    assert_eq!(stats.resolved(), stats.accepted);
+    assert!(stats.max_depth <= 8, "never exceeds capacity");
+}
+
+#[test]
+fn registry_refuses_unverified_and_inconsistent_variants() {
+    let ds = tiny_dataset(8);
+    let w8 = tiny_net(BitWidth::W8, &ds);
+
+    // Forge a residual join: declared scales that disagree with the
+    // baked multipliers. verify_graph must catch it at registration.
+    let mut forged = tiny_net(BitWidth::W8, &ds);
+    let mut forged_any = false;
+    for node in forged.graph_mut().nodes_mut() {
+        if let AnyOp::Add(add) = node.op_mut() {
+            *add = add.clone().with_declared_scales(123.0, 456.0, 1.0);
+            forged_any = true;
+            break;
+        }
+    }
+    assert!(forged_any, "residual spec must contain an Add node");
+    let mut registry = ModelRegistry::new();
+    match registry.register("forged", vec![("w8".into(), forged)]) {
+        Err(RegistryError::VerificationFailed {
+            model,
+            variant,
+            violations,
+            ..
+        }) => {
+            assert_eq!(model, "forged");
+            assert_eq!(variant, "w8");
+            assert!(violations >= 1);
+        }
+        other => panic!("forged graph must be rejected: {other:?}"),
+    }
+    assert!(registry.is_empty(), "a rejected model leaves no trace");
+
+    // Variants must agree on input geometry...
+    let spec_big = mobilenet_like_residual(RES * 2, 3, 8, CLASSES);
+    let ds_big = DatasetSpec::new(SyntheticKind::Bars, RES * 2, RES * 2, 3, CLASSES)
+        .with_samples(8)
+        .generate(9);
+    let mut big = QatNetwork::build(&spec_big, 41);
+    big.calibrate_input(ds_big.images());
+    big.enable_fake_quant(Granularity::PerChannel);
+    let big = convert_with_backend(&big, QuantScheme::PerChannelIcn, &TiledBackend::default())
+        .expect("converts");
+    match registry.register(
+        "mixed",
+        vec![("w8".into(), w8.clone()), ("big".into(), big)],
+    ) {
+        Err(RegistryError::InputMismatch { variant, .. }) => assert_eq!(variant, "big"),
+        other => panic!("shape-mismatched variants must be rejected: {other:?}"),
+    }
+
+    // ...and basic shape invariants hold.
+    match registry.register("empty", Vec::new()) {
+        Err(RegistryError::NoVariants { .. }) => {}
+        other => panic!("empty registration: {other:?}"),
+    }
+    registry
+        .register("cnn", vec![("w8".into(), w8.clone())])
+        .expect("clean variant registers");
+    match registry.register("cnn", vec![("w8".into(), w8)]) {
+        Err(RegistryError::DuplicateModel { model }) => assert_eq!(model, "cnn"),
+        other => panic!("duplicate registration: {other:?}"),
+    }
+}
+
+#[test]
+fn drain_shutdown_resolves_queued_work_without_hanging() {
+    let ds = tiny_dataset(10);
+    let (registry, _, _) = two_variant_registry(&ds);
+    // batch_max 8 and a long linger: three submitted requests are still
+    // lingering when shutdown starts. Drain must flush and answer them
+    // (not abandon them) without any clock advancement.
+    let cfg = manual_cfg(8);
+    let (mut runtime, _clock) = manual_runtime(registry, cfg, FaultPlan::new());
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            runtime
+                .submit("cnn", ds.sample(i).images, SubmitOptions::default())
+                .expect("admitted")
+        })
+        .collect();
+    let stats = runtime.shutdown();
+    for (i, handle) in handles.iter().enumerate() {
+        let output = handle.wait().unwrap_or_else(|e| panic!("request {i}: {e}"));
+        assert_eq!(output.batch_size, 3, "drain flushed the partial batch");
+    }
+    assert_eq!(stats.completed_ok, 3);
+    assert_eq!(stats.flush_drain, 1);
+    // Post-shutdown submissions are refused, typed.
+    match runtime.submit("cnn", ds.sample(0).images, SubmitOptions::default()) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("post-shutdown submit: {other:?}"),
+    }
+}
+
+#[test]
+fn storm_of_faults_loses_nothing_on_real_threads() {
+    // Monotonic clock, two workers, panics and a worker kill sprinkled
+    // through 48 requests: the audit is purely on outcomes — every
+    // handle resolves, classes partition, counters reconcile.
+    let ds = tiny_dataset(11);
+    let (registry, _, _) = two_variant_registry(&ds);
+    let cfg = ServeConfig::default()
+        .with_queue_capacity(64)
+        .with_shed_watermark(64)
+        .with_degrade_watermark(48)
+        .with_batcher(BatcherConfig {
+            batch_max: 4,
+            deadline_us: 200,
+        })
+        .with_workers(2);
+    let faults = FaultPlan::new()
+        .panic_on_request(3)
+        .panic_on_request(17)
+        .panic_on_request(31)
+        .kill_worker_on_batch(5);
+    let mut runtime = ServeRuntime::start_with(registry, cfg, ClockSource::monotonic(), faults)
+        .expect("runtime starts");
+    let handles: Vec<_> = (0..48)
+        .map(|i| {
+            runtime
+                .submit("cnn", ds.sample(i % 8).images, SubmitOptions::default())
+                .expect("admitted under the high watermarks")
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for handle in &handles {
+        match handle.wait() {
+            Ok(_) => ok += 1,
+            Err(e) => match e.class() {
+                OutcomeClass::Failed => failed += 1,
+                other => panic!("unexpected class {other:?}: {e}"),
+            },
+        }
+    }
+    let stats = runtime.shutdown();
+    assert_eq!(ok + failed, 48, "every handle resolved");
+    assert_eq!(stats.accepted, 48);
+    assert_eq!(stats.resolved(), 48);
+    assert_eq!(stats.completed_ok, ok);
+    assert_eq!(stats.failed, failed);
+    assert!(failed >= 3, "the scripted culprits must fail");
+    assert!(stats.worker_panics >= 3);
+    assert!(stats.respawns >= 1, "the killed worker was replaced");
+}

@@ -7,6 +7,10 @@
 #   BENCH_walk.json  — the SIMD × threads scaling table of one batch-8
 #     walk: forced-scalar vs auto-detected SIMD at 1 thread, and the
 #     intra-walk worker-pool sweep, with kernel-level gemv2 ratios.
+#   BENCH_serve.json — the serving-load table: p50/p99 latency, shed and
+#     degradation splits of the mixq-serve runtime per offered
+#     inter-arrival gap × worker count (4-worker target null/skipped on
+#     hosts that cannot run 4 genuine workers).
 #
 # Unlike the deterministic goldens under tests/goldens/ (shape math,
 # byte-diffed in CI), these files hold *measured* numbers: commit them
@@ -23,5 +27,7 @@ cargo bench --bench table_batch_throughput -- \
   --bench-json "$root/BENCH_batch.json"
 cargo bench --bench table_walk_scaling -- \
   --bench-json "$root/BENCH_walk.json"
+cargo bench --bench table_serve_load -- \
+  --bench-json "$root/BENCH_serve.json"
 echo "perf reports written:"
-cat "$root/BENCH_batch.json" "$root/BENCH_walk.json"
+cat "$root/BENCH_batch.json" "$root/BENCH_walk.json" "$root/BENCH_serve.json"

@@ -14,7 +14,7 @@ root="$PWD"
 for bench in table1_layer_memory table2_int4_mobilenet \
              table4_mixed_accuracy figure3_bit_assignment \
              table_backend_kernels table_batch_throughput \
-             table_walk_scaling verify_zoo; do
+             table_walk_scaling table_serve_load verify_zoo; do
   echo "== $bench =="
   cargo bench --bench "$bench" -- --json "$root/tests/goldens/$bench.json" >/dev/null
 done

@@ -18,6 +18,9 @@
 //! * [`data`] — synthetic datasets standing in for ImageNet.
 //! * [`verify`] — static graph/kernel verifier: overflow interval
 //!   analysis, arena-aliasing and requant-expressibility proofs.
+//! * [`serve`] — fault-tolerant serving runtime: bounded admission,
+//!   deadline-aware batching, panic-isolated workers, bit-width
+//!   degradation under overload, deterministic fault injection.
 //!
 //! # Quickstart
 //!
@@ -39,5 +42,6 @@ pub use mixq_mcu as mcu;
 pub use mixq_models as models;
 pub use mixq_nn as nn;
 pub use mixq_quant as quant;
+pub use mixq_serve as serve;
 pub use mixq_tensor as tensor;
 pub use mixq_verify as verify;
